@@ -1,0 +1,62 @@
+//! Cost of the finite-element characterization pipeline (the paper's
+//! per-primitive ABAQUS run) at increasing mesh refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emgrid::fea::assembly::{assemble, BoundaryConditions};
+use emgrid::prelude::*;
+use std::hint::black_box;
+
+fn model(resolution: f64) -> CharacterizationModel {
+    CharacterizationModel {
+        pattern: IntersectionPattern::Plus,
+        array: ViaArrayGeometry::square(2, 0.5, 1.0),
+        wire_width: 2.0,
+        margin: 0.5,
+        resolution,
+        ..CharacterizationModel::default()
+    }
+}
+
+fn bench_fea(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fea_pipeline");
+    group.sample_size(10);
+    for resolution in [0.5f64, 0.4, 0.3] {
+        let m = model(resolution);
+        group.bench_with_input(
+            BenchmarkId::new("voxelize", format!("{resolution}um")),
+            &m,
+            |bench, m| bench.iter(|| black_box(m.build_mesh())),
+        );
+        let mesh = m.build_mesh();
+        group.bench_with_input(
+            BenchmarkId::new("assemble", format!("{resolution}um")),
+            &mesh,
+            |bench, mesh| {
+                bench.iter(|| {
+                    black_box(assemble(
+                        black_box(mesh),
+                        &BoundaryConditions::confined_stack(),
+                        -220.0,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_solve", format!("{resolution}um")),
+            &m,
+            |bench, m| {
+                bench.iter(|| {
+                    black_box(
+                        ThermalStressAnalysis::new(*m)
+                            .run()
+                            .expect("bench model solves"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fea);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Throughput of the level-2 (power grid) Monte Carlo on the benchmark
+//! profiles, comparing the system criteria and solver strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emgrid::prelude::*;
+use std::hint::black_box;
+
+fn reliability() -> ViaArrayReliability {
+    ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        Technology::default(),
+        1e10,
+    )
+    .characterize(300, 5)
+    .reliability(FailureCriterion::OpenCircuit)
+    .unwrap()
+}
+
+fn bench_pg_mc(c: &mut Criterion) {
+    let rel = reliability();
+    let mut group = c.benchmark_group("pg_mc");
+    group.sample_size(10);
+    for spec in [GridSpec::custom("g12", 12, 12), GridSpec::pg1()] {
+        let grid = PowerGrid::from_netlist(spec.generate()).unwrap();
+        let sites = grid.via_sites().len();
+        group.bench_with_input(
+            BenchmarkId::new("ir_drop_10_trials", sites),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    let mc = PowerGridMc::new(grid.clone(), rel)
+                        .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+                    black_box(mc.run(10, 1).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("weakest_link_10_trials", sites),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    let mc = PowerGridMc::new(grid.clone(), rel)
+                        .with_system_criterion(SystemCriterion::WeakestLink);
+                    black_box(mc.run(10, 1).unwrap())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("refactor_strategy_10_trials", sites),
+            &grid,
+            |b, grid| {
+                b.iter(|| {
+                    let mc =
+                        PowerGridMc::new(grid.clone(), rel).with_solver(SolverStrategy::Refactor);
+                    black_box(mc.run(10, 1).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pg_mc);
+criterion_main!(benches);

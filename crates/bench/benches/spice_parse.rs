@@ -1,0 +1,30 @@
+//! SPICE netlist parse / stamp / solve throughput on generated decks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emgrid::prelude::*;
+use emgrid::spice::writer::write_string;
+use emgrid::spice::DcAnalysis;
+use std::hint::black_box;
+
+fn bench_spice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice");
+    for spec in [GridSpec::pg1(), GridSpec::pg2(), GridSpec::pg5()] {
+        let netlist = spec.generate();
+        let deck = write_string(&netlist);
+        group.throughput(Throughput::Bytes(deck.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", &spec.name), &deck, |b, deck| {
+            b.iter(|| black_box(parse(black_box(deck)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("stamp", &spec.name), &netlist, |b, n| {
+            b.iter(|| black_box(DcAnalysis::new(black_box(n)).unwrap()))
+        });
+        let dc = DcAnalysis::new(&netlist).unwrap();
+        group.bench_with_input(BenchmarkId::new("dc_solve", &spec.name), &dc, |b, dc| {
+            b.iter(|| black_box(dc.solve().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spice);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Throughput of the level-1 (via array) Monte Carlo, including the
+//! current-model and void-growth ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emgrid::em::void_growth::GrowthModel;
+use emgrid::prelude::*;
+use std::hint::black_box;
+
+fn bench_via_mc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("via_mc");
+    let tech = Technology::default();
+    for (label, config) in [
+        ("1x1", ViaArrayConfig::paper_1x1(IntersectionPattern::Plus)),
+        ("4x4", ViaArrayConfig::paper_4x4(IntersectionPattern::Plus)),
+        ("8x8", ViaArrayConfig::paper_8x8(IntersectionPattern::Plus)),
+    ] {
+        let mc = ViaArrayMc::from_reference_table(&config, tech, 1e10);
+        group.bench_with_input(
+            BenchmarkId::new("uniform_100_trials", label),
+            &mc,
+            |b, mc| b.iter(|| black_box(mc.characterize(100, 1))),
+        );
+    }
+    let base = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+    let network = ViaArrayMc::from_reference_table(&base, tech, 1e10)
+        .with_current_model(CurrentModel::Network(Default::default()));
+    group.bench_function("network_4x4_100_trials", |b| {
+        b.iter(|| black_box(network.characterize(100, 1)))
+    });
+    let growth =
+        ViaArrayMc::from_reference_table(&base, tech, 1e10).with_growth(GrowthModel::slit());
+    group.bench_function("growth_4x4_100_trials", |b| {
+        b.iter(|| black_box(growth.characterize(100, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_via_mc);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8(b): CDF of the 4×4 via-array TTF at the 8th-via failure
+//! criterion, for the three intersection patterns.
+//!
+//! Paper expectation: L and T outlive Plus (lower thermomechanical stress).
+
+use emgrid::prelude::*;
+use emgrid_bench::{characterize, level1_trials, print_cdf};
+
+fn main() {
+    let trials = level1_trials();
+    println!("== Figure 8(b): pattern comparison at n_F = 8 ({trials} trials) ==");
+    let crit = FailureCriterion::ViaCount(8);
+    let mut medians = Vec::new();
+    for pattern in IntersectionPattern::ALL {
+        let result = characterize(&ViaArrayConfig::paper_4x4(pattern), trials, 802);
+        print_cdf(&format!("{pattern}-shaped"), &result.ecdf(crit));
+        medians.push((pattern, result.ecdf(crit).median() / SECONDS_PER_YEAR));
+    }
+    println!("# medians (years):");
+    for (pattern, med) in &medians {
+        println!("#   {:>4}-shaped: {med:6.2}", pattern.to_string());
+    }
+    println!("# expectation: ell > tee > plus in lifetime.");
+}

@@ -1,0 +1,135 @@
+//! Shared harness code for the figure/table regeneration binaries and the
+//! Criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5 for the index) and prints the series the paper plots,
+//! alongside the paper's qualitative expectations, so EXPERIMENTS.md can be
+//! filled by running them:
+//!
+//! ```text
+//! cargo run -p emgrid-bench --release --bin fig01_stress_profile
+//! ```
+//!
+//! FEA mesh resolution for the figure binaries can be overridden with the
+//! `EMGRID_RESOLUTION` environment variable (µm, default 0.25); Monte Carlo
+//! trial counts with `EMGRID_TRIALS` (default 2000 for level 1, 500 for
+//! level 2, the paper's `N_trials`).
+
+use emgrid::prelude::*;
+
+/// Mesh resolution for figure FEA runs (µm), `EMGRID_RESOLUTION` override.
+pub fn fea_resolution() -> f64 {
+    std::env::var("EMGRID_RESOLUTION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Level-1 Monte Carlo trial count, `EMGRID_TRIALS` override.
+pub fn level1_trials() -> usize {
+    std::env::var("EMGRID_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Level-2 (power grid) Monte Carlo trial count: the paper's 500, or the
+/// `EMGRID_GRID_TRIALS` override.
+pub fn level2_trials() -> usize {
+    std::env::var("EMGRID_GRID_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+/// The paper's nominal characterization current density, A/m².
+pub const PAPER_CURRENT_DENSITY: f64 = 1e10;
+
+/// Builds the characterization model for a paper figure FEA run.
+pub fn figure_model(
+    pattern: IntersectionPattern,
+    array: ViaArrayGeometry,
+) -> CharacterizationModel {
+    CharacterizationModel {
+        pattern,
+        array,
+        wire_width: 2.0,
+        margin: 1.0,
+        resolution: fea_resolution(),
+        ..CharacterizationModel::default()
+    }
+}
+
+/// Formats a line scan as `x_um sigma_mpa` rows, tagged with a label.
+pub fn print_scan(label: &str, scan: &[emgrid::fea::stress::LineSample]) {
+    println!("# scan: {label} ({} samples)", scan.len());
+    println!("# x_um   sigma_h_MPa");
+    for s in scan {
+        println!("{:8.3}  {:9.2}", s.position, s.hydrostatic_mpa);
+    }
+    println!();
+}
+
+/// Formats an ECDF as `ttf_years cum_probability` rows.
+pub fn print_cdf(label: &str, ecdf: &Ecdf) {
+    println!("# cdf: {label} ({} samples)", ecdf.len());
+    println!("# ttf_years   cumulative_probability");
+    for p in [
+        0.003, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 0.997,
+    ] {
+        println!("{:10.2}  {:6.3}", ecdf.quantile(p) / SECONDS_PER_YEAR, p);
+    }
+    println!();
+}
+
+/// Characterizes a paper configuration against the bundled reference table.
+pub fn characterize(
+    config: &ViaArrayConfig,
+    trials: usize,
+    seed: u64,
+) -> emgrid::via::CharacterizationResult {
+    ViaArrayMc::from_reference_table(config, Technology::default(), PAPER_CURRENT_DENSITY)
+        .characterize(trials, seed)
+}
+
+/// Runs one power-grid Monte Carlo combination and returns the result.
+pub fn run_grid(
+    spec: &GridSpec,
+    array: &ViaArrayConfig,
+    via_criterion: FailureCriterion,
+    system: SystemCriterion,
+    seed: u64,
+) -> McResult {
+    let reliability = characterize(array, level1_trials(), seed ^ 0xa11ce)
+        .reliability(via_criterion)
+        .expect("characterization fits");
+    let grid = PowerGrid::from_netlist(spec.generate()).expect("benchmark grid builds");
+    PowerGridMc::new(grid, reliability)
+        .with_system_criterion(system)
+        .run(level2_trials(), seed)
+        .expect("grid monte carlo runs")
+}
+
+/// A compact label for an array geometry ("4x4").
+pub fn array_label(g: &ViaArrayGeometry) -> String {
+    format!("{}x{}", g.rows, g.cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Note: assumes the test environment doesn't set the overrides.
+        assert!(fea_resolution() > 0.0);
+        assert!(level1_trials() >= 100);
+        assert!(level2_trials() >= 100);
+    }
+
+    #[test]
+    fn array_labels() {
+        assert_eq!(array_label(&ViaArrayGeometry::paper_4x4()), "4x4");
+        assert_eq!(array_label(&ViaArrayGeometry::paper_8x8()), "8x8");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `emgrid` command-line tool; all logic lives in [`emgrid::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match emgrid::cli::run(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Command-line interface logic for the `emgrid` binary.
+//!
+//! Argument parsing is hand-rolled (the workspace avoids CLI dependencies)
+//! and the command handlers return their report as a `String`, which keeps
+//! the whole surface unit-testable; the binary in `src/bin/emgrid.rs` only
+//! forwards `std::env::args` and prints.
+
+use std::fmt::Write as _;
+
+use emgrid_em::black::BlackModel;
+use emgrid_em::{Technology, SECONDS_PER_YEAR};
+use emgrid_fea::geometry::IntersectionPattern;
+use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
+use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_spice::writer::write_string;
+use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
+use emgrid_via::{FailureCriterion, ViaArrayConfig, ViaArrayMc};
+
+/// A CLI failure: the message to print to stderr.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+emgrid — stress-aware EM reliability analysis of power grids with via arrays
+
+USAGE:
+    emgrid <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate      emit a synthetic IBM-style benchmark deck to stdout
+                    --profile pg1|pg2|pg5 (default pg1)
+    lint          check a SPICE deck for structural problems
+                    <deck.sp>
+    irdrop        nominal IR-drop report of a deck
+                    <deck.sp> [--repair-vias <ohms>]
+    characterize  via-array TTF characterization (level-1 Monte Carlo)
+                    --array 1x1|4x4|8x8 (default 4x4)
+                    --pattern plus|tee|ell (default plus)
+                    --criterion wl|r2x|rinf (default rinf)
+                    --trials <n> (default 2000)  --seed <n> (default 1)
+    analyze       system TTF of a deck (two-level Monte Carlo)
+                    <deck.sp> [same options as characterize]
+                    --grid-trials <n> (default 200)
+                    [--repair-vias <ohms>] [--threads <n>]
+    signoff       traditional current-density signoff (Black's law)
+                    <deck.sp> --target-years <y> (default 10)
+    help          print this message
+";
+
+/// Runs the CLI on pre-split arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on bad arguments or
+/// failing analyses.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError(USAGE.to_owned()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "lint" => cmd_lint(rest),
+        "irdrop" => cmd_irdrop(rest),
+        "characterize" => cmd_characterize(rest),
+        "analyze" => cmd_analyze(rest),
+        "signoff" => cmd_signoff(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn parse_usize(args: &[String], name: &str, default: usize) -> Result<usize, CliError> {
+    match option_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` for {name}"))),
+    }
+}
+
+fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
+    match option_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` for {name}"))),
+    }
+}
+
+fn parse_array(args: &[String]) -> Result<(ViaArrayConfig, &'static str), CliError> {
+    let pattern = match option_value(args, "--pattern").unwrap_or("plus") {
+        "plus" => IntersectionPattern::Plus,
+        "tee" | "t" => IntersectionPattern::Tee,
+        "ell" | "l" => IntersectionPattern::Ell,
+        other => return Err(CliError(format!("unknown pattern `{other}`"))),
+    };
+    match option_value(args, "--array").unwrap_or("4x4") {
+        "1x1" => Ok((ViaArrayConfig::paper_1x1(pattern), "1x1")),
+        "4x4" => Ok((ViaArrayConfig::paper_4x4(pattern), "4x4")),
+        "8x8" => Ok((ViaArrayConfig::paper_8x8(pattern), "8x8")),
+        other => Err(CliError(format!("unknown array `{other}`"))),
+    }
+}
+
+fn parse_criterion(args: &[String]) -> Result<FailureCriterion, CliError> {
+    match option_value(args, "--criterion").unwrap_or("rinf") {
+        "wl" | "weakest-link" => Ok(FailureCriterion::WeakestLink),
+        "r2x" => Ok(FailureCriterion::ResistanceRatio(2.0)),
+        "rinf" | "open" => Ok(FailureCriterion::OpenCircuit),
+        other => Err(CliError(format!("unknown criterion `{other}`"))),
+    }
+}
+
+fn load_deck(args: &[String]) -> Result<emgrid_spice::Netlist, CliError> {
+    // First positional argument: skip `--option value` pairs.
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&args[i]);
+            break;
+        }
+    }
+    let path = path.ok_or_else(|| CliError("missing deck path".to_owned()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let mut netlist = parse(&text).map_err(|e| CliError(format!("parse error: {e}")))?;
+    if let Some(ohms) = option_value(args, "--repair-vias") {
+        let ohms: f64 = ohms
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{ohms}` for --repair-vias")))?;
+        repair_shorted_vias(&mut netlist, ohms);
+    }
+    Ok(netlist)
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let spec = match option_value(args, "--profile").unwrap_or("pg1") {
+        "pg1" => GridSpec::pg1(),
+        "pg2" => GridSpec::pg2(),
+        "pg5" => GridSpec::pg5(),
+        other => return Err(CliError(format!("unknown profile `{other}`"))),
+    };
+    Ok(write_string(&spec.generate()))
+}
+
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_deck(args)?;
+    let issues = lint(&netlist);
+    let mut out = String::new();
+    let (r, v, i) = netlist.counts();
+    let _ = writeln!(
+        out,
+        "{} nodes, {r} resistors, {v} voltage sources, {i} current sources",
+        netlist.node_count()
+    );
+    if issues.is_empty() {
+        out.push_str("no issues found\n");
+    } else {
+        for issue in &issues {
+            let _ = writeln!(out, "warning: {issue}");
+        }
+        let _ = writeln!(out, "{} issue(s)", issues.len());
+    }
+    Ok(out)
+}
+
+fn cmd_irdrop(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_deck(args)?;
+    let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
+    let report = IrDropReport::evaluate(&grid, grid.nominal_solution());
+    let mut out = String::new();
+    let _ = writeln!(out, "vdd            : {:.3} V", report.vdd);
+    let _ = writeln!(
+        out,
+        "worst IR drop  : {:.1} mV ({:.2}% of Vdd)",
+        report.worst_drop * 1e3,
+        report.worst_fraction * 100.0
+    );
+    let _ = writeln!(out, "via arrays     : {}", grid.via_sites().len());
+    let _ = writeln!(
+        out,
+        "10% budget     : {}",
+        if report.violates(0.10) {
+            "VIOLATED"
+        } else {
+            "met"
+        }
+    );
+    Ok(out)
+}
+
+fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
+    let (config, label) = parse_array(args)?;
+    let criterion = parse_criterion(args)?;
+    let trials = parse_usize(args, "--trials", 2000)?;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let result = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
+        .characterize(trials, seed);
+    let ecdf = result.ecdf(criterion);
+    let fit = result
+        .fit_lognormal(criterion)
+        .map_err(|e| CliError(e.to_string()))?;
+    let ks = result
+        .fit_quality(criterion)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "array {label} ({} pattern), criterion {criterion}, {trials} trials",
+        config.pattern
+    );
+    let _ = writeln!(
+        out,
+        "TTF median     : {:.2} years",
+        ecdf.median() / SECONDS_PER_YEAR
+    );
+    let _ = writeln!(
+        out,
+        "TTF 0.3%ile    : {:.2} years",
+        ecdf.worst_case() / SECONDS_PER_YEAR
+    );
+    let _ = writeln!(
+        out,
+        "lognormal fit  : median {:.2} years, sigma {:.3} (KS {:.3})",
+        fit.median() / SECONDS_PER_YEAR,
+        fit.sigma(),
+        ks
+    );
+    Ok(out)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_deck(args)?;
+    let (config, label) = parse_array(args)?;
+    let criterion = parse_criterion(args)?;
+    let trials = parse_usize(args, "--trials", 2000)?;
+    let grid_trials = parse_usize(args, "--grid-trials", 200)?;
+    let threads = parse_usize(args, "--threads", 1)?;
+    let seed = parse_u64(args, "--seed", 1)?;
+    let reliability = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
+        .characterize(trials, seed)
+        .reliability(criterion)
+        .map_err(|e| CliError(e.to_string()))?;
+    let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
+    let sites = grid.via_sites().len();
+    let mc = PowerGridMc::new(grid, reliability)
+        .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+    let result = mc
+        .run_threaded(grid_trials, seed ^ 0xc11, threads.max(1))
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{sites} via arrays as {label}/{criterion}; {grid_trials} grid trials"
+    );
+    let _ = writeln!(
+        out,
+        "system TTF median   : {:.2} years",
+        result.median_years()
+    );
+    let _ = writeln!(
+        out,
+        "system TTF 0.3%ile  : {:.2} years",
+        result.worst_case_years()
+    );
+    let _ = writeln!(out, "mean failures/trial : {:.1}", result.mean_failures());
+    let _ = writeln!(out, "most critical sites :");
+    for (site, count) in result.critical_sites(5) {
+        let _ = writeln!(out, "  site {site:>5}  failed in {count} trials");
+    }
+    Ok(out)
+}
+
+fn cmd_signoff(args: &[String]) -> Result<String, CliError> {
+    let netlist = load_deck(args)?;
+    let target_years: f64 = match option_value(args, "--target-years") {
+        None => 10.0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` for --target-years")))?,
+    };
+    let tech = Technology::default();
+    let black = BlackModel::from_accelerated_test(&tech, 3e10, 300.0);
+    let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
+    let report = current_density_signoff(
+        &grid,
+        &tech,
+        &black,
+        &WireGeometry::default(),
+        target_years * SECONDS_PER_YEAR,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "traditional (Black's-law) signoff at a {target_years}-year target"
+    );
+    let _ = writeln!(out, "current-density limit : {:.3e} A/m^2", report.limit);
+    let _ = writeln!(
+        out,
+        "peak current density  : {:.3e} A/m^2 over {} elements",
+        report.peak_current_density, report.checked
+    );
+    if report.passes() {
+        out.push_str(
+            "verdict               : PASS (no element above the limit)
+",
+        );
+        out.push_str(
+            "note: this check ignores thermomechanical stress and via-array
+",
+        );
+        out.push_str(
+            "redundancy; run `analyze` for the stress-aware lifetime.
+",
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "verdict               : FAIL ({} element(s) above the limit)",
+            report.violations.len()
+        );
+        for v in report.violations.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:.3e} A/m^2 (limit {:.3e})",
+                v.name, v.current_density, v.limit
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let err = run(&[]).unwrap_err();
+        assert!(err.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(err.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("characterize"));
+    }
+
+    #[test]
+    fn generate_produces_parsable_deck() {
+        let out = run(&argv("generate --profile pg1")).unwrap();
+        let n = parse(&out).unwrap();
+        assert!(n.node_count() > 1000);
+        assert!(run(&argv("generate --profile nope")).is_err());
+    }
+
+    #[test]
+    fn lint_and_irdrop_on_a_temp_deck() {
+        let deck = run(&argv("generate --profile pg1")).unwrap();
+        let path = std::env::temp_dir().join("emgrid_cli_test_pg1.sp");
+        std::fs::write(&path, deck).unwrap();
+        let path = path.to_string_lossy().into_owned();
+
+        let out = run(&[String::from("lint"), path.clone()]).unwrap();
+        assert!(out.contains("no issues found"), "{out}");
+
+        let out = run(&[String::from("irdrop"), path.clone()]).unwrap();
+        assert!(out.contains("worst IR drop"));
+        assert!(out.contains("met"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn characterize_reports_fit() {
+        let out = run(&argv(
+            "characterize --array 4x4 --pattern plus --criterion r2x --trials 200 --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("lognormal fit"));
+        assert!(out.contains("R=2x"));
+    }
+
+    #[test]
+    fn characterize_rejects_bad_options() {
+        assert!(run(&argv("characterize --array 3x3")).is_err());
+        assert!(run(&argv("characterize --pattern round")).is_err());
+        assert!(run(&argv("characterize --criterion maybe")).is_err());
+        assert!(run(&argv("characterize --trials many")).is_err());
+    }
+
+    #[test]
+    fn analyze_runs_end_to_end_on_a_small_deck() {
+        let deck = write_string(&GridSpec::custom("cli", 8, 8).generate());
+        let path = std::env::temp_dir().join("emgrid_cli_test_small.sp");
+        std::fs::write(&path, deck).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "analyze".into(),
+            path.clone(),
+            "--trials".into(),
+            "150".into(),
+            "--grid-trials".into(),
+            "10".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("system TTF median"), "{out}");
+        assert!(out.contains("most critical sites"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn signoff_command_reports_verdict() {
+        let deck = run(&argv("generate --profile pg1")).unwrap();
+        let path = std::env::temp_dir().join("emgrid_cli_test_signoff.sp");
+        std::fs::write(&path, deck).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let out = run(&[
+            "signoff".into(),
+            path.clone(),
+            "--target-years".into(),
+            "1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("verdict"), "{out}");
+        assert!(out.contains("current-density limit"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_deck_path_reported() {
+        let err = run(&argv("irdrop --repair-vias 0.5")).unwrap_err();
+        assert!(err.0.contains("missing deck path"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Black's-equation baseline — the conventional EM signoff the paper
+//! argues against.
+//!
+//! The paper's introduction: *"Today, circuit designers typically guard
+//! against EM by comparing current densities against a foundry-specified
+//! limit for a process technology"*, with lifetimes extrapolated from
+//! accelerated tests through Black's law `MTTF = A j⁻ⁿ exp(E_a / k_B T)`.
+//! That flow is blind to layout-dependent thermomechanical stress — the
+//! paper's whole point. This module implements the baseline so the
+//! stress-aware analysis can be compared against it quantitatively
+//! (see the `ablation_sweeps` binary and `emgrid_pg`'s `signoff` module).
+
+use crate::constants::BOLTZMANN;
+use crate::nucleation;
+use crate::technology::Technology;
+
+/// Black's-law model parameters.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_em::{black::BlackModel, Technology, SECONDS_PER_YEAR};
+///
+/// // Calibrate from an accelerated test (the foundry flow), then ask for
+/// // the current-density design rule at a 10-year target.
+/// let tech = Technology::default();
+/// let black = BlackModel::from_accelerated_test(&tech, 3e10, 300.0);
+/// let limit = black.current_density_limit(10.0 * SECONDS_PER_YEAR, tech.temperature_k());
+/// assert!(limit > 1e9 && limit < 1e12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlackModel {
+    /// Proportionality constant `A`, chosen at calibration (s·(A/m²)ⁿ).
+    pub prefactor: f64,
+    /// Current-density exponent `n` (2 for nucleation-limited failure,
+    /// 1 for growth-limited; the paper's Cu vias are nucleation-limited).
+    pub exponent: f64,
+    /// Activation energy, eV.
+    pub activation_energy_ev: f64,
+}
+
+impl BlackModel {
+    /// Calibrates Black's law so it reproduces a reference MTTF at a
+    /// reference stress condition `(j_ref, t_ref_kelvin)` — exactly how a
+    /// foundry maps accelerated-test data to a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all reference quantities are positive.
+    pub fn calibrated(
+        mttf_ref: f64,
+        j_ref: f64,
+        temperature_ref_k: f64,
+        exponent: f64,
+        activation_energy_ev: f64,
+    ) -> Self {
+        assert!(mttf_ref > 0.0 && j_ref > 0.0 && temperature_ref_k > 0.0);
+        let arrhenius = (activation_energy_ev * crate::constants::ELECTRON_VOLT
+            / (BOLTZMANN * temperature_ref_k))
+            .exp();
+        BlackModel {
+            prefactor: mttf_ref * j_ref.powf(exponent) / arrhenius,
+            exponent,
+            activation_energy_ev,
+        }
+    }
+
+    /// Calibrates against this crate's nucleation model at an accelerated
+    /// test condition, mimicking a foundry characterization at elevated
+    /// temperature (the paper: "typically 300 °C") where thermomechanical
+    /// stress is small because the part sits near its anneal state.
+    pub fn from_accelerated_test(tech: &Technology, j_test: f64, test_temp_c: f64) -> Self {
+        // At the accelerated temperature the CTE-mismatch stress is nearly
+        // relaxed: the test sees σ_T ≈ 0 and only the median flaw.
+        let test_tech = Technology {
+            operating_temperature_c: test_temp_c,
+            ..*tech
+        };
+        let sigma_c = tech.critical_stress_distribution().median();
+        let mttf_test = nucleation::nucleation_time(&test_tech, sigma_c, 0.0, j_test);
+        BlackModel::calibrated(
+            mttf_test,
+            j_test,
+            test_tech.temperature_k(),
+            2.0,
+            tech.activation_energy_ev,
+        )
+    }
+
+    /// Mean time to failure (seconds) at current density `j` (A/m²) and
+    /// temperature `temperature_k` (K).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `j` and `temperature_k` are positive.
+    pub fn mttf(&self, j: f64, temperature_k: f64) -> f64 {
+        assert!(j > 0.0 && temperature_k > 0.0);
+        let arrhenius = (self.activation_energy_ev * crate::constants::ELECTRON_VOLT
+            / (BOLTZMANN * temperature_k))
+            .exp();
+        self.prefactor * j.powf(-self.exponent) * arrhenius
+    }
+
+    /// The largest current density meeting a lifetime target at the given
+    /// temperature — the "foundry-specified limit" of a traditional design
+    /// rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both arguments are positive.
+    pub fn current_density_limit(&self, lifetime_target: f64, temperature_k: f64) -> f64 {
+        assert!(lifetime_target > 0.0 && temperature_k > 0.0);
+        let arrhenius = (self.activation_energy_ev * crate::constants::ELECTRON_VOLT
+            / (BOLTZMANN * temperature_k))
+            .exp();
+        (self.prefactor * arrhenius / lifetime_target).powf(1.0 / self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::celsius_to_kelvin;
+    use crate::nucleation::SECONDS_PER_YEAR;
+
+    fn model() -> BlackModel {
+        BlackModel::from_accelerated_test(&Technology::default(), 3e10, 300.0)
+    }
+
+    #[test]
+    fn calibration_reproduces_the_reference_point() {
+        let tech = Technology::default();
+        let m = model();
+        let test_tech = Technology {
+            operating_temperature_c: 300.0,
+            ..tech
+        };
+        let sigma_c = tech.critical_stress_distribution().median();
+        let expect = nucleation::nucleation_time(&test_tech, sigma_c, 0.0, 3e10);
+        let got = m.mttf(3e10, celsius_to_kelvin(300.0));
+        assert!((got - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn inverse_square_current_dependence() {
+        let m = model();
+        let t = celsius_to_kelvin(105.0);
+        assert!((m.mttf(1e10, t) / m.mttf(2e10, t) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_inverts_mttf() {
+        let m = model();
+        let t = celsius_to_kelvin(105.0);
+        let target = 10.0 * SECONDS_PER_YEAR;
+        let j = m.current_density_limit(target, t);
+        assert!((m.mttf(j, t) - target).abs() / target < 1e-9);
+    }
+
+    #[test]
+    fn black_is_blind_to_thermomechanical_stress() {
+        // The paper's core criticism, in one test: at operating conditions
+        // the stress-aware model differentiates a Plus-interior via
+        // (σ_T = 240 MPa) from an L-corner via (σ_T = 205 MPa) by a large
+        // factor, while Black's law predicts the same lifetime for both.
+        let tech = Technology::default();
+        let m = model();
+        let t_op = tech.temperature_k();
+        let j = 1e10;
+        let black_a = m.mttf(j, t_op);
+        let black_b = m.mttf(j, t_op);
+        assert_eq!(black_a, black_b);
+
+        let sigma_c = tech.critical_stress_distribution().median();
+        let aware_plus = nucleation::nucleation_time(&tech, sigma_c, 240e6, j);
+        let aware_ell = nucleation::nucleation_time(&tech, sigma_c, 205e6, j);
+        assert!(aware_ell / aware_plus > 1.5, "{}", aware_ell / aware_plus);
+    }
+
+    #[test]
+    fn accelerated_test_underestimates_operating_stress_effects() {
+        // Extrapolating the (stress-free) accelerated test down to 105 °C
+        // overpredicts the lifetime of a stressed via — the unsafe
+        // direction, which is why the paper's modeling matters.
+        let tech = Technology::default();
+        let m = model();
+        let j = 1e10;
+        let black_op = m.mttf(j, tech.temperature_k());
+        let sigma_c = tech.critical_stress_distribution().median();
+        let aware_op = nucleation::nucleation_time(&tech, sigma_c, 240e6, j);
+        assert!(
+            black_op > 2.0 * aware_op,
+            "black {} yr vs stress-aware {} yr",
+            black_op / SECONDS_PER_YEAR,
+            aware_op / SECONDS_PER_YEAR
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Physical constants (SI).
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge, C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// One electron-volt, J.
+pub const ELECTRON_VOLT: f64 = 1.602_176_634e-19;
+
+/// Zero Celsius in Kelvin.
+pub const CELSIUS_OFFSET: f64 = 273.15;
+
+/// Converts Celsius to Kelvin.
+pub fn celsius_to_kelvin(c: f64) -> f64 {
+    c + CELSIUS_OFFSET
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_conversion() {
+        assert_eq!(celsius_to_kelvin(0.0), 273.15);
+        assert_eq!(celsius_to_kelvin(105.0), 378.15);
+        assert_eq!(celsius_to_kelvin(-273.15), 0.0);
+    }
+
+    #[test]
+    fn thermal_energy_at_operating_temperature() {
+        // kT at 105 °C should be about 5.22e-21 J (sanity anchor for the
+        // nucleation-model arithmetic).
+        let kt = BOLTZMANN * celsius_to_kelvin(105.0);
+        assert!((kt - 5.2205e-21).abs() / kt < 1e-3);
+    }
+}

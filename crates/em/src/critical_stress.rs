@@ -1,0 +1,85 @@
+//! Critical stress for void nucleation — Eq. (4) of the paper.
+//!
+//! Voids nucleate at circular adhesion flaws between the copper and the
+//! Si₃N₄ capping layer (paper Fig. 3). Nucleation becomes thermodynamically
+//! feasible when the tensile stress exceeds
+//! `σ_C = 2 γ_s sin θ_C / R_f`.
+
+/// Critical stress (Pa) for a circular flaw of radius `flaw_radius` (m)
+/// with copper surface energy `surface_energy` (J/m²) and contact angle
+/// `contact_angle_deg` (degrees) — Eq. (4).
+///
+/// # Panics
+///
+/// Panics if `flaw_radius <= 0` or `surface_energy <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_em::critical_stress;
+///
+/// // The paper's nominal numbers: γ_s for Cu with a 10 nm flaw, θ = 90°.
+/// let sc = critical_stress(1.7, 90.0, 10e-9);
+/// assert!((sc / 1e6 - 340.0).abs() < 1e-6);
+/// ```
+pub fn critical_stress(surface_energy: f64, contact_angle_deg: f64, flaw_radius: f64) -> f64 {
+    assert!(flaw_radius > 0.0, "flaw radius must be positive");
+    assert!(surface_energy > 0.0, "surface energy must be positive");
+    2.0 * surface_energy * contact_angle_deg.to_radians().sin() / flaw_radius
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::Technology;
+    use emgrid_stats::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn larger_flaws_nucleate_easier() {
+        let small = critical_stress(1.7, 90.0, 5e-9);
+        let large = critical_stress(1.7, 90.0, 20e-9);
+        assert!(large < small);
+        assert!((small / large - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contact_angle_scales_with_sine() {
+        let s90 = critical_stress(1.7, 90.0, 10e-9);
+        let s30 = critical_stress(1.7, 30.0, 10e-9);
+        assert!((s30 / s90 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_agrees_with_pointwise_formula() {
+        // Sampling R_f and applying Eq. (4) must be distributed like the
+        // analytic lognormal from Technology::critical_stress_distribution.
+        let tech = Technology::default();
+        let rf = tech.flaw_radius_distribution();
+        let sc = tech.critical_stress_distribution();
+        let mut rng = seeded_rng(21);
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| {
+                critical_stress(
+                    tech.surface_energy,
+                    tech.contact_angle_deg,
+                    rf.sample(&mut rng),
+                )
+            })
+            .collect();
+        let ecdf = emgrid_stats::Ecdf::new(samples);
+        let d = emgrid_stats::ks_statistic(&ecdf, |x| sc.cdf(x));
+        assert!(d < 0.03, "KS distance {d}");
+    }
+
+    proptest! {
+        #[test]
+        fn positive_for_valid_inputs(
+            gamma in 0.1f64..10.0,
+            theta in 1.0f64..179.0,
+            rf in 1e-10f64..1e-6,
+        ) {
+            prop_assert!(critical_stress(gamma, theta, rf) > 0.0);
+        }
+    }
+}

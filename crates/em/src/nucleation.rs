@@ -1,0 +1,172 @@
+//! The void-nucleation TTF model — Eqs. (1)–(3) of the paper.
+//!
+//! ```text
+//! TTF ≈ t_n = C_tn (σ_C − σ_T)² / D_eff        (σ_C > σ_T, else 0)
+//! D_eff = D₀ exp(−E_a / k_B T)
+//! C_tn  = (Ω/4) · π k_B T / ((e Z* ρ_Cu j)² B)
+//! ```
+//!
+//! The `1/j²` dependence inside `C_tn` is what couples the Monte Carlo
+//! levels: when vias (or via arrays) fail and current redistributes,
+//! surviving components age faster by the square of the current ratio
+//! ([`rescale_remaining_life`]).
+
+use crate::constants::ELEMENTARY_CHARGE;
+use crate::technology::Technology;
+
+/// Seconds per Julian year (the unit of every TTF plot in the paper).
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Effective EM diffusivity `D_eff = D₀ exp(−E_a / k_B T)`, m²/s — Eq. (2).
+pub fn diffusivity(tech: &Technology) -> f64 {
+    tech.diffusivity_prefactor * (-tech.activation_energy() / tech.thermal_energy()).exp()
+}
+
+/// The nucleation constant `C_tn` of Eq. (3) for current density `j`
+/// (A/m²), in m²·s/Pa² units such that
+/// `t_n = C_tn (σ_C − σ_T)² / D_eff` is in seconds.
+///
+/// # Panics
+///
+/// Panics if `j <= 0`.
+pub fn nucleation_constant(tech: &Technology, j: f64) -> f64 {
+    assert!(j > 0.0, "current density must be positive");
+    let force = ELEMENTARY_CHARGE * tech.effective_charge * tech.resistivity * j;
+    (tech.atomic_volume / 4.0) * std::f64::consts::PI * tech.thermal_energy()
+        / (force * force * tech.bulk_modulus)
+}
+
+/// Nucleation time (seconds) for a via whose flaw has critical stress
+/// `sigma_c` (Pa), preexisting thermomechanical + package stress `sigma_t`
+/// (Pa), at current density `j` (A/m²) — Eq. (1).
+///
+/// Returns `0` when `σ_C ≤ σ_T` (void formation is immediately feasible).
+///
+/// # Panics
+///
+/// Panics if `j <= 0`.
+pub fn nucleation_time(tech: &Technology, sigma_c: f64, sigma_t: f64, j: f64) -> f64 {
+    let margin = sigma_c - (sigma_t + tech.package_stress);
+    if margin <= 0.0 {
+        return 0.0;
+    }
+    nucleation_constant(tech, j) * margin * margin / diffusivity(tech)
+}
+
+/// Rescales the **remaining** life of a component when its current density
+/// changes from `j_old` to `j_new` (TTF ∝ 1/j², so the residual life scales
+/// by `(j_old / j_new)²`).
+///
+/// `remaining` is the residual life under `j_old`; the return value is the
+/// residual life under `j_new`.
+///
+/// # Panics
+///
+/// Panics if either current density is non-positive.
+pub fn rescale_remaining_life(remaining: f64, j_old: f64, j_new: f64) -> f64 {
+    assert!(
+        j_old > 0.0 && j_new > 0.0,
+        "current densities must be positive"
+    );
+    remaining * (j_old / j_new) * (j_old / j_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nominal_operating_point_is_in_the_paper_range() {
+        // σ_C median 340 MPa vs σ_T = 240 MPa at j = 1e10 A/m²:
+        // a few years (the scale of the paper's Figs. 8-10).
+        let tech = Technology::default();
+        let t = nucleation_time(&tech, 340e6, 240e6, 1e10);
+        let years = t / SECONDS_PER_YEAR;
+        assert!(years > 1.0 && years < 20.0, "{years} years");
+    }
+
+    #[test]
+    fn zero_when_margin_nonpositive() {
+        let tech = Technology::default();
+        assert_eq!(nucleation_time(&tech, 200e6, 240e6, 1e10), 0.0);
+        assert_eq!(nucleation_time(&tech, 240e6, 240e6, 1e10), 0.0);
+    }
+
+    #[test]
+    fn quadratic_in_margin() {
+        let tech = Technology::default();
+        let t1 = nucleation_time(&tech, 290e6, 240e6, 1e10); // 50 MPa margin
+        let t2 = nucleation_time(&tech, 340e6, 240e6, 1e10); // 100 MPa margin
+        assert!((t2 / t1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_square_in_current() {
+        let tech = Technology::default();
+        let t1 = nucleation_time(&tech, 340e6, 240e6, 1e10);
+        let t2 = nucleation_time(&tech, 340e6, 240e6, 2e10);
+        assert!((t1 / t2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn package_stress_reduces_ttf() {
+        let mut tech = Technology::default();
+        let base = nucleation_time(&tech, 340e6, 240e6, 1e10);
+        tech.package_stress = 50e6;
+        let packaged = nucleation_time(&tech, 340e6, 240e6, 1e10);
+        assert!(packaged < base);
+        // 100 - 50 MPa margin: a quarter of the TTF.
+        assert!((base / packaged - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotter_is_faster() {
+        // Despite kT appearing in the numerator of C_tn, the Arrhenius
+        // diffusivity dominates: higher temperature → shorter TTF.
+        let cool = Technology {
+            operating_temperature_c: 105.0,
+            ..Technology::default()
+        };
+        let hot = Technology {
+            operating_temperature_c: 150.0,
+            ..Technology::default()
+        };
+        let t_cool = nucleation_time(&cool, 340e6, 240e6, 1e10);
+        let t_hot = nucleation_time(&hot, 340e6, 240e6, 1e10);
+        assert!(t_hot < t_cool / 5.0, "{t_hot} vs {t_cool}");
+    }
+
+    #[test]
+    fn rescaling_identity_and_doubling() {
+        assert_eq!(rescale_remaining_life(8.0, 1e10, 1e10), 8.0);
+        assert!((rescale_remaining_life(8.0, 1e10, 2e10) - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn ttf_monotone_in_sigma_t(
+            sigma_t in 0.0f64..330e6,
+            d in 1e6f64..50e6,
+        ) {
+            let tech = Technology::default();
+            let lo = nucleation_time(&tech, 340e6, sigma_t + d, 1e10);
+            let hi = nucleation_time(&tech, 340e6, sigma_t, 1e10);
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn rescale_composes(
+            remaining in 0.1f64..100.0,
+            j1 in 1e9f64..1e11,
+            j2 in 1e9f64..1e11,
+            j3 in 1e9f64..1e11,
+        ) {
+            // Rescaling j1→j2→j3 equals rescaling j1→j3 directly.
+            let two_step = rescale_remaining_life(
+                rescale_remaining_life(remaining, j1, j2), j2, j3);
+            let one_step = rescale_remaining_life(remaining, j1, j3);
+            prop_assert!((two_step - one_step).abs() / one_step < 1e-9);
+        }
+    }
+}

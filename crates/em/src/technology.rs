@@ -1,0 +1,161 @@
+//! Process-technology parameters for the EM model.
+
+use emgrid_stats::LogNormal;
+
+use crate::constants::{celsius_to_kelvin, BOLTZMANN, ELECTRON_VOLT};
+
+/// The calibrated parameter set of the Cu DD electromigration model.
+///
+/// All quantities are SI. Defaults are chosen so that the paper's nominal
+/// operating point — a 4×4 via array at a total current density of
+/// `1×10¹⁰ A/m²` and 105 °C, with precharacterized thermomechanical stresses
+/// in the 200–280 MPa range — produces nucleation times of a few years,
+/// matching the scale of the paper's Figs. 8–10 (see DESIGN.md §2 for the
+/// calibration note).
+///
+/// # Example
+///
+/// ```
+/// use emgrid_em::Technology;
+///
+/// let tech = Technology::default();
+/// assert!((tech.critical_stress_distribution().median() / 1e6 - 340.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Atomic volume of copper `Ω`, m³.
+    pub atomic_volume: f64,
+    /// Effective charge number `Z*` (dimensionless).
+    pub effective_charge: f64,
+    /// Copper resistivity `ρ_Cu` at operating temperature, Ω·m.
+    pub resistivity: f64,
+    /// Effective bulk modulus `B` of the confined Cu/dielectric system, Pa.
+    pub bulk_modulus: f64,
+    /// EM diffusivity prefactor `D₀`, m²/s.
+    pub diffusivity_prefactor: f64,
+    /// Effective activation energy `E_a`, eV.
+    pub activation_energy_ev: f64,
+    /// Copper surface free energy `γ_s`, J/m².
+    pub surface_energy: f64,
+    /// Void contact angle `θ_C`, degrees (90° for the circular flaw).
+    pub contact_angle_deg: f64,
+    /// Mean flaw radius `R_f`, m (the paper uses 10 nm).
+    pub flaw_radius_mean: f64,
+    /// Coefficient of variation of `R_f` (the paper uses sd = 5% of mean).
+    pub flaw_radius_cv: f64,
+    /// Operating temperature, °C.
+    pub operating_temperature_c: f64,
+    /// Package-induced stress component added to the local thermomechanical
+    /// stress, Pa. The paper treats this as "an input to the method".
+    pub package_stress: f64,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            atomic_volume: 1.18e-29,
+            effective_charge: 1.0,
+            resistivity: 3.0e-8,
+            bulk_modulus: 28e9,
+            diffusivity_prefactor: 7.8e-5,
+            activation_energy_ev: 1.15,
+            surface_energy: 1.7,
+            contact_angle_deg: 90.0,
+            flaw_radius_mean: 10e-9,
+            flaw_radius_cv: 0.05,
+            operating_temperature_c: 105.0,
+            package_stress: 0.0,
+        }
+    }
+}
+
+impl Technology {
+    /// Operating temperature in Kelvin.
+    pub fn temperature_k(&self) -> f64 {
+        celsius_to_kelvin(self.operating_temperature_c)
+    }
+
+    /// Thermal energy `k_B T` at the operating temperature, J.
+    pub fn thermal_energy(&self) -> f64 {
+        BOLTZMANN * self.temperature_k()
+    }
+
+    /// Activation energy in Joules.
+    pub fn activation_energy(&self) -> f64 {
+        self.activation_energy_ev * ELECTRON_VOLT
+    }
+
+    /// The lognormal flaw-radius distribution `R_f` (paper §2.2: lognormal,
+    /// mean 10 nm, sd 5% of mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured mean or CV is non-positive.
+    pub fn flaw_radius_distribution(&self) -> LogNormal {
+        LogNormal::from_mean_sd(
+            self.flaw_radius_mean,
+            self.flaw_radius_cv * self.flaw_radius_mean,
+        )
+        .expect("flaw radius parameters must be positive")
+    }
+
+    /// The critical-stress distribution implied by Eq. (4):
+    /// `σ_C = 2 γ_s sin θ_C / R_f`, exactly lognormal because `R_f` is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured geometry parameters are non-positive.
+    pub fn critical_stress_distribution(&self) -> LogNormal {
+        let c = 2.0 * self.surface_energy * self.contact_angle_deg.to_radians().sin();
+        self.flaw_radius_distribution()
+            .powered(-1.0)
+            .and_then(|inv| inv.scaled(c))
+            .expect("critical stress parameters must be positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emgrid_stats::seeded_rng;
+
+    #[test]
+    fn default_critical_stress_median_near_340_mpa() {
+        // 2 · 1.7 J/m² / 10 nm = 340 MPa.
+        let d = Technology::default().critical_stress_distribution();
+        assert!((d.median() / 1e6 - 340.0).abs() < 3.0, "{}", d.median());
+    }
+
+    #[test]
+    fn critical_stress_spread_is_order_100_mpa() {
+        // Paper §2.2: σ_C "can vary by as much as 100 MPa".
+        let d = Technology::default().critical_stress_distribution();
+        let spread = d.quantile(0.9987) - d.quantile(0.0013);
+        assert!(
+            spread > 60e6 && spread < 150e6,
+            "spread {} MPa",
+            spread / 1e6
+        );
+    }
+
+    #[test]
+    fn critical_stress_sampling_matches_reciprocal_flaw() {
+        let tech = Technology::default();
+        let rf = tech.flaw_radius_distribution();
+        let sc = tech.critical_stress_distribution();
+        let mut rng = seeded_rng(9);
+        for _ in 0..100 {
+            let r = rf.sample(&mut rng);
+            let s = 2.0 * tech.surface_energy / r;
+            // The analytic distribution must cover sampled reciprocals.
+            assert!(sc.cdf(s) > 0.0 && sc.cdf(s) < 1.0);
+        }
+    }
+
+    #[test]
+    fn thermal_energy_is_consistent() {
+        let t = Technology::default();
+        assert!((t.temperature_k() - 378.15).abs() < 1e-12);
+        assert!((t.thermal_energy() - BOLTZMANN * 378.15).abs() < 1e-30);
+    }
+}

@@ -1,0 +1,365 @@
+//! Global assembly: DOF numbering, boundary conditions, stiffness and
+//! thermal-load assembly.
+
+use std::collections::HashMap;
+
+use emgrid_sparse::{CsrMatrix, TripletMatrix};
+
+use crate::element::{hex_element, ElementMatrices};
+use crate::mesh::HexMesh;
+
+/// Kinematic condition applied to one face of the bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaceBc {
+    /// Traction-free (natural) boundary.
+    Free,
+    /// Symmetry / continuation plane: the displacement component normal to
+    /// the face is zero, tangential components are free. Used where the
+    /// structure continues periodically (the paper's Plus-shaped pattern is
+    /// "surrounded by Plus-shaped structures on all four sides").
+    Sliding,
+    /// All displacement components are zero. Used at the bottom of the
+    /// (effectively rigid, hundreds-of-microns) silicon substrate.
+    Fixed,
+}
+
+/// Boundary conditions on the six faces of the mesh bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundaryConditions {
+    /// Face at minimum x.
+    pub x_min: FaceBc,
+    /// Face at maximum x.
+    pub x_max: FaceBc,
+    /// Face at minimum y.
+    pub y_min: FaceBc,
+    /// Face at maximum y.
+    pub y_max: FaceBc,
+    /// Face at minimum z.
+    pub z_min: FaceBc,
+    /// Face at maximum z.
+    pub z_max: FaceBc,
+}
+
+impl BoundaryConditions {
+    /// The default interconnect-stack conditions: substrate bottom fixed,
+    /// top surface free, all lateral faces sliding (periodic continuation).
+    pub fn confined_stack() -> Self {
+        BoundaryConditions {
+            x_min: FaceBc::Sliding,
+            x_max: FaceBc::Sliding,
+            y_min: FaceBc::Sliding,
+            y_max: FaceBc::Sliding,
+            z_min: FaceBc::Fixed,
+            z_max: FaceBc::Free,
+        }
+    }
+}
+
+impl Default for BoundaryConditions {
+    fn default() -> Self {
+        BoundaryConditions::confined_stack()
+    }
+}
+
+/// Maps node displacement components to equation numbers.
+///
+/// `dof(node, axis)` is `Some(eq)` for a free DOF and `None` for a DOF that
+/// is either constrained to zero by a boundary condition or belongs to a
+/// node not attached to any occupied cell.
+#[derive(Debug, Clone)]
+pub struct DofMap {
+    map: Vec<Option<u32>>,
+    free: usize,
+}
+
+impl DofMap {
+    /// Builds the DOF map for a mesh under the given boundary conditions.
+    pub fn build(mesh: &HexMesh, bc: &BoundaryConditions) -> Self {
+        let nn = mesh.node_count();
+        let mut active = vec![false; nn];
+        for (i, j, k, _) in mesh.occupied_cells() {
+            for n in mesh.cell_nodes(i, j, k) {
+                active[n] = true;
+            }
+        }
+        let (npx, npy, npz) = (mesh.xs().len(), mesh.ys().len(), mesh.zs().len());
+        let mut map = vec![None; 3 * nn];
+        let mut free = 0u32;
+        for k in 0..npz {
+            for j in 0..npy {
+                for i in 0..npx {
+                    let n = mesh.node_index(i, j, k);
+                    if !active[n] {
+                        continue;
+                    }
+                    let mut constrained = [false; 3];
+                    let mut apply = |face: FaceBc, axis: usize| match face {
+                        FaceBc::Free => {}
+                        FaceBc::Sliding => constrained[axis] = true,
+                        FaceBc::Fixed => constrained = [true; 3],
+                    };
+                    if i == 0 {
+                        apply(bc.x_min, 0);
+                    }
+                    if i == npx - 1 {
+                        apply(bc.x_max, 0);
+                    }
+                    if j == 0 {
+                        apply(bc.y_min, 1);
+                    }
+                    if j == npy - 1 {
+                        apply(bc.y_max, 1);
+                    }
+                    if k == 0 {
+                        apply(bc.z_min, 2);
+                    }
+                    if k == npz - 1 {
+                        apply(bc.z_max, 2);
+                    }
+                    for (axis, &c) in constrained.iter().enumerate() {
+                        if !c {
+                            map[3 * n + axis] = Some(free);
+                            free += 1;
+                        }
+                    }
+                }
+            }
+        }
+        DofMap {
+            map,
+            free: free as usize,
+        }
+    }
+
+    /// Number of free equations.
+    pub fn free_count(&self) -> usize {
+        self.free
+    }
+
+    /// Equation number for `(node, axis)` or `None` if constrained/inactive.
+    pub fn dof(&self, node: usize, axis: usize) -> Option<usize> {
+        self.map[3 * node + axis].map(|v| v as usize)
+    }
+
+    /// Expands a solution vector over free DOFs to a full `3 * node_count`
+    /// displacement vector with zeros at constrained DOFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.free_count()`.
+    pub fn expand(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.free, "solution length mismatch");
+        self.map
+            .iter()
+            .map(|d| d.map_or(0.0, |eq| x[eq as usize]))
+            .collect()
+    }
+}
+
+/// The assembled linear system of the thermoelastic problem.
+#[derive(Debug, Clone)]
+pub struct AssembledSystem {
+    /// Reduced stiffness matrix over free DOFs (SPD).
+    pub stiffness: CsrMatrix,
+    /// Reduced thermal load vector.
+    pub load: Vec<f64>,
+    /// DOF numbering used for reduction.
+    pub dof_map: DofMap,
+}
+
+/// Assembles the stiffness matrix and thermal load for a uniform
+/// temperature change `delta_t` (K) from the anneal/stress-free state.
+///
+/// Identical elements (same size and material — the common case on a graded
+/// tensor grid) share one element-matrix computation via a cache.
+pub fn assemble(mesh: &HexMesh, bc: &BoundaryConditions, delta_t: f64) -> AssembledSystem {
+    let dof_map = DofMap::build(mesh, bc);
+    let n = dof_map.free_count();
+    let mut k = TripletMatrix::with_capacity(n, n, mesh.occupied_count() * 300);
+    let mut f = vec![0.0f64; n];
+
+    let mut cache: HashMap<(u64, u64, u64, u8), ElementMatrices> = HashMap::new();
+    for (i, j, kk, mat_idx) in mesh.occupied_cells() {
+        let size = mesh.cell_size(i, j, kk);
+        let key = (
+            size[0].to_bits(),
+            size[1].to_bits(),
+            size[2].to_bits(),
+            mat_idx,
+        );
+        let el = cache.entry(key).or_insert_with(|| {
+            // Element matrices depend only on the cell extents, not its
+            // position, for an axis-aligned hexahedron.
+            let coords = local_coords(size);
+            hex_element(&coords, &mesh.materials()[mat_idx as usize], delta_t)
+        });
+        let nodes = mesh.cell_nodes(i, j, kk);
+        let mut eqs = [None; 24];
+        for (a, &node) in nodes.iter().enumerate() {
+            for axis in 0..3 {
+                eqs[3 * a + axis] = dof_map.dof(node, axis);
+            }
+        }
+        for r in 0..24 {
+            let Some(er) = eqs[r] else { continue };
+            f[er] += el.thermal_load[r];
+            for c in 0..24 {
+                if let Some(ec) = eqs[c] {
+                    k.push(er, ec, el.stiffness[r][c]);
+                }
+            }
+        }
+    }
+    AssembledSystem {
+        stiffness: k.to_csr(),
+        load: f,
+        dof_map,
+    }
+}
+
+/// Node coordinates of an axis-aligned hex with extents `size`, placed at
+/// the origin (positions don't affect the element matrices).
+pub(crate) fn local_coords(size: [f64; 3]) -> [[f64; 3]; 8] {
+    let [dx, dy, dz] = size;
+    [
+        [0.0, 0.0, 0.0],
+        [dx, 0.0, 0.0],
+        [dx, dy, 0.0],
+        [0.0, dy, 0.0],
+        [0.0, 0.0, dz],
+        [dx, 0.0, dz],
+        [dx, dy, dz],
+        [0.0, dy, dz],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::{table1, MaterialKind};
+    use emgrid_sparse::LdlFactor;
+
+    fn solid_block(n: usize) -> HexMesh {
+        let planes: Vec<f64> = (0..=n).map(|i| i as f64 / n as f64).collect();
+        let mut m = HexMesh::new(
+            planes.clone(),
+            planes.clone(),
+            planes,
+            vec![table1(MaterialKind::Copper)],
+        );
+        m.fill_where(0, |_, _, _| true);
+        m
+    }
+
+    #[test]
+    fn dof_count_reflects_constraints() {
+        let m = solid_block(2); // 27 nodes
+        let bc = BoundaryConditions {
+            x_min: FaceBc::Free,
+            x_max: FaceBc::Free,
+            y_min: FaceBc::Free,
+            y_max: FaceBc::Free,
+            z_min: FaceBc::Fixed,
+            z_max: FaceBc::Free,
+        };
+        let dm = DofMap::build(&m, &bc);
+        // 9 bottom nodes fully fixed: 27*3 - 9*3 = 54.
+        assert_eq!(dm.free_count(), 54);
+    }
+
+    #[test]
+    fn inactive_nodes_get_no_dofs() {
+        let planes: Vec<f64> = vec![0.0, 0.5, 1.0];
+        let mut m = HexMesh::new(
+            planes.clone(),
+            planes.clone(),
+            planes,
+            vec![table1(MaterialKind::Copper)],
+        );
+        // Occupy a single corner cell: only its 8 nodes are active.
+        m.set_cell(0, 0, 0, Some(0));
+        let bc = BoundaryConditions {
+            x_min: FaceBc::Free,
+            x_max: FaceBc::Free,
+            y_min: FaceBc::Free,
+            y_max: FaceBc::Free,
+            z_min: FaceBc::Fixed,
+            z_max: FaceBc::Free,
+        };
+        let dm = DofMap::build(&m, &bc);
+        // 8 active nodes, 4 of them on the fixed bottom: 4*3 free.
+        assert_eq!(dm.free_count(), 12);
+    }
+
+    #[test]
+    fn assembled_stiffness_is_spd_and_symmetric() {
+        let m = solid_block(2);
+        let sys = assemble(&m, &BoundaryConditions::confined_stack(), -100.0);
+        assert!(sys.stiffness.is_symmetric(1e-3));
+        assert!(LdlFactor::factor_rcm(&sys.stiffness).is_ok());
+    }
+
+    #[test]
+    fn uniform_cooling_of_confined_block_gives_expected_stress() {
+        // A fully laterally-confined block, fixed at the bottom and free on
+        // top, cooling by ΔT: expected in-plane stress σxx = σyy =
+        // -E α ΔT / (1 - ν), σzz = 0 (uniaxial-constraint solution).
+        let m = solid_block(3);
+        let cu = table1(MaterialKind::Copper);
+        let dt = -220.0;
+        let bc = BoundaryConditions {
+            // Sliding bottom (not fixed) so vertical contraction is free and
+            // the analytic plane-stress-in-z solution holds exactly.
+            z_min: FaceBc::Sliding,
+            ..BoundaryConditions::confined_stack()
+        };
+        let sys = assemble(&m, &bc, dt);
+        let u = LdlFactor::factor_rcm(&sys.stiffness)
+            .unwrap()
+            .solve(&sys.load);
+        let full = sys.dof_map.expand(&u);
+        // Recover stress in the center cell.
+        let nodes = m.cell_nodes(1, 1, 1);
+        let mut ue = [0.0f64; 24];
+        for (a, &nd) in nodes.iter().enumerate() {
+            for axis in 0..3 {
+                ue[3 * a + axis] = full[3 * nd + axis];
+            }
+        }
+        let coords_list: Vec<[f64; 3]> = nodes.iter().map(|_| [0.0; 3]).collect();
+        let _ = coords_list;
+        let size = m.cell_size(1, 1, 1);
+        let coords = local_coords(size);
+        let sigma = crate::element::element_center_stress(&coords, &cu, dt, &ue);
+        let expect = -cu.youngs_modulus * cu.cte * dt / (1.0 - cu.poisson_ratio);
+        assert!(
+            (sigma[0] - expect).abs() / expect < 1e-6,
+            "σxx {} vs {}",
+            sigma[0],
+            expect
+        );
+        assert!((sigma[1] - expect).abs() / expect < 1e-6);
+        assert!(sigma[2].abs() < expect * 1e-6, "σzz {}", sigma[2]);
+        assert!(sigma[0] > 0.0, "cooling a confined block leaves tension");
+    }
+
+    #[test]
+    fn expand_places_values_at_free_dofs() {
+        let m = solid_block(1);
+        let bc = BoundaryConditions {
+            x_min: FaceBc::Free,
+            x_max: FaceBc::Free,
+            y_min: FaceBc::Free,
+            y_max: FaceBc::Free,
+            z_min: FaceBc::Fixed,
+            z_max: FaceBc::Free,
+        };
+        let dm = DofMap::build(&m, &bc);
+        let x = vec![1.5; dm.free_count()];
+        let full = dm.expand(&x);
+        assert_eq!(full.len(), 24);
+        // Bottom 4 nodes fixed -> zeros; top 4 nodes free -> 1.5.
+        let zero_count = full.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zero_count, 12);
+    }
+}

@@ -1,0 +1,414 @@
+//! The 8-node trilinear hexahedral element.
+//!
+//! Standard isoparametric formulation with 2×2×2 Gauss quadrature. The meshes
+//! this engine builds are axis-aligned, so the Jacobian is diagonal, but the
+//! implementation keeps the general form for clarity and testability.
+
+use crate::material::Material;
+
+/// Natural coordinates of the 8 element nodes.
+const NODE_XI: [[f64; 3]; 8] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0],
+    [1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0],
+    [-1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0],
+];
+
+/// 2-point Gauss abscissa.
+const GP: f64 = 0.577_350_269_189_625_8; // 1/sqrt(3)
+
+/// Shape function values at natural coordinates `(xi, eta, zeta)`.
+pub fn shape_functions(xi: f64, eta: f64, zeta: f64) -> [f64; 8] {
+    let mut n = [0.0; 8];
+    for (i, nat) in NODE_XI.iter().enumerate() {
+        n[i] = 0.125 * (1.0 + xi * nat[0]) * (1.0 + eta * nat[1]) * (1.0 + zeta * nat[2]);
+    }
+    n
+}
+
+/// Shape function derivatives w.r.t. natural coordinates: `dn[i] = [dNi/dξ,
+/// dNi/dη, dNi/dζ]`.
+pub fn shape_derivatives(xi: f64, eta: f64, zeta: f64) -> [[f64; 3]; 8] {
+    let mut dn = [[0.0; 3]; 8];
+    for (i, nat) in NODE_XI.iter().enumerate() {
+        dn[i][0] = 0.125 * nat[0] * (1.0 + eta * nat[1]) * (1.0 + zeta * nat[2]);
+        dn[i][1] = 0.125 * nat[1] * (1.0 + xi * nat[0]) * (1.0 + zeta * nat[2]);
+        dn[i][2] = 0.125 * nat[2] * (1.0 + xi * nat[0]) * (1.0 + eta * nat[1]);
+    }
+    dn
+}
+
+/// Element-level output: stiffness matrix and thermal load vector.
+#[derive(Debug, Clone)]
+pub struct ElementMatrices {
+    /// 24×24 stiffness, row-major.
+    pub stiffness: [[f64; 24]; 24],
+    /// 24-entry equivalent thermal load.
+    pub thermal_load: [f64; 24],
+}
+
+/// Computes the B matrix (6×24) at a quadrature point and the Jacobian
+/// determinant, for an element with the given node coordinates.
+fn b_matrix(coords: &[[f64; 3]; 8], xi: f64, eta: f64, zeta: f64) -> ([[f64; 24]; 6], f64) {
+    let dn = shape_derivatives(xi, eta, zeta);
+    // Jacobian J[a][b] = d x_b / d ξ_a.
+    let mut jac = [[0.0f64; 3]; 3];
+    for (i, d) in dn.iter().enumerate() {
+        for a in 0..3 {
+            for b in 0..3 {
+                jac[a][b] += d[a] * coords[i][b];
+            }
+        }
+    }
+    let det = jac[0][0] * (jac[1][1] * jac[2][2] - jac[1][2] * jac[2][1])
+        - jac[0][1] * (jac[1][0] * jac[2][2] - jac[1][2] * jac[2][0])
+        + jac[0][2] * (jac[1][0] * jac[2][1] - jac[1][1] * jac[2][0]);
+    let inv_det = 1.0 / det;
+    // Inverse Jacobian (cofactor form).
+    let inv = [
+        [
+            (jac[1][1] * jac[2][2] - jac[1][2] * jac[2][1]) * inv_det,
+            (jac[0][2] * jac[2][1] - jac[0][1] * jac[2][2]) * inv_det,
+            (jac[0][1] * jac[1][2] - jac[0][2] * jac[1][1]) * inv_det,
+        ],
+        [
+            (jac[1][2] * jac[2][0] - jac[1][0] * jac[2][2]) * inv_det,
+            (jac[0][0] * jac[2][2] - jac[0][2] * jac[2][0]) * inv_det,
+            (jac[0][2] * jac[1][0] - jac[0][0] * jac[1][2]) * inv_det,
+        ],
+        [
+            (jac[1][0] * jac[2][1] - jac[1][1] * jac[2][0]) * inv_det,
+            (jac[0][1] * jac[2][0] - jac[0][0] * jac[2][1]) * inv_det,
+            (jac[0][0] * jac[1][1] - jac[0][1] * jac[1][0]) * inv_det,
+        ],
+    ];
+    // Cartesian derivatives: dN/dx_b = inv[b][a] dN/dξ_a.
+    let mut b = [[0.0f64; 24]; 6];
+    for (i, d) in dn.iter().enumerate() {
+        let dx = inv[0][0] * d[0] + inv[0][1] * d[1] + inv[0][2] * d[2];
+        let dy = inv[1][0] * d[0] + inv[1][1] * d[1] + inv[1][2] * d[2];
+        let dz = inv[2][0] * d[0] + inv[2][1] * d[1] + inv[2][2] * d[2];
+        let c = 3 * i;
+        b[0][c] = dx;
+        b[1][c + 1] = dy;
+        b[2][c + 2] = dz;
+        b[3][c] = dy;
+        b[3][c + 1] = dx;
+        b[4][c + 1] = dz;
+        b[4][c + 2] = dy;
+        b[5][c] = dz;
+        b[5][c + 2] = dx;
+    }
+    (b, det)
+}
+
+/// Computes the element stiffness and the equivalent thermal load for a
+/// hexahedron with node coordinates `coords`, material `mat` and temperature
+/// change `delta_t`.
+pub fn hex_element(coords: &[[f64; 3]; 8], mat: &Material, delta_t: f64) -> ElementMatrices {
+    let d = mat.elasticity_matrix();
+    let eth = mat.thermal_strain(delta_t);
+    // D ε_th, reused at every quadrature point.
+    let mut deth = [0.0f64; 6];
+    for r in 0..6 {
+        for c in 0..6 {
+            deth[r] += d[r][c] * eth[c];
+        }
+    }
+    let mut ke = [[0.0f64; 24]; 24];
+    let mut fe = [0.0f64; 24];
+    for &gx in &[-GP, GP] {
+        for &gy in &[-GP, GP] {
+            for &gz in &[-GP, GP] {
+                let (b, det) = b_matrix(coords, gx, gy, gz);
+                debug_assert!(det > 0.0, "inverted element");
+                // db = D B (6×24).
+                let mut db = [[0.0f64; 24]; 6];
+                for r in 0..6 {
+                    for c in 0..24 {
+                        let mut acc = 0.0;
+                        for m in 0..6 {
+                            acc += d[r][m] * b[m][c];
+                        }
+                        db[r][c] = acc;
+                    }
+                }
+                // Ke += Bᵀ (D B) det, fe += Bᵀ (D ε_th) det. Gauss weights are 1.
+                for r in 0..24 {
+                    for c in r..24 {
+                        let mut acc = 0.0;
+                        for m in 0..6 {
+                            acc += b[m][r] * db[m][c];
+                        }
+                        ke[r][c] += acc * det;
+                    }
+                    let mut acc = 0.0;
+                    for m in 0..6 {
+                        acc += b[m][r] * deth[m];
+                    }
+                    fe[r] += acc * det;
+                }
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for r in 0..24 {
+        for c in 0..r {
+            ke[r][c] = ke[c][r];
+        }
+    }
+    ElementMatrices {
+        stiffness: ke,
+        thermal_load: fe,
+    }
+}
+
+/// Recovers the stress (Voigt, Pa) at the element center from nodal
+/// displacements `u` (24 entries): `σ = D (B u − ε_th)`.
+pub fn element_center_stress(
+    coords: &[[f64; 3]; 8],
+    mat: &Material,
+    delta_t: f64,
+    u: &[f64; 24],
+) -> [f64; 6] {
+    let (b, _) = b_matrix(coords, 0.0, 0.0, 0.0);
+    let mut strain = [0.0f64; 6];
+    for r in 0..6 {
+        for c in 0..24 {
+            strain[r] += b[r][c] * u[c];
+        }
+    }
+    let eth = mat.thermal_strain(delta_t);
+    for r in 0..6 {
+        strain[r] -= eth[r];
+    }
+    let d = mat.elasticity_matrix();
+    let mut sigma = [0.0f64; 6];
+    for r in 0..6 {
+        for c in 0..6 {
+            sigma[r] += d[r][c] * strain[c];
+        }
+    }
+    sigma
+}
+
+/// Hydrostatic (mean) stress from a Voigt stress vector.
+pub fn hydrostatic(sigma: &[f64; 6]) -> f64 {
+    (sigma[0] + sigma[1] + sigma[2]) / 3.0
+}
+
+/// Von Mises equivalent stress from a Voigt stress vector.
+pub fn von_mises(s: &[f64; 6]) -> f64 {
+    let dxx = s[0] - s[1];
+    let dyy = s[1] - s[2];
+    let dzz = s[2] - s[0];
+    (0.5 * (dxx * dxx + dyy * dyy + dzz * dzz) + 3.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]))
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::{table1, MaterialKind};
+
+    fn unit_cube() -> [[f64; 3]; 8] {
+        let mut c = [[0.0; 3]; 8];
+        for (i, nat) in NODE_XI.iter().enumerate() {
+            c[i] = [
+                0.5 * (nat[0] + 1.0),
+                0.5 * (nat[1] + 1.0),
+                0.5 * (nat[2] + 1.0),
+            ];
+        }
+        c
+    }
+
+    #[test]
+    fn shape_functions_partition_unity() {
+        for &(a, b, c) in &[(0.0, 0.0, 0.0), (0.3, -0.7, 0.5), (1.0, 1.0, 1.0)] {
+            let n = shape_functions(a, b, c);
+            let sum: f64 = n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_functions_interpolate_nodes() {
+        for (i, nat) in NODE_XI.iter().enumerate() {
+            let n = shape_functions(nat[0], nat[1], nat[2]);
+            for (j, &v) in n.iter().enumerate() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((v - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_sums_vanish() {
+        // Σ dNi/dξ = 0 (constant field has zero gradient).
+        let dn = shape_derivatives(0.2, -0.4, 0.9);
+        for a in 0..3 {
+            let s: f64 = dn.iter().map(|d| d[a]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stiffness_is_symmetric_and_psd_on_rigid_modes() {
+        let cu = table1(MaterialKind::Copper);
+        let el = hex_element(&unit_cube(), &cu, 0.0);
+        for r in 0..24 {
+            for c in 0..24 {
+                assert!((el.stiffness[r][c] - el.stiffness[c][r]).abs() < 1e-3);
+            }
+        }
+        // Rigid translation produces zero force: K·(1,0,0,1,0,0,...) = 0.
+        for axis in 0..3 {
+            let mut u = [0.0f64; 24];
+            for i in 0..8 {
+                u[3 * i + axis] = 1.0;
+            }
+            for r in 0..24 {
+                let f: f64 = (0..24).map(|c| el.stiffness[r][c] * u[c]).sum();
+                assert!(f.abs() < 1e-3, "rigid mode force {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn free_thermal_expansion_gives_zero_stress() {
+        // Displacements equal to free expansion α ΔT x recover zero stress.
+        let cu = table1(MaterialKind::Copper);
+        let dt = -220.0;
+        let coords = unit_cube();
+        let mut u = [0.0f64; 24];
+        for (i, c) in coords.iter().enumerate() {
+            for a in 0..3 {
+                u[3 * i + a] = cu.cte * dt * c[a];
+            }
+        }
+        let sigma = element_center_stress(&coords, &cu, dt, &u);
+        for s in sigma {
+            assert!(s.abs() < 1.0, "stress {s} Pa should vanish");
+        }
+    }
+
+    #[test]
+    fn fully_constrained_thermal_stress_is_triaxial() {
+        // u = 0 everywhere: σ = -D ε_th = -3K α ΔT on the diagonal.
+        let cu = table1(MaterialKind::Copper);
+        let dt = -220.0;
+        let sigma = element_center_stress(&unit_cube(), &cu, dt, &[0.0; 24]);
+        let expect = -3.0 * cu.bulk_modulus() * cu.cte * dt;
+        for s in &sigma[..3] {
+            assert!((s - expect).abs() / expect.abs() < 1e-9);
+        }
+        assert!(hydrostatic(&sigma) > 0.0, "cooling leaves tension");
+        // Fully triaxial state has zero von Mises stress.
+        assert!(von_mises(&sigma) < 1.0);
+    }
+
+    #[test]
+    fn thermal_load_is_consistent_with_stiffness() {
+        // For a single unconstrained element, the free-expansion displacement
+        // field must satisfy K u = f_th (equilibrium of the thermal problem).
+        let cu = table1(MaterialKind::Copper);
+        let dt = 100.0;
+        let coords = unit_cube();
+        let el = hex_element(&coords, &cu, dt);
+        let mut u = [0.0f64; 24];
+        for (i, c) in coords.iter().enumerate() {
+            for a in 0..3 {
+                u[3 * i + a] = cu.cte * dt * c[a];
+            }
+        }
+        for r in 0..24 {
+            let ku: f64 = (0..24).map(|c| el.stiffness[r][c] * u[c]).sum();
+            assert!(
+                (ku - el.thermal_load[r]).abs() < 1.0,
+                "row {r}: {ku} vs {}",
+                el.thermal_load[r]
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn boxes() -> impl Strategy<Value = [[f64; 3]; 8]> {
+            (0.01f64..5.0, 0.01f64..5.0, 0.01f64..5.0).prop_map(|(dx, dy, dz)| {
+                let mut c = [[0.0; 3]; 8];
+                for (i, nat) in NODE_XI.iter().enumerate() {
+                    c[i] = [
+                        0.5 * dx * (nat[0] + 1.0),
+                        0.5 * dy * (nat[1] + 1.0),
+                        0.5 * dz * (nat[2] + 1.0),
+                    ];
+                }
+                c
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn stiffness_symmetric_for_any_box(coords in boxes()) {
+                let cu = crate::material::table1(crate::material::MaterialKind::Copper);
+                let el = hex_element(&coords, &cu, 0.0);
+                let scale = el.stiffness.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+                for r in 0..24 {
+                    for c in 0..24 {
+                        prop_assert!((el.stiffness[r][c] - el.stiffness[c][r]).abs() < 1e-9 * scale);
+                    }
+                }
+            }
+
+            #[test]
+            fn rigid_modes_produce_no_force(coords in boxes()) {
+                let cu = crate::material::table1(crate::material::MaterialKind::Copper);
+                let el = hex_element(&coords, &cu, 0.0);
+                let scale = el.stiffness.iter().flatten().fold(0.0f64, |m, v| m.max(v.abs()));
+                for axis in 0..3 {
+                    let mut u = [0.0f64; 24];
+                    for i in 0..8 {
+                        u[3 * i + axis] = 1.0;
+                    }
+                    for r in 0..24 {
+                        let f: f64 = (0..24).map(|c| el.stiffness[r][c] * u[c]).sum();
+                        prop_assert!(f.abs() < 1e-8 * scale, "axis {axis} row {r}: {f}");
+                    }
+                }
+            }
+
+            #[test]
+            fn free_expansion_is_stress_free_for_any_box(
+                coords in boxes(),
+                dt in -400.0f64..400.0,
+            ) {
+                let cu = crate::material::table1(crate::material::MaterialKind::Copper);
+                let mut u = [0.0f64; 24];
+                for (i, c) in coords.iter().enumerate() {
+                    for a in 0..3 {
+                        u[3 * i + a] = cu.cte * dt * c[a];
+                    }
+                }
+                let sigma = element_center_stress(&coords, &cu, dt, &u);
+                for s in sigma {
+                    prop_assert!(s.abs() < 10.0, "residual stress {s} Pa");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn von_mises_of_pure_shear() {
+        let s = [0.0, 0.0, 0.0, 1e6, 0.0, 0.0];
+        assert!((von_mises(&s) - 3f64.sqrt() * 1e6).abs() < 1.0);
+        assert_eq!(hydrostatic(&s), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Legacy-VTK export of stress fields for external visualization
+//! (ParaView, VisIt).
+//!
+//! The export writes the occupied cells as an unstructured hexahedral grid
+//! with per-cell material IDs, hydrostatic stress and von Mises stress —
+//! the views used to produce figures like the paper's Fig. 1 stress maps.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::element::{hydrostatic, von_mises};
+use crate::stress::StressField;
+
+/// Renders a stress field as a legacy-format VTK (`.vtk`) string.
+///
+/// Only occupied cells are exported; nodes are renumbered compactly.
+pub fn to_vtk(field: &StressField) -> String {
+    let mesh = field.mesh();
+    // Compact node numbering over occupied cells.
+    let mut node_map: HashMap<usize, usize> = HashMap::new();
+    let mut points: Vec<[f64; 3]> = Vec::new();
+    let mut cells: Vec<[usize; 8]> = Vec::new();
+    let mut hydro: Vec<f64> = Vec::new();
+    let mut mises: Vec<f64> = Vec::new();
+    let mut material: Vec<u8> = Vec::new();
+
+    let (npx, npy, _) = (mesh.xs().len(), mesh.ys().len(), mesh.zs().len());
+    for (i, j, k, mat) in mesh.occupied_cells() {
+        let nodes = mesh.cell_nodes(i, j, k);
+        let mut mapped = [0usize; 8];
+        for (slot, &n) in nodes.iter().enumerate() {
+            let next = points.len();
+            let id = *node_map.entry(n).or_insert_with(|| {
+                let kk = n / (npx * npy);
+                let jj = (n / npx) % npy;
+                let ii = n % npx;
+                points.push(mesh.node_position(ii, jj, kk));
+                next
+            });
+            mapped[slot] = id;
+        }
+        cells.push(mapped);
+        let sigma = field
+            .cell_stress(i, j, k)
+            .expect("occupied cells have stress");
+        hydro.push(hydrostatic(&sigma) / 1e6);
+        mises.push(von_mises(&sigma) / 1e6);
+        material.push(mat);
+    }
+
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    out.push_str("emgrid thermomechanical stress field\n");
+    out.push_str("ASCII\nDATASET UNSTRUCTURED_GRID\n");
+    let _ = writeln!(out, "POINTS {} double", points.len());
+    for p in &points {
+        let _ = writeln!(out, "{} {} {}", p[0], p[1], p[2]);
+    }
+    let _ = writeln!(out, "CELLS {} {}", cells.len(), cells.len() * 9);
+    for c in &cells {
+        let _ = writeln!(
+            out,
+            "8 {} {} {} {} {} {} {} {}",
+            c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]
+        );
+    }
+    let _ = writeln!(out, "CELL_TYPES {}", cells.len());
+    for _ in &cells {
+        out.push_str("12\n"); // VTK_HEXAHEDRON
+    }
+    let _ = writeln!(out, "CELL_DATA {}", cells.len());
+    out.push_str("SCALARS hydrostatic_mpa double 1\nLOOKUP_TABLE default\n");
+    for v in &hydro {
+        let _ = writeln!(out, "{v}");
+    }
+    out.push_str("SCALARS von_mises_mpa double 1\nLOOKUP_TABLE default\n");
+    for v in &mises {
+        let _ = writeln!(out, "{v}");
+    }
+    out.push_str("SCALARS material int 1\nLOOKUP_TABLE default\n");
+    for m in &material {
+        let _ = writeln!(out, "{m}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{CharacterizationModel, ViaArrayGeometry};
+    use crate::model::ThermalStressAnalysis;
+
+    fn small_field() -> StressField {
+        let model = CharacterizationModel {
+            array: ViaArrayGeometry::square(1, 0.5, 0.5),
+            wire_width: 1.5,
+            margin: 0.5,
+            resolution: 0.5,
+            ..CharacterizationModel::default()
+        };
+        ThermalStressAnalysis::new(model).run().unwrap()
+    }
+
+    #[test]
+    fn vtk_structure_is_consistent() {
+        let field = small_field();
+        let vtk = to_vtk(&field);
+        assert!(vtk.starts_with("# vtk DataFile Version 3.0"));
+        let cells = field.mesh().occupied_count();
+        assert!(vtk.contains(&format!("CELLS {cells} {}", cells * 9)));
+        assert!(vtk.contains(&format!("CELL_DATA {cells}")));
+        assert!(vtk.contains("SCALARS hydrostatic_mpa double 1"));
+        // Every exported cell type is a hexahedron.
+        let hex_lines = vtk.lines().filter(|l| *l == "12").count();
+        assert_eq!(hex_lines, cells);
+    }
+
+    #[test]
+    fn point_count_matches_header() {
+        let field = small_field();
+        let vtk = to_vtk(&field);
+        let header_count: usize = vtk
+            .lines()
+            .find(|l| l.starts_with("POINTS"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("POINTS header");
+        let points_start = vtk
+            .lines()
+            .position(|l| l.starts_with("POINTS"))
+            .expect("POINTS header present");
+        let coord_lines = vtk
+            .lines()
+            .skip(points_start + 1)
+            .take_while(|l| !l.starts_with("CELLS"))
+            .count();
+        assert_eq!(header_count, coord_lines);
+    }
+}

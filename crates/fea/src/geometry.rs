@@ -1,0 +1,670 @@
+//! Geometry of Cu dual-damascene via-array characterization primitives.
+//!
+//! Builds voxel models of the paper's Figs. 2 and 5: a lower metal wire
+//! (`Mx`, running along x), an upper wire (`Mx+1`, running along y), a
+//! `rows × cols` via array at their intersection, Ta barrier liners, Si₃N₄
+//! capping layers, SiCOH ILD, all on a silicon substrate. The three
+//! intersection patterns of the paper's Fig. 4 (Plus / T / L) differ in
+//! whether the wires continue past the intersection and in the boundary
+//! conditions on the lateral faces.
+
+use crate::assembly::{BoundaryConditions, FaceBc};
+use crate::material::{table1, Material, MaterialKind};
+use crate::mesh::{graded_planes, HexMesh};
+
+/// Material indices used by the voxelizer, in [`stack_materials`] order.
+pub mod mat_index {
+    /// Silicon substrate.
+    pub const SUBSTRATE: u8 = 0;
+    /// Bulk copper.
+    pub const COPPER: u8 = 1;
+    /// SiCOH ILD.
+    pub const ILD: u8 = 2;
+    /// Ta barrier.
+    pub const BARRIER: u8 = 3;
+    /// Si₃N₄ capping.
+    pub const CAPPING: u8 = 4;
+}
+
+/// The material catalog in voxel-index order (see [`mat_index`]).
+pub fn stack_materials() -> Vec<Material> {
+    vec![
+        table1(MaterialKind::Substrate),
+        table1(MaterialKind::Copper),
+        table1(MaterialKind::Ild),
+        table1(MaterialKind::Barrier),
+        table1(MaterialKind::Capping),
+    ]
+}
+
+/// Layer thicknesses of the Cu DD stack, in µm.
+///
+/// Defaults approximate upper thick-metal layers (M7/M8-like) of a 32 nm
+/// node, with a thin substrate slab standing in for the full wafer (the
+/// fixed bottom face supplies the wafer's rigidity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuDdStack {
+    /// Silicon substrate slab.
+    pub substrate: f64,
+    /// ILD below the lower metal.
+    pub ild_under: f64,
+    /// Lower metal (`Mx`) thickness.
+    pub metal_lower: f64,
+    /// Si₃N₄ cap above the lower metal.
+    pub cap_lower: f64,
+    /// Via level height.
+    pub via_height: f64,
+    /// Upper metal (`Mx+1`) thickness.
+    pub metal_upper: f64,
+    /// Si₃N₄ cap above the upper metal.
+    pub cap_upper: f64,
+    /// ILD overburden above the top cap.
+    pub overburden: f64,
+    /// Ta barrier liner thickness.
+    pub barrier: f64,
+}
+
+impl Default for CuDdStack {
+    fn default() -> Self {
+        CuDdStack {
+            substrate: 0.4,
+            ild_under: 0.3,
+            metal_lower: 0.3,
+            cap_lower: 0.05,
+            via_height: 0.25,
+            metal_upper: 0.35,
+            cap_upper: 0.05,
+            overburden: 0.15,
+            barrier: 0.05,
+        }
+    }
+}
+
+impl CuDdStack {
+    /// Cumulative z levels:
+    /// `[0, sub, ild, mx, cap, via, mx1, cap, top]` (9 entries).
+    pub fn z_levels(&self) -> [f64; 9] {
+        let mut z = [0.0; 9];
+        z[1] = z[0] + self.substrate;
+        z[2] = z[1] + self.ild_under;
+        z[3] = z[2] + self.metal_lower;
+        z[4] = z[3] + self.cap_lower;
+        z[5] = z[4] + self.via_height;
+        z[6] = z[5] + self.metal_upper;
+        z[7] = z[6] + self.cap_upper;
+        z[8] = z[7] + self.overburden;
+        z
+    }
+
+    /// Total stack height.
+    pub fn height(&self) -> f64 {
+        self.z_levels()[8]
+    }
+}
+
+/// A `rows × cols` array of square vias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViaArrayGeometry {
+    /// Rows of the array (along y).
+    pub rows: usize,
+    /// Columns of the array (along x).
+    pub cols: usize,
+    /// Side of each square via, µm.
+    pub via_width: f64,
+    /// Center-to-center pitch, µm.
+    pub pitch: f64,
+}
+
+impl ViaArrayGeometry {
+    /// A square `n × n` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `via_width <= 0`, or `pitch < via_width` for
+    /// `n > 1`.
+    pub fn square(n: usize, via_width: f64, pitch: f64) -> Self {
+        assert!(n > 0, "array needs at least one via");
+        assert!(via_width > 0.0, "via width must be positive");
+        assert!(
+            n == 1 || pitch >= via_width,
+            "pitch {pitch} smaller than via width {via_width}"
+        );
+        ViaArrayGeometry {
+            rows: n,
+            cols: n,
+            via_width,
+            pitch,
+        }
+    }
+
+    /// The paper's single 1×1 via: one 1 µm × 1 µm via (1 µm² area).
+    pub fn paper_1x1() -> Self {
+        ViaArrayGeometry::square(1, 1.0, 1.0)
+    }
+
+    /// The paper's 4×4 array: sixteen 0.25 µm vias (1 µm² total area).
+    pub fn paper_4x4() -> Self {
+        ViaArrayGeometry::square(4, 0.25, 0.5)
+    }
+
+    /// The paper's 8×8 array: sixty-four 0.125 µm vias (1 µm² total area).
+    pub fn paper_8x8() -> Self {
+        ViaArrayGeometry::square(8, 0.125, 0.25)
+    }
+
+    /// Total via count.
+    pub fn count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total conducting cross-section, µm² (the paper holds this at 1 µm²
+    /// across configurations so they have equal nominal resistance).
+    pub fn effective_area(&self) -> f64 {
+        self.count() as f64 * self.via_width * self.via_width
+    }
+
+    /// Array extent along x (columns direction), µm.
+    pub fn span_x(&self) -> f64 {
+        (self.cols as f64 - 1.0) * self.pitch + self.via_width
+    }
+
+    /// Array extent along y (rows direction), µm.
+    pub fn span_y(&self) -> f64 {
+        (self.rows as f64 - 1.0) * self.pitch + self.via_width
+    }
+
+    /// Via centers (row-major) for an array centered at `(cx, cy)`.
+    pub fn via_centers(&self, cx: f64, cy: f64) -> Vec<(f64, f64)> {
+        let x0 = cx - (self.cols as f64 - 1.0) * self.pitch / 2.0;
+        let y0 = cy - (self.rows as f64 - 1.0) * self.pitch / 2.0;
+        let mut centers = Vec::with_capacity(self.count());
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                centers.push((x0 + c as f64 * self.pitch, y0 + r as f64 * self.pitch));
+            }
+        }
+        centers
+    }
+
+    /// Classifies a via (by row-major index) as on the array perimeter or in
+    /// the interior — interior vias see the reduced thermomechanical stress
+    /// highlighted by the paper's Fig. 1.
+    pub fn is_perimeter(&self, index: usize) -> bool {
+        let r = index / self.cols;
+        let c = index % self.cols;
+        r == 0 || r == self.rows - 1 || c == 0 || c == self.cols - 1
+    }
+}
+
+/// The three intersection patterns of the paper's Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntersectionPattern {
+    /// Inside the mesh: both wires continue in all four directions.
+    Plus,
+    /// At a mesh edge: the upper wire terminates at the intersection.
+    Tee,
+    /// At a mesh corner: both wires terminate at the intersection.
+    Ell,
+}
+
+impl IntersectionPattern {
+    /// All patterns, in the paper's presentation order.
+    pub const ALL: [IntersectionPattern; 3] = [
+        IntersectionPattern::Plus,
+        IntersectionPattern::Tee,
+        IntersectionPattern::Ell,
+    ];
+}
+
+impl std::fmt::Display for IntersectionPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IntersectionPattern::Plus => "plus",
+            IntersectionPattern::Tee => "tee",
+            IntersectionPattern::Ell => "ell",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete via-array characterization primitive (paper §3.2): geometry,
+/// mesh resolution and thermal excursion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizationModel {
+    /// Intersection pattern.
+    pub pattern: IntersectionPattern,
+    /// Via array configuration.
+    pub array: ViaArrayGeometry,
+    /// Wire width, µm (the paper uses 2 µm power-grid wires).
+    pub wire_width: f64,
+    /// ILD margin beyond the wires to the domain boundary, µm.
+    pub margin: f64,
+    /// Target voxel size, µm. Feature boundaries are always resolved
+    /// exactly; this bounds the mesh step inside homogeneous regions.
+    pub resolution: f64,
+    /// Layer stack.
+    pub stack: CuDdStack,
+    /// Anneal (stress-free) temperature, °C.
+    pub anneal_temperature: f64,
+    /// Operating temperature, °C.
+    pub operating_temperature: f64,
+}
+
+impl Default for CharacterizationModel {
+    fn default() -> Self {
+        CharacterizationModel {
+            pattern: IntersectionPattern::Plus,
+            array: ViaArrayGeometry::paper_4x4(),
+            wire_width: 2.0,
+            margin: 1.0,
+            resolution: 0.25,
+            stack: CuDdStack::default(),
+            anneal_temperature: 325.0,
+            operating_temperature: 105.0,
+        }
+    }
+}
+
+/// Extent of a wire along its run direction given the pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WireRun {
+    /// Start coordinate along the run axis.
+    start: f64,
+    /// End coordinate along the run axis.
+    end: f64,
+}
+
+impl CharacterizationModel {
+    /// The uniform temperature change applied to the stress-free state, K.
+    pub fn delta_t(&self) -> f64 {
+        self.operating_temperature - self.anneal_temperature
+    }
+
+    /// Lateral domain size `(Lx, Ly)`, µm.
+    pub fn domain(&self) -> (f64, f64) {
+        let l = self.wire_width + 2.0 * self.margin;
+        let need = self.array.span_x().max(self.array.span_y()) + 2.0 * self.margin;
+        let side = l.max(need);
+        (side, side)
+    }
+
+    /// Center of the intersection.
+    pub fn center(&self) -> (f64, f64) {
+        let (lx, ly) = self.domain();
+        (lx / 2.0, ly / 2.0)
+    }
+
+    /// How far past the intersection a terminating wire extends, µm.
+    fn termination_overhang(&self) -> f64 {
+        0.5 * self.wire_width.min(1.0)
+    }
+
+    /// Lower wire (`Mx`) run along x.
+    fn lower_run(&self) -> WireRun {
+        let (lx, _) = self.domain();
+        let (cx, _) = self.center();
+        match self.pattern {
+            IntersectionPattern::Plus | IntersectionPattern::Tee => WireRun {
+                start: 0.0,
+                end: lx,
+            },
+            IntersectionPattern::Ell => WireRun {
+                start: 0.0,
+                end: cx + self.array.span_x() / 2.0 + self.termination_overhang(),
+            },
+        }
+    }
+
+    /// Upper wire (`Mx+1`) run along y.
+    fn upper_run(&self) -> WireRun {
+        let (_, ly) = self.domain();
+        let (_, cy) = self.center();
+        match self.pattern {
+            IntersectionPattern::Plus => WireRun {
+                start: 0.0,
+                end: ly,
+            },
+            IntersectionPattern::Tee | IntersectionPattern::Ell => WireRun {
+                start: 0.0,
+                end: cy + self.array.span_y() / 2.0 + self.termination_overhang(),
+            },
+        }
+    }
+
+    /// Boundary conditions matching the pattern: faces that a wire runs
+    /// through behave as continuation (sliding) planes; faces that only see
+    /// ILD beyond a terminated wire are free, giving the extra compliance
+    /// that lowers T- and L-pattern stress (paper §3.2).
+    pub fn boundary_conditions(&self) -> BoundaryConditions {
+        let mut bc = BoundaryConditions::confined_stack();
+        match self.pattern {
+            IntersectionPattern::Plus => {}
+            IntersectionPattern::Tee => {
+                bc.y_max = FaceBc::Free;
+            }
+            IntersectionPattern::Ell => {
+                bc.x_max = FaceBc::Free;
+                bc.y_max = FaceBc::Free;
+            }
+        }
+        bc
+    }
+
+    /// Voxelizes the primitive into a hexahedral mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array does not fit in the wire width, or the resolution
+    /// is non-positive.
+    pub fn build_mesh(&self) -> HexMesh {
+        assert!(self.resolution > 0.0, "resolution must be positive");
+        assert!(
+            self.array.span_x() <= self.wire_width.max(self.array.span_x())
+                && self.array.span_y() <= self.wire_width + 1e-9,
+            "via array ({} µm) must fit in the wire width ({} µm)",
+            self.array.span_y(),
+            self.wire_width
+        );
+        let (lx, ly) = self.domain();
+        let (cx, cy) = self.center();
+        let z = self.stack.z_levels();
+        let bar = self.stack.barrier;
+
+        // Plane breakpoints: domain edges, wire edges (± barrier), via edges
+        // (± barrier), wire termination ends (± barrier).
+        let mut xb = vec![0.0, lx];
+        let mut yb = vec![0.0, ly];
+        let lower = self.lower_run();
+        let upper = self.upper_run();
+        // Lower wire edges are y planes; upper wire edges are x planes.
+        for s in [-0.5 * self.wire_width, 0.5 * self.wire_width] {
+            for inset in [0.0, bar] {
+                yb.push(cy + s + if s < 0.0 { inset } else { -inset });
+                xb.push(cx + s + if s < 0.0 { inset } else { -inset });
+            }
+        }
+        for run_end in [lower.end, lower.start] {
+            if run_end > 0.0 && run_end < lx {
+                xb.push(run_end);
+                xb.push(run_end - bar);
+            }
+        }
+        for run_end in [upper.end, upper.start] {
+            if run_end > 0.0 && run_end < ly {
+                yb.push(run_end);
+                yb.push(run_end - bar);
+            }
+        }
+        for (vx, vy) in self.array.via_centers(cx, cy) {
+            let h = self.via_width_half();
+            for s in [-h, h] {
+                xb.push(vx + s);
+                yb.push(vy + s);
+                xb.push(vx + s + if s < 0.0 { bar } else { -bar });
+                yb.push(vy + s + if s < 0.0 { bar } else { -bar });
+            }
+        }
+        let xb: Vec<f64> = xb.into_iter().filter(|v| (0.0..=lx).contains(v)).collect();
+        let yb: Vec<f64> = yb.into_iter().filter(|v| (0.0..=ly).contains(v)).collect();
+        let xs = graded_planes(&xb, self.resolution);
+        let ys = graded_planes(&yb, self.resolution);
+        // z: all band boundaries plus barrier offsets inside metal bands,
+        // subdivided to ~resolution (bands are thin already).
+        let mut zb: Vec<f64> = z.to_vec();
+        zb.push(z[2] + bar); // lower wire bottom barrier
+        zb.push(z[5] + bar); // upper wire bottom barrier
+        let zs = graded_planes(&zb, self.resolution.max(0.1));
+
+        let mut mesh = HexMesh::new(xs, ys, zs, stack_materials());
+        let model = *self;
+        mesh.fill_where(mat_index::ILD, |_, _, _| true);
+        // Classify every voxel center; precedence handled by classify().
+        let (nx, ny, nz) = mesh.dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = mesh.cell_center(i, j, k);
+                    let m = model.classify(c[0], c[1], c[2]);
+                    mesh.set_cell(i, j, k, Some(m));
+                }
+            }
+        }
+        mesh
+    }
+
+    fn via_width_half(&self) -> f64 {
+        self.array.via_width / 2.0
+    }
+
+    /// Material at a point (voxel-center classification).
+    fn classify(&self, x: f64, y: f64, z: f64) -> u8 {
+        let zl = self.stack.z_levels();
+        let bar = self.stack.barrier;
+        let (cx, cy) = self.center();
+        let wh = self.wire_width / 2.0;
+        let lower = self.lower_run();
+        let upper = self.upper_run();
+
+        let in_lower_wire = (y - cy).abs() < wh && x > lower.start && x < lower.end;
+        let in_lower_core = (y - cy).abs() < wh - bar
+            && x > lower.start + if lower.start > 0.0 { bar } else { 0.0 }
+            && x < lower.end
+                - if lower.end < self.domain().0 {
+                    bar
+                } else {
+                    0.0
+                };
+        let in_upper_wire = (x - cx).abs() < wh && y > upper.start && y < upper.end;
+        let in_upper_core = (x - cx).abs() < wh - bar
+            && y > upper.start + if upper.start > 0.0 { bar } else { 0.0 }
+            && y < upper.end
+                - if upper.end < self.domain().1 {
+                    bar
+                } else {
+                    0.0
+                };
+
+        let h = self.via_width_half();
+        let mut in_via = false;
+        let mut in_via_core = false;
+        for (vx, vy) in self.array.via_centers(cx, cy) {
+            let dx = (x - vx).abs();
+            let dy = (y - vy).abs();
+            if dx < h && dy < h {
+                in_via = true;
+                if dx < h - bar && dy < h - bar {
+                    in_via_core = true;
+                }
+                break;
+            }
+        }
+
+        if z < zl[1] {
+            mat_index::SUBSTRATE
+        } else if z < zl[2] {
+            mat_index::ILD
+        } else if z < zl[3] {
+            // Lower metal band. Barrier at trench bottom and walls.
+            if in_lower_wire {
+                if z < zl[2] + bar || !in_lower_core {
+                    mat_index::BARRIER
+                } else {
+                    mat_index::COPPER
+                }
+            } else {
+                mat_index::ILD
+            }
+        } else if z < zl[4] {
+            // Lower cap band: vias punch through; cap blankets elsewhere.
+            if in_via {
+                if in_via_core {
+                    mat_index::COPPER
+                } else {
+                    mat_index::BARRIER
+                }
+            } else {
+                mat_index::CAPPING
+            }
+        } else if z < zl[5] {
+            // Via band.
+            if in_via {
+                if in_via_core {
+                    mat_index::COPPER
+                } else {
+                    mat_index::BARRIER
+                }
+            } else {
+                mat_index::ILD
+            }
+        } else if z < zl[6] {
+            // Upper metal band: barrier at walls; at the trench bottom the
+            // barrier is present except where a via lands.
+            if in_upper_wire {
+                if !in_upper_core || (z < zl[5] + bar && !in_via) {
+                    mat_index::BARRIER
+                } else {
+                    mat_index::COPPER
+                }
+            } else {
+                mat_index::ILD
+            }
+        } else if z < zl[7] {
+            mat_index::CAPPING
+        } else {
+            mat_index::ILD
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arrays_have_unit_effective_area() {
+        for a in [
+            ViaArrayGeometry::paper_1x1(),
+            ViaArrayGeometry::paper_4x4(),
+            ViaArrayGeometry::paper_8x8(),
+        ] {
+            assert!((a.effective_area() - 1.0).abs() < 1e-12, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn paper_arrays_fit_in_2um_wire() {
+        assert!(ViaArrayGeometry::paper_4x4().span_x() <= 2.0);
+        assert!(ViaArrayGeometry::paper_8x8().span_x() <= 2.0);
+    }
+
+    #[test]
+    fn perimeter_classification_4x4() {
+        let a = ViaArrayGeometry::paper_4x4();
+        let perimeter = (0..16).filter(|&i| a.is_perimeter(i)).count();
+        assert_eq!(perimeter, 12); // 16 - 4 interior
+        assert!(!a.is_perimeter(5));
+        assert!(!a.is_perimeter(10));
+        assert!(a.is_perimeter(0));
+        assert!(a.is_perimeter(15));
+    }
+
+    #[test]
+    fn via_centers_are_centered_and_ordered() {
+        let a = ViaArrayGeometry::square(2, 0.2, 0.6);
+        let c = a.via_centers(1.0, 2.0);
+        assert_eq!(c.len(), 4);
+        assert!((c[0].0 - 0.7).abs() < 1e-12 && (c[0].1 - 1.7).abs() < 1e-12);
+        assert!((c[3].0 - 1.3).abs() < 1e-12 && (c[3].1 - 2.3).abs() < 1e-12);
+        let mean_x: f64 = c.iter().map(|p| p.0).sum::<f64>() / 4.0;
+        assert!((mean_x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_levels_are_increasing() {
+        let z = CuDdStack::default().z_levels();
+        for w in z.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn boundary_conditions_match_patterns() {
+        let mut m = CharacterizationModel {
+            pattern: IntersectionPattern::Plus,
+            ..CharacterizationModel::default()
+        };
+        assert_eq!(m.boundary_conditions().y_max, FaceBc::Sliding);
+        m.pattern = IntersectionPattern::Tee;
+        assert_eq!(m.boundary_conditions().y_max, FaceBc::Free);
+        assert_eq!(m.boundary_conditions().x_max, FaceBc::Sliding);
+        m.pattern = IntersectionPattern::Ell;
+        assert_eq!(m.boundary_conditions().x_max, FaceBc::Free);
+        assert_eq!(m.boundary_conditions().y_max, FaceBc::Free);
+        // Bottom is always fixed.
+        assert_eq!(m.boundary_conditions().z_min, FaceBc::Fixed);
+    }
+
+    #[test]
+    fn mesh_contains_all_five_materials() {
+        let model = CharacterizationModel {
+            array: ViaArrayGeometry::square(2, 0.5, 1.0),
+            resolution: 0.25,
+            ..CharacterizationModel::default()
+        };
+        let mesh = model.build_mesh();
+        let mut seen = [false; 5];
+        for (_, _, _, m) in mesh.occupied_cells() {
+            seen[m as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "materials seen: {seen:?}");
+    }
+
+    #[test]
+    fn copper_volume_reflects_array_presence() {
+        // A mesh with vias has more copper than the same mesh without.
+        let base = CharacterizationModel {
+            array: ViaArrayGeometry::square(2, 0.5, 1.0),
+            resolution: 0.25,
+            ..CharacterizationModel::default()
+        };
+        let tiny = CharacterizationModel {
+            array: ViaArrayGeometry::square(1, 0.25, 0.25),
+            ..base
+        };
+        let vol = |m: &CharacterizationModel| {
+            let mesh = m.build_mesh();
+            mesh.occupied_cells()
+                .filter(|&(_, _, _, mat)| mat == mat_index::COPPER)
+                .map(|(i, j, k, _)| {
+                    let s = mesh.cell_size(i, j, k);
+                    s[0] * s[1] * s[2]
+                })
+                .sum::<f64>()
+        };
+        assert!(vol(&base) > vol(&tiny));
+    }
+
+    #[test]
+    fn ell_pattern_has_less_copper_than_plus() {
+        // Terminated wires mean less copper in the L pattern.
+        let mk = |pattern| CharacterizationModel {
+            pattern,
+            array: ViaArrayGeometry::square(2, 0.5, 1.0),
+            resolution: 0.25,
+            ..CharacterizationModel::default()
+        };
+        let cu_vol = |model: CharacterizationModel| {
+            let mesh = model.build_mesh();
+            mesh.occupied_cells()
+                .filter(|&(_, _, _, m)| m == mat_index::COPPER)
+                .count()
+        };
+        assert!(cu_vol(mk(IntersectionPattern::Ell)) < cu_vol(mk(IntersectionPattern::Plus)));
+    }
+
+    #[test]
+    fn delta_t_is_negative_on_cooldown() {
+        let m = CharacterizationModel::default();
+        assert_eq!(m.delta_t(), -220.0);
+    }
+}

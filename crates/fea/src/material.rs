@@ -1,0 +1,214 @@
+//! Isotropic thermoelastic materials and the paper's Table 1 catalog.
+
+use std::fmt;
+
+/// The structural role of a material in the Cu DD stack (the paper's
+/// Table 1 "Structure" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaterialKind {
+    /// Silicon substrate.
+    Substrate,
+    /// Bulk copper metallization.
+    Copper,
+    /// SiCOH low-k inter-layer dielectric.
+    Ild,
+    /// Tantalum barrier liner.
+    Barrier,
+    /// Si₃N₄ capping layer.
+    Capping,
+}
+
+impl MaterialKind {
+    /// All kinds, in Table 1 order.
+    pub const ALL: [MaterialKind; 5] = [
+        MaterialKind::Substrate,
+        MaterialKind::Copper,
+        MaterialKind::Ild,
+        MaterialKind::Barrier,
+        MaterialKind::Capping,
+    ];
+}
+
+impl fmt::Display for MaterialKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MaterialKind::Substrate => "substrate",
+            MaterialKind::Copper => "copper",
+            MaterialKind::Ild => "ild",
+            MaterialKind::Barrier => "barrier",
+            MaterialKind::Capping => "capping",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An isotropic, linear thermoelastic material.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_fea::material::{table1, MaterialKind};
+///
+/// let cu = table1(MaterialKind::Copper);
+/// assert_eq!(cu.name, "Copper");
+/// assert!((cu.youngs_modulus - 111.6e9).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Young's modulus `E` in Pa.
+    pub youngs_modulus: f64,
+    /// Poisson's ratio `ν` (dimensionless).
+    pub poisson_ratio: f64,
+    /// Coefficient of thermal expansion `α` in 1/K.
+    pub cte: f64,
+}
+
+impl Material {
+    /// First Lamé parameter `λ = Eν / ((1+ν)(1−2ν))`.
+    pub fn lame_lambda(&self) -> f64 {
+        let e = self.youngs_modulus;
+        let nu = self.poisson_ratio;
+        e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu))
+    }
+
+    /// Shear modulus `μ = E / (2(1+ν))`.
+    pub fn shear_modulus(&self) -> f64 {
+        self.youngs_modulus / (2.0 * (1.0 + self.poisson_ratio))
+    }
+
+    /// Bulk modulus `K = E / (3(1−2ν))`.
+    pub fn bulk_modulus(&self) -> f64 {
+        self.youngs_modulus / (3.0 * (1.0 - 2.0 * self.poisson_ratio))
+    }
+
+    /// The 6×6 isotropic elasticity matrix in Voigt order
+    /// `(εxx, εyy, εzz, γxy, γyz, γzx)`, row-major.
+    pub fn elasticity_matrix(&self) -> [[f64; 6]; 6] {
+        let l = self.lame_lambda();
+        let m = self.shear_modulus();
+        let d = l + 2.0 * m;
+        [
+            [d, l, l, 0.0, 0.0, 0.0],
+            [l, d, l, 0.0, 0.0, 0.0],
+            [l, l, d, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, m, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, m, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0, m],
+        ]
+    }
+
+    /// Thermal strain vector `α ΔT [1,1,1,0,0,0]` for a temperature change
+    /// `delta_t` (K).
+    pub fn thermal_strain(&self, delta_t: f64) -> [f64; 6] {
+        let e = self.cte * delta_t;
+        [e, e, e, 0.0, 0.0, 0.0]
+    }
+}
+
+/// Material properties from Table 1 of the paper.
+///
+/// | Structure | Material | E (GPa) | ν | α (ppm/°C) |
+/// |---|---|---|---|---|
+/// | Substrate | Silicon | 162.0 | 0.28 | 3.05 |
+/// | Bulk | Copper | 111.6 | 0.34 | 17.7 |
+/// | ILD | SiCOH | 16.2 | 0.27 | 12 |
+/// | Barrier | Ta | 185.7 | 0.342 | 6.5 |
+/// | Capping | Si₃N₄ | 222.8 | 0.27 | 3.2 |
+pub fn table1(kind: MaterialKind) -> Material {
+    match kind {
+        MaterialKind::Substrate => Material {
+            name: "Silicon",
+            youngs_modulus: 162.0e9,
+            poisson_ratio: 0.28,
+            cte: 3.05e-6,
+        },
+        MaterialKind::Copper => Material {
+            name: "Copper",
+            youngs_modulus: 111.6e9,
+            poisson_ratio: 0.34,
+            cte: 17.7e-6,
+        },
+        MaterialKind::Ild => Material {
+            name: "SiCOH",
+            youngs_modulus: 16.2e9,
+            poisson_ratio: 0.27,
+            cte: 12.0e-6,
+        },
+        MaterialKind::Barrier => Material {
+            name: "Ta",
+            youngs_modulus: 185.7e9,
+            poisson_ratio: 0.342,
+            cte: 6.5e-6,
+        },
+        MaterialKind::Capping => Material {
+            name: "Si3N4",
+            youngs_modulus: 222.8e9,
+            poisson_ratio: 0.27,
+            cte: 3.2e-6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let si = table1(MaterialKind::Substrate);
+        assert_eq!(si.youngs_modulus, 162.0e9);
+        assert_eq!(si.poisson_ratio, 0.28);
+        assert_eq!(si.cte, 3.05e-6);
+        let ta = table1(MaterialKind::Barrier);
+        assert_eq!(ta.name, "Ta");
+        assert_eq!(ta.poisson_ratio, 0.342);
+    }
+
+    #[test]
+    fn copper_expands_more_than_ild() {
+        // The paper's §3.2 explanation of pattern-dependent stress hinges on
+        // CTE(Cu) > CTE(SiCOH) > CTE(Si3N4).
+        let cu = table1(MaterialKind::Copper).cte;
+        let ild = table1(MaterialKind::Ild).cte;
+        let cap = table1(MaterialKind::Capping).cte;
+        assert!(cu > ild);
+        assert!(ild > cap);
+    }
+
+    #[test]
+    fn lame_parameters_are_consistent() {
+        let cu = table1(MaterialKind::Copper);
+        let l = cu.lame_lambda();
+        let m = cu.shear_modulus();
+        // E = μ(3λ + 2μ)/(λ + μ).
+        let e = m * (3.0 * l + 2.0 * m) / (l + m);
+        assert!((e - cu.youngs_modulus).abs() / cu.youngs_modulus < 1e-12);
+        // K = λ + 2μ/3.
+        assert!((cu.bulk_modulus() - (l + 2.0 * m / 3.0)).abs() / cu.bulk_modulus() < 1e-12);
+    }
+
+    #[test]
+    fn elasticity_matrix_is_symmetric_positive() {
+        for kind in MaterialKind::ALL {
+            let d = table1(kind).elasticity_matrix();
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert_eq!(d[i][j], d[j][i]);
+                }
+                assert!(d[i][i] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_strain_has_no_shear() {
+        let cu = table1(MaterialKind::Copper);
+        let e = cu.thermal_strain(-220.0);
+        assert!(e[0] < 0.0); // contraction on cooling
+        assert_eq!(e[0], e[1]);
+        assert_eq!(e[1], e[2]);
+        assert_eq!(&e[3..], &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Stress recovery and extraction of the quantities the EM flow consumes.
+
+use crate::assembly::local_coords;
+use crate::element::{element_center_stress, hydrostatic, von_mises};
+use crate::geometry::{mat_index, CharacterizationModel};
+use crate::mesh::HexMesh;
+
+/// One sample of a line scan through the stress field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSample {
+    /// Coordinate along the scan axis, µm.
+    pub position: f64,
+    /// Hydrostatic stress, MPa.
+    pub hydrostatic_mpa: f64,
+    /// Material index of the sampled cell (see [`mat_index`]).
+    pub material: u8,
+}
+
+/// The solved stress field of a characterization primitive.
+///
+/// Holds the mesh, the full displacement vector and per-cell centroid
+/// stresses, and knows how to produce the paper's figures (line scans) and
+/// the per-via peak stresses consumed by the EM model.
+#[derive(Debug, Clone)]
+pub struct StressField {
+    model: CharacterizationModel,
+    mesh: HexMesh,
+    /// Voigt stress per cell (None for void cells), Pa.
+    stress: Vec<Option<[f64; 6]>>,
+}
+
+impl StressField {
+    /// Recovers centroid stresses for every occupied cell from the full
+    /// displacement vector (length `3 * node_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `displacements.len() != 3 * mesh.node_count()`.
+    pub fn from_displacements(
+        model: CharacterizationModel,
+        mesh: HexMesh,
+        displacements: &[f64],
+    ) -> Self {
+        assert_eq!(displacements.len(), 3 * mesh.node_count());
+        let dt = model.delta_t();
+        let mut stress = vec![None; mesh.cell_count()];
+        for (i, j, k, mat_idx) in mesh.occupied_cells() {
+            let nodes = mesh.cell_nodes(i, j, k);
+            let mut ue = [0.0f64; 24];
+            for (a, &n) in nodes.iter().enumerate() {
+                for axis in 0..3 {
+                    ue[3 * a + axis] = displacements[3 * n + axis];
+                }
+            }
+            let coords = local_coords(mesh.cell_size(i, j, k));
+            let sigma =
+                element_center_stress(&coords, &mesh.materials()[mat_idx as usize], dt, &ue);
+            stress[mesh.cell_index(i, j, k)] = Some(sigma);
+        }
+        StressField {
+            model,
+            mesh,
+            stress,
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &HexMesh {
+        &self.mesh
+    }
+
+    /// The model this field was computed for.
+    pub fn model(&self) -> &CharacterizationModel {
+        &self.model
+    }
+
+    /// Voigt stress of cell `(i, j, k)`, Pa; `None` for void cells.
+    pub fn cell_stress(&self, i: usize, j: usize, k: usize) -> Option<[f64; 6]> {
+        self.stress[self.mesh.cell_index(i, j, k)]
+    }
+
+    /// Hydrostatic stress of cell `(i, j, k)`, Pa.
+    pub fn cell_hydrostatic(&self, i: usize, j: usize, k: usize) -> Option<f64> {
+        self.cell_stress(i, j, k).map(|s| hydrostatic(&s))
+    }
+
+    /// Von Mises stress of cell `(i, j, k)`, Pa.
+    pub fn cell_von_mises(&self, i: usize, j: usize, k: usize) -> Option<f64> {
+        self.cell_stress(i, j, k).map(|s| von_mises(&s))
+    }
+
+    /// Scans hydrostatic stress along x at fixed `(y, z)` — the paper's
+    /// Figs. 1, 6, 7 plot exactly this through the lower metal beneath the
+    /// via rows.
+    ///
+    /// Returns one sample per occupied cell column intersected by the line.
+    pub fn line_scan_x(&self, y: f64, z: f64) -> Vec<LineSample> {
+        let (nx, _, _) = self.mesh.dims();
+        let Some(j) = interval_index(self.mesh.ys(), y) else {
+            return Vec::new();
+        };
+        let Some(k) = interval_index(self.mesh.zs(), z) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(nx);
+        for i in 0..nx {
+            let idx = self.mesh.cell_index(i, j, k);
+            if let (Some(sigma), Some(mat)) = (self.stress[idx], self.mesh.cell_material(idx)) {
+                out.push(LineSample {
+                    position: self.mesh.cell_center(i, j, k)[0],
+                    hydrostatic_mpa: hydrostatic(&sigma) / 1e6,
+                    material: mat,
+                });
+            }
+        }
+        out
+    }
+
+    /// The scan height used by the paper's figures: the middle of the lower
+    /// metal (`Mx`) band, where voids nucleate beneath vias.
+    pub fn lower_metal_scan_z(&self) -> f64 {
+        let z = self.model.stack.z_levels();
+        0.5 * (z[2] + z[3])
+    }
+
+    /// Line scan along x through a given via-array **row** (0-based), at the
+    /// lower-metal scan height — one curve of the paper's Fig. 1 / 7 plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is outside the array.
+    pub fn via_row_scan(&self, row: usize) -> Vec<LineSample> {
+        assert!(
+            row < self.model.array.rows,
+            "row {row} out of range for a {}-row array",
+            self.model.array.rows
+        );
+        let (cx, cy) = self.model.center();
+        let centers = self.model.array.via_centers(cx, cy);
+        let row_y = centers[row * self.model.array.cols].1;
+        self.line_scan_x(row_y, self.lower_metal_scan_z())
+    }
+
+    /// Peak tensile hydrostatic stress (Pa) in the lower metal beneath each
+    /// via, row-major — the `σ_T` values the paper's TTF model consumes
+    /// ("for each individual via, the thermomechanical stress is taken to be
+    /// the peak value in the via", §2.3).
+    pub fn per_via_peak_stress(&self) -> Vec<f64> {
+        let (cx, cy) = self.model.center();
+        let z = self.model.stack.z_levels();
+        let half = self.model.array.via_width / 2.0;
+        let (nx, ny, nz) = self.mesh.dims();
+        let mut peaks = vec![f64::NEG_INFINITY; self.model.array.count()];
+        let centers = self.model.array.via_centers(cx, cy);
+        for k in 0..nz {
+            let zc = 0.5 * (self.mesh.zs()[k] + self.mesh.zs()[k + 1]);
+            // Look in the upper half of the Mx band (void site: the Cu/cap
+            // interface under the via).
+            if zc < 0.5 * (z[2] + z[3]) || zc > z[3] {
+                continue;
+            }
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = self.mesh.cell_index(i, j, k);
+                    let Some(sigma) = self.stress[idx] else {
+                        continue;
+                    };
+                    if self.mesh.cell_material(idx) != Some(mat_index::COPPER) {
+                        continue;
+                    }
+                    let c = self.mesh.cell_center(i, j, k);
+                    for (v, (vx, vy)) in centers.iter().enumerate() {
+                        if (c[0] - vx).abs() <= half && (c[1] - vy).abs() <= half {
+                            peaks[v] = peaks[v].max(hydrostatic(&sigma));
+                        }
+                    }
+                }
+            }
+        }
+        // Fall back to the nearest lower-metal copper cell for any via whose
+        // footprint contains no cell center (possible on very coarse meshes).
+        for (v, peak) in peaks.iter_mut().enumerate() {
+            if !peak.is_finite() {
+                *peak = self.nearest_lower_metal_stress(centers[v]);
+            }
+        }
+        peaks
+    }
+
+    /// Maximum hydrostatic stress over all copper cells, Pa.
+    pub fn peak_copper_stress(&self) -> f64 {
+        let (nx, ny, nz) = self.mesh.dims();
+        let mut peak = f64::NEG_INFINITY;
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = self.mesh.cell_index(i, j, k);
+                    if self.mesh.cell_material(idx) == Some(mat_index::COPPER) {
+                        if let Some(s) = self.stress[idx] {
+                            peak = peak.max(hydrostatic(&s));
+                        }
+                    }
+                }
+            }
+        }
+        peak
+    }
+
+    fn nearest_lower_metal_stress(&self, (vx, vy): (f64, f64)) -> f64 {
+        let z = self.model.stack.z_levels();
+        let (nx, ny, nz) = self.mesh.dims();
+        let mut best = (f64::INFINITY, 0.0);
+        for k in 0..nz {
+            let zc = 0.5 * (self.mesh.zs()[k] + self.mesh.zs()[k + 1]);
+            if zc < z[2] || zc > z[3] {
+                continue;
+            }
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = self.mesh.cell_index(i, j, k);
+                    if self.mesh.cell_material(idx) != Some(mat_index::COPPER) {
+                        continue;
+                    }
+                    if let Some(s) = self.stress[idx] {
+                        let c = self.mesh.cell_center(i, j, k);
+                        let d = (c[0] - vx).powi(2) + (c[1] - vy).powi(2);
+                        if d < best.0 {
+                            best = (d, hydrostatic(&s));
+                        }
+                    }
+                }
+            }
+        }
+        best.1
+    }
+}
+
+/// Index of the interval of `planes` containing `v`, or `None` if outside.
+fn interval_index(planes: &[f64], v: f64) -> Option<usize> {
+    if v < planes[0] || v > *planes.last()? {
+        return None;
+    }
+    let i = planes.partition_point(|&p| p <= v);
+    Some(i.saturating_sub(1).min(planes.len() - 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{CharacterizationModel, ViaArrayGeometry};
+    use crate::model::ThermalStressAnalysis;
+
+    fn solved_field() -> StressField {
+        let model = CharacterizationModel {
+            array: ViaArrayGeometry::square(1, 0.5, 0.5),
+            wire_width: 1.5,
+            margin: 0.5,
+            resolution: 0.5,
+            ..CharacterizationModel::default()
+        };
+        ThermalStressAnalysis::new(model).run().unwrap()
+    }
+
+    #[test]
+    fn line_scan_outside_domain_is_empty() {
+        let f = solved_field();
+        assert!(f.line_scan_x(-1.0, f.lower_metal_scan_z()).is_empty());
+        assert!(f.line_scan_x(0.5, 1e9).is_empty());
+    }
+
+    #[test]
+    fn scan_height_sits_inside_the_lower_metal() {
+        let f = solved_field();
+        let z = f.lower_metal_scan_z();
+        let levels = f.model().stack.z_levels();
+        assert!(z > levels[2] && z < levels[3]);
+    }
+
+    #[test]
+    fn cell_queries_agree_with_scan_values() {
+        let f = solved_field();
+        let scan = f.via_row_scan(0);
+        assert!(!scan.is_empty());
+        // Von Mises and hydrostatic are finite wherever stress exists.
+        let (nx, ny, nz) = f.mesh().dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if let Some(h) = f.cell_hydrostatic(i, j, k) {
+                        assert!(h.is_finite());
+                        assert!(f.cell_von_mises(i, j, k).unwrap() >= 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_copper_stress_bounds_per_via_peaks() {
+        let f = solved_field();
+        let global = f.peak_copper_stress();
+        for p in f.per_via_peak_stress() {
+            assert!(p <= global + 1e-9);
+        }
+    }
+
+    #[test]
+    fn interval_index_basics() {
+        let p = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(interval_index(&p, 0.5), Some(0));
+        assert_eq!(interval_index(&p, 1.0), Some(1));
+        assert_eq!(interval_index(&p, 3.0), Some(2));
+        assert_eq!(interval_index(&p, -0.1), None);
+        assert_eq!(interval_index(&p, 3.1), None);
+    }
+}

@@ -1,0 +1,683 @@
+//! Level-2 Monte Carlo: Algorithm 1 with **via arrays** as the components
+//! of a **power grid** system.
+//!
+//! Each trial samples a TTF for every via array from its precharacterized
+//! lognormal (rescaled to the array's local current), then plays failures
+//! forward. A failed array's conductance is removed from the grid — a
+//! rank-1 update applied through the Sherman–Morrison–Woodbury incremental
+//! solver — the IR drop is re-evaluated, and surviving arrays' remaining
+//! lives rescale with their new currents. The trial ends when the system
+//! criterion (weakest link or an IR-drop threshold) is breached; the system
+//! TTF is the failure time of the last component that caused the breach.
+
+use emgrid_em::nucleation::rescale_remaining_life;
+use emgrid_sparse::{IncrementalSolver, LdlFactor, TripletMatrix};
+use emgrid_stats::Ecdf;
+use emgrid_via::ViaArrayReliability;
+use rand::Rng;
+
+use crate::irdrop::IrDropReport;
+use crate::model::{PgError, PowerGrid};
+
+/// When the power grid itself is declared failed (paper §5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SystemCriterion {
+    /// Failed at the first via-array failure.
+    WeakestLink,
+    /// Failed when the worst IR drop reaches this fraction of Vdd
+    /// (the paper uses 0.10).
+    IrDropFraction(f64),
+}
+
+/// How the grid is re-solved after each failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverStrategy {
+    /// Sherman–Morrison–Woodbury incremental updates against the base
+    /// factorization, folding updates into a fresh factorization every
+    /// `rebase_interval` failures.
+    Incremental {
+        /// Rank at which accumulated updates are folded and refactored.
+        rebase_interval: usize,
+    },
+    /// Full sparse refactorization after every failure (the baseline the
+    /// `smw_ablation` bench compares against).
+    Refactor,
+}
+
+impl Default for SolverStrategy {
+    fn default() -> Self {
+        SolverStrategy::Incremental {
+            rebase_interval: 64,
+        }
+    }
+}
+
+/// How via-array characterizations are assigned to grid sites.
+///
+/// The paper uses one configuration for every array but notes "in practice,
+/// a combination of the via array configuration can be used"; the
+/// two-tier assignment implements that extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SiteAssignment {
+    /// The same characterization at every site (the paper's setup).
+    Uniform(ViaArrayReliability),
+    /// Two-tier: a site whose nominal current density (through the `low`
+    /// configuration's conducting area) reaches `threshold` A/m² receives
+    /// the `high` (beefier) array instead.
+    ByCurrentDensity {
+        /// Current density (A/m²) at which a site is upgraded.
+        threshold: f64,
+        /// Default configuration.
+        low: ViaArrayReliability,
+        /// Upgraded configuration for hot sites.
+        high: ViaArrayReliability,
+    },
+}
+
+/// The collected system TTFs of a power-grid Monte Carlo run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    ttf_seconds: Vec<f64>,
+    failures_per_trial: Vec<usize>,
+    site_failure_counts: Vec<usize>,
+}
+
+impl McResult {
+    /// System TTF per trial, seconds.
+    pub fn ttf_seconds(&self) -> &[f64] {
+        &self.ttf_seconds
+    }
+
+    /// Number of via-array failures each trial took to breach the system
+    /// criterion.
+    pub fn failures_per_trial(&self) -> &[usize] {
+        &self.failures_per_trial
+    }
+
+    /// Empirical CDF of the system TTF (the paper's Fig. 10 curves).
+    pub fn ecdf(&self) -> Ecdf {
+        Ecdf::new(self.ttf_seconds.clone())
+    }
+
+    /// The paper's "worst-case TTF": the 0.3 percentile, in years.
+    pub fn worst_case_years(&self) -> f64 {
+        self.ecdf().worst_case() / emgrid_em::SECONDS_PER_YEAR
+    }
+
+    /// Median TTF in years.
+    pub fn median_years(&self) -> f64 {
+        self.ecdf().median() / emgrid_em::SECONDS_PER_YEAR
+    }
+
+    /// Mean number of failures per trial.
+    pub fn mean_failures(&self) -> f64 {
+        self.failures_per_trial.iter().sum::<usize>() as f64
+            / self.failures_per_trial.len().max(1) as f64
+    }
+
+    /// How many trials each via site failed in before the system criterion
+    /// tripped (indexed like [`PowerGrid::via_sites`]).
+    pub fn site_failure_counts(&self) -> &[usize] {
+        &self.site_failure_counts
+    }
+
+    /// The most frequently failing via sites, most critical first — the
+    /// arrays a designer would upgrade (see `SiteAssignment`).
+    pub fn critical_sites(&self, top: usize) -> Vec<(usize, usize)> {
+        let mut ranked: Vec<(usize, usize)> = self
+            .site_failure_counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(top);
+        ranked
+    }
+}
+
+/// A configured level-2 Monte Carlo.
+#[derive(Debug, Clone)]
+pub struct PowerGridMc {
+    grid: PowerGrid,
+    assignment: SiteAssignment,
+    system_criterion: SystemCriterion,
+    solver: SolverStrategy,
+    /// Lower bound on per-array current density, as a fraction of the
+    /// characterization reference (guards the 1/j² rescale against
+    /// near-zero via currents).
+    current_floor_fraction: f64,
+}
+
+impl PowerGridMc {
+    /// Creates a Monte Carlo using one via-array characterization for every
+    /// site (as the paper does: "we select one configuration for a given
+    /// power grid and use this configuration for all the via arrays").
+    pub fn new(grid: PowerGrid, reliability: ViaArrayReliability) -> Self {
+        PowerGridMc {
+            grid,
+            assignment: SiteAssignment::Uniform(reliability),
+            system_criterion: SystemCriterion::IrDropFraction(0.10),
+            solver: SolverStrategy::default(),
+            current_floor_fraction: 1e-3,
+        }
+    }
+
+    /// Sets the system failure criterion (default: 10% IR drop).
+    pub fn with_system_criterion(mut self, criterion: SystemCriterion) -> Self {
+        self.system_criterion = criterion;
+        self
+    }
+
+    /// Sets the re-solve strategy (default: incremental SMW).
+    pub fn with_solver(mut self, solver: SolverStrategy) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets a per-site assignment strategy (default: uniform).
+    pub fn with_assignment(mut self, assignment: SiteAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// The grid under analysis.
+    pub fn grid(&self) -> &PowerGrid {
+        &self.grid
+    }
+
+    /// Resolves the assignment to one characterization per via site, using
+    /// the nominal (failure-free) via currents.
+    pub fn site_reliabilities(&self) -> Vec<ViaArrayReliability> {
+        let currents = self.grid.via_currents(self.grid.nominal_solution());
+        currents
+            .iter()
+            .map(|i| match self.assignment {
+                SiteAssignment::Uniform(rel) => rel,
+                SiteAssignment::ByCurrentDensity {
+                    threshold,
+                    low,
+                    high,
+                } => {
+                    if i / low.config.effective_area_m2() >= threshold {
+                        high
+                    } else {
+                        low
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `trials` trials with a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PgError`] if the base system cannot be factored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn run(&self, trials: usize, seed: u64) -> Result<McResult, PgError> {
+        self.run_threaded(trials, seed, 1)
+    }
+
+    /// Runs `trials` trials split across `threads` OS threads.
+    ///
+    /// Each trial draws from its own deterministically-derived RNG stream,
+    /// so the result is **identical for any thread count** (and to
+    /// [`PowerGridMc::run`] with the same seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PgError`] if the base system cannot be factored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `threads == 0`.
+    pub fn run_threaded(
+        &self,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<McResult, PgError> {
+        assert!(trials > 0, "need at least one trial");
+        assert!(threads > 0, "need at least one thread");
+        let dc = self.grid.dc();
+        let base_solver = IncrementalSolver::new(dc.matrix())
+            .map_err(|e| PgError::Mna(emgrid_spice::mna::MnaError::Singular(e)))?;
+        let base_rhs = dc.rhs().to_vec();
+        let site_rels = self.site_reliabilities();
+        let nominal_currents = self.grid.via_currents(self.grid.nominal_solution());
+        let nominal_j: Vec<f64> = nominal_currents
+            .iter()
+            .zip(&site_rels)
+            .map(|(i, rel)| {
+                let j_floor = rel.reference_current_density * self.current_floor_fraction;
+                (i / rel.config.effective_area_m2()).max(j_floor)
+            })
+            .collect();
+
+        // Per-trial RNG streams keep results independent of scheduling.
+        let trial_rng = |t: usize| {
+            emgrid_stats::seeded_rng(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        let run_range = |range: std::ops::Range<usize>| -> Result<Vec<(f64, Vec<usize>)>, PgError> {
+            range
+                .map(|t| {
+                    let mut rng = trial_rng(t);
+                    self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
+                })
+                .collect()
+        };
+
+        let outcomes: Vec<(f64, Vec<usize>)> = if threads == 1 {
+            run_range(0..trials)?
+        } else {
+            let chunk = trials.div_ceil(threads);
+            let results: Vec<Result<Vec<(f64, Vec<usize>)>, PgError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|w| {
+                            let start = (w * chunk).min(trials);
+                            let end = ((w + 1) * chunk).min(trials);
+                            let run_range = &run_range;
+                            scope.spawn(move || run_range(start..end))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                });
+            let mut all = Vec::with_capacity(trials);
+            for r in results {
+                all.extend(r?);
+            }
+            all
+        };
+
+        let mut ttf_seconds = Vec::with_capacity(trials);
+        let mut failures_per_trial = Vec::with_capacity(trials);
+        let mut site_failure_counts = vec![0usize; self.grid.via_sites().len()];
+        for (ttf, failed_sites) in outcomes {
+            ttf_seconds.push(ttf);
+            failures_per_trial.push(failed_sites.len());
+            for k in failed_sites {
+                site_failure_counts[k] += 1;
+            }
+        }
+        Ok(McResult {
+            ttf_seconds,
+            failures_per_trial,
+            site_failure_counts,
+        })
+    }
+
+    fn one_trial(
+        &self,
+        rng: &mut (impl Rng + ?Sized),
+        base_solver: &IncrementalSolver,
+        base_rhs: &[f64],
+        nominal_j: &[f64],
+        site_rels: &[ViaArrayReliability],
+    ) -> Result<(f64, Vec<usize>), PgError> {
+        let sites = self.grid.via_sites();
+        let m = sites.len();
+        let mut j: Vec<f64> = nominal_j.to_vec();
+        let mut remaining: Vec<f64> = (0..m).map(|k| site_rels[k].sample_ttf(j[k], rng)).collect();
+
+        // Weakest-link system criterion: no electrical updates needed.
+        if matches!(self.system_criterion, SystemCriterion::WeakestLink) {
+            let (victim, ttf) = remaining
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"))
+                .expect("at least one site");
+            return Ok((ttf, vec![victim]));
+        }
+        let SystemCriterion::IrDropFraction(threshold) = self.system_criterion else {
+            unreachable!("weakest-link handled above");
+        };
+
+        let mut alive = vec![true; m];
+        let mut rhs = base_rhs.to_vec();
+        let mut solver = base_solver.clone();
+        let mut failed_sites: Vec<usize> = Vec::new();
+        let mut t = 0.0;
+        let dc = self.grid.dc();
+        loop {
+            let Some((victim, dt)) = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(k, _)| (k, remaining[k]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"))
+            else {
+                // Every array failed without breaching the threshold (only
+                // possible on grids whose loads keep paths through wires).
+                return Ok((t, failed_sites));
+            };
+            t += dt;
+            alive[victim] = false;
+            failed_sites.push(victim);
+            for k in 0..m {
+                if alive[k] {
+                    remaining[k] = (remaining[k] - dt).max(0.0);
+                }
+            }
+
+            // Remove the failed array's conductance and re-solve.
+            let site = &sites[victim];
+            let g = 1.0 / site.resistance;
+            let update_ok = match self.solver {
+                SolverStrategy::Incremental { rebase_interval } => {
+                    let ok = match (dc.unknown_index(site.lower), dc.unknown_index(site.upper)) {
+                        (Some(i), Some(jx)) => solver.update_edge(i, jx, -g).is_ok(),
+                        (Some(i), None) => {
+                            let pin = dc
+                                .pinned_voltage(site.upper)
+                                .expect("non-unknown node is pinned");
+                            rhs[i] -= g * pin;
+                            solver.update_ground(i, -g).is_ok()
+                        }
+                        (None, Some(jx)) => {
+                            let pin = dc
+                                .pinned_voltage(site.lower)
+                                .expect("non-unknown node is pinned");
+                            rhs[jx] -= g * pin;
+                            solver.update_ground(jx, -g).is_ok()
+                        }
+                        (None, None) => true,
+                    };
+                    if ok && solver.rank() >= rebase_interval {
+                        solver.rebase().is_ok()
+                    } else {
+                        ok
+                    }
+                }
+                SolverStrategy::Refactor => {
+                    // Refactor path updates rhs for pinned endpoints too.
+                    match (dc.unknown_index(site.lower), dc.unknown_index(site.upper)) {
+                        (Some(i), None) => {
+                            let pin = dc.pinned_voltage(site.upper).expect("pinned");
+                            rhs[i] -= g * pin;
+                        }
+                        (None, Some(jx)) => {
+                            let pin = dc.pinned_voltage(site.lower).expect("pinned");
+                            rhs[jx] -= g * pin;
+                        }
+                        _ => {}
+                    }
+                    true
+                }
+            };
+            if !update_ok {
+                // The failure disconnected part of the grid from every pad:
+                // the supply to those loads is gone — system failure.
+                return Ok((t, failed_sites));
+            }
+
+            let x = match self.solver {
+                SolverStrategy::Incremental { .. } => match solver.solve(&rhs) {
+                    Ok(x) => x,
+                    Err(_) => return Ok((t, failed_sites)),
+                },
+                SolverStrategy::Refactor => match self.refactor_solve(&failed_sites, &rhs) {
+                    Ok(x) => x,
+                    Err(_) => return Ok((t, failed_sites)),
+                },
+            };
+            let solution = dc.solution_from_unknowns(&x);
+            let report = IrDropReport::evaluate(&self.grid, &solution);
+            if report.violates(threshold) {
+                return Ok((t, failed_sites));
+            }
+
+            // Rescale survivors to their new currents (TTF ∝ 1/j²).
+            let currents = self.grid.via_currents(&solution);
+            for k in 0..m {
+                if alive[k] {
+                    let rel = &site_rels[k];
+                    let j_floor = rel.reference_current_density * self.current_floor_fraction;
+                    let j_new = (currents[k] / rel.config.effective_area_m2()).max(j_floor);
+                    remaining[k] = rescale_remaining_life(remaining[k], j[k], j_new);
+                    j[k] = j_new;
+                }
+            }
+        }
+    }
+
+    /// Full refactorization solve with the given failed sites removed.
+    fn refactor_solve(
+        &self,
+        failed_sites: &[usize],
+        rhs: &[f64],
+    ) -> Result<Vec<f64>, emgrid_sparse::SparseError> {
+        let dc = self.grid.dc();
+        let base = dc.matrix();
+        let n = base.rows();
+        let mut t = TripletMatrix::with_capacity(n, n, base.nnz() + failed_sites.len() * 4);
+        for r in 0..n {
+            for (c, v) in base.row(r) {
+                t.push(r, c, v);
+            }
+        }
+        for &k in failed_sites {
+            let site = &self.grid.via_sites()[k];
+            let g = 1.0 / site.resistance;
+            match (dc.unknown_index(site.lower), dc.unknown_index(site.upper)) {
+                (Some(i), Some(j)) => {
+                    t.push(i, i, -g);
+                    t.push(j, j, -g);
+                    t.push(i, j, g);
+                    t.push(j, i, g);
+                }
+                (Some(i), None) | (None, Some(i)) => {
+                    t.push(i, i, -g);
+                }
+                (None, None) => {}
+            }
+        }
+        Ok(LdlFactor::factor_rcm(&t.to_csr())?.solve(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emgrid_em::Technology;
+    use emgrid_fea::geometry::IntersectionPattern;
+    use emgrid_spice::benchgen::GridSpec;
+    use emgrid_via::{FailureCriterion, ViaArrayConfig, ViaArrayMc};
+
+    fn reliability(criterion: FailureCriterion) -> ViaArrayReliability {
+        ViaArrayMc::from_reference_table(
+            &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+            Technology::default(),
+            1e10,
+        )
+        .characterize(300, 99)
+        .reliability(criterion)
+        .unwrap()
+    }
+
+    fn small_grid() -> PowerGrid {
+        PowerGrid::from_netlist(GridSpec::custom("t", 10, 10).generate()).unwrap()
+    }
+
+    #[test]
+    fn ir_drop_criterion_outlives_weakest_link() {
+        // The central claim of Fig. 10: performance-based system criteria
+        // give longer lifetimes than the weakest link.
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let weakest = PowerGridMc::new(small_grid(), rel)
+            .with_system_criterion(SystemCriterion::WeakestLink)
+            .run(40, 5)
+            .unwrap();
+        let ir = PowerGridMc::new(small_grid(), rel)
+            .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
+            .run(40, 5)
+            .unwrap();
+        assert!(ir.median_years() > weakest.median_years());
+        assert!(ir.mean_failures() > 1.0);
+        assert!((weakest.mean_failures() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stricter_array_criterion_shortens_system_life() {
+        // Via-array weakest-link vs open-circuit at the system IR criterion.
+        let weak_rel = reliability(FailureCriterion::WeakestLink);
+        let open_rel = reliability(FailureCriterion::OpenCircuit);
+        let weak = PowerGridMc::new(small_grid(), weak_rel).run(40, 7).unwrap();
+        let open = PowerGridMc::new(small_grid(), open_rel).run(40, 7).unwrap();
+        assert!(open.median_years() > weak.median_years());
+    }
+
+    #[test]
+    fn smw_and_refactor_agree() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let smw = PowerGridMc::new(small_grid(), rel)
+            .with_solver(SolverStrategy::Incremental { rebase_interval: 8 })
+            .run(15, 11)
+            .unwrap();
+        let refactor = PowerGridMc::new(small_grid(), rel)
+            .with_solver(SolverStrategy::Refactor)
+            .run(15, 11)
+            .unwrap();
+        for (a, b) in smw.ttf_seconds().iter().zip(refactor.ttf_seconds()) {
+            assert!(
+                (a - b).abs() / a < 1e-6,
+                "smw {a} vs refactor {b} (same seed must agree)"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_sites_concentrate_near_the_hotspot() {
+        // The hotspot loads the central vias hardest; they should dominate
+        // the failure histogram.
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let grid = small_grid();
+        let n_sites = grid.via_sites().len();
+        let r = PowerGridMc::new(grid, rel).run(30, 19).unwrap();
+        assert_eq!(r.site_failure_counts().len(), n_sites);
+        let total: usize = r.site_failure_counts().iter().sum();
+        let trial_failures: usize = r.failures_per_trial().iter().sum();
+        assert_eq!(total, trial_failures);
+        let critical = r.critical_sites(5);
+        assert_eq!(critical.len(), 5);
+        // Ranked non-increasing.
+        for w in critical.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The most critical site fails in most trials.
+        assert!(critical[0].1 >= 20, "top site count {}", critical[0].1);
+    }
+
+    #[test]
+    fn weakest_link_records_the_single_victim() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let r = PowerGridMc::new(small_grid(), rel)
+            .with_system_criterion(SystemCriterion::WeakestLink)
+            .run(25, 23)
+            .unwrap();
+        let total: usize = r.site_failure_counts().iter().sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let seq = PowerGridMc::new(small_grid(), rel).run(16, 41).unwrap();
+        let par = PowerGridMc::new(small_grid(), rel)
+            .run_threaded(16, 41, 4)
+            .unwrap();
+        assert_eq!(seq.ttf_seconds(), par.ttf_seconds());
+        assert_eq!(seq.site_failure_counts(), par.site_failure_counts());
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let a = PowerGridMc::new(small_grid(), rel).run(10, 3).unwrap();
+        let b = PowerGridMc::new(small_grid(), rel).run(10, 3).unwrap();
+        assert_eq!(a.ttf_seconds(), b.ttf_seconds());
+    }
+
+    #[test]
+    fn mixed_assignment_interpolates_between_uniform_configs() {
+        // Hot sites upgraded to 8x8 should land the system TTF between
+        // uniform-4x4 and uniform-8x8 (the paper's "combination" remark).
+        let rel4 = reliability(FailureCriterion::OpenCircuit);
+        let rel8 = ViaArrayMc::from_reference_table(
+            &ViaArrayConfig::paper_8x8(IntersectionPattern::Plus),
+            Technology::default(),
+            1e10,
+        )
+        .characterize(300, 99)
+        .reliability(FailureCriterion::OpenCircuit)
+        .unwrap();
+        let run = |assignment: SiteAssignment| {
+            PowerGridMc::new(small_grid(), rel4)
+                .with_assignment(assignment)
+                .run(25, 31)
+                .unwrap()
+                .median_years()
+        };
+        let uniform4 = run(SiteAssignment::Uniform(rel4));
+        let uniform8 = run(SiteAssignment::Uniform(rel8));
+        let mixed = run(SiteAssignment::ByCurrentDensity {
+            threshold: 5e9,
+            low: rel4,
+            high: rel8,
+        });
+        assert!(uniform8 > uniform4);
+        assert!(
+            mixed > uniform4 && mixed <= uniform8 * 1.05,
+            "mixed {mixed} vs uniform4 {uniform4} / uniform8 {uniform8}"
+        );
+    }
+
+    #[test]
+    fn site_reliabilities_follow_the_threshold() {
+        let rel4 = reliability(FailureCriterion::OpenCircuit);
+        let rel8 = ViaArrayMc::from_reference_table(
+            &ViaArrayConfig::paper_8x8(IntersectionPattern::Plus),
+            Technology::default(),
+            1e10,
+        )
+        .characterize(100, 98)
+        .reliability(FailureCriterion::OpenCircuit)
+        .unwrap();
+        let mc = PowerGridMc::new(small_grid(), rel4).with_assignment(
+            SiteAssignment::ByCurrentDensity {
+                threshold: 5e9,
+                low: rel4,
+                high: rel8,
+            },
+        );
+        let rels = mc.site_reliabilities();
+        let grid = small_grid();
+        let currents = grid.via_currents(grid.nominal_solution());
+        let upgraded = rels.iter().filter(|r| r.config.count() == 64).count();
+        let expected = currents.iter().filter(|&&i| i / 1e-12 >= 5e9).count();
+        assert_eq!(upgraded, expected);
+        assert!(upgraded > 0 && upgraded < rels.len());
+    }
+
+    #[test]
+    fn ttfs_are_positive_and_failures_counted() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let r = PowerGridMc::new(small_grid(), rel).run(20, 13).unwrap();
+        assert_eq!(r.ttf_seconds().len(), 20);
+        assert!(r.ttf_seconds().iter().all(|&t| t > 0.0));
+        assert!(r
+            .failures_per_trial()
+            .iter()
+            .all(|&f| f >= 1 && f <= small_grid().via_sites().len()));
+        assert!(r.worst_case_years() <= r.median_years());
+    }
+}

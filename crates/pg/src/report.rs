@@ -1,0 +1,148 @@
+//! Reporting helpers for the paper's Table 2 and Fig. 10 outputs.
+
+use emgrid_em::SECONDS_PER_YEAR;
+use emgrid_stats::Ecdf;
+use emgrid_via::FailureCriterion;
+
+use crate::mc::{McResult, SystemCriterion};
+
+/// One row of the paper's Table 2: a benchmark under one (system criterion,
+/// via-array criterion) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Benchmark name (PG1/PG2/PG5 profile).
+    pub benchmark: String,
+    /// Via-array configuration label (e.g. "4x4").
+    pub array: String,
+    /// System failure criterion.
+    pub system: SystemCriterion,
+    /// Via-array failure criterion.
+    pub via_criterion: FailureCriterion,
+    /// Worst-case (0.3%ile) TTF, years.
+    pub worst_case_years: f64,
+}
+
+impl Table2Row {
+    /// Builds a row from a Monte Carlo result.
+    pub fn from_result(
+        benchmark: impl Into<String>,
+        array: impl Into<String>,
+        system: SystemCriterion,
+        via_criterion: FailureCriterion,
+        result: &McResult,
+    ) -> Self {
+        Table2Row {
+            benchmark: benchmark.into(),
+            array: array.into(),
+            system,
+            via_criterion,
+            worst_case_years: result.worst_case_years(),
+        }
+    }
+}
+
+impl std::fmt::Display for Table2Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let system = match self.system {
+            SystemCriterion::WeakestLink => "weakest-link".to_owned(),
+            SystemCriterion::IrDropFraction(p) => format!("{:.0}% IR-drop", p * 100.0),
+        };
+        write!(
+            f,
+            "{:<6} {:<5} {:<14} {:<14} {:>6.1}",
+            self.benchmark, self.array, system, self.via_criterion, self.worst_case_years
+        )
+    }
+}
+
+/// A TTF percentile curve (the paper's Fig. 10 axes: percentile vs years).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtfCurve {
+    /// Label shown in the figure legend.
+    pub label: String,
+    /// `(ttf_years, percentile)` points, percentile in `[0, 1]`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TtfCurve {
+    /// Samples a result's ECDF at the paper's Fig. 10 percentiles
+    /// (0.003, 0.25, 0.5, 0.75, 0.997) plus a dense fill-in.
+    pub fn from_result(label: impl Into<String>, result: &McResult) -> Self {
+        Self::from_ecdf(label, &result.ecdf())
+    }
+
+    /// Builds a curve from an ECDF of TTFs in seconds.
+    pub fn from_ecdf(label: impl Into<String>, ecdf: &Ecdf) -> Self {
+        let mut percentiles = vec![0.003, 0.997];
+        for i in 1..=19 {
+            percentiles.push(i as f64 / 20.0);
+        }
+        percentiles.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let points = percentiles
+            .into_iter()
+            .map(|p| (ecdf.quantile(p) / SECONDS_PER_YEAR, p))
+            .collect();
+        TtfCurve {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(
+            (1..=100)
+                .map(|i| i as f64 * SECONDS_PER_YEAR / 10.0)
+                .collect(),
+        );
+        let c = TtfCurve::from_ecdf("t", &e);
+        for w in c.points.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(c.points.first().map(|p| p.1), Some(0.003));
+        assert_eq!(c.points.last().map(|p| p.1), Some(0.997));
+    }
+
+    #[test]
+    fn curve_from_result_uses_years() {
+        use emgrid_em::SECONDS_PER_YEAR;
+        let e = Ecdf::new(vec![SECONDS_PER_YEAR, 2.0 * SECONDS_PER_YEAR]);
+        let c = TtfCurve::from_ecdf("u", &e);
+        assert!(c.points.iter().all(|&(t, _)| (0.5..=2.5).contains(&t)));
+    }
+
+    #[test]
+    fn weakest_link_row_formats() {
+        let row = Table2Row {
+            benchmark: "pg2".into(),
+            array: "8x8".into(),
+            system: SystemCriterion::WeakestLink,
+            via_criterion: FailureCriterion::WeakestLink,
+            worst_case_years: 0.9,
+        };
+        let s = row.to_string();
+        assert!(s.contains("weakest-link"));
+        assert!(s.contains("0.9"));
+    }
+
+    #[test]
+    fn table_row_formats() {
+        let row = Table2Row {
+            benchmark: "pg1".into(),
+            array: "4x4".into(),
+            system: SystemCriterion::IrDropFraction(0.10),
+            via_criterion: FailureCriterion::OpenCircuit,
+            worst_case_years: 3.94,
+        };
+        let s = row.to_string();
+        assert!(s.contains("pg1"));
+        assert!(s.contains("10% IR-drop"));
+        assert!(s.contains("3.9"));
+    }
+}

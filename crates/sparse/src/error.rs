@@ -1,0 +1,108 @@
+//! Error type shared by the linear algebra kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the factorization and iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// A matrix was not square where a square matrix is required.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Dimensions of two operands disagree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A pivot became non-positive during an SPD factorization, i.e. the
+    /// matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing pivot column.
+        column: usize,
+        /// Value of the failing pivot.
+        pivot: f64,
+    },
+    /// An iterative solver did not reach the requested tolerance.
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Relative residual at the final iterate.
+        residual: f64,
+    },
+    /// A dense LU factorization hit an (almost) singular pivot.
+    Singular {
+        /// Pivot column at which singularity was detected.
+        column: usize,
+    },
+    /// An index was out of bounds for the matrix dimensions.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Dimension the index was checked against.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch (expected {expected}, found {found})")
+            }
+            SparseError::NotPositiveDefinite { column, pivot } => {
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot {pivot:e} at column {column})"
+                )
+            }
+            SparseError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iterative solver stalled after {iterations} iterations (residual {residual:e})"
+                )
+            }
+            SparseError::Singular { column } => {
+                write!(f, "matrix is singular (column {column})")
+            }
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension {bound}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SparseError::NotSquare { rows: 3, cols: 4 };
+        assert_eq!(e.to_string(), "matrix is not square (3x4)");
+        let e = SparseError::NotConverged {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Sparse and dense linear algebra substrate for the `emgrid` workspace.
+//!
+//! The published analysis flow needs three numerical kernels that the paper
+//! takes for granted:
+//!
+//! * a **direct sparse solver** for the symmetric positive definite (SPD)
+//!   systems produced by modified nodal analysis of power grids and by the
+//!   finite-element assembly of the Cu dual-damascene stack
+//!   ([`ldl::LdlFactor`]),
+//! * an **iterative solver** for the larger finite-element systems
+//!   ([`cg::conjugate_gradient`]),
+//! * an **incremental solver** that updates a factored system after a
+//!   low-rank modification — each electromigration failure event changes a
+//!   single conductance, which is a rank-1 update handled by the
+//!   Sherman–Morrison–Woodbury identity ([`smw::IncrementalSolver`]).
+//!
+//! Everything is built from scratch on plain `Vec`-based storage: a triplet
+//! builder ([`coo::TripletMatrix`]), compressed sparse row storage
+//! ([`csr::CsrMatrix`]), reverse Cuthill–McKee ordering
+//! ([`ordering::reverse_cuthill_mckee`]) and small dense kernels
+//! ([`dense::DenseMatrix`]) used for element matrices and Woodbury capacitance
+//! systems.
+//!
+//! # Example
+//!
+//! Solve a tiny SPD system with the direct factorization:
+//!
+//! ```
+//! # fn main() -> Result<(), emgrid_sparse::SparseError> {
+//! use emgrid_sparse::{TripletMatrix, LdlFactor};
+//!
+//! let mut a = TripletMatrix::new(2, 2);
+//! a.push(0, 0, 4.0);
+//! a.push(0, 1, 1.0);
+//! a.push(1, 0, 1.0);
+//! a.push(1, 1, 3.0);
+//! let a = a.to_csr();
+//!
+//! let factor = LdlFactor::factor(&a)?;
+//! let x = factor.solve(&[1.0, 2.0]);
+//! let r = a.residual_norm(&x, &[1.0, 2.0]);
+//! assert!(r < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// Indexed loops over multiple parallel arrays are the clearest form for
+// these numerical kernels; silence clippy's iterator suggestion crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cg;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod ic0;
+pub mod ldl;
+pub mod ordering;
+pub mod smw;
+
+pub use cg::{conjugate_gradient, CgOptions, CgOutcome, Preconditioner};
+pub use ic0::Ic0;
+pub use coo::TripletMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::SparseError;
+pub use ldl::LdlFactor;
+pub use ordering::{reverse_cuthill_mckee, Permutation};
+pub use smw::IncrementalSolver;

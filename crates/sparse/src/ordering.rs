@@ -1,0 +1,302 @@
+//! Fill-reducing orderings and permutations.
+//!
+//! Power-grid conductance matrices and finite-element stiffness matrices are
+//! mesh-structured; reverse Cuthill–McKee keeps their Cholesky factors banded
+//! and is a good, simple default ordering for such graphs.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+
+/// A permutation of `0..n`.
+///
+/// `perm[new] = old`: position `new` of the permuted object holds element
+/// `old` of the original (the convention used by
+/// [`CsrMatrix::permute_symmetric`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// Validates and wraps a permutation vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if `map` is not a bijection
+    /// on `0..map.len()`.
+    pub fn new(map: Vec<usize>) -> Result<Self, SparseError> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &v in &map {
+            if v >= n || seen[v] {
+                return Err(SparseError::IndexOutOfBounds { index: v, bound: n });
+            }
+            seen[v] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maps a new index to the old index it draws from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` is out of bounds.
+    pub fn map(&self, new: usize) -> usize {
+        self.map[new]
+    }
+
+    /// Returns the inverse permutation (old index -> new index).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (new, &old) in self.map.iter().enumerate() {
+            inv[old] = new;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Gathers `x` into permuted order: `out[new] = x[perm[new]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.map.len());
+        self.map.iter().map(|&old| x[old]).collect()
+    }
+
+    /// Scatters `x` back to original order: `out[perm[new]] = x[new]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn apply_inverse(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.map.len());
+        let mut out = vec![0.0; x.len()];
+        for (new, &old) in self.map.iter().enumerate() {
+            out[old] = x[new];
+        }
+        out
+    }
+
+    /// Exposes the raw `new -> old` map.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+}
+
+/// Computes a reverse Cuthill–McKee ordering of a symmetric sparsity pattern.
+///
+/// The input is interpreted as an undirected graph (pattern of `a | aᵀ`);
+/// values are ignored. Returns a [`Permutation`] suitable for
+/// [`CsrMatrix::permute_symmetric`] that tends to concentrate entries near the
+/// diagonal and so limits Cholesky fill on mesh-like graphs.
+///
+/// Disconnected graphs are handled by restarting from the unvisited vertex of
+/// minimum degree.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
+    assert_eq!(a.rows(), a.cols(), "RCM needs a square matrix");
+    let n = a.rows();
+    // Build symmetrized adjacency (exclude self-loops).
+    let t = a.transpose();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for r in 0..n {
+        for (c, _) in a.row(r) {
+            if c != r {
+                adj[r].push(c as u32);
+            }
+        }
+        for (c, _) in t.row(r) {
+            if c != r {
+                adj[r].push(c as u32);
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let degree: Vec<usize> = adj.iter().map(|l| l.len()).collect();
+
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    // Seed each component from its unvisited vertex of minimum degree
+    // (peripheral-ish), until every vertex is ordered.
+    while let Some(seed) = (0..n).filter(|&v| !visited[v]).min_by_key(|&v| degree[v]) {
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut nbrs: Vec<u32> = adj[v]
+                .iter()
+                .copied()
+                .filter(|&u| !visited[u as usize])
+                .collect();
+            nbrs.sort_unstable_by_key(|&u| degree[u as usize]);
+            for u in nbrs {
+                visited[u as usize] = true;
+                queue.push_back(u as usize);
+            }
+        }
+    }
+    order.reverse();
+    Permutation { map: order }
+}
+
+/// Bandwidth of a square sparse matrix: `max |i - j|` over stored entries.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn bandwidth(a: &CsrMatrix) -> usize {
+    assert_eq!(a.rows(), a.cols());
+    let mut bw = 0usize;
+    for r in 0..a.rows() {
+        for (c, _) in a.row(r) {
+            bw = bw.max(r.abs_diff(c));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletMatrix;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i + 1 < n {
+                t.push_sym(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn grid_graph(nx: usize, ny: usize) -> CsrMatrix {
+        let id = |x: usize, y: usize| y * nx + x;
+        let mut t = TripletMatrix::new(nx * ny, nx * ny);
+        for y in 0..ny {
+            for x in 0..nx {
+                t.push(id(x, y), id(x, y), 4.0);
+                if x + 1 < nx {
+                    t.push_sym(id(x, y), id(x + 1, y), -1.0);
+                }
+                if y + 1 < ny {
+                    t.push_sym(id(x, y), id(x, y + 1), -1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn permutation_rejects_non_bijection() {
+        assert!(Permutation::new(vec![0, 0, 1]).is_err());
+        assert!(Permutation::new(vec![0, 3]).is_err());
+        assert!(Permutation::new(vec![1, 0, 2]).is_ok());
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::new(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        for i in 0..4 {
+            assert_eq!(inv.map(p.map(i)), i);
+        }
+    }
+
+    #[test]
+    fn apply_then_apply_inverse_round_trips() {
+        let p = Permutation::new(vec![2, 0, 3, 1]).unwrap();
+        let x = vec![10.0, 20.0, 30.0, 40.0];
+        assert_eq!(p.apply_inverse(&p.apply(&x)), x);
+    }
+
+    #[test]
+    fn rcm_keeps_path_bandwidth_one() {
+        let m = path_graph(20);
+        let p = reverse_cuthill_mckee(&m);
+        let pm = m.permute_symmetric(&p);
+        assert_eq!(bandwidth(&pm), 1);
+    }
+
+    #[test]
+    fn rcm_shrinks_grid_bandwidth_vs_shuffled() {
+        let m = grid_graph(8, 8);
+        // Shuffle with a fixed "random" permutation to create bad ordering.
+        let mut map: Vec<usize> = (0..64).collect();
+        map.reverse();
+        map.swap(0, 31);
+        map.swap(7, 55);
+        let shuffled = m.permute_symmetric(&Permutation::new(map).unwrap());
+        let p = reverse_cuthill_mckee(&shuffled);
+        let pm = shuffled.permute_symmetric(&p);
+        assert!(bandwidth(&pm) <= bandwidth(&shuffled));
+        assert!(bandwidth(&pm) <= 16, "bandwidth {}", bandwidth(&pm));
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_graph() {
+        // Two disjoint paths.
+        let mut t = TripletMatrix::new(6, 6);
+        for i in 0..2 {
+            t.push_sym(i, i + 1, -1.0);
+        }
+        for i in 3..5 {
+            t.push_sym(i, i + 1, -1.0);
+        }
+        for i in 0..6 {
+            t.push(i, i, 2.0);
+        }
+        let p = reverse_cuthill_mckee(&t.to_csr());
+        // Must be a valid permutation covering all 6 vertices.
+        assert_eq!(p.len(), 6);
+        let mut seen = p.as_slice().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn rcm_is_always_a_permutation(
+            edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40)
+        ) {
+            let mut t = TripletMatrix::new(12, 12);
+            for i in 0..12 {
+                t.push(i, i, 1.0);
+            }
+            for (a, b) in edges {
+                t.push(a as usize, b as usize, -1.0);
+            }
+            let p = reverse_cuthill_mckee(&t.to_csr());
+            let mut seen = p.as_slice().to_vec();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        }
+    }
+}

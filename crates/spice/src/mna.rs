@@ -1,0 +1,394 @@
+//! DC operating-point analysis by modified nodal analysis.
+//!
+//! Power-grid decks have a restricted topology: resistive mesh, ideal
+//! voltage-source **pads** referenced to ground, and ideal current-source
+//! **loads**. Voltage sources are eliminated by pinning their node (keeping
+//! the system symmetric positive definite so the workspace's sparse
+//! Cholesky applies), which is exactly the structure the paper's Monte
+//! Carlo re-solves thousands of times.
+
+use std::error::Error;
+use std::fmt;
+
+use emgrid_sparse::{CsrMatrix, LdlFactor, SparseError, TripletMatrix};
+
+use crate::netlist::{Element, Netlist, Node};
+
+/// Errors from building or solving the MNA system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MnaError {
+    /// A voltage source connects two non-ground nodes (unsupported in the
+    /// benchmark subset).
+    UnsupportedSource(String),
+    /// A node is pinned to two different voltages.
+    ConflictingPins(String),
+    /// The conductance matrix is singular — some node has no resistive path
+    /// to a pad or ground.
+    Singular(SparseError),
+    /// The deck has no unknowns to solve for.
+    Empty,
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::UnsupportedSource(n) => {
+                write!(f, "voltage source `{n}` must have one grounded terminal")
+            }
+            MnaError::ConflictingPins(n) => {
+                write!(f, "node `{n}` pinned to conflicting voltages")
+            }
+            MnaError::Singular(e) => write!(f, "conductance matrix is singular: {e}"),
+            MnaError::Empty => write!(f, "netlist has no solvable nodes"),
+        }
+    }
+}
+
+impl Error for MnaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MnaError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for MnaError {
+    fn from(e: SparseError) -> Self {
+        MnaError::Singular(e)
+    }
+}
+
+/// The assembled DC system of a netlist.
+#[derive(Debug, Clone)]
+pub struct DcAnalysis {
+    /// Pinned voltage per node id (`None` = unknown).
+    pinned: Vec<Option<f64>>,
+    /// Unknown-vector index per node id.
+    unknown_index: Vec<Option<usize>>,
+    /// Node id per unknown index.
+    unknown_node: Vec<u32>,
+    matrix: CsrMatrix,
+    rhs: Vec<f64>,
+}
+
+impl DcAnalysis {
+    /// Builds the reduced conductance system for a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::UnsupportedSource`] or
+    /// [`MnaError::ConflictingPins`] for malformed sources, and
+    /// [`MnaError::Empty`] when nothing is solvable.
+    pub fn new(netlist: &Netlist) -> Result<Self, MnaError> {
+        let nn = netlist.node_count();
+        let mut pinned: Vec<Option<f64>> = vec![None; nn];
+
+        // Pass 1: voltage sources pin nodes.
+        for e in netlist.elements() {
+            if let Element::VoltageSource {
+                name,
+                pos,
+                neg,
+                value,
+            } = e
+            {
+                let (node, v) = match (pos, neg) {
+                    (Node::Id(i), Node::Ground) => (*i, *value),
+                    (Node::Ground, Node::Id(i)) => (*i, -*value),
+                    (Node::Ground, Node::Ground) => continue,
+                    _ => return Err(MnaError::UnsupportedSource(name.clone())),
+                };
+                let slot = &mut pinned[node as usize];
+                match slot {
+                    Some(existing) if (*existing - v).abs() > 1e-12 => {
+                        return Err(MnaError::ConflictingPins(
+                            netlist.node_name(node).to_owned(),
+                        ))
+                    }
+                    _ => *slot = Some(v),
+                }
+            }
+        }
+
+        // Pass 2: number unknowns.
+        let mut unknown_index = vec![None; nn];
+        let mut unknown_node = Vec::new();
+        for id in 0..nn {
+            if pinned[id].is_none() {
+                unknown_index[id] = Some(unknown_node.len());
+                unknown_node.push(id as u32);
+            }
+        }
+        if unknown_node.is_empty() {
+            return Err(MnaError::Empty);
+        }
+        let n = unknown_node.len();
+
+        // Pass 3: stamp.
+        let mut g = TripletMatrix::with_capacity(n, n, netlist.elements().len() * 4);
+        let mut rhs = vec![0.0f64; n];
+        // Ensure every unknown appears on the diagonal (possibly zero) so
+        // the factorization reports dangling nodes as non-PD pivots rather
+        // than panicking on pattern holes.
+        for i in 0..n {
+            g.push(i, i, 0.0);
+        }
+        let classify = |node: Node| -> NodeClass {
+            match node {
+                Node::Ground => NodeClass::Fixed(0.0),
+                Node::Id(i) => match pinned[i as usize] {
+                    Some(v) => NodeClass::Fixed(v),
+                    None => NodeClass::Unknown(unknown_index[i as usize].expect("numbered")),
+                },
+            }
+        };
+        for e in netlist.elements() {
+            match e {
+                Element::Resistor { a, b, value, .. } => {
+                    let cond = 1.0 / value;
+                    match (classify(*a), classify(*b)) {
+                        (NodeClass::Unknown(i), NodeClass::Unknown(j)) => {
+                            g.push(i, i, cond);
+                            g.push(j, j, cond);
+                            g.push(i, j, -cond);
+                            g.push(j, i, -cond);
+                        }
+                        (NodeClass::Unknown(i), NodeClass::Fixed(v))
+                        | (NodeClass::Fixed(v), NodeClass::Unknown(i)) => {
+                            g.push(i, i, cond);
+                            rhs[i] += cond * v;
+                        }
+                        (NodeClass::Fixed(_), NodeClass::Fixed(_)) => {}
+                    }
+                }
+                Element::CurrentSource {
+                    pos, neg, value, ..
+                } => {
+                    if let NodeClass::Unknown(i) = classify(*pos) {
+                        rhs[i] -= value;
+                    }
+                    if let NodeClass::Unknown(i) = classify(*neg) {
+                        rhs[i] += value;
+                    }
+                }
+                Element::VoltageSource { .. } => {}
+            }
+        }
+
+        Ok(DcAnalysis {
+            pinned,
+            unknown_index,
+            unknown_node,
+            matrix: g.to_csr(),
+            rhs,
+        })
+    }
+
+    /// The reduced SPD conductance matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// The reduced right-hand side.
+    pub fn rhs(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Number of unknown node voltages.
+    pub fn unknown_count(&self) -> usize {
+        self.unknown_node.len()
+    }
+
+    /// The unknown-vector index of a node, `None` for pinned/ground nodes.
+    pub fn unknown_index(&self, node: Node) -> Option<usize> {
+        node.id().and_then(|i| self.unknown_index[i as usize])
+    }
+
+    /// The pinned voltage of a node (`Some` for pads and ground).
+    pub fn pinned_voltage(&self, node: Node) -> Option<f64> {
+        match node {
+            Node::Ground => Some(0.0),
+            Node::Id(i) => self.pinned[i as usize],
+        }
+    }
+
+    /// Factors and solves the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::Singular`] when a node floats (no path to any
+    /// pad).
+    pub fn solve(&self) -> Result<DcSolution, MnaError> {
+        let factor = LdlFactor::factor_rcm(&self.matrix)?;
+        let x = factor.solve(&self.rhs);
+        Ok(self.solution_from_unknowns(&x))
+    }
+
+    /// Assembles a [`DcSolution`] from an externally-computed unknown vector
+    /// (used by incremental re-solvers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.unknown_count()`.
+    pub fn solution_from_unknowns(&self, x: &[f64]) -> DcSolution {
+        assert_eq!(x.len(), self.unknown_count(), "unknown vector length");
+        let mut voltages = vec![0.0f64; self.pinned.len()];
+        for (id, v) in voltages.iter_mut().enumerate() {
+            *v = match self.pinned[id] {
+                Some(pin) => pin,
+                None => x[self.unknown_index[id].expect("unknown numbered")],
+            };
+        }
+        DcSolution { voltages }
+    }
+}
+
+enum NodeClass {
+    Unknown(usize),
+    Fixed(f64),
+}
+
+/// Node voltages of a solved DC operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    voltages: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage at a node.
+    pub fn voltage(&self, node: Node) -> f64 {
+        match node {
+            Node::Ground => 0.0,
+            Node::Id(i) => self.voltages[i as usize],
+        }
+    }
+
+    /// Voltage by interned node id.
+    pub fn voltage_of(&self, node: Node) -> f64 {
+        self.voltage(node)
+    }
+
+    /// All node voltages, indexed by interned id.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// Current through a resistor element, positive from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is not a resistor.
+    pub fn resistor_current(&self, element: &Element) -> f64 {
+        match element {
+            Element::Resistor { a, b, value, .. } => (self.voltage(*a) - self.voltage(*b)) / value,
+            _ => panic!("element is not a resistor"),
+        }
+    }
+
+    /// Minimum voltage over all interned nodes (worst supply level).
+    pub fn min_voltage(&self) -> f64 {
+        self.voltages.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn voltage_divider() {
+        let n = parse("V1 a 0 2.0\nR1 a b 1k\nR2 b 0 3k\n").unwrap();
+        let s = DcAnalysis::new(&n).unwrap().solve().unwrap();
+        let b = n.node_id("b").unwrap();
+        assert!((s.voltage(b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_ir_drop_is_quadratic() {
+        // Pad at one end, uniform loads: drop follows the discrete
+        // quadratic profile; check endpoint value against hand calculation.
+        // 3 segments of 1Ω, loads 1 mA at each of 3 interior nodes.
+        let deck = "\
+V1 p 0 1.0
+Rp p n1 1.0
+R1 n1 n2 1.0
+R2 n2 n3 1.0
+I1 n1 0 0.001
+I2 n2 0 0.001
+I3 n3 0 0.001
+";
+        let n = parse(deck).unwrap();
+        let s = DcAnalysis::new(&n).unwrap().solve().unwrap();
+        // Segment currents: 3mA, 2mA, 1mA → cumulative drops 3,5,6 mV.
+        let v = |name: &str| s.voltage(n.node_id(name).unwrap());
+        assert!((v("n1") - 0.997).abs() < 1e-12);
+        assert!((v("n2") - 0.995).abs() < 1e-12);
+        assert!((v("n3") - 0.994).abs() < 1e-12);
+        assert!((s.min_voltage() - 0.994).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistor_current_signs() {
+        let n = parse("V1 a 0 1.0\nR1 a b 2.0\nR2 b 0 2.0\n").unwrap();
+        let s = DcAnalysis::new(&n).unwrap().solve().unwrap();
+        let (_, r) = n.resistors().next().unwrap();
+        assert!((s.resistor_current(r) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floating_node_is_reported_singular() {
+        let n = parse("V1 a 0 1.0\nR1 a b 1.0\nR2 c d 1.0\n").unwrap();
+        let err = DcAnalysis::new(&n).unwrap().solve().unwrap_err();
+        assert!(matches!(err, MnaError::Singular(_)));
+    }
+
+    #[test]
+    fn vsource_between_nodes_rejected() {
+        let n = parse("V1 a b 1.0\nR1 a 0 1.0\nR2 b 0 1.0\n").unwrap();
+        let err = DcAnalysis::new(&n).unwrap_err();
+        assert!(matches!(err, MnaError::UnsupportedSource(_)));
+    }
+
+    #[test]
+    fn conflicting_pins_rejected() {
+        let n = parse("V1 a 0 1.0\nV2 a 0 2.0\nR1 a 0 1.0\n").unwrap();
+        let err = DcAnalysis::new(&n).unwrap_err();
+        assert!(matches!(err, MnaError::ConflictingPins(_)));
+    }
+
+    #[test]
+    fn duplicate_consistent_pins_allowed() {
+        let n = parse("V1 a 0 1.0\nV2 a 0 1.0\nR1 a b 1.0\nR2 b 0 1.0\n").unwrap();
+        let s = DcAnalysis::new(&n).unwrap().solve().unwrap();
+        assert!((s.voltage(n.node_id("b").unwrap()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_vsource_pins_negative() {
+        let n = parse("V1 0 a 1.5\nR1 a b 1.0\nR2 b 0 1.0\n").unwrap();
+        let s = DcAnalysis::new(&n).unwrap().solve().unwrap();
+        assert!((s.voltage(n.node_id("a").unwrap()) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_pinned_deck_is_empty() {
+        let n = parse("V1 a 0 1.0\nR1 a 0 1.0\n").unwrap();
+        assert!(matches!(DcAnalysis::new(&n), Err(MnaError::Empty)));
+    }
+
+    #[test]
+    fn superposition_of_current_sources() {
+        // Linearity: doubling all loads doubles every drop.
+        let deck_1 = "V1 p 0 1.0\nR1 p a 1.0\nR2 a b 1.0\nI1 b 0 0.001\n";
+        let deck_2 = "V1 p 0 1.0\nR1 p a 1.0\nR2 a b 1.0\nI1 b 0 0.002\n";
+        let n1 = parse(deck_1).unwrap();
+        let n2 = parse(deck_2).unwrap();
+        let s1 = DcAnalysis::new(&n1).unwrap().solve().unwrap();
+        let s2 = DcAnalysis::new(&n2).unwrap().solve().unwrap();
+        let d1 = 1.0 - s1.voltage(n1.node_id("b").unwrap());
+        let d2 = 1.0 - s2.voltage(n2.node_id("b").unwrap());
+        assert!((d2 / d1 - 2.0).abs() < 1e-9);
+    }
+}

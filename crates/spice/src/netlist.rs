@@ -1,0 +1,254 @@
+//! The netlist data model.
+
+use std::collections::HashMap;
+
+/// A circuit node: ground or an interned named node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The reference node (`0` or `gnd` in the deck).
+    Ground,
+    /// An interned node: an index into the netlist's name table (see
+    /// [`Netlist::node_name`]).
+    Id(u32),
+}
+
+impl Node {
+    /// The interned index, or `None` for ground.
+    pub fn id(self) -> Option<u32> {
+        match self {
+            Node::Ground => None,
+            Node::Id(i) => Some(i),
+        }
+    }
+}
+
+/// Layer/position metadata decoded from an IBM-style node name
+/// `n<layer>_<x>_<y>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeInfo {
+    /// Metal layer number.
+    pub layer: u32,
+    /// X coordinate (grid units).
+    pub x: i64,
+    /// Y coordinate (grid units).
+    pub y: i64,
+}
+
+impl NodeInfo {
+    /// Parses `n<layer>_<x>_<y>`; returns `None` for other shapes.
+    pub fn parse(name: &str) -> Option<NodeInfo> {
+        let rest = name.strip_prefix(['n', 'N'])?;
+        let mut parts = rest.split('_');
+        let layer = parts.next()?.parse().ok()?;
+        let x = parts.next()?.parse().ok()?;
+        let y = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(NodeInfo { layer, x, y })
+    }
+}
+
+/// One circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A resistor between `a` and `b` (Ω).
+    Resistor {
+        /// Instance name (e.g. `R12`).
+        name: String,
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance, Ω.
+        value: f64,
+    },
+    /// An ideal voltage source: `pos` is held `value` volts above `neg`.
+    VoltageSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Source voltage, V.
+        value: f64,
+    },
+    /// An ideal current source driving `value` amperes out of `pos`,
+    /// through the source, into `neg` (SPICE convention).
+    CurrentSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: Node,
+        /// Negative terminal.
+        neg: Node,
+        /// Source current, A.
+        value: f64,
+    },
+}
+
+impl Element {
+    /// The instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. } => name,
+        }
+    }
+}
+
+/// A parsed or generated netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    elements: Vec<Element>,
+    node_names: Vec<String>,
+    node_ids: HashMap<String, u32>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Interns a node name, returning its [`Node`]. `"0"` and `"gnd"`
+    /// (case-insensitive) intern to [`Node::Ground`].
+    pub fn intern(&mut self, name: &str) -> Node {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Node::Ground;
+        }
+        if let Some(&id) = self.node_ids.get(name) {
+            return Node::Id(id);
+        }
+        let id = self.node_names.len() as u32;
+        self.node_names.push(name.to_owned());
+        self.node_ids.insert(name.to_owned(), id);
+        Node::Id(id)
+    }
+
+    /// Looks up an existing node id by name.
+    pub fn node_id(&self, name: &str) -> Option<Node> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Node::Ground);
+        }
+        self.node_ids.get(name).map(|&i| Node::Id(i))
+    }
+
+    /// The name of an interned node.
+    pub fn node_name(&self, id: u32) -> &str {
+        &self.node_names[id as usize]
+    }
+
+    /// Number of interned (non-ground) nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Layer metadata for a node, if the name is IBM-style.
+    pub fn node_info(&self, id: u32) -> Option<NodeInfo> {
+        NodeInfo::parse(self.node_name(id))
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, element: Element) {
+        self.elements.push(element);
+    }
+
+    /// All elements in deck order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements (used to retrofit via resistances
+    /// into benchmark decks whose vias are shorted, per the paper §5.2).
+    pub fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// Iterator over resistor elements with their element indices.
+    pub fn resistors(&self) -> impl Iterator<Item = (usize, &Element)> + '_ {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Element::Resistor { .. }))
+    }
+
+    /// Counts elements of each kind: `(resistors, vsources, isources)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut r = 0;
+        let mut v = 0;
+        let mut i = 0;
+        for e in &self.elements {
+            match e {
+                Element::Resistor { .. } => r += 1,
+                Element::VoltageSource { .. } => v += 1,
+                Element::CurrentSource { .. } => i += 1,
+            }
+        }
+        (r, v, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_ground_aware() {
+        let mut n = Netlist::new();
+        let a = n.intern("n1_2_3");
+        let b = n.intern("n1_2_3");
+        assert_eq!(a, b);
+        assert_eq!(n.node_count(), 1);
+        assert_eq!(n.intern("0"), Node::Ground);
+        assert_eq!(n.intern("GND"), Node::Ground);
+        assert_eq!(n.intern("gnd"), Node::Ground);
+        assert_eq!(n.node_count(), 1);
+    }
+
+    #[test]
+    fn node_info_parses_ibm_names() {
+        assert_eq!(
+            NodeInfo::parse("n3_120_455"),
+            Some(NodeInfo {
+                layer: 3,
+                x: 120,
+                y: 455
+            })
+        );
+        assert_eq!(NodeInfo::parse("N1_0_0").map(|i| i.layer), Some(1));
+        assert_eq!(NodeInfo::parse("vdd"), None);
+        assert_eq!(NodeInfo::parse("n1_2"), None);
+        assert_eq!(NodeInfo::parse("n1_2_3_4"), None);
+        assert_eq!(NodeInfo::parse("n1_a_3"), None);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut n = Netlist::new();
+        let a = n.intern("a");
+        let b = n.intern("b");
+        n.push(Element::Resistor {
+            name: "R1".into(),
+            a,
+            b,
+            value: 1.0,
+        });
+        n.push(Element::VoltageSource {
+            name: "V1".into(),
+            pos: a,
+            neg: Node::Ground,
+            value: 1.8,
+        });
+        n.push(Element::CurrentSource {
+            name: "I1".into(),
+            pos: b,
+            neg: Node::Ground,
+            value: 1e-3,
+        });
+        assert_eq!(n.counts(), (1, 1, 1));
+        assert_eq!(n.resistors().count(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Parser for the power-grid benchmark subset of SPICE.
+//!
+//! Supported: `R`/`V`/`I` element cards (`<name> <node+> <node-> <value>`),
+//! `*` comment lines, `.op`/`.end`/other dot directives (ignored), blank
+//! lines, case-insensitive element letters, and engineering suffixes on
+//! values (`f p n u m k meg g t`).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::{Element, Netlist};
+
+/// A parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending card.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A card had fewer than 4 fields.
+    MissingFields,
+    /// The value field did not parse as a number.
+    BadValue(String),
+    /// The element letter is not one of R/V/I.
+    UnsupportedElement(char),
+    /// A resistor with a non-positive value.
+    NonPositiveResistance(f64),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::MissingFields => {
+                write!(f, "line {}: element card needs 4 fields", self.line)
+            }
+            ParseErrorKind::BadValue(v) => {
+                write!(f, "line {}: invalid value `{v}`", self.line)
+            }
+            ParseErrorKind::UnsupportedElement(c) => {
+                write!(f, "line {}: unsupported element type `{c}`", self.line)
+            }
+            ParseErrorKind::NonPositiveResistance(v) => {
+                write!(f, "line {}: non-positive resistance {v}", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a numeric field with optional engineering suffix.
+///
+/// Returns `None` on malformed input.
+pub fn parse_value(field: &str) -> Option<f64> {
+    let lower = field.to_ascii_lowercase();
+    // Longest suffix first.
+    const SUFFIXES: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stripped) = lower.strip_suffix(suffix) {
+            // Guard against stripping the exponent `e` forms ("1e3" has no
+            // suffix) and against empty mantissas.
+            if !stripped.is_empty() && !stripped.ends_with(['e', 'E']) {
+                if let Ok(v) = stripped.parse::<f64>() {
+                    return Some(v * scale);
+                }
+            }
+        }
+    }
+    lower.parse().ok()
+}
+
+/// Parses a SPICE deck into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on malformed cards.
+///
+/// # Example
+///
+/// ```
+/// let n = emgrid_spice::parse("R1 a b 2k\nV1 a 0 1.8\nI1 b 0 1m\n.end")?;
+/// assert_eq!(n.counts(), (1, 1, 1));
+/// # Ok::<(), emgrid_spice::ParseError>(())
+/// ```
+pub fn parse(deck: &str) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new();
+    for (lineno, raw) in deck.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') || trimmed.starts_with('.') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let name = fields.next().expect("non-empty line has a field");
+        let (Some(a), Some(b), Some(value)) = (fields.next(), fields.next(), fields.next()) else {
+            return Err(ParseError {
+                line,
+                kind: ParseErrorKind::MissingFields,
+            });
+        };
+        let value = parse_value(value).ok_or_else(|| ParseError {
+            line,
+            kind: ParseErrorKind::BadValue(value.to_owned()),
+        })?;
+        let na = netlist.intern(a);
+        let nb = netlist.intern(b);
+        let kind = name.chars().next().expect("non-empty name");
+        match kind.to_ascii_uppercase() {
+            'R' => {
+                if value <= 0.0 {
+                    return Err(ParseError {
+                        line,
+                        kind: ParseErrorKind::NonPositiveResistance(value),
+                    });
+                }
+                netlist.push(Element::Resistor {
+                    name: name.to_owned(),
+                    a: na,
+                    b: nb,
+                    value,
+                });
+            }
+            'V' => netlist.push(Element::VoltageSource {
+                name: name.to_owned(),
+                pos: na,
+                neg: nb,
+                value,
+            }),
+            'I' => netlist.push(Element::CurrentSource {
+                name: name.to_owned(),
+                pos: na,
+                neg: nb,
+                value,
+            }),
+            other => {
+                return Err(ParseError {
+                    line,
+                    kind: ParseErrorKind::UnsupportedElement(other),
+                })
+            }
+        }
+    }
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Node;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_benchmark_style_deck() {
+        let deck = "\
+* IBM-style fragment
+R1 n1_0_0 n1_1_0 0.5
+r2 n1_1_0 n1_2_0 0.5
+Rv1 n1_1_0 n2_1_0 1.0
+V1 n2_0_0 0 1.8
+i_load n1_2_0 0 0.0003
+.op
+.end
+";
+        let n = parse(deck).unwrap();
+        assert_eq!(n.counts(), (3, 1, 1));
+        assert_eq!(n.node_count(), 5);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_value("1k"), Some(1e3));
+        assert_eq!(parse_value("2.5m"), Some(2.5e-3));
+        assert_eq!(parse_value("3meg"), Some(3e6));
+        assert!((parse_value("10u").unwrap() - 1e-5).abs() < 1e-18);
+        assert_eq!(parse_value("1e3"), Some(1000.0));
+        assert_eq!(parse_value("1E-2"), Some(0.01));
+        assert_eq!(parse_value("7"), Some(7.0));
+        assert_eq!(parse_value("1n"), Some(1e-9));
+        assert_eq!(parse_value("x"), None);
+        assert_eq!(parse_value("k"), None);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse("R1 a b 1.0\nR2 a b\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseErrorKind::MissingFields);
+    }
+
+    #[test]
+    fn rejects_bad_value_and_type() {
+        let err = parse("R1 a b abc").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadValue(_)));
+        let err = parse("C1 a b 1p").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnsupportedElement('C')));
+        let err = parse("R1 a b 0").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::NonPositiveResistance(_)));
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let n = parse("R1 a 0 1\nR2 b gnd 1\n").unwrap();
+        for (_, e) in n.resistors() {
+            if let Element::Resistor { b, .. } = e {
+                assert_eq!(*b, Node::Ground);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn parse_value_handles_plain_floats(v in -1e6f64..1e6) {
+            let s = format!("{v}");
+            let parsed = parse_value(&s).unwrap();
+            prop_assert!((parsed - v).abs() <= 1e-9 * v.abs().max(1.0));
+        }
+
+        #[test]
+        fn parser_never_panics_on_arbitrary_text(deck in "[ -~\n]{0,200}") {
+            // Any printable input must either parse or produce a ParseError
+            // with a line number inside the deck.
+            match parse(&deck) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(e.line >= 1 && e.line <= deck.lines().count().max(1)),
+            }
+        }
+
+        #[test]
+        fn parser_round_trips_structured_decks(
+            values in proptest::collection::vec(0.001f64..1000.0, 1..20),
+        ) {
+            let mut deck = String::from("V1 n2_0_0 0 1.8\n");
+            for (i, v) in values.iter().enumerate() {
+                deck.push_str(&format!("R{i} n1_{i}_0 n1_{}_0 {v}\n", i + 1));
+            }
+            let n = parse(&deck).unwrap();
+            let rendered = crate::writer::write_string(&n);
+            let again = parse(&rendered).unwrap();
+            prop_assert_eq!(n.counts(), again.counts());
+            prop_assert_eq!(n.node_count(), again.node_count());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Monte Carlo confidence machinery.
+//!
+//! The paper sizes its simulations by confidence: *"the number of iterations
+//! for the MC simulation, N_trials, depends on the confidence level, which
+//! can be given as an input to the MC simulation framework"* (§5.2). This
+//! module provides that input: distribution-free (order-statistic)
+//! confidence intervals on quantiles, and the trial count needed before an
+//! extreme percentile like the paper's 0.3%ile is resolved at all.
+
+use crate::ecdf::Ecdf;
+use crate::special::inverse_normal_cdf;
+
+/// A two-sided confidence interval on a quantile.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_stats::{confidence::quantile_interval, Ecdf};
+///
+/// let e = Ecdf::new((1..=1000).map(f64::from).collect());
+/// let ci = quantile_interval(&e, 0.5, 0.95);
+/// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileInterval {
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// The point estimate (the empirical quantile).
+    pub estimate: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Achieved (nominal) confidence level.
+    pub confidence: f64,
+}
+
+/// Distribution-free confidence interval for the `p`-quantile of the
+/// sampled distribution, using the normal approximation to the binomial
+/// order-statistic bracket.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1` and `0 < confidence < 1`.
+pub fn quantile_interval(ecdf: &Ecdf, p: f64, confidence: f64) -> QuantileInterval {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = ecdf.len() as f64;
+    let z = inverse_normal_cdf(0.5 + confidence / 2.0);
+    let half_width = z * (p * (1.0 - p) / n).sqrt();
+    let lo_p = (p - half_width).max(1.0 / n);
+    let hi_p = (p + half_width).min(1.0);
+    QuantileInterval {
+        lower: ecdf.quantile(lo_p),
+        estimate: ecdf.quantile(p),
+        upper: ecdf.quantile(hi_p),
+        confidence,
+    }
+}
+
+/// Smallest sample size for which the `p`-quantile is an interior order
+/// statistic at the given confidence — i.e. `P(at least one sample below
+/// the p-quantile) >= confidence`, so the empirical estimate is not just
+/// the sample minimum.
+///
+/// For the paper's 0.3%ile at 95% this gives ~1000 trials; the paper's 500
+/// trials make the 0.3%ile estimate essentially the second order statistic,
+/// which this function makes explicit.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1` and `0 < confidence < 1`.
+pub fn trials_to_resolve_quantile(p: f64, confidence: f64) -> usize {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    // P(no sample <= q_p) = (1-p)^n <= 1-confidence.
+    ((1.0 - confidence).ln() / (1.0 - p).ln()).ceil() as usize
+}
+
+/// Standard error of an empirical CDF value at probability `p` for `n`
+/// trials (binomial).
+pub fn cdf_standard_error(p: f64, n: usize) -> f64 {
+    (p * (1.0 - p) / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lognormal::LogNormal;
+    use crate::seeded_rng;
+
+    #[test]
+    fn interval_brackets_the_true_quantile_usually() {
+        let d = LogNormal::new(1.0, 0.4).unwrap();
+        let mut rng = seeded_rng(2);
+        let mut covered = 0;
+        let runs = 60;
+        for _ in 0..runs {
+            let samples: Vec<f64> = (0..800).map(|_| d.sample(&mut rng)).collect();
+            let e = Ecdf::new(samples);
+            let ci = quantile_interval(&e, 0.5, 0.95);
+            let truth = d.median();
+            if ci.lower <= truth && truth <= ci.upper {
+                covered += 1;
+            }
+        }
+        // 95% nominal coverage; allow generous slack for 60 runs.
+        assert!(covered >= 50, "coverage {covered}/{runs}");
+    }
+
+    #[test]
+    fn interval_is_ordered_and_tightens_with_n() {
+        let d = LogNormal::new(0.0, 0.3).unwrap();
+        let mut rng = seeded_rng(3);
+        let small = Ecdf::new((0..200).map(|_| d.sample(&mut rng)).collect());
+        let large = Ecdf::new((0..20_000).map(|_| d.sample(&mut rng)).collect());
+        let ci_s = quantile_interval(&small, 0.5, 0.95);
+        let ci_l = quantile_interval(&large, 0.5, 0.95);
+        assert!(ci_s.lower <= ci_s.estimate && ci_s.estimate <= ci_s.upper);
+        assert!((ci_l.upper - ci_l.lower) < (ci_s.upper - ci_s.lower));
+    }
+
+    #[test]
+    fn paper_percentile_needs_about_a_thousand_trials() {
+        // 0.3%ile at 95%: n ~ ln(0.05)/ln(0.997) ~ 997.
+        let n = trials_to_resolve_quantile(0.003, 0.95);
+        assert!((900..1100).contains(&n), "n = {n}");
+        // The paper's 500 trials resolve it only at ~77% confidence.
+        let n_softer = trials_to_resolve_quantile(0.003, 0.77);
+        assert!(n_softer <= 500, "n = {n_softer}");
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_sqrt_n() {
+        let a = cdf_standard_error(0.5, 100);
+        let b = cdf_standard_error(0.5, 400);
+        assert!((a / b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_bad_probability() {
+        trials_to_resolve_quantile(0.0, 0.95);
+    }
+}

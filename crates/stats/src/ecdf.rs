@@ -1,0 +1,224 @@
+//! Empirical cumulative distribution functions and percentile reporting.
+//!
+//! Every Monte Carlo experiment in the paper is reported as a CDF plot
+//! (Figs. 8–10) or as the worst-case **0.3 percentile** TTF (Table 2); this
+//! module turns raw TTF samples into those artifacts.
+
+/// An empirical CDF over a finite sample.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(e.cdf(2.5), 0.5);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// assert_eq!(e.min(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (NaNs are removed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no finite sample remains.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        assert!(!samples.is_empty(), "ECDF needs at least one finite sample");
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile: the smallest sample `v` with `cdf(v) >= p`.
+    ///
+    /// `p <= 0` returns the minimum; `p >= 1` the maximum.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return self.min();
+        }
+        if p >= 1.0 {
+            return self.max();
+        }
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The paper's "worst-case" percentile: the 0.3%ile (`p = 0.003`).
+    pub fn worst_case(&self) -> f64 {
+        self.quantile(0.003)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Sample median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Unbiased sample standard deviation (0 for a single sample).
+    pub fn sd(&self) -> f64 {
+        let n = self.sorted.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self
+            .sorted
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n as f64 - 1.0))
+            .sqrt()
+    }
+
+    /// Evaluates the CDF on a uniform grid of `points` values spanning the
+    /// sample range; returns `(x, F(x))` pairs suitable for plotting the
+    /// paper's CDF figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        let (lo, hi) = (self.min(), self.max());
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        (0..points)
+            .map(|i| {
+                let x = lo + span * i as f64 / (points - 1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_counts_inclusive() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_edge_probabilities() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+        assert_eq!(e.quantile(-1.0), 1.0);
+        assert_eq!(e.quantile(2.0), 5.0);
+    }
+
+    #[test]
+    fn worst_case_is_min_for_small_samples() {
+        // With 500 samples, the 0.3%ile is the 2nd order statistic.
+        let samples: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let e = Ecdf::new(samples);
+        assert_eq!(e.worst_case(), 2.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let e = Ecdf::new(vec![2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(e.mean(), 5.0);
+        assert_eq!(e.median(), 4.0);
+        assert!((e.sd() - (20.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite sample")]
+    fn all_nan_panics() {
+        Ecdf::new(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn curve_spans_sample_range() {
+        let e = Ecdf::new(vec![0.0, 10.0, 5.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 10.0);
+        assert_eq!(c[10].1, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(
+            mut samples in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            a in -120.0f64..120.0,
+            d in 0.0f64..50.0,
+        ) {
+            samples.push(0.0);
+            let e = Ecdf::new(samples);
+            prop_assert!(e.cdf(a + d) >= e.cdf(a));
+        }
+
+        #[test]
+        fn quantile_cdf_galois(
+            samples in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            p in 0.01f64..1.0,
+        ) {
+            let e = Ecdf::new(samples);
+            // cdf(quantile(p)) >= p by definition of the empirical quantile.
+            prop_assert!(e.cdf(e.quantile(p)) >= p - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Kolmogorov–Smirnov distances.
+//!
+//! Used to quantify how well a fitted two-parameter lognormal represents a
+//! via-array TTF sample before it is handed to the power-grid Monte Carlo
+//! (the paper fits such a lognormal at the end of §5.1).
+
+use crate::ecdf::Ecdf;
+
+/// One-sample KS statistic: `sup_x |F_n(x) − F(x)|` for a sample ECDF and a
+/// reference CDF.
+///
+/// The supremum over a step function is attained at sample points, comparing
+/// against both the left and right limits of the empirical CDF.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_stats::{Ecdf, ks_statistic};
+///
+/// let e = Ecdf::new(vec![0.1, 0.35, 0.62, 0.81]);
+/// let d = ks_statistic(&e, |x| x.clamp(0.0, 1.0)); // vs Uniform(0,1)
+/// assert!(d < 0.25);
+/// ```
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &Ecdf, cdf: F) -> f64 {
+    let n = sample.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sample.samples().iter().enumerate() {
+        let f = cdf(x);
+        let upper = (i as f64 + 1.0) / n - f;
+        let lower = f - i as f64 / n;
+        d = d.max(upper.abs()).max(lower.abs());
+    }
+    d
+}
+
+/// Two-sample KS statistic: `sup_x |F_n(x) − G_m(x)|`.
+pub fn ks_two_sample(a: &Ecdf, b: &Ecdf) -> f64 {
+    let mut d: f64 = 0.0;
+    for &x in a.samples() {
+        d = d.max((a.cdf(x) - b.cdf(x)).abs());
+    }
+    for &x in b.samples() {
+        d = d.max((a.cdf(x) - b.cdf(x)).abs());
+    }
+    d
+}
+
+/// Critical KS value at significance `alpha` for sample size `n`
+/// (asymptotic formula `c(alpha) / sqrt(n)`).
+///
+/// # Panics
+///
+/// Panics unless `alpha` is one of 0.10, 0.05, 0.01.
+pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
+    let c = if (alpha - 0.10).abs() < 1e-12 {
+        1.224
+    } else if (alpha - 0.05).abs() < 1e-12 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        1.628
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.10, 0.05 or 0.01");
+    };
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lognormal::LogNormal;
+    use crate::seeded_rng;
+
+    #[test]
+    fn perfect_fit_has_small_statistic() {
+        let d = LogNormal::new(1.0, 0.4).unwrap();
+        let mut rng = seeded_rng(3);
+        let samples: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let e = Ecdf::new(samples);
+        let ks = ks_statistic(&e, |x| d.cdf(x));
+        assert!(ks < ks_critical_value(5000, 0.01), "ks = {ks}");
+    }
+
+    #[test]
+    fn wrong_distribution_is_detected() {
+        let d = LogNormal::new(1.0, 0.4).unwrap();
+        let wrong = LogNormal::new(2.0, 0.4).unwrap();
+        let mut rng = seeded_rng(3);
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let e = Ecdf::new(samples);
+        let ks = ks_statistic(&e, |x| wrong.cdf(x));
+        assert!(ks > ks_critical_value(2000, 0.01) * 5.0, "ks = {ks}");
+    }
+
+    #[test]
+    fn two_sample_identical_is_zero() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(ks_two_sample(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn two_sample_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]);
+        let b = Ecdf::new(vec![10.0, 20.0]);
+        assert_eq!(ks_two_sample(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        assert!(ks_critical_value(100, 0.05) > ks_critical_value(10_000, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn unsupported_alpha_panics() {
+        ks_critical_value(10, 0.2);
+    }
+}

@@ -1,0 +1,377 @@
+//! The two-parameter lognormal distribution.
+//!
+//! Lognormals are the paper's workhorse: the flaw radius `R_f` (hence the
+//! critical stress `σ_C` through Eq. 4), the effective diffusivity, per-via
+//! nucleation times, and the fitted via-array TTFs that feed the power-grid
+//! Monte Carlo are all modeled as lognormal.
+
+use crate::normal::Normal;
+use crate::InvalidParameterError;
+use rand::Rng;
+
+/// A lognormal distribution: `ln X ~ N(mu, sigma²)`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), emgrid_stats::InvalidParameterError> {
+/// use emgrid_stats::LogNormal;
+///
+/// // Flaw radius per the paper: mean 10 nm, sd 5% of the mean.
+/// let rf = LogNormal::from_mean_sd(10e-9, 0.5e-9)?;
+/// assert!((rf.mean() - 10e-9).abs() < 1e-15);
+/// assert!((rf.cdf(rf.median()) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the log-space parameters `mu`, `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if `sigma <= 0` or a parameter is
+    /// not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, InvalidParameterError> {
+        if !mu.is_finite() {
+            return Err(InvalidParameterError {
+                parameter: "mu",
+                value: mu,
+            });
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "sigma",
+                value: sigma,
+            });
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates a lognormal with the given **linear-space** mean and standard
+    /// deviation by moment matching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] unless `mean > 0` and `sd > 0`.
+    pub fn from_mean_sd(mean: f64, sd: f64) -> Result<Self, InvalidParameterError> {
+        if !(mean > 0.0 && mean.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "mean",
+                value: mean,
+            });
+        }
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "sd",
+                value: sd,
+            });
+        }
+        let cv2 = (sd / mean) * (sd / mean);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Creates a lognormal with a given median and log-space sigma.
+    ///
+    /// Reliability engineers typically report `t_50` (the median) and the
+    /// lognormal `sigma`; this constructor matches that convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] unless `median > 0` and `sigma > 0`.
+    pub fn from_median_sigma(median: f64, sigma: f64) -> Result<Self, InvalidParameterError> {
+        if !(median > 0.0 && median.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "median",
+                value: median,
+            });
+        }
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Log-space location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Linear-space mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Linear-space variance.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    /// Linear-space standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Probability density at `x` (0 for `x <= 0`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative probability at `x` (0 for `x <= 0`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        crate::special::normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Quantile (inverse CDF) at probability `p`.
+    ///
+    /// Returns `0` for `p <= 0` and `INFINITY` for `p >= 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        (self.mu + self.sigma * crate::special::inverse_normal_cdf(p)).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        use rand_distr::Distribution;
+        rand_distr::LogNormal::new(self.mu, self.sigma)
+            .expect("parameters validated at construction")
+            .sample(rng)
+    }
+
+    /// Multiplies the distribution by a positive constant: `c·X` is lognormal
+    /// with `mu + ln c`.
+    ///
+    /// This is how characterization at a reference current density is scaled
+    /// to a different current (the paper's TTF ∝ 1/j² rescaling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] unless `c > 0`.
+    pub fn scaled(&self, c: f64) -> Result<Self, InvalidParameterError> {
+        if !(c > 0.0 && c.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "c",
+                value: c,
+            });
+        }
+        LogNormal::new(self.mu + c.ln(), self.sigma)
+    }
+
+    /// Raises the distribution to a power: `X^k` is lognormal with
+    /// `(k·mu, |k|·sigma)`.
+    ///
+    /// Used for the `(σ_C − σ_T)²` term of the nucleation model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if `k == 0` or is not finite.
+    pub fn powered(&self, k: f64) -> Result<Self, InvalidParameterError> {
+        if k == 0.0 || !k.is_finite() {
+            return Err(InvalidParameterError {
+                parameter: "k",
+                value: k,
+            });
+        }
+        LogNormal::new(k * self.mu, k.abs() * self.sigma)
+    }
+
+    /// Fits by maximum likelihood (mean/sd of the log samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if fewer than two samples are given,
+    /// any sample is non-positive, or the log-samples are constant.
+    pub fn fit_mle(samples: &[f64]) -> Result<Self, InvalidParameterError> {
+        if samples.len() < 2 {
+            return Err(InvalidParameterError {
+                parameter: "samples.len",
+                value: samples.len() as f64,
+            });
+        }
+        let mut logs = Vec::with_capacity(samples.len());
+        for &s in samples {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(InvalidParameterError {
+                    parameter: "sample",
+                    value: s,
+                });
+            }
+            logs.push(s.ln());
+        }
+        let fit = Normal::fit(&logs)?;
+        LogNormal::new(fit.mean(), fit.sd())
+    }
+
+    /// Fits by matching the first two linear-space moments.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogNormal::fit_mle`].
+    pub fn fit_moments(samples: &[f64]) -> Result<Self, InvalidParameterError> {
+        if samples.len() < 2 {
+            return Err(InvalidParameterError {
+                parameter: "samples.len",
+                value: samples.len() as f64,
+            });
+        }
+        for &s in samples {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(InvalidParameterError {
+                    parameter: "sample",
+                    value: s,
+                });
+            }
+        }
+        let fit = Normal::fit(samples)?;
+        LogNormal::from_mean_sd(fit.mean(), fit.sd())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn moment_matching_round_trips() {
+        let d = LogNormal::from_mean_sd(10.0, 3.0).unwrap();
+        assert!((d.mean() - 10.0).abs() < 1e-12);
+        assert!((d.sd() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_sigma_constructor() {
+        let d = LogNormal::from_median_sigma(7.0, 0.4).unwrap();
+        assert!((d.median() - 7.0).abs() < 1e-12);
+        assert!((d.sigma() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::from_mean_sd(-1.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_sd(1.0, 0.0).is_err());
+        assert!(LogNormal::from_median_sigma(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn scaling_shifts_mu() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let s = d.scaled(4.0).unwrap();
+        assert!((s.median() - 4.0 * d.median()).abs() < 1e-9);
+        assert!((s.sigma() - d.sigma()).abs() < 1e-15);
+        assert!(d.scaled(0.0).is_err());
+    }
+
+    #[test]
+    fn powering_squares_quantiles() {
+        let d = LogNormal::new(0.3, 0.2).unwrap();
+        let sq = d.powered(2.0).unwrap();
+        let q = d.quantile(0.8);
+        assert!((sq.quantile(0.8) - q * q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mle_fit_recovers_parameters() {
+        let d = LogNormal::new(2.0, 0.3).unwrap();
+        let mut rng = seeded_rng(11);
+        let samples: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+        let fit = LogNormal::fit_mle(&samples).unwrap();
+        assert!((fit.mu() - 2.0).abs() < 0.01, "mu {}", fit.mu());
+        assert!((fit.sigma() - 0.3).abs() < 0.01, "sigma {}", fit.sigma());
+    }
+
+    #[test]
+    fn fit_rejects_nonpositive_samples() {
+        assert!(LogNormal::fit_mle(&[1.0, -2.0, 3.0]).is_err());
+        assert!(LogNormal::fit_moments(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn flaw_radius_critical_stress_spread_matches_paper() {
+        // Paper §2.2: Rf ~ lognormal(mean 10 nm, sd 5%), σ_C = 2γs/Rf can
+        // vary by "as much as 100 MPa". With γs = 1.7 J/m², check the ±3σ
+        // spread of σ_C is on the order of 100 MPa.
+        let rf = LogNormal::from_mean_sd(10e-9, 0.5e-9).unwrap();
+        let sigma_c = |r: f64| 2.0 * 1.7 / r;
+        let lo = sigma_c(rf.quantile(0.9987));
+        let hi = sigma_c(rf.quantile(0.0013));
+        let spread_mpa = (hi - lo) / 1e6;
+        assert!(
+            spread_mpa > 60.0 && spread_mpa < 150.0,
+            "spread {spread_mpa} MPa"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(
+            mu in -3.0f64..3.0,
+            sigma in 0.05f64..1.5,
+            p in 0.001f64..0.999,
+        ) {
+            let d = LogNormal::new(mu, sigma).unwrap();
+            let x = d.quantile(p);
+            prop_assert!((d.cdf(x) - p).abs() < 1e-8);
+        }
+
+        #[test]
+        fn mean_exceeds_median(
+            mu in -2.0f64..2.0,
+            sigma in 0.05f64..1.0,
+        ) {
+            // Lognormals are right-skewed: mean > median always.
+            let d = LogNormal::new(mu, sigma).unwrap();
+            prop_assert!(d.mean() > d.median());
+        }
+
+        #[test]
+        fn samples_lie_in_support(
+            mu in -2.0f64..2.0,
+            sigma in 0.05f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let d = LogNormal::new(mu, sigma).unwrap();
+            let mut rng = seeded_rng(seed);
+            for _ in 0..32 {
+                prop_assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The normal (Gaussian) distribution.
+
+use crate::special::{inverse_normal_cdf, normal_cdf, normal_pdf};
+use crate::InvalidParameterError;
+use rand::Rng;
+use rand_distr::Distribution;
+
+/// A normal distribution `N(mean, sd²)`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), emgrid_stats::InvalidParameterError> {
+/// use emgrid_stats::Normal;
+///
+/// let n = Normal::new(10.0, 2.0)?;
+/// assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+/// assert!((n.quantile(n.cdf(13.0)) - 13.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if `sd <= 0` or either parameter is
+    /// not finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, InvalidParameterError> {
+        if !mean.is_finite() {
+            return Err(InvalidParameterError {
+                parameter: "mean",
+                value: mean,
+            });
+        }
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(InvalidParameterError {
+                parameter: "sd",
+                value: sd,
+            });
+        }
+        Ok(Normal { mean, sd })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mean) / self.sd) / self.sd
+    }
+
+    /// Cumulative probability at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mean) / self.sd)
+    }
+
+    /// Quantile (inverse CDF) at probability `p`.
+    ///
+    /// Returns infinities for `p` outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mean + self.sd * inverse_normal_cdf(p)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand_distr's Ziggurat-based sampler; parameters already validated.
+        rand_distr::Normal::new(self.mean, self.sd)
+            .expect("parameters validated at construction")
+            .sample(rng)
+    }
+
+    /// Fits a normal distribution to samples by moments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if fewer than two samples are given
+    /// or the sample variance is zero.
+    pub fn fit(samples: &[f64]) -> Result<Self, InvalidParameterError> {
+        if samples.len() < 2 {
+            return Err(InvalidParameterError {
+                parameter: "samples.len",
+                value: samples.len() as f64,
+            });
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+        Normal::new(mean, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_normal_moments_from_samples() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = seeded_rng(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let fit = Normal::fit(&samples).unwrap();
+        assert!(fit.mean().abs() < 0.03, "mean {}", fit.mean());
+        assert!((fit.sd() - 1.0).abs() < 0.03, "sd {}", fit.sd());
+    }
+
+    #[test]
+    fn fit_requires_two_samples() {
+        assert!(Normal::fit(&[1.0]).is_err());
+        assert!(Normal::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        assert!(n.pdf(3.0) > n.pdf(2.0));
+        assert!(n.pdf(3.0) > n.pdf(4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(
+            mean in -100.0f64..100.0,
+            sd in 0.01f64..50.0,
+            p in 0.001f64..0.999,
+        ) {
+            let n = Normal::new(mean, sd).unwrap();
+            let x = n.quantile(p);
+            prop_assert!((n.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cdf_is_monotone(
+            mean in -10.0f64..10.0,
+            sd in 0.1f64..10.0,
+            a in -50.0f64..50.0,
+            d in 0.0f64..10.0,
+        ) {
+            let n = Normal::new(mean, sd).unwrap();
+            prop_assert!(n.cdf(a + d) >= n.cdf(a));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Fenton–Wilkinson approximation of sums of lognormals.
+//!
+//! The paper argues (§2.1) that because both `σ_C` and `D_eff` are
+//! lognormal, the TTF "can be well approximated as a lognormal using
+//! Wilkinson's approximation". The Fenton–Wilkinson method matches the first
+//! two moments of a sum of independent lognormals with a single lognormal;
+//! together with the exact closure of lognormals under products and powers
+//! (see [`crate::LogNormal::scaled`] and [`crate::LogNormal::powered`]) this
+//! gives the machinery for that argument and for compactly representing the
+//! `(σ_C − σ_T)` margin distribution.
+
+use crate::lognormal::LogNormal;
+use crate::InvalidParameterError;
+
+/// Approximates the distribution of `Σ X_i` for independent lognormal `X_i`
+/// by a lognormal with the same mean and variance (Fenton–Wilkinson).
+///
+/// # Errors
+///
+/// Returns [`InvalidParameterError`] if `terms` is empty.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), emgrid_stats::InvalidParameterError> {
+/// use emgrid_stats::{LogNormal, wilkinson::sum_of_lognormals};
+///
+/// let x = LogNormal::new(0.0, 0.25)?;
+/// let sum = sum_of_lognormals(&[x, x, x, x])?;
+/// assert!((sum.mean() - 4.0 * x.mean()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sum_of_lognormals(terms: &[LogNormal]) -> Result<LogNormal, InvalidParameterError> {
+    if terms.is_empty() {
+        return Err(InvalidParameterError {
+            parameter: "terms.len",
+            value: 0.0,
+        });
+    }
+    let mean: f64 = terms.iter().map(|t| t.mean()).sum();
+    let variance: f64 = terms.iter().map(|t| t.variance()).sum();
+    LogNormal::from_mean_sd(mean, variance.sqrt())
+}
+
+/// Approximates `a·X + b·Y` for independent lognormal `X`, `Y` and positive
+/// weights by a lognormal (weighted Fenton–Wilkinson).
+///
+/// # Errors
+///
+/// Returns [`InvalidParameterError`] if a weight is non-positive.
+pub fn weighted_sum(
+    x: &LogNormal,
+    a: f64,
+    y: &LogNormal,
+    b: f64,
+) -> Result<LogNormal, InvalidParameterError> {
+    let xs = x.scaled(a)?;
+    let ys = y.scaled(b)?;
+    sum_of_lognormals(&[xs, ys])
+}
+
+/// Approximates the distribution of the shifted variable `X − c` (for
+/// `c < median(X)`) by a lognormal matching the mean and variance of the
+/// truncated-to-positive shift.
+///
+/// This models the `(σ_C − σ_T)` effective critical stress: `σ_C` is
+/// lognormal, `σ_T` is a deterministic precharacterized stress, and only the
+/// positive part matters (non-positive margin means immediate nucleation
+/// feasibility, handled separately by the EM layer).
+///
+/// # Errors
+///
+/// Returns [`InvalidParameterError`] if the shifted mean is non-positive
+/// (i.e. `c` exceeds the mean of `X`).
+pub fn shifted_lognormal(x: &LogNormal, c: f64) -> Result<LogNormal, InvalidParameterError> {
+    let mean = x.mean() - c;
+    if mean <= 0.0 {
+        return Err(InvalidParameterError {
+            parameter: "shifted mean",
+            value: mean,
+        });
+    }
+    LogNormal::from_mean_sd(mean, x.sd())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecdf::Ecdf;
+    use crate::ks::ks_statistic;
+    use crate::seeded_rng;
+
+    #[test]
+    fn sum_matches_moments_exactly() {
+        let a = LogNormal::new(0.5, 0.3).unwrap();
+        let b = LogNormal::new(-0.2, 0.6).unwrap();
+        let s = sum_of_lognormals(&[a, b]).unwrap();
+        assert!((s.mean() - (a.mean() + b.mean())).abs() < 1e-10);
+        assert!((s.variance() - (a.variance() + b.variance())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sum_rejected() {
+        assert!(sum_of_lognormals(&[]).is_err());
+    }
+
+    #[test]
+    fn wilkinson_is_close_in_distribution_for_moderate_sigma() {
+        // Monte-Carlo check: the FW lognormal should be KS-close to the true
+        // sum for small/moderate sigma (the regime of the paper's TTFs).
+        let x = LogNormal::new(1.0, 0.25).unwrap();
+        let approx = sum_of_lognormals(&[x; 8]).unwrap();
+        let mut rng = seeded_rng(5);
+        let sums: Vec<f64> = (0..4000)
+            .map(|_| (0..8).map(|_| x.sample(&mut rng)).sum())
+            .collect();
+        let ecdf = Ecdf::new(sums);
+        let d = ks_statistic(&ecdf, |v| approx.cdf(v));
+        assert!(d < 0.03, "KS distance {d}");
+    }
+
+    #[test]
+    fn weighted_sum_scales_means() {
+        let x = LogNormal::new(0.0, 0.2).unwrap();
+        let y = LogNormal::new(0.0, 0.2).unwrap();
+        let s = weighted_sum(&x, 2.0, &y, 3.0).unwrap();
+        assert!((s.mean() - 5.0 * x.mean()).abs() < 1e-10);
+        assert!(weighted_sum(&x, 0.0, &y, 1.0).is_err());
+    }
+
+    #[test]
+    fn shift_preserves_sd_and_rejects_large_shift() {
+        let x = LogNormal::from_mean_sd(340.0, 6.0).unwrap(); // σ_C in MPa
+        let margin = shifted_lognormal(&x, 240.0).unwrap(); // σ_T = 240 MPa
+        assert!((margin.mean() - 100.0).abs() < 1e-9);
+        assert!((margin.sd() - 6.0).abs() < 1e-9);
+        assert!(shifted_lognormal(&x, 400.0).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Closed-form via-array TTF distributions.
+//!
+//! Because the critical stress `σ_C` is **exactly** lognormal (Eq. 4 with a
+//! lognormal flaw radius), the nucleation time of a via with deterministic
+//! thermomechanical stress `σ_T` has an exact closed-form CDF:
+//!
+//! `F(t) = P(C·(σ_C − σ_T)² ≤ t) = F_{σ_C}(σ_T + √(t/C))`,
+//!
+//! captured by [`ViaTtf`]. The first-failure (weakest-link) distribution of
+//! an array is then the exact product form `1 − Π(1 − F_i(t))`
+//! ([`WeakestLink`]). These formulas cross-validate the Monte Carlo — and
+//! [`per_via_ttf_lognormal`] implements the paper's Wilkinson-style
+//! *lognormal approximation* of the same distribution so its quality can be
+//! quantified.
+
+use emgrid_em::{nucleation, Technology};
+use emgrid_stats::wilkinson::shifted_lognormal;
+use emgrid_stats::{InvalidParameterError, LogNormal};
+
+/// Exact nucleation-time distribution of a single via.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_via::analytic::ViaTtf;
+/// use emgrid_em::Technology;
+///
+/// let via = ViaTtf::new(&Technology::default(), 240e6, 1e10);
+/// let median = via.median();
+/// assert!((via.cdf(median) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViaTtf {
+    sigma_c: LogNormal,
+    sigma_t: f64,
+    /// `C_tn / D_eff` (s/Pa²): `t = scale · margin²`.
+    scale: f64,
+}
+
+impl ViaTtf {
+    /// Builds the distribution for a via with thermomechanical stress
+    /// `sigma_t` (Pa) at current density `j` (A/m²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j <= 0` (propagated from the nucleation constant).
+    pub fn new(tech: &Technology, sigma_t: f64, j: f64) -> Self {
+        ViaTtf {
+            sigma_c: tech.critical_stress_distribution(),
+            sigma_t: sigma_t + tech.package_stress,
+            scale: nucleation::nucleation_constant(tech, j) / nucleation::diffusivity(tech),
+        }
+    }
+
+    /// CDF at time `t` (seconds). `F(0)` is the probability that the
+    /// critical stress is already below the preexisting stress.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        self.sigma_c.cdf(self.sigma_t + (t / self.scale).sqrt())
+    }
+
+    /// Exact quantile: `t_p = scale · max(q_{σ_C}(p) − σ_T, 0)²`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let margin = (self.sigma_c.quantile(p) - self.sigma_t).max(0.0);
+        self.scale * margin * margin
+    }
+
+    /// Median nucleation time.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// Lognormal approximation of one via's nucleation time — the paper's
+/// Wilkinson-approximation argument, made concrete: the margin
+/// `σ_C − σ_T` is moment-matched to a lognormal, then squared and scaled
+/// (both exact operations on lognormals).
+///
+/// # Errors
+///
+/// Returns [`InvalidParameterError`] if `sigma_t` exceeds the mean critical
+/// stress (the margin distribution would not be positive).
+pub fn per_via_ttf_lognormal(
+    tech: &Technology,
+    sigma_t: f64,
+    j: f64,
+) -> Result<LogNormal, InvalidParameterError> {
+    let sigma_c = tech.critical_stress_distribution();
+    let margin = shifted_lognormal(&sigma_c, sigma_t + tech.package_stress)?;
+    let scale = nucleation::nucleation_constant(tech, j) / nucleation::diffusivity(tech);
+    margin.powered(2.0)?.scaled(scale)
+}
+
+/// The exact first-failure (weakest-link) distribution of independent vias.
+#[derive(Debug, Clone)]
+pub struct WeakestLink {
+    components: Vec<ViaTtf>,
+}
+
+impl WeakestLink {
+    /// Builds the distribution from per-component lifetimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn new(components: Vec<ViaTtf>) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        WeakestLink { components }
+    }
+
+    /// Analytic weakest-link model of a via array from its per-via stress
+    /// vector, with every via carrying current density `j_per_via`.
+    pub fn for_array(tech: &Technology, sigma_t: &[f64], j_per_via: f64) -> Self {
+        WeakestLink::new(
+            sigma_t
+                .iter()
+                .map(|&s| ViaTtf::new(tech, s, j_per_via))
+                .collect(),
+        )
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the set is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// CDF of the minimum lifetime at time `t` (seconds).
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let survive: f64 = self
+            .components
+            .iter()
+            .map(|c| (1.0 - c.cdf(t)).max(0.0))
+            .product();
+        1.0 - survive
+    }
+
+    /// Quantile of the minimum lifetime by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+        let mut lo = 0.0f64;
+        let mut hi = self
+            .components
+            .iter()
+            .map(|c| c.quantile(p))
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Median of the minimum lifetime.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{FailureCriterion, ViaArrayConfig};
+    use crate::mc::ViaArrayMc;
+    use emgrid_em::SECONDS_PER_YEAR;
+    use emgrid_fea::geometry::IntersectionPattern;
+    use emgrid_stats::{ks_statistic, seeded_rng, Ecdf};
+
+    #[test]
+    fn exact_cdf_matches_direct_sampling() {
+        // Sample σ_C, compute nucleation times, compare ECDF to ViaTtf.
+        let tech = Technology::default();
+        let via = ViaTtf::new(&tech, 240e6, 1e10);
+        let sc = tech.critical_stress_distribution();
+        let mut rng = seeded_rng(8);
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| nucleation::nucleation_time(&tech, sc.sample(&mut rng), 240e6, 1e10))
+            .collect();
+        let ecdf = Ecdf::new(samples);
+        let d = ks_statistic(&ecdf, |t| via.cdf(t));
+        assert!(d < 0.03, "KS distance {d}");
+    }
+
+    #[test]
+    fn exact_quantile_inverts_cdf() {
+        let tech = Technology::default();
+        let via = ViaTtf::new(&tech, 250e6, 1e10);
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+            let t = via.quantile(p);
+            assert!((via.cdf(t) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn lognormal_approximation_is_close_but_not_exact() {
+        // Quantify the paper's Wilkinson-style approximation: the KS gap to
+        // the exact distribution is small but measurable.
+        let tech = Technology::default();
+        let exact = ViaTtf::new(&tech, 240e6, 1e10);
+        let approx = per_via_ttf_lognormal(&tech, 240e6, 1e10).unwrap();
+        let mut worst: f64 = 0.0;
+        for i in 1..200 {
+            let t = exact.quantile(i as f64 / 200.0);
+            worst = worst.max((exact.cdf(t) - approx.cdf(t)).abs());
+        }
+        assert!(worst < 0.10, "sup gap {worst}");
+        assert!(worst > 1e-4, "approximation should not be exact");
+        // Medians agree well.
+        assert!((approx.median() - exact.median()).abs() / exact.median() < 0.10);
+    }
+
+    #[test]
+    fn lognormal_approximation_rejects_overwhelming_stress() {
+        let tech = Technology::default();
+        assert!(per_via_ttf_lognormal(&tech, 400e6, 1e10).is_err());
+    }
+
+    #[test]
+    fn weakest_link_below_every_component() {
+        let tech = Technology::default();
+        let wl = WeakestLink::for_array(&tech, &[240e6, 250e6, 260e6], 1e10);
+        let m = wl.median();
+        for c in &wl.components {
+            assert!(m < c.median());
+        }
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo_first_failure() {
+        // Cross-validation: the simulated first-failure ECDF of a 4x4 array
+        // (uniform current; no redistribution happens before the first
+        // failure) must agree with the exact weakest-link CDF.
+        let tech = Technology::default();
+        let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+        let mc = ViaArrayMc::from_reference_table(&config, tech, 1e10);
+        let result = mc.characterize(3000, 55);
+        let ecdf = Ecdf::new(result.ttf_samples(FailureCriterion::WeakestLink));
+        let analytic = WeakestLink::for_array(&tech, mc.sigma_t(), 1e10);
+        let d = ks_statistic(&ecdf, |t| analytic.cdf(t));
+        assert!(
+            d < emgrid_stats::ks::ks_critical_value(3000, 0.01) * 1.5,
+            "KS distance {d}"
+        );
+        let med_mc = ecdf.median();
+        let med_an = analytic.median();
+        assert!(
+            (med_mc - med_an).abs() / med_an < 0.05,
+            "MC {} vs analytic {}",
+            med_mc / SECONDS_PER_YEAR,
+            med_an / SECONDS_PER_YEAR
+        );
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_for_arrays() {
+        let tech = Technology::default();
+        let wl = WeakestLink::for_array(&tech, &[240e6; 16], 1e10);
+        for &p in &[0.01, 0.25, 0.5, 0.9] {
+            let t = wl.quantile(p);
+            assert!((wl.cdf(t) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn more_components_fail_sooner() {
+        let tech = Technology::default();
+        let w4 = WeakestLink::for_array(&tech, &[240e6; 4], 1e10);
+        let w64 = WeakestLink::for_array(&tech, &[240e6; 64], 1e10);
+        assert!(w64.median() < w4.median());
+    }
+}

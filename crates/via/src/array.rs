@@ -1,0 +1,235 @@
+//! Via-array configuration, the Eq. (5) resistance model, and failure
+//! criteria.
+
+use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
+
+use crate::stress_table::LayerPair;
+
+/// Fractional resistance increase `ΔR/R = n_F / (n − n_F)` after `n_f` of
+/// `n` vias fail — Eq. (5) of the paper.
+///
+/// Returns `f64::INFINITY` when all vias have failed.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n_f > n`.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_via::resistance_increase;
+///
+/// // The paper's example: one of 16 vias -> 6.7% shift; eight -> 100%.
+/// assert!((resistance_increase(16, 1) - 1.0 / 15.0).abs() < 1e-12);
+/// assert_eq!(resistance_increase(16, 8), 1.0);
+/// assert!(resistance_increase(16, 16).is_infinite());
+/// ```
+pub fn resistance_increase(n: usize, n_f: usize) -> f64 {
+    assert!(n > 0, "array must have vias");
+    assert!(n_f <= n, "cannot fail more vias than exist");
+    if n_f == n {
+        return f64::INFINITY;
+    }
+    n_f as f64 / (n - n_f) as f64
+}
+
+/// When a via array is declared failed (paper §4–§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureCriterion {
+    /// Failed once `n_f` vias have failed.
+    ViaCount(usize),
+    /// Failed when the array resistance reaches `ratio` × nominal
+    /// (`ratio = 2.0` is the paper's `R = 2×`, i.e. half the vias).
+    ResistanceRatio(f64),
+    /// Failed only when every via has failed (`R = ∞`).
+    OpenCircuit,
+    /// Failed at the first via failure — the traditional pessimistic model
+    /// the paper argues against.
+    WeakestLink,
+}
+
+impl FailureCriterion {
+    /// Number of via failures that trips this criterion for an `n`-via
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, a `ViaCount` exceeds `n`, or a `ResistanceRatio`
+    /// is `<= 1`.
+    pub fn failures_to_trip(&self, n: usize) -> usize {
+        assert!(n > 0, "array must have vias");
+        match *self {
+            FailureCriterion::ViaCount(k) => {
+                assert!(k >= 1 && k <= n, "via count {k} out of range 1..={n}");
+                k
+            }
+            FailureCriterion::ResistanceRatio(r) => {
+                assert!(r > 1.0, "resistance ratio must exceed 1.0");
+                // Smallest n_f with 1 + n_f/(n-n_f) >= r  ⇔  n_f >= n(1-1/r).
+                let exact = n as f64 * (1.0 - 1.0 / r);
+                (exact.ceil() as usize).clamp(1, n)
+            }
+            FailureCriterion::OpenCircuit => n,
+            FailureCriterion::WeakestLink => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCriterion::ViaCount(k) => write!(f, "{k}-via"),
+            FailureCriterion::ResistanceRatio(r) => write!(f, "R={r}x"),
+            FailureCriterion::OpenCircuit => write!(f, "R=inf"),
+            FailureCriterion::WeakestLink => write!(f, "weakest-link"),
+        }
+    }
+}
+
+/// A fully-specified via-array instance: geometry, intersection pattern,
+/// connected layer pair and wire width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViaArrayConfig {
+    /// Geometric configuration (rows, cols, via size, pitch).
+    pub geometry: ViaArrayGeometry,
+    /// Intersection pattern (Plus / T / L).
+    pub pattern: IntersectionPattern,
+    /// Metal layer pair the array connects.
+    pub layer_pair: LayerPair,
+    /// Wire width, µm.
+    pub wire_width: f64,
+}
+
+impl ViaArrayConfig {
+    /// The paper's 1×1 single via in a 2 µm wire.
+    pub fn paper_1x1(pattern: IntersectionPattern) -> Self {
+        ViaArrayConfig {
+            geometry: ViaArrayGeometry::paper_1x1(),
+            pattern,
+            layer_pair: LayerPair::IntermediateTop,
+            wire_width: 2.0,
+        }
+    }
+
+    /// The paper's 4×4 array in a 2 µm wire.
+    pub fn paper_4x4(pattern: IntersectionPattern) -> Self {
+        ViaArrayConfig {
+            geometry: ViaArrayGeometry::paper_4x4(),
+            pattern,
+            layer_pair: LayerPair::IntermediateTop,
+            wire_width: 2.0,
+        }
+    }
+
+    /// The paper's 8×8 array in a 2 µm wire.
+    pub fn paper_8x8(pattern: IntersectionPattern) -> Self {
+        ViaArrayConfig {
+            geometry: ViaArrayGeometry::paper_8x8(),
+            pattern,
+            layer_pair: LayerPair::IntermediateTop,
+            wire_width: 2.0,
+        }
+    }
+
+    /// Number of vias.
+    pub fn count(&self) -> usize {
+        self.geometry.count()
+    }
+
+    /// Cross-sectional area of one via, m².
+    pub fn via_area_m2(&self) -> f64 {
+        let w = self.geometry.via_width * 1e-6;
+        w * w
+    }
+
+    /// Total conducting area, m².
+    pub fn effective_area_m2(&self) -> f64 {
+        self.geometry.effective_area() * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq5_paper_values() {
+        assert!((resistance_increase(16, 1) - 0.0667).abs() < 1e-3);
+        assert_eq!(resistance_increase(16, 8), 1.0);
+        assert_eq!(resistance_increase(4, 2), 1.0);
+        assert!(resistance_increase(1, 1).is_infinite());
+    }
+
+    #[test]
+    fn criterion_trip_counts_4x4() {
+        let n = 16;
+        assert_eq!(FailureCriterion::WeakestLink.failures_to_trip(n), 1);
+        assert_eq!(FailureCriterion::OpenCircuit.failures_to_trip(n), 16);
+        // R = 2x means 100% increase: half the vias.
+        assert_eq!(
+            FailureCriterion::ResistanceRatio(2.0).failures_to_trip(n),
+            8
+        );
+        assert_eq!(FailureCriterion::ViaCount(4).failures_to_trip(n), 4);
+    }
+
+    #[test]
+    fn resistance_ratio_matches_eq5_threshold() {
+        // Trip count k must be the smallest with 1 + ΔR/R >= ratio.
+        for n in [4usize, 16, 64] {
+            for &r in &[1.1, 1.5, 2.0, 3.0, 10.0] {
+                let k = FailureCriterion::ResistanceRatio(r).failures_to_trip(n);
+                assert!(1.0 + resistance_increase(n, k) >= r - 1e-12);
+                if k > 1 {
+                    assert!(1.0 + resistance_increase(n, k - 1) < r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance ratio must exceed")]
+    fn ratio_below_one_rejected() {
+        FailureCriterion::ResistanceRatio(1.0).failures_to_trip(4);
+    }
+
+    #[test]
+    fn config_areas() {
+        use emgrid_fea::geometry::IntersectionPattern;
+        for cfg in [
+            ViaArrayConfig::paper_1x1(IntersectionPattern::Plus),
+            ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+            ViaArrayConfig::paper_8x8(IntersectionPattern::Plus),
+        ] {
+            // All paper configs have 1 µm² = 1e-12 m² effective area.
+            assert!((cfg.effective_area_m2() - 1e-12).abs() < 1e-24);
+            assert!((cfg.via_area_m2() * cfg.count() as f64 - 1e-12).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(FailureCriterion::WeakestLink.to_string(), "weakest-link");
+        assert_eq!(FailureCriterion::OpenCircuit.to_string(), "R=inf");
+        assert_eq!(FailureCriterion::ResistanceRatio(2.0).to_string(), "R=2x");
+        assert_eq!(FailureCriterion::ViaCount(8).to_string(), "8-via");
+    }
+
+    proptest! {
+        #[test]
+        fn resistance_increase_is_monotone(n in 1usize..100, k in 0usize..99) {
+            let k = k.min(n - 1);
+            if k < n {
+                prop_assert!(resistance_increase(n, k + 1) > resistance_increase(n, k));
+            }
+        }
+
+        #[test]
+        fn trip_count_monotone_in_ratio(n in 2usize..100, r1 in 1.01f64..5.0, dr in 0.0f64..5.0) {
+            let k1 = FailureCriterion::ResistanceRatio(r1).failures_to_trip(n);
+            let k2 = FailureCriterion::ResistanceRatio(r1 + dr).failures_to_trip(n);
+            prop_assert!(k2 >= k1);
+        }
+    }
+}

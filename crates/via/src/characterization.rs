@@ -1,0 +1,248 @@
+//! Via-array TTF characterization: from Monte Carlo samples to the
+//! two-parameter lognormal handed to the power-grid analysis (paper §5.1,
+//! last paragraph).
+
+use emgrid_stats::{ks_statistic, Ecdf, InvalidParameterError, LogNormal};
+use rand::Rng;
+
+use crate::array::{FailureCriterion, ViaArrayConfig};
+use crate::mc::ViaArraySample;
+
+/// The collected trials of a via-array characterization run.
+#[derive(Debug, Clone)]
+pub struct CharacterizationResult {
+    config: ViaArrayConfig,
+    reference_current_density: f64,
+    samples: Vec<ViaArraySample>,
+}
+
+impl CharacterizationResult {
+    /// Wraps raw Monte Carlo samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or a sample has the wrong via count.
+    pub fn new(
+        config: ViaArrayConfig,
+        reference_current_density: f64,
+        samples: Vec<ViaArraySample>,
+    ) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        for s in &samples {
+            assert_eq!(
+                s.failure_times.len(),
+                config.count(),
+                "sample via count mismatch"
+            );
+        }
+        CharacterizationResult {
+            config,
+            reference_current_density,
+            samples,
+        }
+    }
+
+    /// The characterized configuration.
+    pub fn config(&self) -> &ViaArrayConfig {
+        &self.config
+    }
+
+    /// Current density the characterization was run at, A/m².
+    pub fn reference_current_density(&self) -> f64 {
+        self.reference_current_density
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The raw per-trial samples.
+    pub fn samples(&self) -> &[ViaArraySample] {
+        &self.samples
+    }
+
+    /// Array TTF per trial (seconds) under a failure criterion.
+    pub fn ttf_samples(&self, criterion: FailureCriterion) -> Vec<f64> {
+        let k = criterion.failures_to_trip(self.config.count());
+        self.samples.iter().map(|s| s.time_of_failure(k)).collect()
+    }
+
+    /// Empirical CDF of the array TTF under a criterion — the curves of the
+    /// paper's Figs. 8 and 9.
+    pub fn ecdf(&self, criterion: FailureCriterion) -> Ecdf {
+        Ecdf::new(self.ttf_samples(criterion))
+    }
+
+    /// Fits the two-parameter lognormal the power-grid level samples from.
+    ///
+    /// Zero TTFs (a via whose critical stress was below its preexisting
+    /// stress — vanishingly rare at the paper's parameters) are clamped to
+    /// one hour before the log-space fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if the samples are degenerate
+    /// (fewer than two trials or zero variance).
+    pub fn fit_lognormal(
+        &self,
+        criterion: FailureCriterion,
+    ) -> Result<LogNormal, InvalidParameterError> {
+        let floor = 3600.0;
+        let samples: Vec<f64> = self
+            .ttf_samples(criterion)
+            .into_iter()
+            .map(|t| t.max(floor))
+            .collect();
+        LogNormal::fit_mle(&samples)
+    }
+
+    /// Kolmogorov–Smirnov distance between the empirical TTF and its
+    /// lognormal fit — a quality check on the two-parameter reduction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit failures.
+    pub fn fit_quality(&self, criterion: FailureCriterion) -> Result<f64, InvalidParameterError> {
+        let fit = self.fit_lognormal(criterion)?;
+        Ok(ks_statistic(&self.ecdf(criterion), |x| fit.cdf(x)))
+    }
+
+    /// Packages the fit as a [`ViaArrayReliability`] for the grid level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit failures.
+    pub fn reliability(
+        &self,
+        criterion: FailureCriterion,
+    ) -> Result<ViaArrayReliability, InvalidParameterError> {
+        Ok(ViaArrayReliability {
+            config: self.config,
+            criterion,
+            distribution: self.fit_lognormal(criterion)?,
+            reference_current_density: self.reference_current_density,
+        })
+    }
+}
+
+/// The precharacterized reliability of one via-array configuration: a
+/// lognormal TTF at a reference current density, rescalable to any other
+/// current (TTF ∝ 1/j²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViaArrayReliability {
+    /// The characterized configuration.
+    pub config: ViaArrayConfig,
+    /// Failure criterion the TTF corresponds to.
+    pub criterion: FailureCriterion,
+    /// Fitted lognormal TTF (seconds) at the reference current density.
+    pub distribution: LogNormal,
+    /// Reference current density, A/m².
+    pub reference_current_density: f64,
+}
+
+impl ViaArrayReliability {
+    /// The TTF distribution at an arbitrary operating current density —
+    /// the paper's "for any other current, the TTF can be scaled using (3)".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j <= 0`.
+    pub fn distribution_at(&self, j: f64) -> LogNormal {
+        assert!(j > 0.0, "current density must be positive");
+        let ratio = self.reference_current_density / j;
+        self.distribution
+            .scaled(ratio * ratio)
+            .expect("positive scale factor")
+    }
+
+    /// Samples one TTF (seconds) at current density `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j <= 0`.
+    pub fn sample_ttf<R: Rng + ?Sized>(&self, j: f64, rng: &mut R) -> f64 {
+        self.distribution_at(j).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc::ViaArrayMc;
+    use emgrid_em::{Technology, SECONDS_PER_YEAR};
+    use emgrid_fea::geometry::IntersectionPattern;
+    use emgrid_stats::ks::ks_critical_value;
+    use emgrid_stats::seeded_rng;
+
+    fn result() -> CharacterizationResult {
+        ViaArrayMc::from_reference_table(
+            &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+            Technology::default(),
+            1e10,
+        )
+        .characterize(500, 31)
+    }
+
+    #[test]
+    fn lognormal_fit_is_ks_acceptable() {
+        // The paper asserts the array TTF is well approximated as lognormal;
+        // check the fit passes a 1% KS test at the R=inf criterion.
+        let r = result();
+        let d = r.fit_quality(FailureCriterion::OpenCircuit).unwrap();
+        assert!(d < ks_critical_value(r.trials(), 0.01), "KS {d}");
+    }
+
+    #[test]
+    fn stricter_criteria_give_smaller_medians() {
+        let r = result();
+        let m1 = r.ecdf(FailureCriterion::WeakestLink).median();
+        let m8 = r.ecdf(FailureCriterion::ViaCount(8)).median();
+        let minf = r.ecdf(FailureCriterion::OpenCircuit).median();
+        assert!(m1 < m8 && m8 < minf);
+    }
+
+    #[test]
+    fn reliability_rescales_with_current_squared() {
+        let rel = result().reliability(FailureCriterion::OpenCircuit).unwrap();
+        let base = rel.distribution_at(1e10).median();
+        let double = rel.distribution_at(2e10).median();
+        assert!((base / double - 4.0).abs() < 1e-9);
+        // Reference density reproduces the fitted distribution.
+        assert!((rel.distribution_at(1e10).median() - rel.distribution.median()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_ttfs_follow_the_distribution() {
+        let rel = result().reliability(FailureCriterion::OpenCircuit).unwrap();
+        let mut rng = seeded_rng(5);
+        let samples: Vec<f64> = (0..2000).map(|_| rel.sample_ttf(1e10, &mut rng)).collect();
+        let e = Ecdf::new(samples);
+        let d = ks_statistic(&e, |x| rel.distribution.cdf(x));
+        assert!(d < ks_critical_value(2000, 0.01), "KS {d}");
+    }
+
+    #[test]
+    fn medians_are_in_paper_year_range() {
+        // Fig. 8(a): medians between ~2 and ~15 years across criteria.
+        let r = result();
+        for crit in [
+            FailureCriterion::WeakestLink,
+            FailureCriterion::ViaCount(8),
+            FailureCriterion::OpenCircuit,
+        ] {
+            let m = r.ecdf(crit).median() / SECONDS_PER_YEAR;
+            assert!(m > 0.5 && m < 30.0, "{crit}: {m} years");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        CharacterizationResult::new(
+            ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+            1e10,
+            Vec::new(),
+        );
+    }
+}

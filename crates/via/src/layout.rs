@@ -1,0 +1,212 @@
+//! Area-aware via-array layout (the paper's stated future work).
+//!
+//! The paper's §6 notes: *"our analysis assumes that each via array
+//! configuration occupies the same area. In practice, a larger via array
+//! may occupy a larger area as a consequence of minimum spacing rules for
+//! vias."* This module supplies that missing piece: minimum-width /
+//! spacing / enclosure design rules, footprint computation, feasibility
+//! checks against the wire width, and constructors for equal-conducting-
+//! area arrays that respect the rules — so lifetime-vs-area trade-offs can
+//! be explored quantitatively (see the `mixed_assignment` example).
+
+use emgrid_fea::geometry::ViaArrayGeometry;
+
+/// Minimum-geometry rules for via arrays (all µm).
+///
+/// # Example
+///
+/// ```
+/// use emgrid_via::layout::{equal_area_array, footprint, DesignRules};
+///
+/// let rules = DesignRules::default();
+/// // The minimum via width caps the equal-area (1 µm²) split at 10x10;
+/// // the paper's 8x8 is comfortably legal in a 2 µm wire.
+/// let (n, geometry) = emgrid_via::layout::max_equal_area_array(1.0, &rules, 2.0).unwrap();
+/// assert_eq!(n, 10);
+/// assert!(footprint(&geometry, &rules).area() > 1.0);
+/// assert!(equal_area_array(8, 1.0, &rules, 2.0).is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRules {
+    /// Smallest manufacturable via side.
+    pub min_via_width: f64,
+    /// Smallest edge-to-edge spacing between vias.
+    pub min_via_spacing: f64,
+    /// Wire metal must enclose the array by this much on every side.
+    pub min_enclosure: f64,
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        // Representative upper-metal rules for a 32 nm-class node.
+        DesignRules {
+            min_via_width: 0.10,
+            min_via_spacing: 0.10,
+            min_enclosure: 0.05,
+        }
+    }
+}
+
+/// The layout footprint of a via array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayFootprint {
+    /// Extent along x including enclosure, µm.
+    pub width_x: f64,
+    /// Extent along y including enclosure, µm.
+    pub width_y: f64,
+}
+
+impl ArrayFootprint {
+    /// Occupied area, µm².
+    pub fn area(&self) -> f64 {
+        self.width_x * self.width_y
+    }
+}
+
+/// Footprint of an array under the given rules.
+pub fn footprint(geometry: &ViaArrayGeometry, rules: &DesignRules) -> ArrayFootprint {
+    ArrayFootprint {
+        width_x: geometry.span_x() + 2.0 * rules.min_enclosure,
+        width_y: geometry.span_y() + 2.0 * rules.min_enclosure,
+    }
+}
+
+/// Whether an array is manufacturable under the rules and fits in a wire of
+/// the given width (the array's y extent must fit across the wire).
+pub fn is_legal(geometry: &ViaArrayGeometry, rules: &DesignRules, wire_width: f64) -> bool {
+    let spacing = geometry.pitch - geometry.via_width;
+    geometry.via_width >= rules.min_via_width - 1e-12
+        && (geometry.count() == 1 || spacing >= rules.min_via_spacing - 1e-12)
+        && footprint(geometry, rules).width_y <= wire_width + 1e-12
+}
+
+/// Builds the `n × n` array with a **total conducting area** of
+/// `conducting_area` µm² (the paper holds this at 1 µm² so all
+/// configurations match in nominal resistance) at minimum legal pitch.
+///
+/// Returns `None` when the required via size violates `min_via_width` or
+/// the array cannot fit across the wire.
+pub fn equal_area_array(
+    n: usize,
+    conducting_area: f64,
+    rules: &DesignRules,
+    wire_width: f64,
+) -> Option<ViaArrayGeometry> {
+    if n == 0 || conducting_area <= 0.0 {
+        return None;
+    }
+    let via_width = (conducting_area / (n * n) as f64).sqrt();
+    if via_width < rules.min_via_width - 1e-12 {
+        return None;
+    }
+    let geometry = ViaArrayGeometry::square(n, via_width, via_width + rules.min_via_spacing);
+    is_legal(&geometry, rules, wire_width).then_some(geometry)
+}
+
+/// The largest legal `n × n` equal-area configuration for a wire, scanning
+/// upward from 1×1. Returns the geometry and `n`.
+pub fn max_equal_area_array(
+    conducting_area: f64,
+    rules: &DesignRules,
+    wire_width: f64,
+) -> Option<(usize, ViaArrayGeometry)> {
+    let mut best = None;
+    for n in 1..=64 {
+        if let Some(g) = equal_area_array(n, conducting_area, rules, wire_width) {
+            best = Some((n, g));
+        }
+    }
+    best
+}
+
+/// Area penalty of `geometry` relative to `reference`, as a ratio of
+/// footprints (> 1 means `geometry` occupies more metal).
+pub fn area_penalty(
+    geometry: &ViaArrayGeometry,
+    reference: &ViaArrayGeometry,
+    rules: &DesignRules,
+) -> f64 {
+    footprint(geometry, rules).area() / footprint(reference, rules).area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_are_legal_in_2um_wire() {
+        let rules = DesignRules::default();
+        for g in [
+            ViaArrayGeometry::paper_1x1(),
+            ViaArrayGeometry::paper_4x4(),
+            ViaArrayGeometry::paper_8x8(),
+        ] {
+            assert!(is_legal(&g, &rules, 2.0), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn paper_8x8_pitch_exceeds_min_spacing() {
+        // paper 8x8: 0.125 via, 0.25 pitch -> 0.125 spacing >= 0.10.
+        let g = ViaArrayGeometry::paper_8x8();
+        assert!(g.pitch - g.via_width >= 0.10);
+    }
+
+    #[test]
+    fn equal_area_respects_min_width() {
+        let rules = DesignRules::default();
+        // 1 µm² split 10x10 needs 0.1 µm vias: exactly at the limit.
+        assert!(equal_area_array(10, 1.0, &rules, 3.0).is_some());
+        // 11x11 would need ~0.091 µm vias: illegal.
+        assert!(equal_area_array(11, 1.0, &rules, 3.0).is_none());
+    }
+
+    #[test]
+    fn equal_area_conserves_conducting_area() {
+        let rules = DesignRules::default();
+        for n in [1usize, 2, 4, 8] {
+            let g = equal_area_array(n, 1.0, &rules, 4.0).unwrap();
+            assert!((g.effective_area() - 1.0).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn larger_arrays_pay_an_area_penalty() {
+        // The paper's future-work point, quantified: at equal conducting
+        // area and minimum spacing, footprint grows with the array size.
+        let rules = DesignRules::default();
+        let g2 = equal_area_array(2, 1.0, &rules, 4.0).unwrap();
+        let g4 = equal_area_array(4, 1.0, &rules, 4.0).unwrap();
+        let g8 = equal_area_array(8, 1.0, &rules, 4.0).unwrap();
+        assert!(area_penalty(&g4, &g2, &rules) > 1.0);
+        assert!(area_penalty(&g8, &g4, &rules) > 1.0);
+    }
+
+    #[test]
+    fn wire_width_limits_the_array() {
+        let rules = DesignRules::default();
+        // In a 1 µm wire, only small equal-area arrays fit.
+        let max_narrow = max_equal_area_array(1.0, &rules, 1.2).map(|(n, _)| n);
+        let max_wide = max_equal_area_array(1.0, &rules, 3.0).map(|(n, _)| n);
+        assert!(max_narrow.is_some());
+        assert!(max_wide.unwrap() > max_narrow.unwrap());
+        assert!(max_wide.unwrap() <= 10); // min via width caps it
+    }
+
+    #[test]
+    fn footprint_includes_enclosure() {
+        let rules = DesignRules::default();
+        let g = ViaArrayGeometry::paper_4x4();
+        let f = footprint(&g, &rules);
+        assert!((f.width_x - (g.span_x() + 0.1)).abs() < 1e-12);
+        assert!(f.area() > g.span_x() * g.span_y());
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        let rules = DesignRules::default();
+        assert!(equal_area_array(0, 1.0, &rules, 2.0).is_none());
+        assert!(equal_area_array(4, 0.0, &rules, 2.0).is_none());
+        assert!(equal_area_array(4, -1.0, &rules, 2.0).is_none());
+    }
+}

@@ -1,0 +1,352 @@
+//! Level-1 Monte Carlo: Algorithm 1 with **vias** as the components of a
+//! **via-array** system.
+//!
+//! Each trial samples a critical stress per via (Eq. 4), computes nucleation
+//! lifetimes under the initial current split, then plays failures forward:
+//! the earliest via dies, current redistributes over the survivors, and
+//! their *remaining* life rescales by `(j_old/j_new)²` (the paper's
+//! "recalculate new current flow, TTF for components" step). The trial
+//! records the absolute time of every via failure, from which any failure
+//! criterion can be evaluated after the fact.
+
+use emgrid_em::void_growth::GrowthModel;
+use emgrid_em::{nucleation, Technology};
+use rand::Rng;
+
+use crate::array::ViaArrayConfig;
+use crate::characterization::CharacterizationResult;
+use crate::electrical::CurrentModel;
+use crate::stress_table::{LayerPair, StressTable};
+
+/// One Monte Carlo trial: the absolute failure time (seconds) of the k-th
+/// via to die, for k = 1..=n (non-decreasing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViaArraySample {
+    /// `failure_times[k]` is the time of the (k+1)-th via failure.
+    pub failure_times: Vec<f64>,
+}
+
+impl ViaArraySample {
+    /// Time at which `n_f` vias have failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_f` is zero or exceeds the via count.
+    pub fn time_of_failure(&self, n_f: usize) -> f64 {
+        assert!(
+            n_f >= 1 && n_f <= self.failure_times.len(),
+            "n_f {n_f} out of range"
+        );
+        self.failure_times[n_f - 1]
+    }
+}
+
+/// A configured level-1 Monte Carlo simulator for one via array.
+#[derive(Debug, Clone)]
+pub struct ViaArrayMc {
+    config: ViaArrayConfig,
+    tech: Technology,
+    /// Per-via thermomechanical stress `σ_T`, Pa, row-major.
+    sigma_t: Vec<f64>,
+    /// Total current density across the effective area, A/m².
+    current_density: f64,
+    current_model: CurrentModel,
+    growth: Option<GrowthModel>,
+}
+
+impl ViaArrayMc {
+    /// Creates a simulator with explicit per-via stresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_t.len()` differs from the via count or
+    /// `current_density <= 0`.
+    pub fn new(
+        config: ViaArrayConfig,
+        tech: Technology,
+        sigma_t: Vec<f64>,
+        current_density: f64,
+    ) -> Self {
+        assert_eq!(
+            sigma_t.len(),
+            config.count(),
+            "need one stress value per via"
+        );
+        assert!(current_density > 0.0, "current density must be positive");
+        ViaArrayMc {
+            config,
+            tech,
+            sigma_t,
+            current_density,
+            current_model: CurrentModel::default(),
+            growth: None,
+        }
+    }
+
+    /// Creates a simulator using the bundled reference stress table.
+    pub fn from_reference_table(
+        config: &ViaArrayConfig,
+        tech: Technology,
+        current_density: f64,
+    ) -> Self {
+        let table = StressTable::reference();
+        Self::from_table(&table, config, tech, current_density)
+            .expect("reference table covers the paper configurations")
+    }
+
+    /// Creates a simulator from a caller-supplied stress table.
+    ///
+    /// Returns `None` if the table has no entry for the configuration.
+    pub fn from_table(
+        table: &StressTable,
+        config: &ViaArrayConfig,
+        tech: Technology,
+        current_density: f64,
+    ) -> Option<Self> {
+        let sigma_t = table.lookup(
+            config.layer_pair,
+            config.pattern,
+            config.geometry.rows,
+            config.geometry.cols,
+            config.wire_width,
+        )?;
+        Some(Self::new(*config, tech, sigma_t, current_density))
+    }
+
+    /// Selects the current redistribution model (default: uniform).
+    pub fn with_current_model(mut self, model: CurrentModel) -> Self {
+        self.current_model = model;
+        self
+    }
+
+    /// Adds a void-growth stage to every via lifetime (default: nucleation
+    /// only, per the paper's Cu slit-void argument).
+    pub fn with_growth(mut self, growth: GrowthModel) -> Self {
+        self.growth = Some(growth);
+        self
+    }
+
+    /// The simulated configuration.
+    pub fn config(&self) -> &ViaArrayConfig {
+        &self.config
+    }
+
+    /// The per-via thermomechanical stresses, Pa.
+    pub fn sigma_t(&self) -> &[f64] {
+        &self.sigma_t
+    }
+
+    /// The reference (characterization) current density, A/m².
+    pub fn current_density(&self) -> f64 {
+        self.current_density
+    }
+
+    /// Full lifetime of one via at current density `j` given its sampled
+    /// critical stress.
+    fn via_life(&self, sigma_c: f64, sigma_t: f64, j: f64) -> f64 {
+        let mut life = nucleation::nucleation_time(&self.tech, sigma_c, sigma_t, j);
+        if let Some(g) = &self.growth {
+            life += g.growth_time(&self.tech, j);
+        }
+        life
+    }
+
+    /// Runs one Monte Carlo trial.
+    pub fn simulate_once<R: Rng + ?Sized>(&self, rng: &mut R) -> ViaArraySample {
+        let n = self.config.count();
+        let rows = self.config.geometry.rows;
+        let cols = self.config.geometry.cols;
+        let sc_dist = self.tech.critical_stress_distribution();
+        let sigma_c: Vec<f64> = (0..n).map(|_| sc_dist.sample(rng)).collect();
+
+        let total_current = self.current_density * self.config.effective_area_m2();
+        let via_area = self.config.via_area_m2();
+        let mut alive = vec![true; n];
+        let currents = self
+            .current_model
+            .via_currents(rows, cols, &alive, total_current);
+        let mut j: Vec<f64> = currents.iter().map(|i| i / via_area).collect();
+        let mut remaining: Vec<f64> = (0..n)
+            .map(|v| self.via_life(sigma_c[v], self.sigma_t[v], j[v]))
+            .collect();
+
+        let mut t = 0.0;
+        let mut failure_times = Vec::with_capacity(n);
+        for step in 0..n {
+            // Earliest remaining failure among alive vias.
+            let (victim, dt) = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(v, _)| (v, remaining[v]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"))
+                .expect("alive vias remain");
+            t += dt;
+            failure_times.push(t);
+            alive[victim] = false;
+            if step + 1 == n {
+                break;
+            }
+            // Elapse time on survivors, then rescale for the new currents.
+            let currents = self
+                .current_model
+                .via_currents(rows, cols, &alive, total_current);
+            for v in 0..n {
+                if alive[v] {
+                    let j_new = currents[v] / via_area;
+                    let left = (remaining[v] - dt).max(0.0);
+                    remaining[v] = nucleation::rescale_remaining_life(left, j[v], j_new);
+                    j[v] = j_new;
+                }
+            }
+        }
+        ViaArraySample { failure_times }
+    }
+
+    /// Runs `trials` trials with a deterministic seed and collects the
+    /// results for criterion evaluation and lognormal fitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn characterize(&self, trials: usize, seed: u64) -> CharacterizationResult {
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = emgrid_stats::seeded_rng(seed);
+        let samples: Vec<ViaArraySample> =
+            (0..trials).map(|_| self.simulate_once(&mut rng)).collect();
+        CharacterizationResult::new(self.config, self.current_density, samples)
+    }
+}
+
+/// Convenience: the default layer pair used throughout the experiments.
+pub const DEFAULT_LAYER_PAIR: LayerPair = LayerPair::IntermediateTop;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::FailureCriterion;
+    use emgrid_em::SECONDS_PER_YEAR;
+    use emgrid_fea::geometry::IntersectionPattern;
+    use emgrid_stats::seeded_rng;
+
+    fn paper_mc(pattern: IntersectionPattern) -> ViaArrayMc {
+        ViaArrayMc::from_reference_table(
+            &ViaArrayConfig::paper_4x4(pattern),
+            Technology::default(),
+            1e10,
+        )
+    }
+
+    #[test]
+    fn failure_times_are_sorted_and_positive() {
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let mut rng = seeded_rng(1);
+        let s = mc.simulate_once(&mut rng);
+        assert_eq!(s.failure_times.len(), 16);
+        assert!(s.failure_times[0] > 0.0);
+        for w in s.failure_times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn first_failures_land_in_single_digit_years() {
+        // Fig. 8(a): the 1st-via CDF is centered around a few years.
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let result = mc.characterize(300, 7);
+        let med = result.ecdf(FailureCriterion::WeakestLink).median() / SECONDS_PER_YEAR;
+        assert!(med > 0.5 && med < 12.0, "median first failure {med} yr");
+    }
+
+    #[test]
+    fn later_criteria_fail_later() {
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let mut rng = seeded_rng(3);
+        let s = mc.simulate_once(&mut rng);
+        assert!(s.time_of_failure(8) > s.time_of_failure(1));
+        assert!(s.time_of_failure(16) > s.time_of_failure(8));
+    }
+
+    #[test]
+    fn current_acceleration_compresses_the_tail() {
+        // With redistribution, the gap between the 15th and 16th failure is
+        // driven by a 16x current: the last via's residual life shrinks by
+        // ~256x vs its original scale. Check the total spread is far less
+        // than 16 independent lifetimes would suggest.
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let mut rng = seeded_rng(5);
+        let s = mc.simulate_once(&mut rng);
+        let first = s.time_of_failure(1);
+        let last = s.time_of_failure(16);
+        assert!(last < 20.0 * first, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn ell_pattern_outlives_plus() {
+        // Fig. 8(b): lower σ_T in the L pattern → longer TTF.
+        let plus = paper_mc(IntersectionPattern::Plus).characterize(200, 11);
+        let ell = paper_mc(IntersectionPattern::Ell).characterize(200, 11);
+        let c = FailureCriterion::ViaCount(8);
+        assert!(ell.ecdf(c).median() > plus.ecdf(c).median());
+    }
+
+    #[test]
+    fn higher_current_shortens_life() {
+        let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+        let tech = Technology::default();
+        let lo = ViaArrayMc::from_reference_table(&config, tech, 1e10).characterize(100, 13);
+        let hi = ViaArrayMc::from_reference_table(&config, tech, 2e10).characterize(100, 13);
+        let c = FailureCriterion::ViaCount(8);
+        // TTF ∝ 1/j²: doubling current should quarter the median.
+        let ratio = lo.ecdf(c).median() / hi.ecdf(c).median();
+        assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn network_model_changes_failure_order_statistics() {
+        // With crowding, perimeter vias die sooner; the first-failure time
+        // drops relative to the uniform model (same seed).
+        let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+        let tech = Technology::default();
+        let uniform = ViaArrayMc::from_reference_table(&config, tech, 1e10)
+            .characterize(150, 17)
+            .ecdf(FailureCriterion::WeakestLink)
+            .median();
+        let crowded = ViaArrayMc::from_reference_table(&config, tech, 1e10)
+            .with_current_model(CurrentModel::Network(Default::default()))
+            .characterize(150, 17)
+            .ecdf(FailureCriterion::WeakestLink)
+            .median();
+        assert!(
+            crowded < uniform,
+            "crowded {crowded} should be below uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn growth_stage_adds_time() {
+        let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+        let tech = Technology::default();
+        let bare = ViaArrayMc::from_reference_table(&config, tech, 1e10)
+            .characterize(100, 19)
+            .ecdf(FailureCriterion::OpenCircuit)
+            .median();
+        let with_growth = ViaArrayMc::from_reference_table(&config, tech, 1e10)
+            .with_growth(GrowthModel::slit())
+            .characterize(100, 19)
+            .ecdf(FailureCriterion::OpenCircuit)
+            .median();
+        assert!(with_growth > bare);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let a = mc.characterize(50, 23);
+        let b = mc.characterize(50, 23);
+        assert_eq!(
+            a.ttf_samples(FailureCriterion::OpenCircuit),
+            b.ttf_samples(FailureCriterion::OpenCircuit)
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Lifetime-vs-area exploration with mixed via-array assignment.
+//!
+//! Two extensions the paper's conclusion calls for, combined:
+//!
+//! * **area awareness** — larger equal-area arrays occupy more metal once
+//!   minimum via spacing rules are honored (`emgrid_via::layout`);
+//! * **mixed configurations** — "in practice, a combination of the via
+//!   array configuration can be used": upgrade only the high-current sites
+//!   to the larger array (`SiteAssignment::ByCurrentDensity`).
+//!
+//! The example prints system lifetime and total via-array metal area for
+//! uniform-4×4, uniform-8×8 and mixed assignments.
+//!
+//! ```text
+//! cargo run --release --example mixed_assignment
+//! ```
+
+use emgrid::prelude::*;
+use emgrid::via::layout::{footprint, DesignRules};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default();
+    let rules = DesignRules::default();
+    let spec = GridSpec::custom("mixed", 16, 16);
+
+    // Characterize both candidate arrays once.
+    let rel4 = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        tech,
+        1e10,
+    )
+    .characterize(800, 3)
+    .reliability(FailureCriterion::OpenCircuit)?;
+    let rel8 = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_8x8(IntersectionPattern::Plus),
+        tech,
+        1e10,
+    )
+    .characterize(800, 3)
+    .reliability(FailureCriterion::OpenCircuit)?;
+
+    let area4 = footprint(&rel4.config.geometry, &rules).area();
+    let area8 = footprint(&rel8.config.geometry, &rules).area();
+    println!("via-array footprints: 4x4 = {area4:.2} um^2, 8x8 = {area8:.2} um^2");
+
+    let scenarios: [(&str, SiteAssignment); 4] = [
+        ("uniform 4x4", SiteAssignment::Uniform(rel4)),
+        (
+            "mixed (hot >= 8e9 A/m^2)",
+            SiteAssignment::ByCurrentDensity {
+                threshold: 8e9,
+                low: rel4,
+                high: rel8,
+            },
+        ),
+        (
+            "mixed (hot >= 5e9 A/m^2)",
+            SiteAssignment::ByCurrentDensity {
+                threshold: 5e9,
+                low: rel4,
+                high: rel8,
+            },
+        ),
+        ("uniform 8x8", SiteAssignment::Uniform(rel8)),
+    ];
+
+    println!(
+        "{:<26} {:>8} {:>10} {:>12} {:>14}",
+        "assignment", "8x8 sites", "median(yr)", "0.3%ile(yr)", "array area(um^2)"
+    );
+    for (label, assignment) in scenarios {
+        let grid = PowerGrid::from_netlist(spec.generate())?;
+        let mc = PowerGridMc::new(grid, rel4)
+            .with_assignment(assignment)
+            .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+        let rels = mc.site_reliabilities();
+        let upgraded = rels.iter().filter(|r| r.config.count() == 64).count();
+        let total_area: f64 = rels
+            .iter()
+            .map(|r| footprint(&r.config.geometry, &rules).area())
+            .sum();
+        let result = mc.run(200, 17)?;
+        println!(
+            "{:<26} {:>8} {:>10.2} {:>12.2} {:>14.1}",
+            label,
+            upgraded,
+            result.median_years(),
+            result.worst_case_years(),
+            total_area
+        );
+    }
+    println!();
+    println!("Takeaway: upgrading only the hot sites recovers most of the");
+    println!("uniform-8x8 lifetime at a fraction of the extra via-array area.");
+    Ok(())
+}

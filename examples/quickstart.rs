@@ -1,0 +1,43 @@
+//! Quickstart: characterize a via array and estimate a power grid's
+//! EM-limited lifetime, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use emgrid::prelude::*;
+use emgrid::ReliabilityStudy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic two-layer power grid (IBM-benchmark style).
+    let spec = GridSpec::custom("quickstart", 16, 16);
+
+    // 2. Characterize the paper's 4x4 Plus-shaped via array and run the
+    //    hierarchical Monte Carlo with a 10% IR-drop failure criterion.
+    let outcome = ReliabilityStudy::new(spec)
+        .with_array(ViaArrayConfig::paper_4x4(IntersectionPattern::Plus))
+        .with_via_criterion(FailureCriterion::OpenCircuit)
+        .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
+        .with_trials(500, 200)
+        .run(2024)?;
+
+    println!(
+        "nominal IR drop : {:.1}% of Vdd",
+        outcome.nominal_ir.worst_fraction * 100.0
+    );
+    println!(
+        "via-array TTF   : median {:.1} years (lognormal sigma {:.2})",
+        outcome.reliability.distribution.median() / SECONDS_PER_YEAR,
+        outcome.reliability.distribution.sigma()
+    );
+    println!(
+        "system TTF      : median {:.1} years, worst-case (0.3%ile) {:.1} years",
+        outcome.grid_result.median_years(),
+        outcome.grid_result.worst_case_years()
+    );
+    println!(
+        "failures/trial  : {:.1} via arrays before the IR threshold",
+        outcome.grid_result.mean_failures()
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Thermomechanical stress characterization with the built-in FEA engine.
+//!
+//! Runs the paper's §3 characterization flow on a small via-array primitive
+//! (coarse mesh so the example finishes in seconds), prints the per-via
+//! stress map, and contrasts it with the bundled reference table.
+//!
+//! ```text
+//! cargo run --release --example stress_characterization
+//! ```
+
+use emgrid::prelude::*;
+use emgrid::via::stress_table::{LayerPair, StressTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A reduced-size primitive: 2x2 array so the FEA solves quickly even in
+    // a debug build. The production flow would use the paper geometries.
+    let model = CharacterizationModel {
+        pattern: IntersectionPattern::Plus,
+        array: ViaArrayGeometry::square(2, 0.5, 1.0),
+        wire_width: 2.0,
+        margin: 0.75,
+        resolution: 0.3,
+        ..CharacterizationModel::default()
+    };
+    println!(
+        "FEA primitive: {}x{} array, {} pattern, ΔT = {} K",
+        model.array.rows,
+        model.array.cols,
+        model.pattern,
+        model.delta_t()
+    );
+
+    let field = ThermalStressAnalysis::new(model).run()?;
+    let mesh_cells = field.mesh().occupied_count();
+    println!("mesh: {mesh_cells} occupied hexahedra");
+
+    println!("per-via peak tensile hydrostatic stress (MPa):");
+    let peaks = field.per_via_peak_stress();
+    for r in 0..model.array.rows {
+        for c in 0..model.array.cols {
+            print!("{:8.1}", peaks[r * model.array.cols + c] / 1e6);
+        }
+        println!();
+    }
+
+    // A line scan through the first via row (the paper's Fig. 1 view).
+    let scan = field.via_row_scan(0);
+    let (min, max) = scan
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+            (lo.min(s.hydrostatic_mpa), hi.max(s.hydrostatic_mpa))
+        });
+    println!(
+        "row-0 scan: {} samples, sigma_H in [{min:.0}, {max:.0}] MPa",
+        scan.len()
+    );
+
+    // Build a table from this FEA run and compare with the bundled
+    // reference model for the paper's 4x4 configuration.
+    let fea_table = StressTable::characterize_with_fea(&[(model, LayerPair::IntermediateTop)])?;
+    println!("FEA-built table entries: {}", fea_table.len());
+
+    let reference = StressTable::reference();
+    let ref_4x4 = reference
+        .lookup(
+            LayerPair::IntermediateTop,
+            IntersectionPattern::Plus,
+            4,
+            4,
+            2.0,
+        )
+        .expect("reference covers the paper configs");
+    println!(
+        "bundled reference 4x4 Plus @2um: perimeter {:.0} MPa, interior {:.0} MPa",
+        ref_4x4[0] / 1e6,
+        ref_4x4[5] / 1e6
+    );
+    println!("(the reference table is what the Monte Carlo layers consume by default)");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Via-array design exploration: the decision the paper's intro motivates.
+//!
+//! A power-grid designer must pick a via-array configuration for the
+//! thick-metal intersections. This example characterizes the candidate
+//! configurations (same 1 µm² conducting area, hence the same nominal
+//! resistance) under several failure criteria and intersection patterns,
+//! and prints a comparison table.
+//!
+//! ```text
+//! cargo run --example via_array_designer
+//! ```
+
+use emgrid::prelude::*;
+
+fn main() {
+    let tech = Technology::default();
+    let j = 1e10; // the characterization current density, A/m²
+    let trials = 1000;
+
+    println!(
+        "Via-array reliability at j = {j:.0e} A/m², {}C operation",
+        tech.operating_temperature_c
+    );
+    println!(
+        "{:<6} {:<6} {:<14} {:>12} {:>12} {:>10}",
+        "array", "patt", "criterion", "median(yr)", "0.3%ile(yr)", "KS fit"
+    );
+
+    for pattern in IntersectionPattern::ALL {
+        for config in [
+            ViaArrayConfig::paper_1x1(pattern),
+            ViaArrayConfig::paper_4x4(pattern),
+            ViaArrayConfig::paper_8x8(pattern),
+        ] {
+            let result = ViaArrayMc::from_reference_table(&config, tech, j).characterize(trials, 7);
+            let criteria: Vec<FailureCriterion> = if config.count() == 1 {
+                vec![FailureCriterion::OpenCircuit]
+            } else {
+                vec![
+                    FailureCriterion::WeakestLink,
+                    FailureCriterion::ResistanceRatio(2.0),
+                    FailureCriterion::OpenCircuit,
+                ]
+            };
+            for crit in criteria {
+                let ecdf = result.ecdf(crit);
+                let ks = result.fit_quality(crit).expect("fit succeeds");
+                println!(
+                    "{:<6} {:<6} {:<14} {:>12.2} {:>12.2} {:>10.3}",
+                    format!("{}x{}", config.geometry.rows, config.geometry.cols),
+                    pattern.to_string(),
+                    crit.to_string(),
+                    ecdf.median() / SECONDS_PER_YEAR,
+                    ecdf.worst_case() / SECONDS_PER_YEAR,
+                    ks
+                );
+            }
+        }
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!(" * larger arrays win at every criterion (redundancy + stress shielding);");
+    println!(" * L-shaped corners outlive T edges outlive Plus interiors;");
+    println!(" * the KS column shows the 2-parameter lognormal fit quality");
+    println!("   that justifies handing a single distribution to grid signoff.");
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella for the `emgrid` reproduction: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The library surface lives in the [`emgrid`] facade crate; this package
+//! re-exports it so examples and integration tests read naturally.
+
+pub use emgrid::*;

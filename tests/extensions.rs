@@ -1,0 +1,127 @@
+//! Integration of the beyond-paper extensions: DRC-aware layout, mixed
+//! per-site assignment, the analytic weakest link and the traditional
+//! signoff — exercised together, across crates.
+
+use emgrid::em::black::BlackModel;
+use emgrid::pg::signoff::{current_density_signoff, WireGeometry};
+use emgrid::prelude::*;
+use emgrid::via::layout::{equal_area_array, footprint, DesignRules};
+
+#[test]
+fn lifetime_area_tradeoff_is_a_real_pareto_frontier() {
+    // The paper's future-work point, quantified across crates: larger
+    // equal-area arrays live longer (level-1 MC) but occupy more metal
+    // (layout rules).
+    let rules = DesignRules::default();
+    let tech = Technology::default();
+    let mut last_area = 0.0;
+    let mut last_ttf = 0.0;
+    for n in [2usize, 4, 8] {
+        let geometry = equal_area_array(n, 1.0, &rules, 4.0).expect("legal configuration");
+        let area = footprint(&geometry, &rules).area();
+        let config = ViaArrayConfig {
+            geometry,
+            pattern: IntersectionPattern::Plus,
+            layer_pair: emgrid::via::LayerPair::IntermediateTop,
+            wire_width: 4.0,
+        };
+        // The reference stress table covers the paper geometries only, so
+        // characterize against a stress vector of the right length derived
+        // from the closest paper configuration's interior/perimeter split.
+        let sigma_t = emgrid::via::stress_table::reference_per_via_stress(
+            config.layer_pair,
+            config.pattern,
+            n,
+            n,
+            config.wire_width,
+        );
+        let result = ViaArrayMc::new(config, tech, sigma_t, 1e10).characterize(300, 9);
+        let ttf = result
+            .ecdf(FailureCriterion::ResistanceRatio(2.0))
+            .median();
+        assert!(area > last_area, "footprint must grow: {area} vs {last_area}");
+        assert!(ttf > last_ttf, "lifetime must grow: {ttf} vs {last_ttf}");
+        last_area = area;
+        last_ttf = ttf;
+    }
+}
+
+#[test]
+fn mixed_assignment_sits_on_the_area_lifetime_frontier() {
+    let tech = Technology::default();
+    let rules = DesignRules::default();
+    let spec = GridSpec::custom("ext", 10, 10);
+    let characterize = |config: &ViaArrayConfig| {
+        ViaArrayMc::from_reference_table(config, tech, 1e10)
+            .characterize(250, 3)
+            .reliability(FailureCriterion::OpenCircuit)
+            .unwrap()
+    };
+    let rel4 = characterize(&ViaArrayConfig::paper_4x4(IntersectionPattern::Plus));
+    let rel8 = characterize(&ViaArrayConfig::paper_8x8(IntersectionPattern::Plus));
+
+    let evaluate = |assignment: SiteAssignment| {
+        let grid = PowerGrid::from_netlist(spec.generate()).unwrap();
+        let mc = PowerGridMc::new(grid, rel4).with_assignment(assignment);
+        let area: f64 = mc
+            .site_reliabilities()
+            .iter()
+            .map(|r| footprint(&r.config.geometry, &rules).area())
+            .sum();
+        let ttf = mc.run(30, 21).unwrap().median_years();
+        (area, ttf)
+    };
+
+    let (area4, ttf4) = evaluate(SiteAssignment::Uniform(rel4));
+    let (area8, ttf8) = evaluate(SiteAssignment::Uniform(rel8));
+    let (area_mixed, ttf_mixed) = evaluate(SiteAssignment::ByCurrentDensity {
+        threshold: 6e9,
+        low: rel4,
+        high: rel8,
+    });
+
+    assert!(ttf8 > ttf4);
+    assert!(area8 > area4);
+    // The mixed assignment interpolates in area and gets most of the
+    // lifetime benefit.
+    assert!(area4 < area_mixed && area_mixed < area8);
+    assert!(ttf_mixed > ttf4);
+    assert!(ttf_mixed > 0.8 * ttf8, "mixed {ttf_mixed} vs 8x8 {ttf8}");
+}
+
+#[test]
+fn stress_aware_analysis_is_more_conservative_than_black() {
+    // The end-to-end version of the paper's motivation: at the lifetime the
+    // conventional (Black's-law) signoff approves, the stress-aware Monte
+    // Carlo already predicts failures.
+    let tech = Technology::default();
+    let black = BlackModel::from_accelerated_test(&tech, 3e10, 300.0);
+    let grid = PowerGrid::from_netlist(GridSpec::custom("ext2", 10, 10).generate()).unwrap();
+
+    let rel = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        tech,
+        1e10,
+    )
+    .characterize(250, 13)
+    .reliability(FailureCriterion::OpenCircuit)
+    .unwrap();
+    let stress_aware = PowerGridMc::new(grid, rel).run(25, 17).unwrap();
+    let aware_years = stress_aware.worst_case_years();
+
+    // Black passes a target twice as long as the stress-aware worst case.
+    let grid2 = PowerGrid::from_netlist(GridSpec::custom("ext2", 10, 10).generate()).unwrap();
+    let report = current_density_signoff(
+        &grid2,
+        &tech,
+        &black,
+        &WireGeometry::default(),
+        2.0 * aware_years * SECONDS_PER_YEAR,
+    );
+    assert!(
+        report.passes(),
+        "the conventional flow should approve a lifetime the stress-aware \
+         analysis rejects (gap: {} violations)",
+        report.violations.len()
+    );
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: the full characterize→analyze pipeline
+//! reproduces the paper's qualitative orderings at reduced trial counts.
+
+use emgrid::prelude::*;
+use emgrid::ReliabilityStudy;
+
+fn study(grid: usize) -> ReliabilityStudy {
+    ReliabilityStudy::new(GridSpec::custom("it", grid, grid)).with_trials(200, 30)
+}
+
+#[test]
+fn criteria_ordering_matches_table2_shape() {
+    // For a fixed grid and array: WL/WL < WL/Rinf, WL/WL < IR/WL,
+    // IR/Rinf is the largest — every row of Table 2 has this shape.
+    let combos = [
+        (SystemCriterion::WeakestLink, FailureCriterion::WeakestLink),
+        (SystemCriterion::WeakestLink, FailureCriterion::OpenCircuit),
+        (
+            SystemCriterion::IrDropFraction(0.10),
+            FailureCriterion::WeakestLink,
+        ),
+        (
+            SystemCriterion::IrDropFraction(0.10),
+            FailureCriterion::OpenCircuit,
+        ),
+    ];
+    let mut worst = Vec::new();
+    for (system, via) in combos {
+        let outcome = study(9)
+            .with_system_criterion(system)
+            .with_via_criterion(via)
+            .run(77)
+            .unwrap();
+        worst.push(outcome.grid_result.median_years());
+    }
+    let (wl_wl, wl_rinf, ir_wl, ir_rinf) = (worst[0], worst[1], worst[2], worst[3]);
+    assert!(wl_wl < wl_rinf, "{wl_wl} vs {wl_rinf}");
+    assert!(wl_wl < ir_wl, "{wl_wl} vs {ir_wl}");
+    assert!(ir_rinf > wl_rinf, "{ir_rinf} vs {wl_rinf}");
+    assert!(ir_rinf > ir_wl, "{ir_rinf} vs {ir_wl}");
+}
+
+#[test]
+fn lighter_loaded_grids_live_longer() {
+    // Table 2's PG5 > PG2 > PG1 ordering comes from the lighter per-node
+    // loading of the larger profiles (lower via current densities, TTF ∝
+    // 1/j²); check that mechanism on a fixed mesh.
+    let heavy = ReliabilityStudy::new(GridSpec::custom("h", 10, 10))
+        .with_trials(150, 25)
+        .run(3)
+        .unwrap();
+    let light_spec = GridSpec {
+        load_current: GridSpec::custom("l", 10, 10).load_current * 0.6,
+        ..GridSpec::custom("l", 10, 10)
+    };
+    let light = ReliabilityStudy::new(light_spec)
+        .with_trials(150, 25)
+        .run(3)
+        .unwrap();
+    assert!(
+        light.grid_result.median_years() > heavy.grid_result.median_years(),
+        "light {} vs heavy {}",
+        light.grid_result.median_years(),
+        heavy.grid_result.median_years()
+    );
+}
+
+#[test]
+fn pattern_choice_propagates_to_system_level() {
+    // L-shaped intersections have lower stress → longer array TTF → longer
+    // system TTF (all else equal).
+    let plus = study(9)
+        .with_array(ViaArrayConfig::paper_4x4(IntersectionPattern::Plus))
+        .run(13)
+        .unwrap();
+    let ell = study(9)
+        .with_array(ViaArrayConfig::paper_4x4(IntersectionPattern::Ell))
+        .run(13)
+        .unwrap();
+    assert!(
+        ell.grid_result.median_years() > plus.grid_result.median_years(),
+        "ell {} vs plus {}",
+        ell.grid_result.median_years(),
+        plus.grid_result.median_years()
+    );
+}
+
+#[test]
+fn hotter_operation_shortens_system_life() {
+    let cool = study(9).run(21).unwrap();
+    let hot = study(9)
+        .with_technology(Technology {
+            operating_temperature_c: 125.0,
+            ..Technology::default()
+        })
+        .run(21)
+        .unwrap();
+    assert!(
+        hot.grid_result.median_years() < cool.grid_result.median_years(),
+        "hot {} vs cool {}",
+        hot.grid_result.median_years(),
+        cool.grid_result.median_years()
+    );
+}

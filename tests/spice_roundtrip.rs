@@ -1,0 +1,81 @@
+//! Integration: generated benchmarks survive serialization and re-analysis.
+
+use emgrid::prelude::*;
+use emgrid::spice::writer::write_string;
+
+#[test]
+fn generated_deck_round_trips_and_analyzes_identically() {
+    let spec = GridSpec::custom("rt", 12, 12);
+    let original = spec.generate();
+    let deck = write_string(&original);
+    let reparsed = parse(&deck).expect("generated deck parses");
+
+    let g1 = PowerGrid::from_netlist(original).unwrap();
+    let g2 = PowerGrid::from_netlist(reparsed).unwrap();
+    assert_eq!(g1.via_sites().len(), g2.via_sites().len());
+
+    let r1 = IrDropReport::evaluate(&g1, g1.nominal_solution());
+    let r2 = IrDropReport::evaluate(&g2, g2.nominal_solution());
+    assert!((r1.worst_drop - r2.worst_drop).abs() < 1e-9);
+}
+
+#[test]
+fn reliability_analysis_of_parsed_deck_matches_generated() {
+    let spec = GridSpec::custom("rt2", 8, 8);
+    let rel = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        Technology::default(),
+        1e10,
+    )
+    .characterize(150, 41)
+    .reliability(FailureCriterion::OpenCircuit)
+    .unwrap();
+
+    let from_gen = PowerGrid::from_netlist(spec.generate()).unwrap();
+    let from_text =
+        PowerGrid::from_netlist(parse(&write_string(&spec.generate())).unwrap()).unwrap();
+
+    let a = PowerGridMc::new(from_gen, rel).run(10, 5).unwrap();
+    let b = PowerGridMc::new(from_text, rel).run(10, 5).unwrap();
+    for (x, y) in a.ttf_seconds().iter().zip(b.ttf_seconds()) {
+        assert!((x - y).abs() / x < 1e-9, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn failure_injection_degrades_the_grid() {
+    // Failure injection: remove via arrays one by one. The worst IR drop is
+    // the minimum over ALL nodes, and rerouting can improve an individual
+    // node slightly, so strict per-step monotonicity does not hold — but
+    // the drop must never improve materially, and the cumulative effect of
+    // several failures must clearly degrade the grid.
+    use emgrid::sparse::IncrementalSolver;
+
+    let grid = PowerGrid::from_netlist(GridSpec::custom("fi", 10, 10).generate()).unwrap();
+    let dc = grid.dc();
+    let mut solver = IncrementalSolver::new(dc.matrix()).unwrap();
+    let rhs = dc.rhs().to_vec();
+    let initial = IrDropReport::evaluate(&grid, grid.nominal_solution()).worst_drop;
+    let mut last_drop = initial;
+
+    // Cluster the failures near the hotspot so their effect compounds.
+    for k in [44usize, 45, 54, 55, 46, 56, 35, 36] {
+        let site = &grid.via_sites()[k];
+        let (Some(i), Some(j)) = (dc.unknown_index(site.lower), dc.unknown_index(site.upper))
+        else {
+            continue;
+        };
+        solver.update_edge(i, j, -1.0 / site.resistance).unwrap();
+        let sol = dc.solution_from_unknowns(&solver.solve(&rhs).unwrap());
+        let drop = IrDropReport::evaluate(&grid, &sol).worst_drop;
+        assert!(
+            drop >= last_drop * 0.99,
+            "removing a via materially improved the IR drop: {last_drop} -> {drop}"
+        );
+        last_drop = drop;
+    }
+    assert!(
+        last_drop > initial * 1.05,
+        "eight clustered failures should visibly degrade the grid: {initial} -> {last_drop}"
+    );
+}
