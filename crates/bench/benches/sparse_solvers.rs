@@ -55,9 +55,7 @@ fn bench_solvers(c: &mut Criterion) {
                 preconditioner: Preconditioner::IncompleteCholesky,
                 ..CgOptions::default()
             };
-            bench.iter(|| {
-                black_box(conjugate_gradient(black_box(&a), &b, None, &opts).unwrap())
-            })
+            bench.iter(|| black_box(conjugate_gradient(black_box(&a), &b, None, &opts).unwrap()))
         });
     }
     group.finish();

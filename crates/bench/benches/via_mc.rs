@@ -32,6 +32,16 @@ fn bench_via_mc(c: &mut Criterion) {
     group.bench_function("growth_4x4_100_trials", |b| {
         b.iter(|| black_box(growth.characterize(100, 1)))
     });
+    let uniform = ViaArrayMc::from_reference_table(&base, tech, 1e10);
+    group.bench_function("work_stealing_4x4_100_trials_8t", |b| {
+        b.iter(|| black_box(uniform.characterize_with(100, 1, &RuntimeConfig::threaded(8))))
+    });
+    group.bench_function("early_stop_4x4_ci_0.05", |b| {
+        b.iter(|| {
+            let cfg = RuntimeConfig::sequential().with_early_stop(EarlyStop::to_half_width(0.05));
+            black_box(uniform.characterize_with(100_000, 1, &cfg))
+        })
+    });
     group.finish();
 }
 

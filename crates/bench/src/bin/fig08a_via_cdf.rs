@@ -5,7 +5,7 @@
 //! spread spans roughly 2–14 years.
 
 use emgrid::prelude::*;
-use emgrid_bench::{characterize, level1_trials, print_cdf};
+use emgrid_bench::{characterize, level1_trials, print_cdf, print_report};
 
 fn main() {
     let trials = level1_trials();
@@ -15,6 +15,7 @@ fn main() {
         trials,
         801,
     );
+    print_report("4x4 plus characterization", result.report());
     // The paper's curve set: 1st, 2nd, 4th, 8th, 14th, 15th, last via.
     for n_f in [1usize, 2, 4, 8, 14, 15, 16] {
         let crit = FailureCriterion::ViaCount(n_f);

@@ -4,7 +4,7 @@
 //! Paper expectation: L and T outlive Plus (lower thermomechanical stress).
 
 use emgrid::prelude::*;
-use emgrid_bench::{characterize, level1_trials, print_cdf};
+use emgrid_bench::{characterize, level1_trials, print_cdf, print_report};
 
 fn main() {
     let trials = level1_trials();
@@ -13,6 +13,10 @@ fn main() {
     let mut medians = Vec::new();
     for pattern in IntersectionPattern::ALL {
         let result = characterize(&ViaArrayConfig::paper_4x4(pattern), trials, 802);
+        print_report(
+            &format!("{pattern}-shaped characterization"),
+            result.report(),
+        );
         print_cdf(&format!("{pattern}-shaped"), &result.ecdf(crit));
         medians.push((pattern, result.ecdf(crit).median() / SECONDS_PER_YEAR));
     }

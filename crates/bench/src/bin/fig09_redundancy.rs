@@ -6,7 +6,7 @@
 //! beats the 4×4 (~4 yr) and even the 4×4 at `R = ∞` (~6 yr).
 
 use emgrid::prelude::*;
-use emgrid_bench::{characterize, level1_trials, print_cdf};
+use emgrid_bench::{characterize, level1_trials, print_cdf, print_report};
 
 fn main() {
     let trials = level1_trials();
@@ -36,6 +36,7 @@ fn main() {
     for (config, criteria) in &configs {
         let label = emgrid_bench::array_label(&config.geometry);
         let result = characterize(config, trials, 809);
+        print_report(&format!("{label} characterization"), result.report());
         for &crit in criteria {
             let ecdf = result.ecdf(crit);
             print_cdf(&format!("{label}, {crit}"), &ecdf);

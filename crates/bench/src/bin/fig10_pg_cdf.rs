@@ -8,7 +8,7 @@
 //! the 8×8 panel sits right of the 4×4 panel.
 
 use emgrid::prelude::*;
-use emgrid_bench::{level2_trials, run_grid};
+use emgrid_bench::{level2_trials, print_report, run_grid};
 
 fn main() {
     let spec = GridSpec::pg1();
@@ -34,6 +34,7 @@ fn main() {
                 let result = run_grid(&spec, &array, via_crit, system, 810);
                 let curve = TtfCurve::from_result(format!("{sys_label}, {via_label}"), &result);
                 println!("# curve: {}", curve.label);
+                print_report(&curve.label, result.report());
                 println!("# ttf_years  percentile");
                 for (t, p) in &curve.points {
                     println!("{t:10.2}  {p:6.3}");

@@ -19,12 +19,20 @@
 //! 4×4 counterpart; PG5 ≥ PG2 ≥ PG1.
 
 use emgrid::prelude::*;
-use emgrid_bench::{level2_trials, run_grid};
+use emgrid_bench::{level2_trials, mc_target_ci, mc_threads, run_grid};
 
 fn main() {
     println!(
         "== Table 2: worst-case TTF (0.3%ile, years), {} trials ==",
         level2_trials()
+    );
+    println!(
+        "# runtime: {} thread(s), early stop: {}",
+        mc_threads(),
+        mc_target_ci().map_or_else(
+            || "off (fixed budget)".to_owned(),
+            |hw| format!("95% CI half-width target {hw}")
+        )
     );
     println!(
         "{:<5} {:<4} {:>10} {:>10} {:>10} {:>10}",

@@ -42,6 +42,55 @@ pub fn level2_trials() -> usize {
         .unwrap_or(500)
 }
 
+/// Monte Carlo worker threads, `EMGRID_THREADS` override (default 1).
+/// Results are bit-identical for any thread count.
+pub fn mc_threads() -> usize {
+    std::env::var("EMGRID_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Optional CI-based early termination, `EMGRID_TARGET_CI` override: stop
+/// once the 95% CI half-width on the mean `ln TTF` reaches this value
+/// instead of exhausting the trial budget. Unset = fixed budget.
+pub fn mc_target_ci() -> Option<f64> {
+    std::env::var("EMGRID_TARGET_CI")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&hw| hw > 0.0)
+}
+
+/// The runtime configuration every figure/table binary runs its Monte
+/// Carlo on, assembled from `EMGRID_THREADS` / `EMGRID_TARGET_CI`.
+pub fn runtime_config() -> RuntimeConfig {
+    let mut runtime = RuntimeConfig::threaded(mc_threads());
+    if let Some(hw) = mc_target_ci() {
+        runtime = runtime.with_early_stop(EarlyStop::to_half_width(hw));
+    }
+    runtime
+}
+
+/// Prints one execution-telemetry comment line for a scheduler run.
+pub fn print_report(label: &str, report: &RunReport) {
+    let early = if report.stopped_early {
+        format!(
+            " (stopped early, 95% CI half-width {:.4})",
+            report.achieved_half_width(0.95)
+        )
+    } else {
+        String::new()
+    };
+    println!(
+        "# execution: {label}: {}/{} trials, {} thread(s), {:.0} ms{early}",
+        report.trials_run,
+        report.trials_requested,
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+    );
+}
+
 /// The paper's nominal characterization current density, A/m².
 pub const PAPER_CURRENT_DENSITY: f64 = 1e10;
 
@@ -82,17 +131,19 @@ pub fn print_cdf(label: &str, ecdf: &Ecdf) {
     println!();
 }
 
-/// Characterizes a paper configuration against the bundled reference table.
+/// Characterizes a paper configuration against the bundled reference table,
+/// on the environment-selected runtime ([`runtime_config`]).
 pub fn characterize(
     config: &ViaArrayConfig,
     trials: usize,
     seed: u64,
 ) -> emgrid::via::CharacterizationResult {
     ViaArrayMc::from_reference_table(config, Technology::default(), PAPER_CURRENT_DENSITY)
-        .characterize(trials, seed)
+        .characterize_with(trials, seed, &runtime_config())
 }
 
-/// Runs one power-grid Monte Carlo combination and returns the result.
+/// Runs one power-grid Monte Carlo combination and returns the result, on
+/// the environment-selected runtime ([`runtime_config`]).
 pub fn run_grid(
     spec: &GridSpec,
     array: &ViaArrayConfig,
@@ -106,7 +157,7 @@ pub fn run_grid(
     let grid = PowerGrid::from_netlist(spec.generate()).expect("benchmark grid builds");
     PowerGridMc::new(grid, reliability)
         .with_system_criterion(system)
-        .run(level2_trials(), seed)
+        .run_with(level2_trials(), seed, &runtime_config())
         .expect("grid monte carlo runs")
 }
 
@@ -125,6 +176,11 @@ mod tests {
         assert!(fea_resolution() > 0.0);
         assert!(level1_trials() >= 100);
         assert!(level2_trials() >= 100);
+        assert!(mc_threads() >= 1);
+        assert_eq!(
+            runtime_config().early_stop,
+            mc_target_ci().map(EarlyStop::to_half_width)
+        );
     }
 
     #[test]

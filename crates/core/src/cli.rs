@@ -12,6 +12,7 @@ use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::IntersectionPattern;
 use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
 use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{FailureCriterion, ViaArrayConfig, ViaArrayMc};
@@ -47,13 +48,21 @@ COMMANDS:
                     --pattern plus|tee|ell (default plus)
                     --criterion wl|r2x|rinf (default rinf)
                     --trials <n> (default 2000)  --seed <n> (default 1)
+                    [--threads <n>] [--target-ci <half-width>]
     analyze       system TTF of a deck (two-level Monte Carlo)
                     <deck.sp> [same options as characterize]
                     --grid-trials <n> (default 200)
                     [--repair-vias <ohms>] [--threads <n>]
+                    [--target-ci <half-width>]
+
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
     help          print this message
+
+Monte Carlo commands take --threads (work-stealing across n OS threads;
+results are bit-identical for any thread count) and --target-ci (stop as
+soon as the 95% CI half-width on mean ln TTF reaches the target instead
+of exhausting the trial budget).
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name).
@@ -102,6 +111,45 @@ fn parse_u64(args: &[String], name: &str, default: u64) -> Result<u64, CliError>
             .parse()
             .map_err(|_| CliError(format!("invalid value `{v}` for {name}"))),
     }
+}
+
+/// Parses `--threads` / `--target-ci` into a runtime configuration shared
+/// by the Monte Carlo commands.
+fn parse_runtime(args: &[String]) -> Result<RuntimeConfig, CliError> {
+    let threads = parse_usize(args, "--threads", 1)?;
+    if threads == 0 {
+        return Err(CliError("--threads must be at least 1".to_owned()));
+    }
+    let mut runtime = RuntimeConfig::threaded(threads);
+    if let Some(v) = option_value(args, "--target-ci") {
+        let hw: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` for --target-ci")))?;
+        if hw.is_nan() || hw <= 0.0 {
+            return Err(CliError("--target-ci must be positive".to_owned()));
+        }
+        runtime = runtime.with_early_stop(EarlyStop::to_half_width(hw));
+    }
+    Ok(runtime)
+}
+
+/// One-line execution summary appended to Monte Carlo reports.
+fn format_report(report: &RunReport) -> String {
+    let mut line = format!(
+        "execution      : {}/{} trials, {} thread(s), {:.0} ms",
+        report.trials_run,
+        report.trials_requested,
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+    );
+    if report.stopped_early {
+        let _ = write!(
+            line,
+            " (stopped early: 95% CI half-width {:.4})",
+            report.achieved_half_width(0.95)
+        );
+    }
+    line
 }
 
 fn parse_array(args: &[String]) -> Result<(ViaArrayConfig, &'static str), CliError> {
@@ -214,8 +262,9 @@ fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
     let criterion = parse_criterion(args)?;
     let trials = parse_usize(args, "--trials", 2000)?;
     let seed = parse_u64(args, "--seed", 1)?;
+    let runtime = parse_runtime(args)?;
     let result = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
-        .characterize(trials, seed);
+        .characterize_with(trials, seed, &runtime);
     let ecdf = result.ecdf(criterion);
     let fit = result
         .fit_lognormal(criterion)
@@ -246,6 +295,7 @@ fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
         fit.sigma(),
         ks
     );
+    let _ = writeln!(out, "{}", format_report(result.report()));
     Ok(out)
 }
 
@@ -255,10 +305,10 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let criterion = parse_criterion(args)?;
     let trials = parse_usize(args, "--trials", 2000)?;
     let grid_trials = parse_usize(args, "--grid-trials", 200)?;
-    let threads = parse_usize(args, "--threads", 1)?;
     let seed = parse_u64(args, "--seed", 1)?;
+    let runtime = parse_runtime(args)?;
     let reliability = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
-        .characterize(trials, seed)
+        .characterize_with(trials, seed, &runtime)
         .reliability(criterion)
         .map_err(|e| CliError(e.to_string()))?;
     let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
@@ -266,7 +316,7 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let mc = PowerGridMc::new(grid, reliability)
         .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
     let result = mc
-        .run_threaded(grid_trials, seed ^ 0xc11, threads.max(1))
+        .run_with(grid_trials, seed ^ 0xc11, &runtime)
         .map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -288,6 +338,7 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     for (site, count) in result.critical_sites(5) {
         let _ = writeln!(out, "  site {site:>5}  failed in {count} trials");
     }
+    let _ = writeln!(out, "{}", format_report(result.report()));
     Ok(out)
 }
 
@@ -416,6 +467,34 @@ mod tests {
         assert!(run(&argv("characterize --pattern round")).is_err());
         assert!(run(&argv("characterize --criterion maybe")).is_err());
         assert!(run(&argv("characterize --trials many")).is_err());
+        assert!(run(&argv("characterize --threads 0")).is_err());
+        assert!(run(&argv("characterize --target-ci 0")).is_err());
+        assert!(run(&argv("characterize --target-ci tight")).is_err());
+    }
+
+    #[test]
+    fn characterize_is_thread_count_invariant() {
+        let base = "characterize --trials 120 --seed 5 --threads";
+        let one = run(&argv(&format!("{base} 1"))).unwrap();
+        let four = run(&argv(&format!("{base} 4"))).unwrap();
+        // Identical modulo the execution telemetry line (timing/threads).
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("execution"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&four));
+        assert!(four.contains("4 thread(s)"), "{four}");
+    }
+
+    #[test]
+    fn characterize_stops_early_at_a_loose_target() {
+        let out = run(&argv(
+            "characterize --trials 100000 --seed 5 --target-ci 0.2",
+        ))
+        .unwrap();
+        assert!(out.contains("stopped early"), "{out}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod cli;
 pub use emgrid_em as em;
 pub use emgrid_fea as fea;
 pub use emgrid_pg as pg;
+pub use emgrid_runtime as runtime;
 pub use emgrid_sparse as sparse;
 pub use emgrid_spice as spice;
 pub use emgrid_stats as stats;
@@ -57,6 +58,7 @@ use std::fmt;
 use emgrid_em::Technology;
 use emgrid_fea::geometry::IntersectionPattern;
 use emgrid_pg::{McResult, PgError, PowerGrid, PowerGridMc, SolverStrategy, SystemCriterion};
+use emgrid_runtime::RuntimeConfig;
 use emgrid_spice::GridSpec;
 use emgrid_stats::InvalidParameterError;
 use emgrid_via::{
@@ -72,8 +74,9 @@ pub mod prelude {
         IrDropReport, McResult, PowerGrid, PowerGridMc, SiteAssignment, SolverStrategy,
         SystemCriterion, Table2Row, TtfCurve,
     };
+    pub use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
     pub use emgrid_spice::{parse, GridSpec};
-    pub use emgrid_stats::{Ecdf, LogNormal};
+    pub use emgrid_stats::{Ecdf, LogNormal, OnlineStats};
     pub use emgrid_via::{
         CurrentModel, FailureCriterion, StressTable, ViaArrayConfig, ViaArrayMc,
         ViaArrayReliability,
@@ -132,6 +135,7 @@ pub struct ReliabilityStudy {
     characterization_current: f64,
     via_trials: usize,
     grid_trials: usize,
+    runtime: RuntimeConfig,
 }
 
 impl ReliabilityStudy {
@@ -150,6 +154,7 @@ impl ReliabilityStudy {
             characterization_current: 1e10,
             via_trials: 500,
             grid_trials: 500,
+            runtime: RuntimeConfig::sequential(),
         }
     }
 
@@ -190,6 +195,14 @@ impl ReliabilityStudy {
         self
     }
 
+    /// Runs both Monte Carlo levels on the given runtime (thread count and
+    /// optional early termination). Results are bit-identical for any
+    /// thread count.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     /// Runs the two-level analysis.
     ///
     /// # Errors
@@ -202,14 +215,14 @@ impl ReliabilityStudy {
             self.technology,
             self.characterization_current,
         )
-        .characterize(self.via_trials, seed ^ 0x5eed_0001);
+        .characterize_with(self.via_trials, seed ^ 0x5eed_0001, &self.runtime);
         let reliability = characterization.reliability(self.via_criterion)?;
         let grid = PowerGrid::from_netlist(self.grid_spec.generate())?;
         let nominal_ir = emgrid_pg::IrDropReport::evaluate(&grid, grid.nominal_solution());
         let mc = PowerGridMc::new(grid, reliability)
             .with_system_criterion(self.system_criterion)
             .with_solver(self.solver);
-        let grid_result = mc.run(self.grid_trials, seed ^ 0x5eed_0002)?;
+        let grid_result = mc.run_with(self.grid_trials, seed ^ 0x5eed_0002, &self.runtime)?;
         Ok(StudyOutcome {
             characterization,
             reliability,

@@ -1,0 +1,233 @@
+//! A minimal, std-only, in-repo stand-in for the [`criterion`] benchmark
+//! crate.
+//!
+//! The build environment cannot reach the crates.io registry, so the
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after one warm-up run, each
+//! benchmark body is timed `sample_size` times with [`std::time::Instant`]
+//! and the min / median / mean per-iteration times are printed. That is
+//! enough to compare strategies within one machine and run (the only use
+//! the workspace makes of benches); it does not attempt criterion's
+//! statistical outlier analysis.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI-argument handling; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
+        run_benchmark(&name.to_string(), 20, f);
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the amount of work one iteration represents (printed, not
+    /// analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Bytes(b) => println!("  throughput: {b} bytes/iter"),
+            Throughput::Elements(e) => println!("  throughput: {e} elements/iter"),
+        }
+        self
+    }
+
+    /// Benchmarks `f` with shared setup data `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.0, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark name with an attached parameter, e.g. `solve/1024`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Work-per-iteration annotations.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark body; its [`iter`](Bencher::iter) method times
+/// one sample.
+pub struct Bencher {
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (the routine under benchmark).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.sample = Some(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Warm-up: one untimed run populates caches and lazy state.
+    let mut bench = Bencher { sample: None };
+    f(&mut bench);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bench.sample = None;
+        f(&mut bench);
+        // A body that never calls iter() contributes nothing.
+        if let Some(t) = bench.sample {
+            times.push(t);
+        }
+    }
+    if times.is_empty() {
+        println!("  {name}: no samples (body never called iter)");
+        return;
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "  {name}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+        times[0],
+        median,
+        mean,
+        times.len()
+    );
+}
+
+/// Re-export for compatibility: benches import `black_box` from either
+/// place.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("solve", 1024).0, "solve/1024");
+    }
+
+    #[test]
+    fn bencher_times_and_groups_run() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3)
+                .throughput(Throughput::Bytes(10))
+                .bench_function("count", |b| {
+                    b.iter(|| {
+                        ran += 1;
+                        std::hint::black_box(ran)
+                    })
+                });
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        // warm-up + 3 samples.
+        assert_eq!(ran, 4);
+    }
+
+    mod macro_expansion {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group!(benches, target);
+
+        #[test]
+        fn group_macro_produces_runner() {
+            benches();
+        }
+    }
+}

@@ -228,11 +228,7 @@ mod tests {
 
         let model = small_model(IntersectionPattern::Plus);
         let mesh = model.build_mesh();
-        let sys = crate::assembly::assemble(
-            &mesh,
-            &model.boundary_conditions(),
-            model.delta_t(),
-        );
+        let sys = crate::assembly::assemble(&mesh, &model.boundary_conditions(), model.delta_t());
         let run = |p: Preconditioner| {
             conjugate_gradient(
                 &sys.stiffness,
@@ -249,10 +245,7 @@ mod tests {
         };
         let jacobi = run(Preconditioner::Jacobi);
         let ic = run(Preconditioner::IncompleteCholesky);
-        assert!(
-            ic * 3 < jacobi,
-            "ic {ic} vs jacobi {jacobi} iterations"
-        );
+        assert!(ic * 3 < jacobi, "ic {ic} vs jacobi {jacobi} iterations");
     }
 
     #[test]

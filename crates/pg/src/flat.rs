@@ -15,8 +15,8 @@ use emgrid_em::nucleation::{self, rescale_remaining_life};
 use emgrid_em::Technology;
 use emgrid_sparse::IncrementalSolver;
 use emgrid_stats::Ecdf;
+use emgrid_stats::Rng;
 use emgrid_via::{StressTable, ViaArrayConfig};
-use rand::Rng;
 
 use crate::irdrop::IrDropReport;
 use crate::mc::SystemCriterion;
@@ -143,9 +143,7 @@ impl FlatMc {
                     .map(move |&st| (s, st, js))
                     .collect::<Vec<_>>()
             })
-            .map(|(_, st, js)| {
-                nucleation::nucleation_time(&self.tech, sc_dist.sample(rng), st, js)
-            })
+            .map(|(_, st, js)| nucleation::nucleation_time(&self.tech, sc_dist.sample(rng), st, js))
             .collect();
 
         if matches!(self.system_criterion, SystemCriterion::WeakestLink) {
@@ -217,8 +215,7 @@ impl FlatMc {
                     for v in 0..n {
                         let k = site_idx * n + v;
                         if via_alive[k] {
-                            remaining[k] =
-                                rescale_remaining_life(remaining[k], j[site_idx], j_new);
+                            remaining[k] = rescale_remaining_life(remaining[k], j[site_idx], j_new);
                         }
                     }
                     j[site_idx] = j_new;
@@ -260,9 +257,7 @@ mod tests {
         let tech = Technology::default();
         let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
 
-        let flat = FlatMc::new(small_grid(), config, tech)
-            .run(25, 11)
-            .unwrap();
+        let flat = FlatMc::new(small_grid(), config, tech).run(25, 11).unwrap();
 
         let rel = ViaArrayMc::from_reference_table(&config, tech, 1e10)
             .characterize(400, 12)

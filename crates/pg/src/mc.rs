@@ -11,13 +11,17 @@
 //! TTF is the failure time of the last component that caused the breach.
 
 use emgrid_em::nucleation::rescale_remaining_life;
+use emgrid_runtime::{run_trials, RunReport, RuntimeConfig};
 use emgrid_sparse::{IncrementalSolver, LdlFactor, TripletMatrix};
 use emgrid_stats::Ecdf;
+use emgrid_stats::Rng;
 use emgrid_via::ViaArrayReliability;
-use rand::Rng;
 
 use crate::irdrop::IrDropReport;
 use crate::model::{PgError, PowerGrid};
+
+/// System TTF plus the ordered indices of the sites that failed, for one trial.
+type TrialOutcome = (f64, Vec<usize>);
 
 /// When the power grid itself is declared failed (paper §5.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,12 +84,19 @@ pub struct McResult {
     ttf_seconds: Vec<f64>,
     failures_per_trial: Vec<usize>,
     site_failure_counts: Vec<usize>,
+    report: RunReport,
 }
 
 impl McResult {
     /// System TTF per trial, seconds.
     pub fn ttf_seconds(&self) -> &[f64] {
         &self.ttf_seconds
+    }
+
+    /// Execution telemetry: trials run vs requested, threads, early-stop
+    /// outcome, wall-clock, and the streamed `ln TTF` statistics.
+    pub fn report(&self) -> &RunReport {
+        &self.report
     }
 
     /// Number of via-array failures each trial took to breach the system
@@ -212,6 +223,8 @@ impl PowerGridMc {
 
     /// Runs `trials` trials with a deterministic seed.
     ///
+    /// Sequential, fixed-budget shorthand for [`PowerGridMc::run_with`].
+    ///
     /// # Errors
     ///
     /// Returns [`PgError`] if the base system cannot be factored.
@@ -220,14 +233,12 @@ impl PowerGridMc {
     ///
     /// Panics if `trials == 0`.
     pub fn run(&self, trials: usize, seed: u64) -> Result<McResult, PgError> {
-        self.run_threaded(trials, seed, 1)
+        self.run_with(trials, seed, &RuntimeConfig::sequential())
     }
 
     /// Runs `trials` trials split across `threads` OS threads.
     ///
-    /// Each trial draws from its own deterministically-derived RNG stream,
-    /// so the result is **identical for any thread count** (and to
-    /// [`PowerGridMc::run`] with the same seed).
+    /// Shorthand for [`PowerGridMc::run_with`] without early termination.
     ///
     /// # Errors
     ///
@@ -237,6 +248,99 @@ impl PowerGridMc {
     ///
     /// Panics if `trials == 0` or `threads == 0`.
     pub fn run_threaded(
+        &self,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<McResult, PgError> {
+        self.run_with(trials, seed, &RuntimeConfig::threaded(threads))
+    }
+
+    /// Runs the grid-level Monte Carlo on the shared work-stealing runtime.
+    ///
+    /// Each trial draws from its own RNG stream derived from
+    /// `(seed, trial)`, and the scheduler commits results in trial order,
+    /// so the result is **bit-identical for any thread count** (and to
+    /// [`PowerGridMc::run`] with the same seed). With an early-stop policy
+    /// the run halts once the confidence interval on the mean system
+    /// `ln TTF` is tight enough; [`McResult::report`] records what ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PgError`] if the base system cannot be factored, or the
+    /// error of the lowest-indexed failing trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`, and re-raises a trial panic tagged with its
+    /// trial index.
+    pub fn run_with(
+        &self,
+        trials: usize,
+        seed: u64,
+        runtime: &RuntimeConfig,
+    ) -> Result<McResult, PgError> {
+        assert!(trials > 0, "need at least one trial");
+        let dc = self.grid.dc();
+        let base_solver = IncrementalSolver::new(dc.matrix())
+            .map_err(|e| PgError::Mna(emgrid_spice::mna::MnaError::Singular(e)))?;
+        let base_rhs = dc.rhs().to_vec();
+        let site_rels = self.site_reliabilities();
+        let nominal_currents = self.grid.via_currents(self.grid.nominal_solution());
+        let nominal_j: Vec<f64> = nominal_currents
+            .iter()
+            .zip(&site_rels)
+            .map(|(i, rel)| {
+                let j_floor = rel.reference_current_density * self.current_floor_fraction;
+                (i / rel.config.effective_area_m2()).max(j_floor)
+            })
+            .collect();
+
+        let (outcomes, report) = run_trials(
+            trials,
+            runtime,
+            |t| {
+                let mut rng = emgrid_stats::stream_rng(seed, t as u64);
+                self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
+            },
+            |(ttf, _): &(f64, Vec<usize>)| ttf.max(f64::MIN_POSITIVE).ln(),
+        )?;
+
+        let mut ttf_seconds = Vec::with_capacity(outcomes.len());
+        let mut failures_per_trial = Vec::with_capacity(outcomes.len());
+        let mut site_failure_counts = vec![0usize; self.grid.via_sites().len()];
+        for (ttf, failed_sites) in outcomes {
+            ttf_seconds.push(ttf);
+            failures_per_trial.push(failed_sites.len());
+            for k in failed_sites {
+                site_failure_counts[k] += 1;
+            }
+        }
+        Ok(McResult {
+            ttf_seconds,
+            failures_per_trial,
+            site_failure_counts,
+            report,
+        })
+    }
+
+    /// Static-chunking baseline kept for the scheduling ablation in the
+    /// `pg_mc` bench: trials are pre-assigned to threads in contiguous
+    /// chunks instead of claimed from the work-stealing counter. It uses
+    /// the same per-trial RNG streams as [`PowerGridMc::run_with`], so the
+    /// `McResult` is identical — only wall-clock differs (work stealing
+    /// wins when trial costs vary, because no thread idles behind the
+    /// longest chunk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PgError`] if the base system cannot be factored or any
+    /// trial fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `threads == 0`.
+    pub fn run_static_chunked(
         &self,
         trials: usize,
         seed: u64,
@@ -259,47 +363,36 @@ impl PowerGridMc {
             })
             .collect();
 
-        // Per-trial RNG streams keep results independent of scheduling.
-        let trial_rng = |t: usize| {
-            emgrid_stats::seeded_rng(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        };
-        let run_range = |range: std::ops::Range<usize>| -> Result<Vec<(f64, Vec<usize>)>, PgError> {
+        let run_range = |range: std::ops::Range<usize>| -> Result<Vec<TrialOutcome>, PgError> {
             range
                 .map(|t| {
-                    let mut rng = trial_rng(t);
+                    let mut rng = emgrid_stats::stream_rng(seed, t as u64);
                     self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
                 })
                 .collect()
         };
+        let chunk = trials.div_ceil(threads);
+        let results: Vec<Result<Vec<TrialOutcome>, PgError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let start = (w * chunk).min(trials);
+                    let end = ((w + 1) * chunk).min(trials);
+                    let run_range = &run_range;
+                    scope.spawn(move || run_range(start..end))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut outcomes = Vec::with_capacity(trials);
+        for r in results {
+            outcomes.extend(r?);
+        }
 
-        let outcomes: Vec<(f64, Vec<usize>)> = if threads == 1 {
-            run_range(0..trials)?
-        } else {
-            let chunk = trials.div_ceil(threads);
-            let results: Vec<Result<Vec<(f64, Vec<usize>)>, PgError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..threads)
-                        .map(|w| {
-                            let start = (w * chunk).min(trials);
-                            let end = ((w + 1) * chunk).min(trials);
-                            let run_range = &run_range;
-                            scope.spawn(move || run_range(start..end))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("worker thread panicked"))
-                        .collect()
-                });
-            let mut all = Vec::with_capacity(trials);
-            for r in results {
-                all.extend(r?);
-            }
-            all
-        };
-
-        let mut ttf_seconds = Vec::with_capacity(trials);
-        let mut failures_per_trial = Vec::with_capacity(trials);
+        let mut ttf_seconds = Vec::with_capacity(outcomes.len());
+        let mut failures_per_trial = Vec::with_capacity(outcomes.len());
         let mut site_failure_counts = vec![0usize; self.grid.via_sites().len()];
         for (ttf, failed_sites) in outcomes {
             ttf_seconds.push(ttf);
@@ -312,6 +405,7 @@ impl PowerGridMc {
             ttf_seconds,
             failures_per_trial,
             site_failure_counts,
+            report: RunReport::unscheduled(trials),
         })
     }
 
@@ -597,6 +691,48 @@ mod tests {
             .unwrap();
         assert_eq!(seq.ttf_seconds(), par.ttf_seconds());
         assert_eq!(seq.site_failure_counts(), par.site_failure_counts());
+    }
+
+    #[test]
+    fn static_chunking_matches_work_stealing() {
+        // The scheduling ablation baseline must produce the same result —
+        // only wall-clock may differ.
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let ws = PowerGridMc::new(small_grid(), rel)
+            .run_threaded(16, 41, 4)
+            .unwrap();
+        let chunked = PowerGridMc::new(small_grid(), rel)
+            .run_static_chunked(16, 41, 4)
+            .unwrap();
+        assert_eq!(ws.ttf_seconds(), chunked.ttf_seconds());
+        assert_eq!(ws.site_failure_counts(), chunked.site_failure_counts());
+    }
+
+    #[test]
+    fn early_stop_agrees_with_full_budget_within_ci() {
+        // An early-terminated run's fitted mean ln TTF must land inside the
+        // advertised confidence interval of the full-budget run.
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let full = PowerGridMc::new(small_grid(), rel).run(120, 77).unwrap();
+        let es = emgrid_runtime::EarlyStop {
+            target_half_width: 0.2,
+            confidence: 0.95,
+            min_trials: 16,
+            batch: 16,
+        };
+        let stopped = PowerGridMc::new(small_grid(), rel)
+            .run_with(120, 77, &RuntimeConfig::sequential().with_early_stop(es))
+            .unwrap();
+        assert!(stopped.report().stopped_early);
+        assert!(stopped.ttf_seconds().len() < full.ttf_seconds().len());
+        // Early-stopped trials are a prefix of the full run.
+        assert_eq!(
+            stopped.ttf_seconds(),
+            &full.ttf_seconds()[..stopped.ttf_seconds().len()]
+        );
+        let diff = (stopped.report().stream.mean() - full.report().stream.mean()).abs();
+        let hw = stopped.report().achieved_half_width(0.95);
+        assert!(diff <= hw, "mean moved {diff} > advertised half-width {hw}");
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! Shared parallel Monte Carlo runtime for the `emgrid` workspace.
+//!
+//! Both levels of the paper's hierarchical Monte Carlo (Algorithm 1) — the
+//! via-array characterization in `emgrid-via` and the power-grid failure
+//! simulation in `emgrid-pg` — are embarrassingly parallel over trials, but
+//! trials have highly variable cost: each one walks a different-length
+//! failure sequence. Static chunking leaves threads idle behind the longest
+//! chunk; this crate replaces it with a **work-stealing trial scheduler**
+//! built only on `std`:
+//!
+//! * **Work stealing.** Threads claim trial indices from a shared atomic
+//!   counter, so a thread that drew cheap trials immediately picks up more
+//!   work instead of waiting on a pre-assigned range.
+//! * **Determinism.** Every trial runs on its own RNG derived from
+//!   `(seed, trial_index)` via [`emgrid_stats::stream_rng`], and results
+//!   are committed in trial order — so the output is **bit-identical for
+//!   any thread count**, including the sequential path.
+//! * **Streaming statistics.** Each committed trial pushes an observable
+//!   (the engines use `ln TTF`) into a Welford accumulator
+//!   ([`emgrid_stats::OnlineStats`]), giving an incremental lognormal fit
+//!   after any number of trials.
+//! * **Early termination.** With an [`EarlyStop`] target, trials run in
+//!   deterministic batches and stop once the confidence interval on the
+//!   streamed mean is tight enough — so a run burns only the trials its
+//!   confidence target needs instead of a fixed budget. Because the
+//!   decision is taken at batch boundaries on deterministically merged
+//!   statistics, early-stopped runs are also thread-count invariant.
+//! * **Diagnosable failures.** A panicking trial is caught, and the panic
+//!   is re-raised on the caller's thread with the trial index and original
+//!   payload message attached, instead of a bare "worker thread panicked".
+//!
+//! The scheduler is generic over the trial body; see [`run_trials`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use emgrid_stats::OnlineStats;
+
+/// Early-termination policy: stop once the two-sided confidence interval on
+/// the mean of the streamed observable is narrow enough.
+///
+/// The engines stream `ln TTF`, so `target_half_width` bounds the CI on the
+/// fitted lognormal's `mu` — equivalently, the *relative* precision of the
+/// fitted median, since the median CI is `exp(mu ± hw)` and
+/// `exp(hw) − 1 ≈ hw` for small `hw`. A target of `0.05` therefore means
+/// "median known to about ±5%".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    /// Stop when the CI half-width on the streamed mean drops to this.
+    pub target_half_width: f64,
+    /// Confidence level of the interval (default 0.95).
+    pub confidence: f64,
+    /// Never stop before this many trials (guards against a lucky narrow
+    /// CI from the first handful of samples).
+    pub min_trials: usize,
+    /// Trials per scheduling batch; the stopping rule is evaluated at batch
+    /// boundaries so the decision is deterministic for any thread count.
+    pub batch: usize,
+}
+
+impl EarlyStop {
+    /// A policy with the given CI half-width target and the defaults used
+    /// throughout the workspace (95% confidence, 64-trial minimum and
+    /// batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_half_width > 0`.
+    pub fn to_half_width(target_half_width: f64) -> Self {
+        assert!(
+            target_half_width > 0.0,
+            "target half-width must be positive"
+        );
+        EarlyStop {
+            target_half_width,
+            confidence: 0.95,
+            min_trials: 64,
+            batch: 64,
+        }
+    }
+}
+
+/// How a [`run_trials`] call executes: thread count plus optional early
+/// termination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of OS threads claiming trials (1 = run on the caller's
+    /// thread, no spawns).
+    pub threads: usize,
+    /// Optional confidence-based early termination.
+    pub early_stop: Option<EarlyStop>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 1,
+            early_stop: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Single-threaded, fixed-budget execution (the old sequential path).
+    pub fn sequential() -> Self {
+        RuntimeConfig::default()
+    }
+
+    /// Work-stealing execution across `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threaded(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        RuntimeConfig {
+            threads,
+            early_stop: None,
+        }
+    }
+
+    /// Adds an early-termination policy.
+    pub fn with_early_stop(mut self, early_stop: EarlyStop) -> Self {
+        self.early_stop = Some(early_stop);
+        self
+    }
+}
+
+/// Execution telemetry of one [`run_trials`] call: trial counters, timing
+/// and the streamed statistics, carried into the engines' result types.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The trial budget the caller asked for.
+    pub trials_requested: usize,
+    /// Trials actually run (less than requested iff stopped early).
+    pub trials_run: usize,
+    /// Thread count the run was configured with.
+    pub threads: usize,
+    /// Whether the early-termination target was reached before the budget.
+    pub stopped_early: bool,
+    /// Number of scheduling batches executed.
+    pub batches: usize,
+    /// Wall-clock time spent inside the scheduler (trial execution and
+    /// result commit, excluding the caller's setup).
+    pub wall: Duration,
+    /// Trials executed by each worker thread, indexed by worker — the
+    /// work-stealing balance (all zeros except index 0 for sequential
+    /// runs). Unlike everything else in the report this depends on
+    /// scheduling, so it is telemetry only.
+    pub trials_per_thread: Vec<usize>,
+    /// Streaming statistics of the observable (the engines stream
+    /// `ln TTF`), merged in trial order.
+    pub stream: OnlineStats,
+}
+
+impl RunReport {
+    /// A placeholder report for results constructed directly from samples
+    /// (e.g. in tests) rather than by the scheduler.
+    pub fn unscheduled(trials: usize) -> Self {
+        RunReport {
+            trials_requested: trials,
+            trials_run: trials,
+            threads: 1,
+            stopped_early: false,
+            batches: 0,
+            wall: Duration::ZERO,
+            trials_per_thread: Vec::new(),
+            stream: OnlineStats::new(),
+        }
+    }
+
+    /// The achieved CI half-width on the streamed mean at `confidence`.
+    pub fn achieved_half_width(&self, confidence: f64) -> f64 {
+        self.stream.ci_half_width(confidence)
+    }
+
+    /// Trials per second of wall-clock time (0 if the run was too fast to
+    /// measure).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.trials_run as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A panic captured from a worker, tagged with the trial that raised it.
+struct TrialPanic {
+    trial: usize,
+    message: String,
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `trials` Monte Carlo trials under `config` and returns the per-trial
+/// outputs in trial order, plus a [`RunReport`].
+///
+/// `trial(t)` must derive all of its randomness from `t` (typically via
+/// [`emgrid_stats::stream_rng`]`(seed, t as u64)`): the scheduler guarantees
+/// any thread may run any trial, and determinism then follows. `observe`
+/// maps each successful trial to the scalar streamed into the early-stop
+/// statistics; engines pass `ln TTF`.
+///
+/// # Errors
+///
+/// If any trial returns `Err`, the error of the **lowest-indexed** failing
+/// trial is returned (deterministic for any thread count). Trials already
+/// completed are discarded.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, and re-raises a worker panic on the caller's
+/// thread as `"trial <t> panicked: <original message>"`.
+pub fn run_trials<T, E, F, O>(
+    trials: usize,
+    config: &RuntimeConfig,
+    trial: F,
+    observe: O,
+) -> Result<(Vec<T>, RunReport), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+    O: Fn(&T) -> f64,
+{
+    assert!(trials > 0, "need at least one trial");
+    assert!(config.threads > 0, "need at least one thread");
+    let start = Instant::now();
+    let batch_size = match config.early_stop {
+        Some(es) => es.batch.max(1),
+        None => trials,
+    };
+
+    let mut outputs: Vec<T> = Vec::with_capacity(trials);
+    let mut stream = OnlineStats::new();
+    let mut trials_per_thread = vec![0usize; config.threads];
+    let mut batches = 0usize;
+    let mut stopped_early = false;
+
+    while outputs.len() < trials {
+        let batch_start = outputs.len();
+        let batch_end = (batch_start + batch_size).min(trials);
+        let mut batch = run_batch(batch_start..batch_end, config.threads, &trial)?;
+        batches += 1;
+        for (worker, count) in batch.per_worker.drain(..).enumerate() {
+            trials_per_thread[worker] += count;
+        }
+        // Commit in trial order: the stream merge (and therefore the
+        // stopping decision below) is identical for any thread count.
+        batch.outcomes.sort_by_key(|(t, _)| *t);
+        for (_, value) in batch.outcomes {
+            stream.push(observe(&value));
+            outputs.push(value);
+        }
+        if let Some(es) = config.early_stop {
+            if outputs.len() >= es.min_trials
+                && outputs.len() < trials
+                && stream.ci_half_width(es.confidence) <= es.target_half_width
+            {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+
+    let report = RunReport {
+        trials_requested: trials,
+        trials_run: outputs.len(),
+        threads: config.threads,
+        stopped_early,
+        batches,
+        wall: start.elapsed(),
+        trials_per_thread,
+        stream,
+    };
+    Ok((outputs, report))
+}
+
+struct BatchOutcome<T> {
+    outcomes: Vec<(usize, T)>,
+    per_worker: Vec<usize>,
+}
+
+/// Runs one batch of trials with work stealing; returns outcomes in
+/// arbitrary order (the caller sorts).
+fn run_batch<T, E, F>(
+    range: std::ops::Range<usize>,
+    threads: usize,
+    trial: &F,
+) -> Result<BatchOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let len = range.end - range.start;
+    if threads == 1 || len == 1 {
+        // Sequential fast path: no spawns, no atomics.
+        let mut outcomes = Vec::with_capacity(len);
+        for t in range {
+            match catch_unwind(AssertUnwindSafe(|| trial(t))) {
+                Ok(Ok(v)) => outcomes.push((t, v)),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    panic!("trial {t} panicked: {}", payload_message(payload.as_ref()))
+                }
+            }
+        }
+        let count = outcomes.len();
+        let mut per_worker = vec![0usize; threads];
+        per_worker[0] = count;
+        return Ok(BatchOutcome {
+            outcomes,
+            per_worker,
+        });
+    }
+
+    let next = AtomicUsize::new(range.start);
+    // Lowest trial index observed to fail (error or panic). Workers skip
+    // trials *above* this watermark — fail-fast — but still execute every
+    // trial below it, so the lowest-indexed failure is found exactly and
+    // the surfaced error is deterministic for any thread count.
+    let min_failed = AtomicUsize::new(usize::MAX);
+    let workers = threads.min(len);
+    struct WorkerResult<T, E> {
+        outcomes: Vec<(usize, T)>,
+        error: Option<(usize, E)>,
+        panic: Option<TrialPanic>,
+    }
+    let results: Vec<WorkerResult<T, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let min_failed = &min_failed;
+                scope.spawn(move || {
+                    let mut out = WorkerResult {
+                        outcomes: Vec::new(),
+                        error: None,
+                        panic: None,
+                    };
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= range.end {
+                            break;
+                        }
+                        // The claim counter is monotonic, so every trial
+                        // below the failure watermark is already claimed by
+                        // some worker; anything above it cannot be the
+                        // lowest failure and is skipped.
+                        if t > min_failed.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| trial(t))) {
+                            Ok(Ok(v)) => out.outcomes.push((t, v)),
+                            Ok(Err(e)) => {
+                                out.error = Some((t, e));
+                                min_failed.fetch_min(t, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(payload) => {
+                                out.panic = Some(TrialPanic {
+                                    trial: t,
+                                    message: payload_message(payload.as_ref()),
+                                });
+                                min_failed.fetch_min(t, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runtime worker panics are caught inside"))
+            .collect()
+    });
+
+    // On failure, workers skip trials above the watermark, so `outcomes`
+    // may be partial; the lowest-indexed recorded event is exact and is
+    // the one surfaced.
+    let mut panic: Option<TrialPanic> = None;
+    let mut error: Option<(usize, E)> = None;
+    let mut outcomes = Vec::with_capacity(len);
+    let mut per_worker = vec![0usize; threads];
+    for (w, r) in results.into_iter().enumerate() {
+        per_worker[w] = r.outcomes.len();
+        outcomes.extend(r.outcomes);
+        if let Some(p) = r.panic {
+            if panic.as_ref().is_none_or(|q| p.trial < q.trial) {
+                panic = Some(p);
+            }
+        }
+        if let Some((t, e)) = r.error {
+            if error.as_ref().is_none_or(|(u, _)| t < *u) {
+                error = Some((t, e));
+            }
+        }
+    }
+    if let Some(p) = panic {
+        if error.as_ref().is_none_or(|(t, _)| p.trial < *t) {
+            panic!("trial {} panicked: {}", p.trial, p.message);
+        }
+    }
+    if let Some((_, e)) = error {
+        return Err(e);
+    }
+    Ok(BatchOutcome {
+        outcomes,
+        per_worker,
+    })
+}
+
+/// [`run_trials`] for trial bodies that cannot fail.
+///
+/// # Panics
+///
+/// Same contract as [`run_trials`].
+pub fn run_trials_infallible<T, F, O>(
+    trials: usize,
+    config: &RuntimeConfig,
+    trial: F,
+    observe: O,
+) -> (Vec<T>, RunReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(&T) -> f64,
+{
+    enum Never {}
+    let result: Result<_, Never> = run_trials(trials, config, |t| Ok(trial(t)), observe);
+    match result {
+        Ok(pair) => pair,
+        Err(never) => match never {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emgrid_stats::{stream_rng, Rng};
+
+    fn lognormal_trial(seed: u64, t: usize) -> f64 {
+        let mut rng = stream_rng(seed, t as u64);
+        (1.0 + 0.5 * rng.next_standard_normal()).exp()
+    }
+
+    #[test]
+    fn thread_counts_agree_bit_for_bit() {
+        let run = |threads| {
+            run_trials_infallible(
+                257,
+                &RuntimeConfig::threaded(threads),
+                |t| lognormal_trial(9, t),
+                |x| x.ln(),
+            )
+        };
+        let (seq, seq_report) = run(1);
+        for threads in [2, 4, 8] {
+            let (par, report) = run(threads);
+            assert_eq!(seq, par, "thread count {threads} changed results");
+            assert_eq!(report.trials_run, 257);
+            assert_eq!(report.stream, seq_report.stream);
+        }
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        let (_, report) = run_trials_infallible(
+            400,
+            &RuntimeConfig::threaded(4),
+            |t| lognormal_trial(1, t),
+            |x| x.ln(),
+        );
+        assert_eq!(report.trials_per_thread.len(), 4);
+        assert_eq!(report.trials_per_thread.iter().sum::<usize>(), 400);
+        // On a single hardware thread one worker may legitimately drain the
+        // whole counter before its siblings are ever scheduled, so only
+        // assert a spread where real parallelism exists.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 2 {
+            let active = report.trials_per_thread.iter().filter(|&&c| c > 0).count();
+            assert!(active >= 2, "only {active} workers ran trials");
+        }
+    }
+
+    #[test]
+    fn early_stop_halts_before_the_budget() {
+        // sigma = 0.5: hw(95%) ~ 1.96 * 0.5 / sqrt(n) <= 0.05 at n ~ 385.
+        let config = RuntimeConfig::threaded(4).with_early_stop(EarlyStop::to_half_width(0.05));
+        let (out, report) =
+            run_trials_infallible(100_000, &config, |t| lognormal_trial(5, t), |x| x.ln());
+        assert!(report.stopped_early);
+        assert_eq!(out.len(), report.trials_run);
+        assert!(
+            report.trials_run < 2000,
+            "ran {} trials for a 0.05 target",
+            report.trials_run
+        );
+        assert!(report.achieved_half_width(0.95) <= 0.05);
+        assert!(report.trials_run >= 64);
+    }
+
+    #[test]
+    fn early_stop_is_thread_count_invariant() {
+        let run = |threads| {
+            let config =
+                RuntimeConfig::threaded(threads).with_early_stop(EarlyStop::to_half_width(0.08));
+            run_trials_infallible(50_000, &config, |t| lognormal_trial(6, t), |x| x.ln())
+        };
+        let (seq, seq_report) = run(1);
+        for threads in [2, 8] {
+            let (par, report) = run(threads);
+            assert_eq!(seq, par);
+            assert_eq!(report.trials_run, seq_report.trials_run);
+            assert_eq!(report.stopped_early, seq_report.stopped_early);
+        }
+    }
+
+    #[test]
+    fn early_stop_respects_min_trials() {
+        let es = EarlyStop {
+            target_half_width: 1e9, // trivially satisfied immediately
+            confidence: 0.95,
+            min_trials: 192,
+            batch: 64,
+        };
+        let config = RuntimeConfig::sequential().with_early_stop(es);
+        let (_, report) =
+            run_trials_infallible(10_000, &config, |t| lognormal_trial(7, t), |x| x.ln());
+        assert!(report.stopped_early);
+        assert_eq!(report.trials_run, 192);
+    }
+
+    #[test]
+    fn exhausting_the_budget_is_not_early_stop() {
+        let config = RuntimeConfig::sequential().with_early_stop(EarlyStop::to_half_width(1e-9));
+        let (_, report) =
+            run_trials_infallible(100, &config, |t| lognormal_trial(8, t), |x| x.ln());
+        assert!(!report.stopped_early);
+        assert_eq!(report.trials_run, 100);
+    }
+
+    #[test]
+    fn errors_pick_the_lowest_trial_index() {
+        for threads in [1, 4] {
+            let config = RuntimeConfig::threaded(threads);
+            let result: Result<(Vec<f64>, _), usize> = run_trials(
+                100,
+                &config,
+                |t| if t % 7 == 3 { Err(t) } else { Ok(t as f64) },
+                |&x| x,
+            );
+            assert_eq!(result.err(), Some(3), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_carry_trial_index_and_message() {
+        for threads in [1, 4] {
+            let config = RuntimeConfig::threaded(threads);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_trials_infallible(
+                    64,
+                    &config,
+                    |t| {
+                        if t == 41 {
+                            panic!("bad trial state: remaining life NaN");
+                        }
+                        t as f64
+                    },
+                    |&x| x,
+                )
+            }));
+            let payload = caught.expect_err("must panic");
+            let message = payload_message(payload.as_ref());
+            assert!(
+                message.contains("trial 41") && message.contains("remaining life NaN"),
+                "threads {threads}: got {message:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_counters_are_consistent() {
+        let (out, report) = run_trials_infallible(
+            130,
+            &RuntimeConfig::threaded(3),
+            |t| lognormal_trial(2, t),
+            |x| x.ln(),
+        );
+        assert_eq!(report.trials_requested, 130);
+        assert_eq!(report.trials_run, 130);
+        assert_eq!(out.len(), 130);
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.stream.count(), 130);
+        assert!(report.wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn single_trial_runs_inline() {
+        let (out, report) = run_trials_infallible(
+            1,
+            &RuntimeConfig::threaded(8),
+            |t| lognormal_trial(3, t),
+            |x| x.ln(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(report.trials_per_thread.iter().sum::<usize>(), 1);
+    }
+}

@@ -256,7 +256,9 @@ mod tests {
         let a = laplacian_2d(7, 7);
         let f = Ic0::factor(&a).unwrap();
         for s in 0..5 {
-            let r: Vec<f64> = (0..49).map(|i| ((i * 31 + s * 7) % 11) as f64 - 5.0).collect();
+            let r: Vec<f64> = (0..49)
+                .map(|i| ((i * 31 + s * 7) % 11) as f64 - 5.0)
+                .collect();
             let z = f.apply(&r);
             let dot: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
             assert!(dot > 0.0);

@@ -59,11 +59,11 @@ pub mod ordering;
 pub mod smw;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome, Preconditioner};
-pub use ic0::Ic0;
 pub use coo::TripletMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
+pub use ic0::Ic0;
 pub use ldl::LdlFactor;
 pub use ordering::{reverse_cuthill_mckee, Permutation};
 pub use smw::IncrementalSolver;

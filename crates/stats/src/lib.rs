@@ -37,6 +37,8 @@ pub mod ecdf;
 pub mod ks;
 pub mod lognormal;
 pub mod normal;
+pub mod online;
+pub mod rng;
 pub mod special;
 pub mod wilkinson;
 
@@ -45,10 +47,9 @@ pub use ecdf::Ecdf;
 pub use ks::{ks_statistic, ks_two_sample};
 pub use lognormal::LogNormal;
 pub use normal::Normal;
+pub use online::OnlineStats;
+pub use rng::{seeded_rng, stream_rng, Rng, Xoshiro256};
 pub use special::{erf, erfc, inverse_normal_cdf, normal_cdf};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Error raised when distribution parameters are invalid.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,25 +72,16 @@ impl std::fmt::Display for InvalidParameterError {
 
 impl std::error::Error for InvalidParameterError {}
 
-/// Creates a deterministic, seedable random number generator.
-///
-/// All Monte Carlo entry points in the workspace take a seed so experiments
-/// are reproducible run to run.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn seeded_rng_is_deterministic() {
         let mut a = seeded_rng(42);
         let mut b = seeded_rng(42);
         for _ in 0..16 {
-            assert_eq!(a.random::<u64>(), b.random::<u64>());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

@@ -6,8 +6,8 @@
 //! Monte Carlo are all modeled as lognormal.
 
 use crate::normal::Normal;
+use crate::rng::Rng;
 use crate::InvalidParameterError;
-use rand::Rng;
 
 /// A lognormal distribution: `ln X ~ N(mu, sigma²)`.
 ///
@@ -157,12 +157,9 @@ impl LogNormal {
         (self.mu + self.sigma * crate::special::inverse_normal_cdf(p)).exp()
     }
 
-    /// Draws one sample.
+    /// Draws one sample by inverse-CDF transform (one uniform per draw).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        use rand_distr::Distribution;
-        rand_distr::LogNormal::new(self.mu, self.sigma)
-            .expect("parameters validated at construction")
-            .sample(rng)
+        (self.mu + self.sigma * rng.next_standard_normal()).exp()
     }
 
     /// Multiplies the distribution by a positive constant: `c·X` is lognormal

@@ -1,9 +1,8 @@
 //! The normal (Gaussian) distribution.
 
+use crate::rng::Rng;
 use crate::special::{inverse_normal_cdf, normal_cdf, normal_pdf};
 use crate::InvalidParameterError;
-use rand::Rng;
-use rand_distr::Distribution;
 
 /// A normal distribution `N(mean, sd²)`.
 ///
@@ -76,12 +75,9 @@ impl Normal {
         self.mean + self.sd * inverse_normal_cdf(p)
     }
 
-    /// Draws one sample.
+    /// Draws one sample by inverse-CDF transform (one uniform per draw).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // rand_distr's Ziggurat-based sampler; parameters already validated.
-        rand_distr::Normal::new(self.mean, self.sd)
-            .expect("parameters validated at construction")
-            .sample(rng)
+        self.mean + self.sd * rng.next_standard_normal()
     }
 
     /// Fits a normal distribution to samples by moments.

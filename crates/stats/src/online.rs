@@ -1,0 +1,229 @@
+//! Streaming (online) statistics: Welford's algorithm with Chan's merge.
+//!
+//! The parallel Monte Carlo runtime fits lognormals *incrementally*: every
+//! trial pushes `ln(TTF)` into an [`OnlineStats`], and the accumulated
+//! mean/variance are exactly the MLE `(mu, sigma)` of a lognormal fit — so
+//! confidence-interval-based early termination can be evaluated after any
+//! number of trials without re-scanning the sample vector.
+//!
+//! Welford's update is numerically stable (no catastrophic cancellation in
+//! the variance), and [`OnlineStats::merge`] combines partial accumulators
+//! with Chan et al.'s parallel update, so per-thread accumulators can be
+//! folded deterministically in trial order.
+
+use crate::special::inverse_normal_cdf;
+
+/// A running mean/variance accumulator (Welford), mergeable across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Pushes one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    ///
+    /// `a.merge(&b)` equals pushing all of `b`'s observations after `a`'s,
+    /// up to floating-point rounding.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1 denominator); 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population variance (n denominator) — the lognormal MLE `sigma²`
+    /// when the observations are `ln(TTF)`.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean; `+inf` with fewer than two samples.
+    pub fn standard_error(&self) -> f64 {
+        if self.count < 2 {
+            f64::INFINITY
+        } else {
+            self.sd() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the two-sided confidence interval on the mean at the
+    /// given confidence level (normal approximation).
+    ///
+    /// When the observations are `ln(TTF)`, this is the half-width of the
+    /// CI on the fitted lognormal's `mu` — equivalently, the relative
+    /// precision of the fitted median (`exp(mu ± hw)`), which is what the
+    /// runtime's early-termination criterion bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < confidence < 1`.
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        inverse_normal_cdf(0.5 + confidence / 2.0) * self.standard_error()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::seeded_rng;
+
+    #[test]
+    fn matches_batch_mean_and_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let mut rng = seeded_rng(11);
+        let data: Vec<f64> = (0..1000).map(|_| rng.next_f64() * 10.0 - 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        for split in [1, 137, 500, 999] {
+            let (a, b) = data.split_at(split);
+            let mut left = OnlineStats::new();
+            let mut right = OnlineStats::new();
+            a.iter().for_each(|&x| left.push(x));
+            b.iter().for_each(|&x| right.push(x));
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            assert!((left.mean() - whole.mean()).abs() < 1e-12);
+            assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(3.0);
+        let before = s;
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci_half_width_shrinks_with_n() {
+        let mut rng = seeded_rng(13);
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for i in 0..10_000 {
+            let x = rng.next_standard_normal();
+            if i < 100 {
+                small.push(x);
+            }
+            large.push(x);
+        }
+        assert!(large.ci_half_width(0.95) < small.ci_half_width(0.95) / 5.0);
+        // z(0.95) ~ 1.96: half-width ~ 1.96 * sd / sqrt(n).
+        let expect = 1.959963984540054 * large.sd() / (large.count() as f64).sqrt();
+        assert!((large.ci_half_width(0.95) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts_are_safe() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.standard_error(), f64::INFINITY);
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci_half_width(0.95), f64::INFINITY);
+    }
+}

@@ -2,8 +2,9 @@
 //! two-parameter lognormal handed to the power-grid analysis (paper §5.1,
 //! last paragraph).
 
+use emgrid_runtime::RunReport;
+use emgrid_stats::Rng;
 use emgrid_stats::{ks_statistic, Ecdf, InvalidParameterError, LogNormal};
-use rand::Rng;
 
 use crate::array::{FailureCriterion, ViaArrayConfig};
 use crate::mc::ViaArraySample;
@@ -14,10 +15,13 @@ pub struct CharacterizationResult {
     config: ViaArrayConfig,
     reference_current_density: f64,
     samples: Vec<ViaArraySample>,
+    report: RunReport,
 }
 
 impl CharacterizationResult {
-    /// Wraps raw Monte Carlo samples.
+    /// Wraps raw Monte Carlo samples (with a placeholder execution report;
+    /// scheduler-produced results carry a real one via
+    /// [`CharacterizationResult::with_report`]).
     ///
     /// # Panics
     ///
@@ -26,6 +30,22 @@ impl CharacterizationResult {
         config: ViaArrayConfig,
         reference_current_density: f64,
         samples: Vec<ViaArraySample>,
+    ) -> Self {
+        let report = RunReport::unscheduled(samples.len());
+        Self::with_report(config, reference_current_density, samples, report)
+    }
+
+    /// Wraps samples together with the [`RunReport`] of the scheduler run
+    /// that produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or a sample has the wrong via count.
+    pub fn with_report(
+        config: ViaArrayConfig,
+        reference_current_density: f64,
+        samples: Vec<ViaArraySample>,
+        report: RunReport,
     ) -> Self {
         assert!(!samples.is_empty(), "need at least one sample");
         for s in &samples {
@@ -39,12 +59,19 @@ impl CharacterizationResult {
             config,
             reference_current_density,
             samples,
+            report,
         }
     }
 
     /// The characterized configuration.
     pub fn config(&self) -> &ViaArrayConfig {
         &self.config
+    }
+
+    /// Execution telemetry: trials run vs requested, threads, early-stop
+    /// outcome, wall-clock, and the streamed `ln TTF` statistics.
+    pub fn report(&self) -> &RunReport {
+        &self.report
     }
 
     /// Current density the characterization was run at, A/m².

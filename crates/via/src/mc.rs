@@ -11,7 +11,8 @@
 
 use emgrid_em::void_growth::GrowthModel;
 use emgrid_em::{nucleation, Technology};
-use rand::Rng;
+use emgrid_runtime::RuntimeConfig;
+use emgrid_stats::Rng;
 
 use crate::array::ViaArrayConfig;
 use crate::characterization::CharacterizationResult;
@@ -206,15 +207,43 @@ impl ViaArrayMc {
     /// Runs `trials` trials with a deterministic seed and collects the
     /// results for criterion evaluation and lognormal fitting.
     ///
+    /// Sequential, fixed-budget shorthand for [`ViaArrayMc::characterize_with`].
+    ///
     /// # Panics
     ///
     /// Panics if `trials == 0`.
     pub fn characterize(&self, trials: usize, seed: u64) -> CharacterizationResult {
-        assert!(trials > 0, "need at least one trial");
-        let mut rng = emgrid_stats::seeded_rng(seed);
-        let samples: Vec<ViaArraySample> =
-            (0..trials).map(|_| self.simulate_once(&mut rng)).collect();
-        CharacterizationResult::new(self.config, self.current_density, samples)
+        self.characterize_with(trials, seed, &RuntimeConfig::sequential())
+    }
+
+    /// Runs the characterization on the shared Monte Carlo runtime: trials
+    /// are scheduled work-stealing across `runtime.threads`, each on its own
+    /// RNG stream derived from `(seed, trial)`, so the samples are
+    /// **bit-identical for any thread count**. With an early-stop policy the
+    /// run halts once the confidence interval on the open-circuit `ln TTF`
+    /// mean is tight enough; the [`emgrid_runtime::RunReport`] on the result
+    /// records what actually ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn characterize_with(
+        &self,
+        trials: usize,
+        seed: u64,
+        runtime: &RuntimeConfig,
+    ) -> CharacterizationResult {
+        let open_circuit = self.config.count() - 1;
+        let (samples, report) = emgrid_runtime::run_trials_infallible(
+            trials,
+            runtime,
+            |t| {
+                let mut rng = emgrid_stats::stream_rng(seed, t as u64);
+                self.simulate_once(&mut rng)
+            },
+            |s: &ViaArraySample| s.failure_times[open_circuit].max(f64::MIN_POSITIVE).ln(),
+        );
+        CharacterizationResult::with_report(self.config, self.current_density, samples, report)
     }
 }
 

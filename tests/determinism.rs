@@ -1,0 +1,103 @@
+//! Determinism guarantees of the shared Monte Carlo runtime, end-to-end
+//! through both levels of the hierarchical analysis: any thread count and
+//! either scheduler must produce bit-identical samples in identical order,
+//! with and without early termination.
+
+use emgrid::prelude::*;
+
+const J: f64 = 1e10;
+
+fn via_mc() -> ViaArrayMc {
+    ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        Technology::default(),
+        J,
+    )
+}
+
+fn grid_mc() -> PowerGridMc {
+    let rel = via_mc()
+        .characterize(200, 3)
+        .reliability(FailureCriterion::OpenCircuit)
+        .unwrap();
+    let grid = PowerGrid::from_netlist(GridSpec::custom("det", 10, 10).generate()).unwrap();
+    PowerGridMc::new(grid, rel).with_system_criterion(SystemCriterion::IrDropFraction(0.10))
+}
+
+#[test]
+fn via_characterization_is_thread_count_invariant() {
+    let mc = via_mc();
+    let seq = mc.characterize_with(150, 17, &RuntimeConfig::threaded(1));
+    for threads in [2, 8] {
+        let par = mc.characterize_with(150, 17, &RuntimeConfig::threaded(threads));
+        // Bit-identical per-trial failure sequences, in trial order.
+        assert_eq!(seq.samples(), par.samples(), "threads = {threads}");
+        assert_eq!(
+            seq.ttf_samples(FailureCriterion::OpenCircuit),
+            par.ttf_samples(FailureCriterion::OpenCircuit),
+        );
+        assert_eq!(par.report().threads, threads);
+    }
+}
+
+#[test]
+fn grid_mc_is_thread_count_invariant() {
+    let mc = grid_mc();
+    let seq = mc.run_threaded(20, 29, 1).unwrap();
+    for threads in [2, 8] {
+        let par = mc.run_threaded(20, 29, threads).unwrap();
+        // Bit-identical system TTFs AND identical failure orders (the site
+        // histogram is sensitive to which array died in which trial).
+        assert_eq!(seq.ttf_seconds(), par.ttf_seconds(), "threads = {threads}");
+        assert_eq!(seq.failures_per_trial(), par.failures_per_trial());
+        assert_eq!(seq.site_failure_counts(), par.site_failure_counts());
+    }
+}
+
+#[test]
+fn work_stealing_matches_static_chunking() {
+    let mc = grid_mc();
+    let stealing = mc.run_threaded(20, 31, 4).unwrap();
+    let chunked = mc.run_static_chunked(20, 31, 4).unwrap();
+    assert_eq!(stealing.ttf_seconds(), chunked.ttf_seconds());
+    assert_eq!(
+        stealing.site_failure_counts(),
+        chunked.site_failure_counts()
+    );
+}
+
+#[test]
+fn early_termination_is_thread_count_invariant() {
+    // The stopping decision is taken at deterministic batch boundaries on
+    // trial-ordered statistics, so even the *number* of trials run must
+    // agree across thread counts.
+    let mc = via_mc();
+    let config = |threads| {
+        RuntimeConfig::threaded(threads).with_early_stop(EarlyStop {
+            target_half_width: 0.1,
+            confidence: 0.95,
+            min_trials: 32,
+            batch: 32,
+        })
+    };
+    let seq = mc.characterize_with(5_000, 41, &config(1));
+    assert!(seq.report().stopped_early, "target should stop this run");
+    for threads in [2, 8] {
+        let par = mc.characterize_with(5_000, 41, &config(threads));
+        assert_eq!(seq.trials(), par.trials(), "threads = {threads}");
+        assert_eq!(seq.samples(), par.samples());
+        assert_eq!(par.report().stopped_early, seq.report().stopped_early);
+    }
+}
+
+#[test]
+fn trials_run_is_scheduling_independent_telemetry() {
+    let mc = via_mc();
+    let r = mc.characterize_with(97, 53, &RuntimeConfig::threaded(3));
+    let report = r.report();
+    assert_eq!(report.trials_requested, 97);
+    assert_eq!(report.trials_run, 97);
+    assert_eq!(report.trials_per_thread.iter().sum::<usize>(), 97);
+    assert_eq!(report.stream.count(), 97);
+    assert!(report.wall.as_nanos() > 0);
+}

@@ -36,10 +36,11 @@ fn lifetime_area_tradeoff_is_a_real_pareto_frontier() {
             config.wire_width,
         );
         let result = ViaArrayMc::new(config, tech, sigma_t, 1e10).characterize(300, 9);
-        let ttf = result
-            .ecdf(FailureCriterion::ResistanceRatio(2.0))
-            .median();
-        assert!(area > last_area, "footprint must grow: {area} vs {last_area}");
+        let ttf = result.ecdf(FailureCriterion::ResistanceRatio(2.0)).median();
+        assert!(
+            area > last_area,
+            "footprint must grow: {area} vs {last_area}"
+        );
         assert!(ttf > last_ttf, "lifetime must grow: {ttf} vs {last_ttf}");
         last_area = area;
         last_ttf = ttf;

@@ -1,0 +1,118 @@
+//! Statistical acceptance of the Monte Carlo layer: Kolmogorov–Smirnov
+//! goodness-of-fit of the characterized TTF distributions against their
+//! lognormal reductions (the paper's two-parameter assumption, §5.1), and
+//! agreement of CI-based early termination with full-budget runs.
+
+use emgrid::prelude::*;
+use emgrid::stats::ks::{ks_critical_value, ks_statistic};
+
+const J: f64 = 1e10;
+const TRIALS: usize = 600;
+
+fn characterize(pattern: IntersectionPattern, seed: u64) -> emgrid::via::CharacterizationResult {
+    ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(pattern),
+        Technology::default(),
+        J,
+    )
+    .characterize(TRIALS, seed)
+}
+
+#[test]
+fn lognormal_fit_passes_ks_for_every_pattern() {
+    // The grid level samples array TTFs from a two-parameter lognormal;
+    // that reduction must hold for each intersection pattern's stress map.
+    for (pattern, seed) in [
+        (IntersectionPattern::Plus, 61),
+        (IntersectionPattern::Tee, 62),
+        (IntersectionPattern::Ell, 63),
+    ] {
+        let result = characterize(pattern, seed);
+        for criterion in [FailureCriterion::ViaCount(8), FailureCriterion::OpenCircuit] {
+            let fit = result.fit_lognormal(criterion).unwrap();
+            let d = ks_statistic(&result.ecdf(criterion), |x| fit.cdf(x));
+            let crit = ks_critical_value(result.trials(), 0.01);
+            assert!(d < crit, "{pattern}/{criterion}: KS {d} >= {crit}");
+        }
+    }
+}
+
+#[test]
+fn streamed_statistics_match_the_post_hoc_fit() {
+    // The runtime's Welford stream over ln TTF must agree with the
+    // lognormal MLE computed from the collected samples afterwards.
+    let result = characterize(IntersectionPattern::Plus, 71);
+    let fit = result.fit_lognormal(FailureCriterion::OpenCircuit).unwrap();
+    let stream = &result.report().stream;
+    assert_eq!(stream.count(), result.trials() as u64);
+    assert!(
+        (stream.mean() - fit.mu()).abs() < 1e-9,
+        "stream mean {} vs fitted mu {}",
+        stream.mean(),
+        fit.mu()
+    );
+    // The fit uses the unbiased (n-1) log-space variance, like the stream.
+    assert!((stream.sd() - fit.sigma()).abs() < 1e-9);
+}
+
+#[test]
+fn early_stop_fit_agrees_with_full_budget_within_ci() {
+    let mc = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        Technology::default(),
+        J,
+    );
+    let full = mc.characterize(4_000, 83);
+    let full_fit = full.fit_lognormal(FailureCriterion::OpenCircuit).unwrap();
+
+    let target = 0.05;
+    let stopped = mc.characterize_with(
+        4_000,
+        83,
+        &RuntimeConfig::sequential().with_early_stop(EarlyStop::to_half_width(target)),
+    );
+    let report = stopped.report();
+    assert!(report.stopped_early, "0.05 target should stop well short");
+    assert!(stopped.trials() < full.trials());
+    let achieved = report.achieved_half_width(0.95);
+    assert!(achieved <= target, "achieved {achieved} > target {target}");
+
+    // The early-terminated fit's mu lands within its advertised CI of the
+    // full-budget fit (equivalently: the median is right to ~target
+    // relative precision).
+    let stopped_fit = stopped
+        .fit_lognormal(FailureCriterion::OpenCircuit)
+        .unwrap();
+    let diff = (stopped_fit.mu() - full_fit.mu()).abs();
+    assert!(
+        diff <= target,
+        "early-stop mu {} vs full mu {}: |diff| {diff} > {target}",
+        stopped_fit.mu(),
+        full_fit.mu()
+    );
+    let median_ratio = stopped_fit.median() / full_fit.median();
+    assert!(
+        (median_ratio.ln()).abs() <= target,
+        "median ratio {median_ratio}"
+    );
+}
+
+#[test]
+fn early_stopped_samples_still_fit_lognormal() {
+    // Stopping on a CI target must not bias the retained prefix: the
+    // truncated sample set still passes the KS test against its own fit.
+    let mc = ViaArrayMc::from_reference_table(
+        &ViaArrayConfig::paper_4x4(IntersectionPattern::Plus),
+        Technology::default(),
+        J,
+    );
+    let stopped = mc.characterize_with(
+        100_000,
+        91,
+        &RuntimeConfig::sequential().with_early_stop(EarlyStop::to_half_width(0.04)),
+    );
+    assert!(stopped.report().stopped_early);
+    let d = stopped.fit_quality(FailureCriterion::OpenCircuit).unwrap();
+    let crit = ks_critical_value(stopped.trials(), 0.01);
+    assert!(d < crit, "KS {d} >= {crit}");
+}
