@@ -1,9 +1,15 @@
 //! Cost of the finite-element characterization pipeline (the paper's
-//! per-primitive ABAQUS run) at increasing mesh refinement.
+//! per-primitive ABAQUS run) at increasing mesh refinement, the scaling of
+//! the threaded assembly/CG path (with a bitwise determinism gate), and
+//! the cold-vs-warm persistent stress cache.
+//!
+//! Results also land machine-readably in `BENCH_fea.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use emgrid::fea::assembly::{assemble, BoundaryConditions};
+use emgrid::fea::assembly::{assemble, assemble_with, BoundaryConditions};
+use emgrid::fea::SolveMethod;
 use emgrid::prelude::*;
+use emgrid::via::{FeaOptions, LayerPair, StressCache};
 use std::hint::black_box;
 
 fn model(resolution: f64) -> CharacterizationModel {
@@ -18,6 +24,7 @@ fn model(resolution: f64) -> CharacterizationModel {
 }
 
 fn bench_fea(c: &mut Criterion) {
+    c.json_output("BENCH_fea.json");
     let mut group = c.benchmark_group("fea_pipeline");
     group.sample_size(10);
     for resolution in [0.5f64, 0.4, 0.3] {
@@ -58,5 +65,99 @@ fn bench_fea(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fea);
+/// Threaded assembly + CG at a fine mesh, serial vs parallel. Before
+/// timing, asserts the parallel stress field is **bitwise identical** to
+/// the serial one — the determinism contract the speedup rides on.
+fn bench_fea_threads(c: &mut Criterion) {
+    let m = model(0.3);
+    // Force the iterative path so the CG kernels (not the LDL
+    // factorization) dominate the timing.
+    let method = SolveMethod::Iterative {
+        tolerance: 1e-7,
+        max_iterations: 40_000,
+    };
+    let solve = |threads: usize| {
+        ThermalStressAnalysis::new(m)
+            .with_method(method)
+            .with_threads(threads)
+            .run()
+            .expect("bench model solves")
+    };
+    let serial = solve(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            solve(threads).displacements(),
+            serial.displacements(),
+            "stress field must be bit-identical at {threads} threads"
+        );
+    }
+
+    let mesh = m.build_mesh();
+    let mut group = c.benchmark_group("fea_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("assemble_0.3um", format!("{threads}t")),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    black_box(assemble_with(
+                        black_box(&mesh),
+                        &BoundaryConditions::confined_stack(),
+                        -220.0,
+                        threads,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assemble_solve_0.3um", format!("{threads}t")),
+            &threads,
+            |bench, &threads| bench.iter(|| black_box(solve(threads))),
+        );
+    }
+    group.finish();
+}
+
+/// Cold vs warm persistent stress cache on one primitive, gated on the
+/// warm result agreeing bit-for-bit with the cold solve.
+fn bench_fea_cache(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("emgrid-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = model(0.4);
+    let models = [(m, LayerPair::IntermediateTop)];
+    let opts = FeaOptions {
+        cache: Some(StressCache::new(&dir)),
+        ..FeaOptions::default()
+    };
+    let characterize = || {
+        StressTable::characterize_with_fea_opts(&models, &opts).expect("bench model characterizes")
+    };
+    let (cold_table, _) = characterize();
+    let (warm_table, warm_report) = characterize();
+    assert_eq!(warm_report.cache_hits, 1, "second run must hit the cache");
+    assert_eq!(
+        warm_table.entries(),
+        cold_table.entries(),
+        "warm entries must be bit-identical to the cold solve"
+    );
+
+    let mut group = c.benchmark_group("fea_cache");
+    group.sample_size(10);
+    group.bench_function("cold_0.4um", |bench| {
+        bench.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            black_box(characterize())
+        })
+    });
+    // Re-seed the cache, then time pure hits.
+    characterize();
+    group.bench_function("warm_0.4um", |bench| {
+        bench.iter(|| black_box(characterize()))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fea, bench_fea_threads, bench_fea_cache);
 criterion_main!(benches);

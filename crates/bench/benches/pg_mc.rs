@@ -17,6 +17,9 @@ fn reliability() -> ViaArrayReliability {
 }
 
 fn bench_pg_mc(c: &mut Criterion) {
+    // One Criterion instance runs both bench fns, so results of the whole
+    // binary land in BENCH_mc.json.
+    c.json_output("BENCH_mc.json");
     let rel = reliability();
     let mut group = c.benchmark_group("pg_mc");
     group.sample_size(10);

@@ -8,7 +8,7 @@
 
 use emgrid::fea::material::{table1, MaterialKind};
 use emgrid::prelude::*;
-use emgrid_bench::{fea_resolution, figure_model, print_scan};
+use emgrid_bench::{fea_resolution, figure_model, print_scan, solve_figure_field};
 
 fn main() {
     println!("== Table 1: mechanical properties of materials in Cu DD ==");
@@ -36,9 +36,7 @@ fn main() {
     for array in [ViaArrayGeometry::paper_1x1(), ViaArrayGeometry::paper_4x4()] {
         let label = emgrid_bench::array_label(&array);
         let model = figure_model(IntersectionPattern::Plus, array);
-        let field = ThermalStressAnalysis::new(model)
-            .run()
-            .expect("figure FEA run solves");
+        let field = solve_figure_field(&model);
         // Outer row (black arrow) and, for the 4x4, the inner row (red).
         let rows: &[usize] = if array.rows > 1 { &[0, 1] } else { &[0] };
         for &row in rows {

@@ -5,7 +5,7 @@
 //! ILD lets the copper contract, relieving stress).
 
 use emgrid::prelude::*;
-use emgrid_bench::{fea_resolution, figure_model, print_scan};
+use emgrid_bench::{fea_resolution, figure_model, print_scan, solve_figure_field};
 
 fn main() {
     println!(
@@ -15,9 +15,7 @@ fn main() {
     let mut peaks = Vec::new();
     for pattern in IntersectionPattern::ALL {
         let model = figure_model(pattern, ViaArrayGeometry::paper_4x4());
-        let field = ThermalStressAnalysis::new(model)
-            .run()
-            .expect("figure FEA run solves");
+        let field = solve_figure_field(&model);
         let scan = field.via_row_scan(0);
         print_scan(&format!("{pattern}-shaped pattern, first via row"), &scan);
         let peak = field

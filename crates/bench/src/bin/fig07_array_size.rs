@@ -6,7 +6,7 @@
 //! fluctuations than those of the 4×4.
 
 use emgrid::prelude::*;
-use emgrid_bench::{fea_resolution, figure_model, print_scan};
+use emgrid_bench::{fea_resolution, figure_model, print_scan, solve_figure_field};
 
 fn main() {
     println!(
@@ -16,9 +16,7 @@ fn main() {
     for array in [ViaArrayGeometry::paper_4x4(), ViaArrayGeometry::paper_8x8()] {
         let label = emgrid_bench::array_label(&array);
         let model = figure_model(IntersectionPattern::Plus, array);
-        let field = ThermalStressAnalysis::new(model)
-            .run()
-            .expect("figure FEA run solves");
+        let field = solve_figure_field(&model);
         // One scan per distinct ring of rows (symmetry halves the work).
         for row in 0..array.rows / 2 {
             let scan = field.via_row_scan(row);

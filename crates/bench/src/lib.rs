@@ -25,6 +25,63 @@ pub fn fea_resolution() -> f64 {
         .unwrap_or(0.25)
 }
 
+/// FEA worker threads for figure runs, `EMGRID_FEA_THREADS` override
+/// (default 1). Assembly and CG kernels run fixed-chunk deterministic
+/// arithmetic, so stress fields are bit-identical for any thread count.
+pub fn fea_threads() -> usize {
+    std::env::var("EMGRID_FEA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Solves a figure model through the persistent stress cache
+/// (`results/cache/`, disabled by `EMGRID_NO_CACHE=1`).
+///
+/// On a hit the full field is reconstructed bit-exactly from the cached
+/// displacement vector; on a miss the solve runs on [`fea_threads`]
+/// threads and the cache is populated. Telemetry goes to **stderr** so the
+/// figure's stdout stays byte-identical between cold and warm runs.
+pub fn solve_figure_field(model: &CharacterizationModel) -> emgrid::fea::StressField {
+    use emgrid::via::{CacheEntry, StressCache};
+    let method = emgrid::fea::SolveMethod::default();
+    let cache = StressCache::open_default();
+    let key = StressCache::key(model, &method);
+    if let Some(cache) = &cache {
+        if let Some(field) = cache.load_field(key, model) {
+            eprintln!("# fea: cache hit {key:016x} ({})", cache.dir().display());
+            return field;
+        }
+    }
+    let (field, stats) = ThermalStressAnalysis::new(*model)
+        .with_threads(fea_threads())
+        .run_with_stats()
+        .expect("figure FEA run solves");
+    eprintln!(
+        "# fea: solved {key:016x}: {} unknowns, {} ({} iterations), assemble {:.0} ms, solve {:.0} ms, {} thread(s)",
+        stats.unknowns,
+        stats.solver,
+        stats.iterations,
+        stats.assemble_time.as_secs_f64() * 1e3,
+        stats.solve_time.as_secs_f64() * 1e3,
+        fea_threads()
+    );
+    if let Some(cache) = &cache {
+        let stored = cache.store(
+            key,
+            &CacheEntry {
+                per_via_stress: field.per_via_peak_stress(),
+                displacements: field.displacements().to_vec(),
+            },
+        );
+        if let Err(e) = stored {
+            eprintln!("# fea: cache store failed (continuing uncached): {e}");
+        }
+    }
+    field
+}
+
 /// Level-1 Monte Carlo trial count, `EMGRID_TRIALS` override.
 pub fn level1_trials() -> usize {
     std::env::var("EMGRID_TRIALS")

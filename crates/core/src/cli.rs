@@ -9,13 +9,15 @@ use std::fmt::Write as _;
 
 use emgrid_em::black::BlackModel;
 use emgrid_em::{Technology, SECONDS_PER_YEAR};
-use emgrid_fea::geometry::IntersectionPattern;
+use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
 use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
 use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
-use emgrid_via::{FailureCriterion, ViaArrayConfig, ViaArrayMc};
+use emgrid_via::{
+    FailureCriterion, FeaOptions, LayerPair, StressCache, StressTable, ViaArrayConfig, ViaArrayMc,
+};
 
 /// A CLI failure: the message to print to stderr.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +57,11 @@ COMMANDS:
                     [--repair-vias <ohms>] [--threads <n>]
                     [--target-ci <half-width>]
 
+    fea           finite-element stress characterization of one primitive
+                    --array 1x1|4x4|8x8 (default 4x4)
+                    --pattern plus|tee|ell (default plus)
+                    [--resolution <um>] [--fea-threads <n>] [--no-cache]
+
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
     help          print this message
@@ -63,6 +70,13 @@ Monte Carlo commands take --threads (work-stealing across n OS threads;
 results are bit-identical for any thread count) and --target-ci (stop as
 soon as the 95% CI half-width on mean ln TTF reaches the target instead
 of exhausting the trial budget).
+
+The fea command reads its mesh resolution from --resolution first, the
+EMGRID_RESOLUTION environment variable second, and defaults to 0.25 um.
+Solved fields are cached under results/cache/ keyed by model content;
+--no-cache (or EMGRID_NO_CACHE=1) bypasses the cache. --fea-threads
+splits threads across primitives and solver kernels; results are
+bit-identical for any thread count.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name).
@@ -82,6 +96,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "irdrop" => cmd_irdrop(rest),
         "characterize" => cmd_characterize(rest),
         "analyze" => cmd_analyze(rest),
+        "fea" => cmd_fea(rest),
         "signoff" => cmd_signoff(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -152,19 +167,48 @@ fn format_report(report: &RunReport) -> String {
     line
 }
 
+fn parse_pattern(args: &[String]) -> Result<IntersectionPattern, CliError> {
+    match option_value(args, "--pattern").unwrap_or("plus") {
+        "plus" => Ok(IntersectionPattern::Plus),
+        "tee" | "t" => Ok(IntersectionPattern::Tee),
+        "ell" | "l" => Ok(IntersectionPattern::Ell),
+        other => Err(CliError(format!("unknown pattern `{other}`"))),
+    }
+}
+
 fn parse_array(args: &[String]) -> Result<(ViaArrayConfig, &'static str), CliError> {
-    let pattern = match option_value(args, "--pattern").unwrap_or("plus") {
-        "plus" => IntersectionPattern::Plus,
-        "tee" | "t" => IntersectionPattern::Tee,
-        "ell" | "l" => IntersectionPattern::Ell,
-        other => return Err(CliError(format!("unknown pattern `{other}`"))),
-    };
+    let pattern = parse_pattern(args)?;
     match option_value(args, "--array").unwrap_or("4x4") {
         "1x1" => Ok((ViaArrayConfig::paper_1x1(pattern), "1x1")),
         "4x4" => Ok((ViaArrayConfig::paper_4x4(pattern), "4x4")),
         "8x8" => Ok((ViaArrayConfig::paper_8x8(pattern), "8x8")),
         other => Err(CliError(format!("unknown array `{other}`"))),
     }
+}
+
+/// Mesh resolution precedence: `--resolution` flag, then the
+/// `EMGRID_RESOLUTION` environment variable, then 0.25 µm. Returns the
+/// value and which source supplied it.
+fn parse_resolution(args: &[String]) -> Result<(f64, &'static str), CliError> {
+    if let Some(v) = option_value(args, "--resolution") {
+        let r: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` for --resolution")))?;
+        if !r.is_finite() || r <= 0.0 {
+            return Err(CliError("--resolution must be positive".to_owned()));
+        }
+        return Ok((r, "--resolution"));
+    }
+    if let Ok(v) = std::env::var("EMGRID_RESOLUTION") {
+        let r: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("invalid value `{v}` in EMGRID_RESOLUTION")))?;
+        if !r.is_finite() || r <= 0.0 {
+            return Err(CliError("EMGRID_RESOLUTION must be positive".to_owned()));
+        }
+        return Ok((r, "EMGRID_RESOLUTION"));
+    }
+    Ok((0.25, "default"))
 }
 
 fn parse_criterion(args: &[String]) -> Result<FailureCriterion, CliError> {
@@ -339,6 +383,70 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "  site {site:>5}  failed in {count} trials");
     }
     let _ = writeln!(out, "{}", format_report(result.report()));
+    Ok(out)
+}
+
+fn cmd_fea(args: &[String]) -> Result<String, CliError> {
+    let pattern = parse_pattern(args)?;
+    let (array, label) = match option_value(args, "--array").unwrap_or("4x4") {
+        "1x1" => (ViaArrayGeometry::paper_1x1(), "1x1"),
+        "4x4" => (ViaArrayGeometry::paper_4x4(), "4x4"),
+        "8x8" => (ViaArrayGeometry::paper_8x8(), "8x8"),
+        other => return Err(CliError(format!("unknown array `{other}`"))),
+    };
+    let (resolution, source) = parse_resolution(args)?;
+    let threads = parse_usize(args, "--fea-threads", 1)?;
+    if threads == 0 {
+        return Err(CliError("--fea-threads must be at least 1".to_owned()));
+    }
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let model = CharacterizationModel {
+        pattern,
+        array,
+        resolution,
+        ..CharacterizationModel::default()
+    };
+    let cache = if no_cache {
+        None
+    } else {
+        StressCache::open_default()
+    };
+    let caching = match &cache {
+        Some(c) => format!("{}", c.dir().display()),
+        None => "disabled".to_owned(),
+    };
+    let opts = FeaOptions {
+        threads,
+        cache,
+        ..FeaOptions::default()
+    };
+    let (table, report) =
+        StressTable::characterize_with_fea_opts(&[(model, LayerPair::IntermediateTop)], &opts)
+            .map_err(|e| CliError(e.to_string()))?;
+    let entry = &table.entries()[0];
+    let prim = &report.primitives[0];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "array {label} ({pattern} pattern), resolution {resolution} um (from {source})"
+    );
+    let _ = writeln!(out, "cache          : {caching}");
+    let _ = writeln!(
+        out,
+        "solve          : {} ({} unknowns, {} iterations), {} thread(s), {:.0} ms",
+        prim.solver,
+        prim.unknowns,
+        prim.iterations,
+        threads,
+        report.total_time.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(out, "per-via peak tensile stress (MPa, row-major):");
+    for r in 0..entry.rows {
+        let row: Vec<String> = (0..entry.cols)
+            .map(|c| format!("{:7.1}", entry.per_via_stress[r * entry.cols + c] / 1e6))
+            .collect();
+        let _ = writeln!(out, "  {}", row.join(" "));
+    }
     Ok(out)
 }
 
@@ -539,5 +647,43 @@ mod tests {
     fn missing_deck_path_reported() {
         let err = run(&argv("irdrop --repair-vias 0.5")).unwrap_err();
         assert!(err.0.contains("missing deck path"));
+    }
+
+    #[test]
+    fn fea_solves_a_coarse_primitive() {
+        let out = run(&argv(
+            "fea --array 1x1 --pattern plus --resolution 0.5 --no-cache",
+        ))
+        .unwrap();
+        assert!(
+            out.contains("resolution 0.5 um (from --resolution)"),
+            "{out}"
+        );
+        assert!(out.contains("cache          : disabled"), "{out}");
+        assert!(out.contains("per-via peak tensile stress"), "{out}");
+    }
+
+    #[test]
+    fn fea_rejects_bad_options() {
+        assert!(run(&argv("fea --array 3x3")).is_err());
+        assert!(run(&argv("fea --pattern round")).is_err());
+        assert!(run(&argv("fea --resolution 0")).is_err());
+        assert!(run(&argv("fea --resolution coarse")).is_err());
+        assert!(run(&argv("fea --fea-threads 0")).is_err());
+    }
+
+    #[test]
+    fn resolution_flag_beats_env_var_and_env_beats_default() {
+        // One test mutates the process environment to avoid races.
+        std::env::set_var("EMGRID_RESOLUTION", "0.7");
+        let (r, src) = parse_resolution(&argv("--resolution 0.5")).unwrap();
+        assert_eq!((r, src), (0.5, "--resolution"));
+        let (r, src) = parse_resolution(&argv("")).unwrap();
+        assert_eq!((r, src), (0.7, "EMGRID_RESOLUTION"));
+        std::env::set_var("EMGRID_RESOLUTION", "junk");
+        assert!(parse_resolution(&argv("")).is_err());
+        std::env::remove_var("EMGRID_RESOLUTION");
+        let (r, src) = parse_resolution(&argv("")).unwrap();
+        assert_eq!((r, src), (0.25, "default"));
     }
 }

@@ -78,8 +78,8 @@ pub mod prelude {
     pub use emgrid_spice::{parse, GridSpec};
     pub use emgrid_stats::{Ecdf, LogNormal, OnlineStats};
     pub use emgrid_via::{
-        CurrentModel, FailureCriterion, StressTable, ViaArrayConfig, ViaArrayMc,
-        ViaArrayReliability,
+        CurrentModel, FailureCriterion, FeaOptions, FeaReport, StressCache, StressTable,
+        ViaArrayConfig, ViaArrayMc, ViaArrayReliability,
     };
 }
 

@@ -14,15 +14,43 @@
 //! the workspace makes of benches); it does not attempt criterion's
 //! statistical outlier analysis.
 //!
+//! Beyond printing, results can be captured machine-readably: point
+//! [`Criterion::json_output`] at a path (the workspace convention is
+//! `BENCH_fea.json` / `BENCH_mc.json` in the repo root) and every
+//! completed benchmark is appended to a JSON array of
+//! `{group, id, min_ns, median_ns, mean_ns, samples}` records. The file
+//! is rewritten after each benchmark, so a crashed run still leaves the
+//! completed prefix on disk. This is how the perf trajectory is tracked
+//! across PRs.
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Group name (empty for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: u128,
+    /// Median sample, nanoseconds.
+    pub median_ns: u128,
+    /// Mean sample, nanoseconds.
+    pub mean_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    json_path: Option<PathBuf>,
+    records: Vec<BenchRecord>,
 }
 
 impl Criterion {
@@ -31,24 +59,91 @@ impl Criterion {
         self
     }
 
+    /// Writes every completed benchmark to `path` as a JSON array (shim
+    /// extension; re-written after each benchmark so partial runs persist).
+    pub fn json_output(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
+    /// The records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        println!("group {}", name.into());
+        let group = name.into();
+        println!("group {group}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
+            group,
             sample_size: 20,
         }
     }
 
     /// Runs a single ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, f: F) {
-        run_benchmark(&name.to_string(), 20, f);
+        if let Some(stats) = run_benchmark(&name.to_string(), 20, f) {
+            self.record("", &name.to_string(), stats);
+        }
     }
+
+    fn record(&mut self, group: &str, id: &str, stats: SampleStats) {
+        self.records.push(BenchRecord {
+            group: group.to_owned(),
+            id: id.to_owned(),
+            min_ns: stats.min.as_nanos(),
+            median_ns: stats.median.as_nanos(),
+            mean_ns: stats.mean.as_nanos(),
+            samples: stats.samples,
+        });
+        self.flush_json();
+    }
+
+    fn flush_json(&self) {
+        let Some(path) = &self.json_path else { return };
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": {}, \"id\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                json_string(&r.group),
+                json_string(&r.id),
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                r.samples
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A named set of benchmarks sharing a sample size.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
+    group: String,
     sample_size: usize,
 }
 
@@ -76,7 +171,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&id.0, self.sample_size, |b| f(b, input));
+        if let Some(stats) = run_benchmark(&id.0, self.sample_size, |b| f(b, input)) {
+            self.criterion.record(&self.group, &id.0, stats);
+        }
         self
     }
 
@@ -86,7 +183,10 @@ impl BenchmarkGroup<'_> {
         name: impl Display,
         f: F,
     ) -> &mut Self {
-        run_benchmark(&name.to_string(), self.sample_size, f);
+        let name = name.to_string();
+        if let Some(stats) = run_benchmark(&name, self.sample_size, f) {
+            self.criterion.record(&self.group, &name, stats);
+        }
         self
     }
 
@@ -130,7 +230,20 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+/// Summary of one benchmark's timed samples.
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    mut f: F,
+) -> Option<SampleStats> {
     // Warm-up: one untimed run populates caches and lazy state.
     let mut bench = Bencher { sample: None };
     f(&mut bench);
@@ -145,18 +258,20 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     }
     if times.is_empty() {
         println!("  {name}: no samples (body never called iter)");
-        return;
+        return None;
     }
     times.sort();
-    let median = times[times.len() / 2];
-    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let stats = SampleStats {
+        min: times[0],
+        median: times[times.len() / 2],
+        mean: times.iter().sum::<Duration>() / times.len() as u32,
+        samples: times.len(),
+    };
     println!(
         "  {name}: min {:?}  median {:?}  mean {:?}  ({} samples)",
-        times[0],
-        median,
-        mean,
-        times.len()
+        stats.min, stats.median, stats.mean, stats.samples
     );
+    Some(stats)
 }
 
 /// Re-export for compatibility: benches import `black_box` from either
@@ -214,20 +329,33 @@ mod tests {
         }
         // warm-up + 3 samples.
         assert_eq!(ran, 4);
+        // Both benchmarks were recorded with their group attached.
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[0].group, "shim");
+        assert_eq!(c.records()[0].id, "count");
+        assert_eq!(c.records()[1].id, "with_input/7");
+        assert_eq!(c.records()[0].samples, 3);
     }
 
-    mod macro_expansion {
-        use super::super::*;
-
-        fn target(c: &mut Criterion) {
-            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    #[test]
+    fn json_output_writes_valid_records() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-test-{}.json", std::process::id()));
+        let mut c = Criterion::default();
+        c.json_output(&path);
+        c.bench_function("alpha \"quoted\"", |b| b.iter(|| 1 + 1));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2)
+                .bench_function("beta", |b| b.iter(|| 2 + 2));
+            g.finish();
         }
-
-        criterion_group!(benches, target);
-
-        #[test]
-        fn group_macro_produces_runner() {
-            benches();
-        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert!(text.contains("\"group\": \"grp\""), "{text}");
+        assert!(text.contains("\"id\": \"beta\""), "{text}");
+        assert!(text.contains("\\\"quoted\\\""), "{text}");
+        assert!(text.contains("\"median_ns\""), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 }

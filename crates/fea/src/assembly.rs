@@ -167,47 +167,89 @@ pub struct AssembledSystem {
     pub dof_map: DofMap,
 }
 
+/// Cells scattered per work chunk by [`assemble_with`]. Large enough that
+/// the per-chunk element cache gets real reuse, small enough to load-balance
+/// the few-thousand-cell meshes typical at figure resolutions.
+const CELL_CHUNK: usize = 128;
+
 /// Assembles the stiffness matrix and thermal load for a uniform
 /// temperature change `delta_t` (K) from the anneal/stress-free state.
 ///
 /// Identical elements (same size and material — the common case on a graded
 /// tensor grid) share one element-matrix computation via a cache.
+///
+/// Equivalent to [`assemble_with`] at one thread.
 pub fn assemble(mesh: &HexMesh, bc: &BoundaryConditions, delta_t: f64) -> AssembledSystem {
+    assemble_with(mesh, bc, delta_t, 1)
+}
+
+/// [`assemble`] across `threads` worker threads.
+///
+/// The element-scatter loop is split into fixed [`CELL_CHUNK`]-cell chunks;
+/// each chunk computes its element matrices (with a chunk-local cache for
+/// identical elements) and buffers its stiffness triplets and load
+/// contributions locally. Buffers are then merged **in chunk order** on the
+/// calling thread, reproducing the exact serial scatter sequence — both the
+/// triplet order fed to the CSR builder and the floating-point order of
+/// load-vector accumulation — so the assembled system is **bit-identical
+/// for any thread count**.
+pub fn assemble_with(
+    mesh: &HexMesh,
+    bc: &BoundaryConditions,
+    delta_t: f64,
+    threads: usize,
+) -> AssembledSystem {
     let dof_map = DofMap::build(mesh, bc);
     let n = dof_map.free_count();
-    let mut k = TripletMatrix::with_capacity(n, n, mesh.occupied_count() * 300);
-    let mut f = vec![0.0f64; n];
+    let cells: Vec<(usize, usize, usize, u8)> = mesh.occupied_cells().collect();
 
-    let mut cache: HashMap<(u64, u64, u64, u8), ElementMatrices> = HashMap::new();
-    for (i, j, kk, mat_idx) in mesh.occupied_cells() {
-        let size = mesh.cell_size(i, j, kk);
-        let key = (
-            size[0].to_bits(),
-            size[1].to_bits(),
-            size[2].to_bits(),
-            mat_idx,
-        );
-        let el = cache.entry(key).or_insert_with(|| {
-            // Element matrices depend only on the cell extents, not its
-            // position, for an axis-aligned hexahedron.
-            let coords = local_coords(size);
-            hex_element(&coords, &mesh.materials()[mat_idx as usize], delta_t)
-        });
-        let nodes = mesh.cell_nodes(i, j, kk);
-        let mut eqs = [None; 24];
-        for (a, &node) in nodes.iter().enumerate() {
-            for axis in 0..3 {
-                eqs[3 * a + axis] = dof_map.dof(node, axis);
-            }
-        }
-        for r in 0..24 {
-            let Some(er) = eqs[r] else { continue };
-            f[er] += el.thermal_load[r];
-            for c in 0..24 {
-                if let Some(ec) = eqs[c] {
-                    k.push(er, ec, el.stiffness[r][c]);
+    let chunks =
+        emgrid_runtime::parallel_map_chunks(cells.len(), CELL_CHUNK, threads, |_, range| {
+            let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(range.len() * 300);
+            let mut loads: Vec<(usize, f64)> = Vec::with_capacity(range.len() * 24);
+            let mut cache: HashMap<(u64, u64, u64, u8), ElementMatrices> = HashMap::new();
+            for &(i, j, kk, mat_idx) in &cells[range] {
+                let size = mesh.cell_size(i, j, kk);
+                let key = (
+                    size[0].to_bits(),
+                    size[1].to_bits(),
+                    size[2].to_bits(),
+                    mat_idx,
+                );
+                let el = cache.entry(key).or_insert_with(|| {
+                    // Element matrices depend only on the cell extents, not
+                    // its position, for an axis-aligned hexahedron.
+                    let coords = local_coords(size);
+                    hex_element(&coords, &mesh.materials()[mat_idx as usize], delta_t)
+                });
+                let nodes = mesh.cell_nodes(i, j, kk);
+                let mut eqs = [None; 24];
+                for (a, &node) in nodes.iter().enumerate() {
+                    for axis in 0..3 {
+                        eqs[3 * a + axis] = dof_map.dof(node, axis);
+                    }
+                }
+                for r in 0..24 {
+                    let Some(er) = eqs[r] else { continue };
+                    loads.push((er, el.thermal_load[r]));
+                    for c in 0..24 {
+                        if let Some(ec) = eqs[c] {
+                            triplets.push((er, ec, el.stiffness[r][c]));
+                        }
+                    }
                 }
             }
+            (triplets, loads)
+        });
+
+    let mut k = TripletMatrix::with_capacity(n, n, mesh.occupied_count() * 300);
+    let mut f = vec![0.0f64; n];
+    for (triplets, loads) in chunks {
+        for (r, c, v) in triplets {
+            k.push(r, c, v);
+        }
+        for (eq, v) in loads {
+            f[eq] += v;
         }
     }
     AssembledSystem {
@@ -289,6 +331,21 @@ mod tests {
         let dm = DofMap::build(&m, &bc);
         // 8 active nodes, 4 of them on the fixed bottom: 4*3 free.
         assert_eq!(dm.free_count(), 12);
+    }
+
+    #[test]
+    fn assembly_is_bit_identical_across_thread_counts() {
+        // 6³ block = 216 cells: spans several CELL_CHUNK=128 chunks.
+        let m = solid_block(6);
+        let bc = BoundaryConditions::confined_stack();
+        let serial = assemble(&m, &bc, -220.0);
+        for threads in [2, 8] {
+            let par = assemble_with(&m, &bc, -220.0, threads);
+            assert_eq!(par.load, serial.load, "threads = {threads}");
+            assert_eq!(par.stiffness.values(), serial.stiffness.values());
+            assert_eq!(par.stiffness.col_idx(), serial.stiffness.col_idx());
+            assert_eq!(par.stiffness.row_ptr(), serial.stiffness.row_ptr());
+        }
     }
 
     #[test]

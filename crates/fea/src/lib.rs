@@ -67,5 +67,5 @@ pub use assembly::{BoundaryConditions, FaceBc};
 pub use geometry::{CharacterizationModel, CuDdStack, IntersectionPattern, ViaArrayGeometry};
 pub use material::{table1, Material, MaterialKind};
 pub use mesh::HexMesh;
-pub use model::{FeaError, SolveMethod, ThermalStressAnalysis};
+pub use model::{FeaError, SolveMethod, SolveStats, ThermalStressAnalysis};
 pub use stress::StressField;

@@ -3,10 +3,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use emgrid_sparse::{conjugate_gradient, CgOptions, LdlFactor, Preconditioner, SparseError};
 
-use crate::assembly::assemble;
+use crate::assembly::{assemble_with, AssembledSystem};
 use crate::geometry::CharacterizationModel;
 use crate::stress::StressField;
 
@@ -70,6 +71,26 @@ impl Default for SolveMethod {
     }
 }
 
+/// Telemetry from one finite-element solve, returned by
+/// [`ThermalStressAnalysis::run_with_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveStats {
+    /// Free unknowns in the reduced system.
+    pub unknowns: usize,
+    /// Stored nonzeros in the assembled stiffness matrix.
+    pub nonzeros: usize,
+    /// Solver actually used: `"direct-ldl"` or `"cg-ic0"`.
+    pub solver: &'static str,
+    /// CG iterations performed (0 for a direct solve).
+    pub iterations: usize,
+    /// Final relative residual (0 for a direct solve).
+    pub residual: f64,
+    /// Wall time of mesh + assembly.
+    pub assemble_time: Duration,
+    /// Wall time of the linear solve.
+    pub solve_time: Duration,
+}
+
 /// A configured thermomechanical stress analysis (the paper's per-primitive
 /// ABAQUS run).
 ///
@@ -80,6 +101,7 @@ impl Default for SolveMethod {
 pub struct ThermalStressAnalysis {
     model: CharacterizationModel,
     method: SolveMethod,
+    threads: usize,
 }
 
 impl ThermalStressAnalysis {
@@ -88,6 +110,7 @@ impl ThermalStressAnalysis {
         ThermalStressAnalysis {
             model,
             method: SolveMethod::default(),
+            threads: 1,
         }
     }
 
@@ -97,9 +120,24 @@ impl ThermalStressAnalysis {
         self
     }
 
+    /// Sets the worker-thread count for assembly and the CG kernels.
+    ///
+    /// The parallel paths run fixed-chunk deterministic arithmetic, so the
+    /// resulting stress field is **bit-identical for any thread count**.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// The model being analyzed.
     pub fn model(&self) -> &CharacterizationModel {
         &self.model
+    }
+
+    /// Solves the direct branch shared by [`SolveMethod::Direct`] and the
+    /// small-system arm of [`SolveMethod::Auto`].
+    fn direct_solve(sys: &AssembledSystem) -> Result<Vec<f64>, FeaError> {
+        Ok(LdlFactor::factor_rcm(&sys.stiffness)?.solve(&sys.load))
     }
 
     /// Meshes, assembles and solves the thermoelastic problem, returning the
@@ -111,40 +149,67 @@ impl ThermalStressAnalysis {
     /// [`FeaError::Solver`] if the linear solve fails (singular or
     /// non-converged system).
     pub fn run(&self) -> Result<StressField, FeaError> {
+        self.run_with_stats().map(|(field, _)| field)
+    }
+
+    /// [`run`](Self::run), additionally returning per-solve telemetry.
+    pub fn run_with_stats(&self) -> Result<(StressField, SolveStats), FeaError> {
+        let assemble_start = Instant::now();
         let mesh = self.model.build_mesh();
         if mesh.occupied_count() == 0 {
             return Err(FeaError::EmptyMesh);
         }
         let bc = self.model.boundary_conditions();
-        let sys = assemble(&mesh, &bc, self.model.delta_t());
+        let sys = assemble_with(&mesh, &bc, self.model.delta_t(), self.threads);
+        let assemble_time = assemble_start.elapsed();
         let n = sys.dof_map.free_count();
-        let solution = match self.method {
-            SolveMethod::Direct => LdlFactor::factor_rcm(&sys.stiffness)?.solve(&sys.load),
+        let nonzeros = sys.stiffness.values().len();
+
+        let cg_opts = |tolerance, max_iterations| CgOptions {
+            tolerance,
+            max_iterations,
+            preconditioner: Preconditioner::IncompleteCholesky,
+            threads: self.threads,
+        };
+        let solve_start = Instant::now();
+        let (solution, solver, iterations, residual) = match self.method {
+            SolveMethod::Direct => (Self::direct_solve(&sys)?, "direct-ldl", 0, 0.0),
             SolveMethod::Auto { direct_limit } if n <= direct_limit => {
-                LdlFactor::factor_rcm(&sys.stiffness)?.solve(&sys.load)
+                (Self::direct_solve(&sys)?, "direct-ldl", 0, 0.0)
             }
             SolveMethod::Auto { .. } => {
-                let opts = CgOptions {
-                    tolerance: 1e-7,
-                    max_iterations: 40_000,
-                    preconditioner: Preconditioner::IncompleteCholesky,
-                };
-                conjugate_gradient(&sys.stiffness, &sys.load, None, &opts)?.x
+                let out =
+                    conjugate_gradient(&sys.stiffness, &sys.load, None, &cg_opts(1e-7, 40_000))?;
+                (out.x, "cg-ic0", out.iterations, out.residual)
             }
             SolveMethod::Iterative {
                 tolerance,
                 max_iterations,
             } => {
-                let opts = CgOptions {
-                    tolerance,
-                    max_iterations,
-                    preconditioner: Preconditioner::IncompleteCholesky,
-                };
-                conjugate_gradient(&sys.stiffness, &sys.load, None, &opts)?.x
+                let out = conjugate_gradient(
+                    &sys.stiffness,
+                    &sys.load,
+                    None,
+                    &cg_opts(tolerance, max_iterations),
+                )?;
+                (out.x, "cg-ic0", out.iterations, out.residual)
             }
         };
+        let solve_time = solve_start.elapsed();
         let full = sys.dof_map.expand(&solution);
-        Ok(StressField::from_displacements(self.model, mesh, &full))
+        let stats = SolveStats {
+            unknowns: n,
+            nonzeros,
+            solver,
+            iterations,
+            residual,
+            assemble_time,
+            solve_time,
+        };
+        Ok((
+            StressField::from_displacements(self.model, mesh, &full),
+            stats,
+        ))
     }
 }
 
@@ -238,6 +303,7 @@ mod tests {
                     tolerance: 1e-8,
                     max_iterations: 100_000,
                     preconditioner: p,
+                    ..CgOptions::default()
                 },
             )
             .unwrap()

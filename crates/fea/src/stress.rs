@@ -25,6 +25,8 @@ pub struct LineSample {
 pub struct StressField {
     model: CharacterizationModel,
     mesh: HexMesh,
+    /// Full nodal displacement vector (length `3 * node_count`), µm.
+    displacements: Vec<f64>,
     /// Voigt stress per cell (None for void cells), Pa.
     stress: Vec<Option<[f64; 6]>>,
 }
@@ -60,6 +62,7 @@ impl StressField {
         StressField {
             model,
             mesh,
+            displacements: displacements.to_vec(),
             stress,
         }
     }
@@ -67,6 +70,17 @@ impl StressField {
     /// The underlying mesh.
     pub fn mesh(&self) -> &HexMesh {
         &self.mesh
+    }
+
+    /// The full nodal displacement vector the field was recovered from
+    /// (length `3 * node_count`), µm.
+    ///
+    /// Persisting this vector is enough to reconstruct the entire field
+    /// bit-exactly: meshing is deterministic, so
+    /// [`StressField::from_displacements`] on a rebuilt mesh reproduces
+    /// every derived stress value.
+    pub fn displacements(&self) -> &[f64] {
+        &self.displacements
     }
 
     /// The model this field was computed for.

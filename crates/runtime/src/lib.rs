@@ -37,6 +37,9 @@ use std::time::{Duration, Instant};
 
 use emgrid_stats::OnlineStats;
 
+pub mod par;
+pub use par::{parallel_fill, parallel_map_chunks, parallel_reduce};
+
 /// Early-termination policy: stop once the two-sided confidence interval on
 /// the mean of the streamed observable is narrow enough.
 ///

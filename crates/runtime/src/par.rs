@@ -1,0 +1,230 @@
+//! Deterministic data-parallel primitives: `parallel_fill`,
+//! [`parallel_map_chunks`] and [`parallel_reduce`] over **fixed-size
+//! chunks**.
+//!
+//! The Monte Carlo scheduler in the crate root parallelizes over *trials*;
+//! these primitives parallelize over *data* — matrix rows, vector entries,
+//! mesh cells — with the same invariance contract: **results are
+//! bit-identical for any thread count**, including the single-threaded
+//! path. Two rules deliver that:
+//!
+//! 1. **Chunking is fixed by the caller's chunk size**, never derived from
+//!    the thread count. Workers steal chunk *indices* from a shared atomic
+//!    counter, so load balancing changes which thread touches a chunk but
+//!    never where chunk boundaries fall.
+//! 2. **Reduction order is chunk-index order.** Partial results are merged
+//!    on the calling thread by folding chunk 0, 1, 2, … left to right, so
+//!    floating-point accumulation follows one fixed association no matter
+//!    how the chunks were scheduled. The sequential path runs the *same*
+//!    chunked code, so `threads = 1` agrees bit-for-bit too.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of fixed-size chunks covering `0..n`.
+pub fn chunk_count(n: usize, chunk: usize) -> usize {
+    n.div_ceil(chunk.max(1))
+}
+
+/// The index range of chunk `c` for length `n` and the given chunk size.
+fn chunk_range(c: usize, n: usize, chunk: usize) -> Range<usize> {
+    let start = c * chunk;
+    start..(start + chunk).min(n)
+}
+
+/// Maps every fixed-size chunk of `0..n` through `map` and returns the
+/// per-chunk results **in chunk order**.
+///
+/// `map(c, range)` receives the chunk index and its index range; it may run
+/// on any worker thread, so it must derive everything from its arguments
+/// (plus captured shared state). The output vector is ordered by chunk
+/// index regardless of scheduling, which is what makes downstream merges
+/// deterministic.
+pub fn parallel_map_chunks<T, F>(n: usize, chunk: usize, threads: usize, map: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let chunks = chunk_count(n, chunk);
+    if threads <= 1 || chunks <= 1 {
+        return (0..chunks)
+            .map(|c| map(c, chunk_range(c, n, chunk)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(chunks);
+    let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let map = &map;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks {
+                            break;
+                        }
+                        out.push((c, map(c, chunk_range(c, n, chunk))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("data-parallel worker panicked"))
+            .collect()
+    });
+    // Restore chunk order: concatenate and sort by chunk index.
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(chunks);
+    for w in &mut per_worker {
+        tagged.append(w);
+    }
+    tagged.sort_by_key(|(c, _)| *c);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Chunked map-reduce: maps every fixed chunk of `0..n` and folds the
+/// partial results **left to right in chunk order**.
+///
+/// Returns `None` iff `n == 0`. The fold runs on the calling thread, so
+/// `fold` needs no synchronization; with a fixed `chunk` the association of
+/// every floating-point sum is independent of `threads`.
+pub fn parallel_reduce<T, F, R>(
+    n: usize,
+    chunk: usize,
+    threads: usize,
+    map: F,
+    fold: R,
+) -> Option<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+    R: FnMut(T, T) -> T,
+{
+    parallel_map_chunks(n, chunk, threads, map)
+        .into_iter()
+        .reduce(fold)
+}
+
+/// Updates every element of `out` in place via `update(index, &mut value)`,
+/// parallelizing over fixed-size chunks.
+///
+/// Each element is written exactly once by exactly one worker, so the
+/// result never depends on scheduling. Chunks are handed out through a
+/// shared queue of disjoint sub-slices — no `unsafe` aliasing.
+pub fn parallel_fill<U, F>(out: &mut [U], chunk: usize, threads: usize, update: F)
+where
+    U: Send,
+    F: Fn(usize, &mut U) + Sync,
+{
+    let chunk = chunk.max(1);
+    let n = out.len();
+    if threads <= 1 || n <= chunk {
+        for (i, u) in out.iter_mut().enumerate() {
+            update(i, u);
+        }
+        return;
+    }
+    let workers = threads.min(chunk_count(n, chunk));
+    // Reversed so that popping from the back serves chunks in index order
+    // (irrelevant for correctness; keeps the memory walk mostly forward).
+    let queue: Mutex<Vec<(usize, &mut [U])>> = Mutex::new(
+        out.chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, s)| (c * chunk, s))
+            .rev()
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let update = &update;
+            scope.spawn(move || loop {
+                let Some((start, slice)) = queue.lock().expect("chunk queue poisoned").pop() else {
+                    break;
+                };
+                for (off, u) in slice.iter_mut().enumerate() {
+                    update(start + off, u);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        for threads in [1, 2, 8] {
+            let out = parallel_map_chunks(10, 3, threads, |c, r| (c, r.start, r.end));
+            assert_eq!(
+                out,
+                vec![(0, 0, 3), (1, 3, 6), (2, 6, 9), (3, 9, 10)],
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_is_bit_identical_across_thread_counts() {
+        // Values chosen so summation order visibly matters in f64.
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| ((i * 2_654_435_761_u64 as usize) % 1000) as f64 * 1e-3 + 1e10)
+            .collect();
+        let sum = |threads| {
+            parallel_reduce(
+                xs.len(),
+                4096,
+                threads,
+                |_, r| xs[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let seq = sum(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(seq.to_bits(), sum(threads).to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_of_empty_input_is_none() {
+        assert_eq!(
+            parallel_reduce(0, 16, 4, |_, r| r.len(), |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn fill_writes_every_index_once() {
+        for threads in [1, 2, 8] {
+            let mut out = vec![0usize; 1037];
+            parallel_fill(&mut out, 64, threads, |i, u| *u = i * 3);
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i * 3),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_updates_in_place() {
+        let mut out: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let expect: Vec<f64> = out.iter().map(|v| v * 2.0 + 1.0).collect();
+        parallel_fill(&mut out, 32, 4, |_, u| *u = *u * 2.0 + 1.0);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunk_count_basics() {
+        assert_eq!(chunk_count(0, 16), 0);
+        assert_eq!(chunk_count(16, 16), 1);
+        assert_eq!(chunk_count(17, 16), 2);
+    }
+}

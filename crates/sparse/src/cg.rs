@@ -8,6 +8,8 @@
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::ic0::Ic0;
+use crate::kernels::{axpy, dot, norm, xpby, VEC_CHUNK};
+use emgrid_runtime::parallel_fill;
 
 /// Preconditioner selection for [`conjugate_gradient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,12 @@ pub struct CgOptions {
     pub max_iterations: usize,
     /// Preconditioner (default: Jacobi).
     pub preconditioner: Preconditioner,
+    /// Worker threads for the SpMV / dot / axpy kernels (default 1).
+    ///
+    /// The kernels run identical fixed-chunk arithmetic at every thread
+    /// count, so the solve — iterates, iteration count and residual — is
+    /// **bit-identical** whatever value is used.
+    pub threads: usize,
 }
 
 impl Default for CgOptions {
@@ -39,6 +47,7 @@ impl Default for CgOptions {
             tolerance: 1e-10,
             max_iterations: 10_000,
             preconditioner: Preconditioner::Jacobi,
+            threads: 1,
         }
     }
 }
@@ -100,7 +109,8 @@ pub fn conjugate_gradient(
             found: b.len(),
         });
     }
-    let bnorm = norm(b);
+    let threads = options.threads.max(1);
+    let bnorm = norm(b, threads);
     if bnorm == 0.0 {
         return Ok(CgOutcome {
             x: vec![0.0; n],
@@ -131,7 +141,12 @@ pub fn conjugate_gradient(
     };
     let apply_prec = |r: &[f64]| -> Vec<f64> {
         match &prec {
-            Prec::Diagonal(d) => r.iter().zip(d).map(|(ri, di)| ri * di).collect(),
+            Prec::Diagonal(d) => {
+                let mut z = vec![0.0; r.len()];
+                parallel_fill(&mut z, VEC_CHUNK, threads, |i, zi| *zi = r[i] * d[i]);
+                z
+            }
+            // Triangular solves are inherently sequential; IC(0) stays serial.
             Prec::Ic(f) => f.apply(r),
         }
     };
@@ -149,16 +164,14 @@ pub fn conjugate_gradient(
         None => vec![0.0; n],
     };
     let mut r = vec![0.0; n];
-    a.matvec_into(&x, &mut r);
-    for i in 0..n {
-        r[i] = b[i] - r[i];
-    }
+    a.par_matvec_into(&x, &mut r, threads);
+    parallel_fill(&mut r, VEC_CHUNK, threads, |i, ri| *ri = b[i] - *ri);
     let mut z: Vec<f64> = apply_prec(&r);
     let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let mut rz = dot(&r, &z, threads);
     let mut ap = vec![0.0; n];
 
-    let mut residual = norm(&r) / bnorm;
+    let mut residual = norm(&r, threads) / bnorm;
     if residual <= options.tolerance {
         return Ok(CgOutcome {
             x,
@@ -168,8 +181,8 @@ pub fn conjugate_gradient(
     }
 
     for it in 1..=options.max_iterations {
-        a.matvec_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        a.par_matvec_into(&p, &mut ap, threads);
+        let pap = dot(&p, &ap, threads);
         if pap <= 0.0 || !pap.is_finite() {
             return Err(SparseError::NotPositiveDefinite {
                 column: it,
@@ -177,11 +190,9 @@ pub fn conjugate_gradient(
             });
         }
         let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        residual = norm(&r) / bnorm;
+        axpy(alpha, &p, &mut x, threads);
+        axpy(-alpha, &ap, &mut r, threads);
+        residual = norm(&r, threads) / bnorm;
         if residual <= options.tolerance {
             return Ok(CgOutcome {
                 x,
@@ -190,25 +201,15 @@ pub fn conjugate_gradient(
             });
         }
         z = apply_prec(&r);
-        let rz_new = dot(&r, &z);
+        let rz_new = dot(&r, &z, threads);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        xpby(&z, beta, &mut p, threads);
     }
     Err(SparseError::NotConverged {
         iterations: options.max_iterations,
         residual,
     })
-}
-
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
 }
 
 #[cfg(test)]
@@ -271,6 +272,7 @@ mod tests {
             tolerance: 1e-14,
             max_iterations: 2,
             preconditioner: Preconditioner::Identity,
+            ..CgOptions::default()
         };
         let err = conjugate_gradient(&a, &b, None, &opts).unwrap_err();
         assert!(matches!(
@@ -336,6 +338,35 @@ mod tests {
         // Both converge to the same solution.
         for (u, v) in ic.x.iter().zip(&jacobi.x) {
             assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solve_is_bit_identical_across_thread_counts() {
+        let a = laplacian_2d(20, 20);
+        let b: Vec<f64> = (0..400).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+        let run = |threads| {
+            conjugate_gradient(
+                &a,
+                &b,
+                None,
+                &CgOptions {
+                    threads,
+                    ..CgOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(par.iterations, seq.iterations, "threads = {threads}");
+            assert_eq!(
+                par.residual.to_bits(),
+                seq.residual.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(par.x, seq.x, "threads = {threads}");
         }
     }
 

@@ -195,6 +195,28 @@ impl CsrMatrix {
         }
     }
 
+    /// `y = A x` across `threads` worker threads, parallelized over fixed
+    /// [`crate::kernels::ROW_CHUNK`]-row blocks.
+    ///
+    /// Each output entry is one row's serial inner product regardless of
+    /// scheduling, so the result is **bit-identical** to [`matvec_into`]
+    /// (and to itself at any other thread count).
+    ///
+    /// [`matvec_into`]: CsrMatrix::matvec_into
+    pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        emgrid_runtime::parallel_fill(y, crate::kernels::ROW_CHUNK, threads, |r, yr| {
+            let start = self.row_ptr[r];
+            let end = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in start..end {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yr = acc;
+        });
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> CsrMatrix {
         let mut counts = vec![0usize; self.cols + 1];
@@ -319,6 +341,31 @@ mod tests {
         let m = sample();
         let x = vec![1.0, 2.0, 3.0];
         assert_eq!(m.matvec(&x), m.to_dense().matvec(&x));
+    }
+
+    #[test]
+    fn par_matvec_is_bitwise_equal_to_serial() {
+        // Big enough to span several ROW_CHUNK blocks.
+        let n = 3000;
+        let mut t = crate::coo::TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + (i % 5) as f64 * 0.3);
+            if i + 1 < n {
+                t.push(i, i + 1, -0.7);
+                t.push(i + 1, i, -0.7);
+            }
+        }
+        let m = t.to_csr();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 13) % 101) as f64 * 0.01 - 0.5)
+            .collect();
+        let mut serial = vec![0.0; n];
+        m.matvec_into(&x, &mut serial);
+        for threads in [1, 2, 8] {
+            let mut par = vec![0.0; n];
+            m.par_matvec_into(&x, &mut par, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod csr;
 pub mod dense;
 pub mod error;
 pub mod ic0;
+pub mod kernels;
 pub mod ldl;
 pub mod ordering;
 pub mod smw;

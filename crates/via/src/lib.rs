@@ -35,6 +35,7 @@
 
 pub mod analytic;
 pub mod array;
+pub mod cache;
 pub mod characterization;
 pub mod electrical;
 pub mod layout;
@@ -43,11 +44,14 @@ pub mod stress_table;
 
 pub use analytic::WeakestLink;
 pub use array::{resistance_increase, FailureCriterion, ViaArrayConfig};
+pub use cache::{CacheEntry, StressCache};
 pub use characterization::{CharacterizationResult, ViaArrayReliability};
 pub use electrical::CurrentModel;
 pub use layout::{ArrayFootprint, DesignRules};
 pub use mc::{ViaArrayMc, ViaArraySample};
-pub use stress_table::{LayerPair, StressEntry, StressTable};
+pub use stress_table::{
+    FeaOptions, FeaPrimitiveReport, FeaReport, LayerPair, StressEntry, StressTable,
+};
 
 /// Convenient re-exports for typical use.
 pub mod prelude {

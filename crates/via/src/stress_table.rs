@@ -12,8 +12,12 @@
 //! * [`StressTable::characterize_with_fea`] — regenerates entries with the
 //!   [`emgrid_fea`] engine, demonstrating the full characterization flow.
 
+use std::time::{Duration, Instant};
+
 use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
-use emgrid_fea::model::{FeaError, ThermalStressAnalysis};
+use emgrid_fea::model::{FeaError, SolveMethod, ThermalStressAnalysis};
+
+use crate::cache::{CacheEntry, StressCache};
 
 /// Which metal layers the via array connects (paper §3.2: intermediate and
 /// top layers cover the thick-wire levels where via arrays appear).
@@ -205,26 +209,197 @@ impl StressTable {
 
     /// Builds a table by running the finite-element engine on each model.
     ///
+    /// Equivalent to [`characterize_with_fea_opts`] with the default
+    /// options (one thread, no cache); the report is discarded.
+    ///
     /// # Errors
     ///
     /// Propagates [`FeaError`] from any failed analysis.
+    ///
+    /// [`characterize_with_fea_opts`]: StressTable::characterize_with_fea_opts
     pub fn characterize_with_fea(
         models: &[(CharacterizationModel, LayerPair)],
     ) -> Result<Self, FeaError> {
+        Self::characterize_with_fea_opts(models, &FeaOptions::default()).map(|(t, _)| t)
+    }
+
+    /// Builds a table by running the finite-element engine on each model,
+    /// fanning independent primitives out across threads and consulting
+    /// the persistent cache, with per-primitive telemetry.
+    ///
+    /// **Work layout.** With `t = opts.threads` and `m` pending solves,
+    /// `min(t, m)` primitives solve concurrently and each solve gets
+    /// `max(1, t / min(t, m))` kernel threads — saturating the budget when
+    /// primitives are plentiful and handing all threads to the kernels when
+    /// a single large solve remains. Both levels run the fixed-chunk
+    /// deterministic arithmetic of `emgrid_runtime::par`, so the table is
+    /// **bit-identical for any thread count**.
+    ///
+    /// **Deduplication.** The elastic solve does not depend on the
+    /// [`LayerPair`], so models identical up to layer pair share one solve
+    /// (and one cache entry); the twins are reported with
+    /// `solver = "dedup"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeaError`] from a failed analysis; with several
+    /// failures the lowest model index wins, for any thread count.
+    pub fn characterize_with_fea_opts(
+        models: &[(CharacterizationModel, LayerPair)],
+        opts: &FeaOptions,
+    ) -> Result<(Self, FeaReport), FeaError> {
+        let start = Instant::now();
+        // One solve per distinct cache key; later duplicates borrow it.
+        let keys: Vec<u64> = models
+            .iter()
+            .map(|(m, _)| StressCache::key(m, &opts.method))
+            .collect();
+        let mut solve_for: Vec<usize> = Vec::new(); // model index of each unique solve
+        let mut unique_of: Vec<usize> = Vec::with_capacity(models.len());
+        for (i, key) in keys.iter().enumerate() {
+            match keys[..i].iter().position(|k| k == key) {
+                Some(prev) => unique_of.push(unique_of[prev]),
+                None => {
+                    unique_of.push(solve_for.len());
+                    solve_for.push(i);
+                }
+            }
+        }
+
+        let outer = opts.threads.max(1).min(solve_for.len().max(1));
+        let inner = (opts.threads.max(1) / outer).max(1);
+        type Solved = (Vec<f64>, FeaPrimitiveReport);
+        let solved: Vec<Result<Solved, FeaError>> =
+            emgrid_runtime::parallel_map_chunks(solve_for.len(), 1, outer, |_, range| {
+                let idx = solve_for[range.start];
+                let (model, _) = &models[idx];
+                let key = keys[idx];
+                let t0 = Instant::now();
+                if let Some(cache) = &opts.cache {
+                    if let Some(entry) = cache.load(key) {
+                        if entry.per_via_stress.len() == model.array.rows * model.array.cols {
+                            let report = FeaPrimitiveReport {
+                                model_index: idx,
+                                cache_hit: true,
+                                solver: "cache",
+                                unknowns: 0,
+                                iterations: 0,
+                                residual: 0.0,
+                                wall: t0.elapsed(),
+                            };
+                            return Ok((entry.per_via_stress, report));
+                        }
+                    }
+                }
+                let (field, stats) = ThermalStressAnalysis::new(*model)
+                    .with_method(opts.method)
+                    .with_threads(inner)
+                    .run_with_stats()?;
+                let per_via = field.per_via_peak_stress();
+                if let Some(cache) = &opts.cache {
+                    // Best-effort: a failed store only means a cold cache.
+                    let _ = cache.store(
+                        key,
+                        &CacheEntry {
+                            per_via_stress: per_via.clone(),
+                            displacements: field.displacements().to_vec(),
+                        },
+                    );
+                }
+                let report = FeaPrimitiveReport {
+                    model_index: idx,
+                    cache_hit: false,
+                    solver: stats.solver,
+                    unknowns: stats.unknowns,
+                    iterations: stats.iterations,
+                    residual: stats.residual,
+                    wall: t0.elapsed(),
+                };
+                Ok((per_via, report))
+            });
+        // Chunk order == model order, so the first error seen here is the
+        // lowest-index failure regardless of scheduling.
+        let mut unique: Vec<Solved> = Vec::with_capacity(solved.len());
+        for r in solved {
+            unique.push(r?);
+        }
+
         let mut table = StressTable::new();
-        for (model, pair) in models {
-            let field = ThermalStressAnalysis::new(*model).run()?;
+        let mut primitives = Vec::with_capacity(models.len());
+        for (i, (model, pair)) in models.iter().enumerate() {
+            let (per_via, report) = &unique[unique_of[i]];
             table.insert(StressEntry {
                 layer_pair: *pair,
                 pattern: model.pattern,
                 rows: model.array.rows,
                 cols: model.array.cols,
                 wire_width: model.wire_width,
-                per_via_stress: field.per_via_peak_stress(),
+                per_via_stress: per_via.clone(),
             });
+            let mut report = report.clone();
+            if report.model_index != i {
+                report = FeaPrimitiveReport {
+                    model_index: i,
+                    cache_hit: false,
+                    solver: "dedup",
+                    unknowns: 0,
+                    iterations: 0,
+                    residual: 0.0,
+                    wall: Duration::ZERO,
+                };
+            }
+            primitives.push(report);
         }
-        Ok(table)
+        let report = FeaReport {
+            total_time: start.elapsed(),
+            cache_hits: primitives.iter().filter(|p| p.cache_hit).count(),
+            primitives,
+        };
+        Ok((table, report))
     }
+}
+
+/// Options for [`StressTable::characterize_with_fea_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct FeaOptions {
+    /// Total worker-thread budget, split between concurrent primitives and
+    /// each solve's kernels (0 is treated as 1).
+    pub threads: usize,
+    /// Solver selection forwarded to every analysis.
+    pub method: SolveMethod,
+    /// Persistent cache to consult and populate; `None` solves everything.
+    pub cache: Option<StressCache>,
+}
+
+/// Telemetry for one characterized primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaPrimitiveReport {
+    /// Index into the `models` slice.
+    pub model_index: usize,
+    /// Whether the result came from the persistent cache.
+    pub cache_hit: bool,
+    /// `"direct-ldl"`, `"cg-ic0"`, `"cache"`, or `"dedup"` (shared the
+    /// solve of an earlier model identical up to layer pair).
+    pub solver: &'static str,
+    /// Free unknowns of the solve (0 for cache/dedup).
+    pub unknowns: usize,
+    /// CG iterations (0 for direct/cache/dedup).
+    pub iterations: usize,
+    /// Final relative CG residual (0 for direct/cache/dedup).
+    pub residual: f64,
+    /// Wall time spent on this primitive.
+    pub wall: Duration,
+}
+
+/// Telemetry from one [`StressTable::characterize_with_fea_opts`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaReport {
+    /// Per-primitive telemetry, in `models` order.
+    pub primitives: Vec<FeaPrimitiveReport>,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Primitives served from the persistent cache.
+    pub cache_hits: usize,
 }
 
 /// The calibrated reference stress model (Pa, row-major).
@@ -390,6 +565,90 @@ mod tests {
             .unwrap();
         assert_eq!(s.len(), 4);
         assert!(s.iter().all(|&v| v > 0.0));
+    }
+
+    fn coarse_model(resolution: f64) -> CharacterizationModel {
+        CharacterizationModel {
+            array: ViaArrayGeometry::square(2, 0.5, 1.0),
+            margin: 0.5,
+            resolution,
+            ..CharacterizationModel::default()
+        }
+    }
+
+    #[test]
+    fn fea_fan_out_is_thread_count_invariant_and_dedups_layer_pairs() {
+        let model = coarse_model(0.5);
+        let models = [
+            (model, LayerPair::IntermediateIntermediate),
+            (model, LayerPair::IntermediateTop), // layer-pair twin: one solve
+            (
+                CharacterizationModel {
+                    pattern: IntersectionPattern::Tee,
+                    ..model
+                },
+                LayerPair::TopTop,
+            ),
+        ];
+        let run = |threads| {
+            StressTable::characterize_with_fea_opts(
+                &models,
+                &FeaOptions {
+                    threads,
+                    ..FeaOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let (serial, report) = run(1);
+        assert_eq!(report.primitives.len(), 3);
+        assert_eq!(report.primitives[1].solver, "dedup");
+        assert_eq!(
+            serial.entries()[0].per_via_stress,
+            serial.entries()[1].per_via_stress
+        );
+        for threads in [2, 8] {
+            let (par, _) = run(threads);
+            for (a, b) in par.entries().iter().zip(serial.entries()) {
+                assert_eq!(a, b, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_round_trip_reproduces_entries_and_invalidates_on_changes() {
+        let dir =
+            std::env::temp_dir().join(format!("emgrid-table-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = StressCache::new(&dir);
+        let models = [(coarse_model(0.5), LayerPair::IntermediateTop)];
+        let opts = FeaOptions {
+            cache: Some(cache.clone()),
+            ..FeaOptions::default()
+        };
+
+        let (cold, cold_report) = StressTable::characterize_with_fea_opts(&models, &opts).unwrap();
+        assert_eq!(cold_report.cache_hits, 0);
+        let (warm, warm_report) = StressTable::characterize_with_fea_opts(&models, &opts).unwrap();
+        assert_eq!(warm_report.cache_hits, 1);
+        assert_eq!(warm_report.primitives[0].solver, "cache");
+        // Reloaded entries are identical — down to the last bit.
+        assert_eq!(warm.entries(), cold.entries());
+
+        // A resolution change is a different key: the warm entry must NOT
+        // be served, and the fresh solve differs.
+        let finer = [(coarse_model(0.4), LayerPair::IntermediateTop)];
+        let (_, finer_report) = StressTable::characterize_with_fea_opts(&finer, &opts).unwrap();
+        assert_eq!(finer_report.cache_hits, 0, "resolution change must miss");
+
+        // A ΔT change likewise invalidates.
+        let mut hotter_model = coarse_model(0.5);
+        hotter_model.operating_temperature += 50.0;
+        let hotter = [(hotter_model, LayerPair::IntermediateTop)];
+        let (_, hotter_report) = StressTable::characterize_with_fea_opts(&hotter, &opts).unwrap();
+        assert_eq!(hotter_report.cache_hits, 0, "ΔT change must miss");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -101,3 +101,37 @@ fn trials_run_is_scheduling_independent_telemetry() {
     assert_eq!(report.stream.count(), 97);
     assert!(report.wall.as_nanos() > 0);
 }
+
+/// Tentpole invariant of the parallel FEA path: the full stress field —
+/// every displacement bit — is identical whether the assembly and CG
+/// kernels run on 1, 2, or 8 threads.
+#[test]
+fn fea_stress_field_is_thread_count_invariant() {
+    use emgrid::fea::SolveMethod;
+    let model = CharacterizationModel {
+        array: ViaArrayGeometry::square(2, 0.5, 1.0),
+        margin: 0.5,
+        resolution: 0.4,
+        ..CharacterizationModel::default()
+    };
+    let solve = |threads: usize| {
+        ThermalStressAnalysis::new(model)
+            .with_method(SolveMethod::Iterative {
+                tolerance: 1e-8,
+                max_iterations: 50_000,
+            })
+            .with_threads(threads)
+            .run()
+            .expect("coarse model solves")
+    };
+    let seq = solve(1);
+    for threads in [2, 8] {
+        let par = solve(threads);
+        assert_eq!(
+            par.displacements(),
+            seq.displacements(),
+            "threads = {threads}"
+        );
+        assert_eq!(par.per_via_peak_stress(), seq.per_via_peak_stress());
+    }
+}
