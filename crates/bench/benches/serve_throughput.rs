@@ -1,0 +1,98 @@
+//! End-to-end throughput of the analysis daemon: every iteration is a real
+//! HTTP exchange against an in-process [`Server`] on a loopback socket, so
+//! the numbers include request parsing, queueing, job execution, state-dir
+//! persistence and result serving — the full path an operator's client
+//! sees, not just the Monte Carlo kernel.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emgrid_serve::{ServeConfig, Server};
+use std::hint::black_box;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    raw.split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default()
+}
+
+/// Submits a job and spins until its result is served; returns the bytes.
+fn run_job(addr: SocketAddr, spec: &str) -> String {
+    let accepted = request(addr, "POST", "/v1/jobs", spec);
+    let id: u64 = accepted
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|d| {
+            d.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .expect("submit accepted");
+    loop {
+        let status = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        if status.contains("\"status\":\"done\"") {
+            return request(addr, "GET", &format!("/v1/jobs/{id}/result"), "");
+        }
+        assert!(!status.contains("failed"), "bench job failed: {status}");
+        std::thread::yield_now();
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let state_dir = std::env::temp_dir().join(format!("emgrid-bench-serve-{}", std::process::id()));
+    let cache_dir = std::env::temp_dir().join(format!("emgrid-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        state_dir: state_dir.clone(),
+        cache_dir: Some(cache_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("start daemon");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("healthz_roundtrip", |b| {
+        b.iter(|| black_box(request(addr, "GET", "/healthz", "")))
+    });
+    group.bench_function("metrics_scrape", |b| {
+        b.iter(|| black_box(request(addr, "GET", "/metrics", "")))
+    });
+    group.bench_function("characterize_64_trials_end_to_end", |b| {
+        b.iter(|| {
+            black_box(run_job(
+                addr,
+                r#"{"kind":"characterize","array":"4x4","trials":64,"seed":9}"#,
+            ))
+        })
+    });
+    // Warm the stress cache once, then measure cache-hit FEA jobs — the
+    // common steady-state for a long-lived daemon.
+    let fea = r#"{"kind":"fea","array":"1x1","pattern":"plus","resolution":0.5}"#;
+    run_job(addr, fea);
+    group.bench_function("fea_1x1_warm_cache_end_to_end", |b| {
+        b.iter(|| black_box(run_job(addr, fea)))
+    });
+    group.finish();
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(state_dir);
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

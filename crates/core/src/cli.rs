@@ -13,6 +13,7 @@ use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayG
 use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
 use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
+use emgrid_serve::{ServeConfig, Server};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{
@@ -61,9 +62,17 @@ COMMANDS:
                     --array 1x1|4x4|8x8 (default 4x4)
                     --pattern plus|tee|ell (default plus)
                     [--resolution <um>] [--fea-threads <n>] [--no-cache]
+                    [--cache-dir <dir>]
 
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
+    serve         run the analysis daemon (JSON over HTTP)
+                    [--addr <ip:port>] (default 127.0.0.1:8080; port 0 = ephemeral)
+                    [--workers <n>] (default 2)
+                    [--queue-depth <n>] (default 64)
+                    [--checkpoint-every <trials>] (default 64; 0 disables)
+                    [--state-dir <dir>] (default results/jobs)
+                    [--cache-dir <dir>] [--max-body-bytes <n>]
     help          print this message
 
 Monte Carlo commands take --threads (work-stealing across n OS threads;
@@ -73,10 +82,16 @@ of exhausting the trial budget).
 
 The fea command reads its mesh resolution from --resolution first, the
 EMGRID_RESOLUTION environment variable second, and defaults to 0.25 um.
-Solved fields are cached under results/cache/ keyed by model content;
---no-cache (or EMGRID_NO_CACHE=1) bypasses the cache. --fea-threads
-splits threads across primitives and solver kernels; results are
-bit-identical for any thread count.
+Solved fields are cached keyed by model content under --cache-dir,
+falling back to EMGRID_CACHE_DIR and then results/cache/; --no-cache
+(or EMGRID_NO_CACHE=1) bypasses the cache. --fea-threads splits threads
+across primitives and solver kernels; results are bit-identical for any
+thread count.
+
+The serve command runs in the foreground until killed. Job state lives
+under --state-dir; a restarted daemon requeues unfinished jobs and
+resumes them from their last checkpoint, reproducing the exact bytes an
+uninterrupted run would have returned.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name).
@@ -98,6 +113,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "analyze" => cmd_analyze(rest),
         "fea" => cmd_fea(rest),
         "signoff" => cmd_signoff(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
     }
@@ -408,6 +424,8 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
     };
     let cache = if no_cache {
         None
+    } else if let Some(dir) = option_value(args, "--cache-dir") {
+        Some(StressCache::new(dir))
     } else {
         StressCache::open_default()
     };
@@ -509,6 +527,48 @@ fn cmd_signoff(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the `serve` flags into a daemon configuration.
+fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
+    let defaults = ServeConfig::default();
+    let workers = parse_usize(args, "--workers", defaults.workers)?;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".to_owned()));
+    }
+    let queue_depth = parse_usize(args, "--queue-depth", defaults.queue_depth)?;
+    if queue_depth == 0 {
+        return Err(CliError("--queue-depth must be at least 1".to_owned()));
+    }
+    Ok(ServeConfig {
+        addr: option_value(args, "--addr")
+            .unwrap_or("127.0.0.1:8080")
+            .to_owned(),
+        workers,
+        queue_depth,
+        checkpoint_every: parse_usize(args, "--checkpoint-every", defaults.checkpoint_every)?,
+        state_dir: option_value(args, "--state-dir")
+            .map(Into::into)
+            .unwrap_or(defaults.state_dir),
+        cache_dir: option_value(args, "--cache-dir").map(Into::into),
+        max_body_bytes: parse_usize(args, "--max-body-bytes", defaults.max_body_bytes)?,
+    })
+}
+
+/// Runs the daemon in the foreground until the process is killed. Prints
+/// the bound address before blocking so scripts can discover an ephemeral
+/// port (`--addr 127.0.0.1:0`).
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let config = serve_config(args)?;
+    let state_dir = config.state_dir.clone();
+    let server =
+        Server::start(config).map_err(|e| CliError(format!("cannot start daemon: {e}")))?;
+    println!("emgrid-serve listening on {}", server.local_addr());
+    println!("state dir      : {}", state_dir.display());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    Ok(String::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +593,32 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&argv("help")).unwrap();
         assert!(out.contains("characterize"));
+    }
+
+    #[test]
+    fn serve_flags_parse_into_a_config() {
+        let cfg = serve_config(&argv(
+            "--addr 127.0.0.1:0 --workers 3 --queue-depth 9 --checkpoint-every 5 \
+             --state-dir /tmp/emgrid-jobs --cache-dir /tmp/emgrid-cache --max-body-bytes 4096",
+        ))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(
+            (cfg.workers, cfg.queue_depth, cfg.checkpoint_every),
+            (3, 9, 5)
+        );
+        assert_eq!(cfg.state_dir, std::path::PathBuf::from("/tmp/emgrid-jobs"));
+        assert_eq!(
+            cfg.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/emgrid-cache"))
+        );
+        assert_eq!(cfg.max_body_bytes, 4096);
+
+        let defaults = serve_config(&[]).unwrap();
+        assert_eq!(defaults.addr, "127.0.0.1:8080");
+        assert!(defaults.cache_dir.is_none());
+        assert!(serve_config(&argv("--workers 0")).is_err());
+        assert!(serve_config(&argv("--queue-depth 0")).is_err());
     }
 
     #[test]
@@ -661,6 +747,29 @@ mod tests {
         );
         assert!(out.contains("cache          : disabled"), "{out}");
         assert!(out.contains("per-via peak tensile stress"), "{out}");
+    }
+
+    #[test]
+    fn fea_cache_dir_flag_redirects_the_cache() {
+        let dir = std::env::temp_dir().join(format!("emgrid-cli-cache-{}", std::process::id()));
+        let out = run(&argv(&format!(
+            "fea --array 1x1 --pattern plus --resolution 0.5 --cache-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains(&format!("cache          : {}", dir.display())),
+            "{out}"
+        );
+        // The run populated the redirected cache on disk.
+        assert!(
+            std::fs::read_dir(&dir)
+                .map(|mut d| d.next().is_some())
+                .unwrap_or(false),
+            "expected a cache entry under {}",
+            dir.display()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -103,6 +103,11 @@ impl Criterion {
 
     fn flush_json(&self) {
         let Some(path) = &self.json_path else { return };
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("warning: cannot create {}: {e}", parent.display());
+            }
+        }
         let mut out = String::from("[\n");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {

@@ -1,0 +1,199 @@
+//! Serialized state of an interrupted grid Monte Carlo session.
+//!
+//! The format is line-oriented text with every `f64` stored as its
+//! 16-hex-digit IEEE-754 bit pattern — the same discipline as the stress
+//! cache — so a resumed session restores the committed trial outcomes and
+//! Welford accumulator *bit-exactly* and replays into the same final
+//! statistics as an uninterrupted run:
+//!
+//! ```text
+//! emgrid-grid-checkpoint-v1
+//! stream <count> <mean> <m2> <min> <max>
+//! trial <ttf> <failed site> <failed site> ...
+//! trial ...
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use emgrid_stats::OnlineStats;
+
+const FORMAT: &str = "emgrid-grid-checkpoint-v1";
+
+/// A malformed or truncated checkpoint (corrupt checkpoints are treated as
+/// absent by the daemon: the job restarts from trial zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError(pub String);
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad grid checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Committed state of a grid Monte Carlo run: a prefix of trial outcomes
+/// plus the `ln TTF` stream over exactly those trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCheckpoint {
+    /// Outcomes `(system TTF seconds, ordered failed site indices)` of
+    /// trials `0..outcomes.len()`, in trial order.
+    pub outcomes: Vec<(f64, Vec<usize>)>,
+    /// The observable stream over those outcomes.
+    pub stream: OnlineStats,
+}
+
+impl GridCheckpoint {
+    /// Serializes to the versioned text format.
+    pub fn encode(&self) -> String {
+        let (count, mean, m2, min, max) = self.stream.raw_parts();
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT}");
+        let _ = writeln!(
+            out,
+            "stream {count} {} {} {} {}",
+            hex(mean),
+            hex(m2),
+            hex(min),
+            hex(max)
+        );
+        for (ttf, sites) in &self.outcomes {
+            let _ = write!(out, "trial {}", hex(*ttf));
+            for k in sites {
+                let _ = write!(out, " {k}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format back, validating the header and that the
+    /// stream count matches the number of trial lines.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any malformed line or count mismatch.
+    pub fn decode(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(FORMAT) => {}
+            other => return Err(CheckpointError(format!("bad header {other:?}"))),
+        }
+        let stream_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError("missing stream line".into()))?;
+        let mut fields = stream_line.split_whitespace();
+        if fields.next() != Some("stream") {
+            return Err(CheckpointError("missing stream line".into()));
+        }
+        let count: u64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError("bad stream count".into()))?;
+        let mut next_f64 = || -> Result<f64, CheckpointError> {
+            parse_hex(
+                fields
+                    .next()
+                    .ok_or_else(|| CheckpointError("short stream line".into()))?,
+            )
+        };
+        let mean = next_f64()?;
+        let m2 = next_f64()?;
+        let min = next_f64()?;
+        let max = next_f64()?;
+        let stream = OnlineStats::from_raw_parts(count, mean, m2, min, max);
+
+        let mut outcomes = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("trial") {
+                return Err(CheckpointError(format!("bad line {line:?}")));
+            }
+            let ttf = parse_hex(
+                fields
+                    .next()
+                    .ok_or_else(|| CheckpointError("trial line without TTF".into()))?,
+            )?;
+            let sites = fields
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| CheckpointError(format!("bad site index {s:?}")))
+                })
+                .collect::<Result<Vec<usize>, _>>()?;
+            outcomes.push((ttf, sites));
+        }
+        if outcomes.len() as u64 != count {
+            return Err(CheckpointError(format!(
+                "stream count {count} != {} trial lines",
+                outcomes.len()
+            )));
+        }
+        Ok(GridCheckpoint { outcomes, stream })
+    }
+}
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_hex(s: &str) -> Result<f64, CheckpointError> {
+    if s.len() != 16 {
+        return Err(CheckpointError(format!("bad f64 field {s:?}")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError(format!("bad f64 field {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> GridCheckpoint {
+        let outcomes = vec![
+            (1.25e7, vec![3, 1, 4]),
+            (f64::MIN_POSITIVE, vec![]),
+            (9.993e8, vec![0]),
+        ];
+        let mut stream = OnlineStats::new();
+        for (ttf, _) in &outcomes {
+            stream.push(ttf.ln());
+        }
+        GridCheckpoint { outcomes, stream }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let cp = sample_checkpoint();
+        let back = GridCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.stream.mean().to_bits(), cp.stream.mean().to_bits());
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let cp = GridCheckpoint {
+            outcomes: Vec::new(),
+            stream: OnlineStats::new(),
+        };
+        let back = GridCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let cp = sample_checkpoint();
+        let good = cp.encode();
+        assert!(GridCheckpoint::decode("").is_err());
+        assert!(GridCheckpoint::decode("emgrid-grid-checkpoint-v0\n").is_err());
+        // Truncating a trial line breaks the count check.
+        let truncated: String = good.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(GridCheckpoint::decode(&truncated).is_err());
+        let mangled = good.replace("trial", "trail");
+        assert!(GridCheckpoint::decode(&mangled).is_err());
+    }
+}

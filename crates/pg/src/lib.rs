@@ -37,6 +37,7 @@
 //! assert!(result.ecdf().min() > 0.0);
 //! ```
 
+pub mod checkpoint;
 pub mod flat;
 pub mod irdrop;
 pub mod mc;
@@ -44,9 +45,10 @@ pub mod model;
 pub mod report;
 pub mod signoff;
 
+pub use checkpoint::{CheckpointError, GridCheckpoint};
 pub use flat::{FlatMc, FlatResult};
 pub use irdrop::IrDropReport;
-pub use mc::{McResult, PowerGridMc, SiteAssignment, SolverStrategy, SystemCriterion};
+pub use mc::{GridSession, McResult, PowerGridMc, SiteAssignment, SolverStrategy, SystemCriterion};
 pub use model::{PgError, PowerGrid, ViaSite};
 pub use report::{Table2Row, TtfCurve};
 pub use signoff::{current_density_signoff, SignoffReport, WireGeometry};

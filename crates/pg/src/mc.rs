@@ -11,12 +11,15 @@
 //! TTF is the failure time of the last component that caused the breach.
 
 use emgrid_em::nucleation::rescale_remaining_life;
-use emgrid_runtime::{run_trials, RunReport, RuntimeConfig};
+use emgrid_runtime::{
+    run_trials_session, CancelToken, RunReport, RuntimeConfig, SessionState, TrialSession,
+};
 use emgrid_sparse::{IncrementalSolver, LdlFactor, TripletMatrix};
 use emgrid_stats::Ecdf;
 use emgrid_stats::Rng;
 use emgrid_via::ViaArrayReliability;
 
+use crate::checkpoint::GridCheckpoint;
 use crate::irdrop::IrDropReport;
 use crate::model::{PgError, PowerGrid};
 
@@ -76,6 +79,22 @@ pub enum SiteAssignment {
         /// Upgraded configuration for hot sites.
         high: ViaArrayReliability,
     },
+}
+
+/// Checkpoint/resume/cancellation controls for one
+/// [`PowerGridMc::run_session`] call; the default is a plain fresh run.
+#[derive(Default)]
+pub struct GridSession<'a> {
+    /// Checkpoint to resume from (`None` = start at trial zero).
+    pub resume: Option<GridCheckpoint>,
+    /// Cooperative cancellation token, polled between trials.
+    pub cancel: Option<&'a CancelToken>,
+    /// Trials between checkpoint callbacks; 0 disables periodic
+    /// checkpointing (a final checkpoint still fires on cancellation).
+    pub checkpoint_every: usize,
+    /// Receives a snapshot of the committed state at each checkpoint.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'a mut (dyn FnMut(&GridCheckpoint) + 'a)>,
 }
 
 /// The collected system TTFs of a power-grid Monte Carlo run.
@@ -280,6 +299,36 @@ impl PowerGridMc {
         seed: u64,
         runtime: &RuntimeConfig,
     ) -> Result<McResult, PgError> {
+        self.run_session(trials, seed, runtime, GridSession::default())
+    }
+
+    /// [`PowerGridMc::run_with`] with checkpoint/resume/cancellation
+    /// controls — the entry point the analysis daemon drives.
+    ///
+    /// Because every trial derives its randomness from `(seed, trial)`
+    /// alone and checkpoints capture the committed prefix bit-exactly
+    /// ([`GridCheckpoint`]), a run resumed from a checkpoint produces the
+    /// same [`McResult`] as one that was never interrupted — including the
+    /// early-termination point under an early-stop policy. A cancelled run
+    /// returns the committed prefix with `report().cancelled` set (after a
+    /// final checkpoint callback).
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerGridMc::run_with`].
+    ///
+    /// # Panics
+    ///
+    /// As [`PowerGridMc::run_with`], plus if the resume checkpoint is
+    /// inconsistent (more trials than the budget, or a stream count that
+    /// does not match its outcomes).
+    pub fn run_session(
+        &self,
+        trials: usize,
+        seed: u64,
+        runtime: &RuntimeConfig,
+        session: GridSession<'_>,
+    ) -> Result<McResult, PgError> {
         assert!(trials > 0, "need at least one trial");
         let dc = self.grid.dc();
         let base_solver = IncrementalSolver::new(dc.matrix())
@@ -296,9 +345,28 @@ impl PowerGridMc {
             })
             .collect();
 
-        let (outcomes, report) = run_trials(
+        let mut on_checkpoint = session.on_checkpoint;
+        let mut adapter = |outputs: &[TrialOutcome], stream: &emgrid_stats::OnlineStats| {
+            if let Some(cb) = on_checkpoint.as_mut() {
+                cb(&GridCheckpoint {
+                    outcomes: outputs.to_vec(),
+                    stream: *stream,
+                });
+            }
+        };
+        let trial_session = TrialSession {
+            resume: session.resume.map(|cp| SessionState {
+                outputs: cp.outcomes,
+                stream: cp.stream,
+            }),
+            cancel: session.cancel,
+            checkpoint_every: session.checkpoint_every,
+            on_checkpoint: Some(&mut adapter),
+        };
+        let (outcomes, report) = run_trials_session(
             trials,
             runtime,
+            trial_session,
             |t| {
                 let mut rng = emgrid_stats::stream_rng(seed, t as u64);
                 self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
@@ -802,6 +870,99 @@ mod tests {
         let expected = currents.iter().filter(|&&i| i / 1e-12 >= 5e9).count();
         assert_eq!(upgraded, expected);
         assert!(upgraded > 0 && upgraded < rels.len());
+    }
+
+    #[test]
+    fn session_resume_matches_uninterrupted_run() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let mc = PowerGridMc::new(small_grid(), rel);
+        let whole = mc.run(24, 55).unwrap();
+
+        let mut snapshot: Option<GridCheckpoint> = None;
+        let mut on_checkpoint = |cp: &GridCheckpoint| {
+            if snapshot.is_none() {
+                snapshot = Some(cp.clone());
+            }
+        };
+        mc.run_session(
+            24,
+            55,
+            &RuntimeConfig::sequential(),
+            GridSession {
+                checkpoint_every: 8,
+                on_checkpoint: Some(&mut on_checkpoint),
+                ..GridSession::default()
+            },
+        )
+        .unwrap();
+        let cp = snapshot.expect("checkpoint fired");
+        assert_eq!(cp.outcomes.len(), 8);
+
+        // Round-trip through the text format, exactly as the daemon does,
+        // then resume on a different thread count.
+        let cp = GridCheckpoint::decode(&cp.encode()).unwrap();
+        let resumed = mc
+            .run_session(
+                24,
+                55,
+                &RuntimeConfig::threaded(2),
+                GridSession {
+                    resume: Some(cp),
+                    ..GridSession::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(resumed.ttf_seconds(), whole.ttf_seconds());
+        assert_eq!(resumed.site_failure_counts(), whole.site_failure_counts());
+        assert_eq!(resumed.report().resumed_from, 8);
+        assert_eq!(resumed.report().stream, whole.report().stream);
+    }
+
+    #[test]
+    fn session_cancel_checkpoints_and_resumes_to_the_same_result() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let mc = PowerGridMc::new(small_grid(), rel);
+        let whole = mc.run(24, 57).unwrap();
+
+        // Trip the token from the first checkpoint callback: the run stops
+        // at the next cancellation check with the prefix committed.
+        let token = CancelToken::new();
+        let mut last: Option<GridCheckpoint> = None;
+        let mut on_checkpoint = |cp: &GridCheckpoint| {
+            last = Some(cp.clone());
+            token.cancel();
+        };
+        let cancelled = mc
+            .run_session(
+                24,
+                57,
+                &RuntimeConfig::sequential(),
+                GridSession {
+                    cancel: Some(&token),
+                    checkpoint_every: 8,
+                    on_checkpoint: Some(&mut on_checkpoint),
+                    ..GridSession::default()
+                },
+            )
+            .unwrap();
+        assert!(cancelled.report().cancelled);
+        assert!(cancelled.ttf_seconds().len() < 24);
+
+        let cp = GridCheckpoint::decode(&last.expect("checkpoint fired").encode()).unwrap();
+        let resumed = mc
+            .run_session(
+                24,
+                57,
+                &RuntimeConfig::sequential(),
+                GridSession {
+                    resume: Some(cp),
+                    ..GridSession::default()
+                },
+            )
+            .unwrap();
+        assert!(!resumed.report().cancelled);
+        assert_eq!(resumed.ttf_seconds(), whole.ttf_seconds());
+        assert_eq!(resumed.site_failure_counts(), whole.site_failure_counts());
     }
 
     #[test]

@@ -32,12 +32,14 @@
 //! The scheduler is generic over the trial body; see [`run_trials`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use emgrid_stats::OnlineStats;
 
+pub mod jobs;
 pub mod par;
+pub use jobs::{CancelToken, JobCtx, JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
 pub use par::{parallel_fill, parallel_map_chunks, parallel_reduce};
 
 /// Early-termination policy: stop once the two-sided confidence interval on
@@ -142,6 +144,13 @@ pub struct RunReport {
     pub threads: usize,
     /// Whether the early-termination target was reached before the budget.
     pub stopped_early: bool,
+    /// Trials restored from a checkpoint instead of executed (0 for fresh
+    /// runs; see [`TrialSession::resume`]).
+    pub resumed_from: usize,
+    /// Whether the run was interrupted by a [`CancelToken`] before reaching
+    /// the budget or the early-stop target. A cancelled run still commits a
+    /// deterministic prefix of trials, suitable for checkpointing.
+    pub cancelled: bool,
     /// Number of scheduling batches executed.
     pub batches: usize,
     /// Wall-clock time spent inside the scheduler (trial execution and
@@ -166,6 +175,8 @@ impl RunReport {
             trials_run: trials,
             threads: 1,
             stopped_early: false,
+            resumed_from: 0,
+            cancelled: false,
             batches: 0,
             wall: Duration::ZERO,
             trials_per_thread: Vec::new(),
@@ -196,7 +207,7 @@ struct TrialPanic {
     message: String,
 }
 
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -237,43 +248,179 @@ where
     F: Fn(usize) -> Result<T, E> + Sync,
     O: Fn(&T) -> f64,
 {
+    run_trials_session(trials, config, TrialSession::default(), trial, observe)
+}
+
+/// Restored state of a resumable Monte Carlo session: the committed trial
+/// outputs (a strict prefix of the trial sequence, in trial order) and the
+/// streamed statistics accumulated over exactly those trials.
+#[derive(Debug, Clone)]
+pub struct SessionState<T> {
+    /// Outputs of trials `0..outputs.len()`, in trial order.
+    pub outputs: Vec<T>,
+    /// The observable stream over those outputs (restored bit-exactly via
+    /// [`OnlineStats::from_raw_parts`]).
+    pub stream: OnlineStats,
+}
+
+/// Checkpoint/cancellation controls for one [`run_trials_session`] call.
+///
+/// The default session is a plain fresh run (what [`run_trials`] passes).
+/// With `resume`, the scheduler skips the already-committed prefix and
+/// continues from the watermark — because every trial derives its
+/// randomness from `(seed, trial_index)` alone, a resumed run commits the
+/// exact bits an uninterrupted run would have. With `cancel`, workers stop
+/// claiming trials as soon as the token trips and the call returns the
+/// committed prefix with [`RunReport::cancelled`] set. `on_checkpoint`
+/// fires at batch boundaries every `checkpoint_every` committed trials
+/// (and once more on cancellation), receiving the full committed prefix
+/// and its stream.
+pub struct TrialSession<'a, T> {
+    /// Prior session state to resume from (`None` = fresh run).
+    pub resume: Option<SessionState<T>>,
+    /// Cooperative cancellation token checked between trial claims.
+    pub cancel: Option<&'a CancelToken>,
+    /// Commit interval (in trials) between `on_checkpoint` calls;
+    /// 0 disables periodic checkpointing.
+    pub checkpoint_every: usize,
+    /// Callback receiving `(committed outputs, stream)` snapshots.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'a mut (dyn FnMut(&[T], &OnlineStats) + 'a)>,
+}
+
+impl<T> Default for TrialSession<'_, T> {
+    fn default() -> Self {
+        TrialSession {
+            resume: None,
+            cancel: None,
+            checkpoint_every: 0,
+            on_checkpoint: None,
+        }
+    }
+}
+
+/// [`run_trials`] with resume/checkpoint/cancellation controls.
+///
+/// Scheduling batches are aligned to absolute trial indices (batch `k`
+/// covers trials `k·B..(k+1)·B`), so early-stop decisions are evaluated at
+/// the same watermarks whether or not the run was interrupted and resumed
+/// in between — a resumed run reproduces an uninterrupted run bit for bit,
+/// including its early-termination point.
+///
+/// # Errors
+///
+/// As [`run_trials`]; a checkpoint is *not* written for a failing batch.
+///
+/// # Panics
+///
+/// As [`run_trials`], plus if the resume state is inconsistent (more
+/// outputs than the trial budget, or a stream count that does not match
+/// the output count).
+pub fn run_trials_session<T, E, F, O>(
+    trials: usize,
+    config: &RuntimeConfig,
+    mut session: TrialSession<'_, T>,
+    trial: F,
+    observe: O,
+) -> Result<(Vec<T>, RunReport), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+    O: Fn(&T) -> f64,
+{
     assert!(trials > 0, "need at least one trial");
     assert!(config.threads > 0, "need at least one thread");
     let start = Instant::now();
-    let batch_size = match config.early_stop {
-        Some(es) => es.batch.max(1),
-        None => trials,
+    // Batch size: the early-stop decision grid when early stopping is on
+    // (so the stopping rule is invariant to checkpoint cadence), otherwise
+    // the checkpoint cadence, otherwise one batch for the whole budget.
+    let batch_size = match (config.early_stop, session.checkpoint_every) {
+        (Some(es), _) => es.batch.max(1),
+        (None, every) if every > 0 => every,
+        (None, _) => trials,
     };
 
-    let mut outputs: Vec<T> = Vec::with_capacity(trials);
-    let mut stream = OnlineStats::new();
+    let (mut outputs, mut stream) = match session.resume.take() {
+        Some(state) => (state.outputs, state.stream),
+        None => (Vec::with_capacity(trials), OnlineStats::new()),
+    };
+    assert!(
+        outputs.len() <= trials,
+        "resume state has {} outputs for a {trials}-trial budget",
+        outputs.len()
+    );
+    assert_eq!(
+        outputs.len() as u64,
+        stream.count(),
+        "resume stream count does not match the committed outputs"
+    );
+    let resumed_from = outputs.len();
+    let mut last_checkpoint = resumed_from;
     let mut trials_per_thread = vec![0usize; config.threads];
     let mut batches = 0usize;
     let mut stopped_early = false;
+    let mut cancelled = false;
+    let cancel_flag = session.cancel.map(CancelToken::flag);
 
     while outputs.len() < trials {
-        let batch_start = outputs.len();
-        let batch_end = (batch_start + batch_size).min(trials);
-        let mut batch = run_batch(batch_start..batch_end, config.threads, &trial)?;
-        batches += 1;
-        for (worker, count) in batch.per_worker.drain(..).enumerate() {
-            trials_per_thread[worker] += count;
-        }
-        // Commit in trial order: the stream merge (and therefore the
-        // stopping decision below) is identical for any thread count.
-        batch.outcomes.sort_by_key(|(t, _)| *t);
-        for (_, value) in batch.outcomes {
-            stream.push(observe(&value));
-            outputs.push(value);
-        }
+        // The stopping rule is evaluated at the top of the loop (at
+        // batch-aligned watermarks), so a run resumed exactly at a
+        // would-have-stopped watermark stops there too instead of
+        // overrunning the uninterrupted run's termination point.
         if let Some(es) = config.early_stop {
             if outputs.len() >= es.min_trials
-                && outputs.len() < trials
+                && outputs.len() % batch_size == 0
                 && stream.ci_half_width(es.confidence) <= es.target_half_width
             {
                 stopped_early = true;
                 break;
             }
+        }
+        if cancel_flag.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            cancelled = true;
+            break;
+        }
+        let batch_start = outputs.len();
+        // Align batch ends to absolute multiples of the batch size so a
+        // resumed run re-joins the uninterrupted run's decision grid.
+        let batch_end = ((batch_start / batch_size + 1) * batch_size).min(trials);
+        let mut batch = run_batch(batch_start..batch_end, config.threads, cancel_flag, &trial)?;
+        batches += 1;
+        for (worker, count) in batch.per_worker.drain(..).enumerate() {
+            trials_per_thread[worker] += count;
+        }
+        // Commit in trial order: the stream merge (and therefore the
+        // stopping decision above) is identical for any thread count. A
+        // cancelled batch may have holes; only the contiguous prefix is
+        // committed (the rest is re-run on resume).
+        batch.outcomes.sort_by_key(|(t, _)| *t);
+        for (t, value) in batch.outcomes {
+            if t != outputs.len() {
+                break;
+            }
+            stream.push(observe(&value));
+            outputs.push(value);
+        }
+        if session.checkpoint_every > 0
+            && outputs.len() - last_checkpoint >= session.checkpoint_every
+        {
+            if let Some(cb) = session.on_checkpoint.as_mut() {
+                cb(&outputs, &stream);
+            }
+            last_checkpoint = outputs.len();
+        }
+        if batch.interrupted {
+            cancelled = true;
+            break;
+        }
+    }
+
+    // A cancelled run checkpoints whatever was committed after the last
+    // periodic checkpoint, so resumption loses nothing.
+    if cancelled && outputs.len() > last_checkpoint {
+        if let Some(cb) = session.on_checkpoint.as_mut() {
+            cb(&outputs, &stream);
         }
     }
 
@@ -282,6 +429,8 @@ where
         trials_run: outputs.len(),
         threads: config.threads,
         stopped_early,
+        resumed_from,
+        cancelled,
         batches,
         wall: start.elapsed(),
         trials_per_thread,
@@ -293,13 +442,17 @@ where
 struct BatchOutcome<T> {
     outcomes: Vec<(usize, T)>,
     per_worker: Vec<usize>,
+    interrupted: bool,
 }
 
 /// Runs one batch of trials with work stealing; returns outcomes in
-/// arbitrary order (the caller sorts).
+/// arbitrary order (the caller sorts). Workers poll `cancel` between trial
+/// claims and stop claiming once it trips; `interrupted` reports whether
+/// that happened (the batch may then have holes).
 fn run_batch<T, E, F>(
     range: std::ops::Range<usize>,
     threads: usize,
+    cancel: Option<&AtomicBool>,
     trial: &F,
 ) -> Result<BatchOutcome<T>, E>
 where
@@ -311,7 +464,12 @@ where
     if threads == 1 || len == 1 {
         // Sequential fast path: no spawns, no atomics.
         let mut outcomes = Vec::with_capacity(len);
+        let mut interrupted = false;
         for t in range {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                interrupted = true;
+                break;
+            }
             match catch_unwind(AssertUnwindSafe(|| trial(t))) {
                 Ok(Ok(v)) => outcomes.push((t, v)),
                 Ok(Err(e)) => return Err(e),
@@ -326,6 +484,7 @@ where
         return Ok(BatchOutcome {
             outcomes,
             per_worker,
+            interrupted,
         });
     }
 
@@ -353,6 +512,9 @@ where
                         panic: None,
                     };
                     loop {
+                        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                            break;
+                        }
                         let t = next.fetch_add(1, Ordering::Relaxed);
                         if t >= range.end {
                             break;
@@ -423,6 +585,7 @@ where
     Ok(BatchOutcome {
         outcomes,
         per_worker,
+        interrupted: cancel.is_some_and(|c| c.load(Ordering::Relaxed)),
     })
 }
 
@@ -610,6 +773,182 @@ mod tests {
         assert_eq!(report.batches, 1);
         assert_eq!(report.stream.count(), 130);
         assert!(report.wall >= Duration::ZERO);
+    }
+
+    fn session_run(
+        trials: usize,
+        config: &RuntimeConfig,
+        session: TrialSession<'_, f64>,
+    ) -> (Vec<f64>, RunReport) {
+        enum Never {}
+        let result: Result<_, Never> = run_trials_session(
+            trials,
+            config,
+            session,
+            |t| Ok(lognormal_trial(21, t)),
+            |x| x.ln(),
+        );
+        match result {
+            Ok(pair) => pair,
+            Err(never) => match never {},
+        }
+    }
+
+    #[test]
+    fn resumed_session_matches_uninterrupted_run() {
+        for threads in [1, 4] {
+            let config = RuntimeConfig::threaded(threads);
+            let (whole, whole_report) = session_run(300, &config, TrialSession::default());
+
+            // Capture a mid-run checkpoint, then resume from it.
+            let mut snapshot: Option<(Vec<f64>, OnlineStats)> = None;
+            let mut on_checkpoint = |outputs: &[f64], stream: &OnlineStats| {
+                if snapshot.is_none() {
+                    snapshot = Some((outputs.to_vec(), *stream));
+                }
+            };
+            let session = TrialSession {
+                checkpoint_every: 64,
+                on_checkpoint: Some(&mut on_checkpoint),
+                ..TrialSession::default()
+            };
+            session_run(300, &config, session);
+            let (outputs, stream) = snapshot.expect("checkpoint fired");
+            assert_eq!(outputs.len(), 64);
+
+            let resumed_from = outputs.len();
+            let (resumed, report) = session_run(
+                300,
+                &config,
+                TrialSession {
+                    resume: Some(SessionState { outputs, stream }),
+                    ..TrialSession::default()
+                },
+            );
+            assert_eq!(resumed, whole, "threads {threads}");
+            assert_eq!(report.stream, whole_report.stream);
+            assert_eq!(report.resumed_from, resumed_from);
+            assert!(!report.cancelled);
+        }
+    }
+
+    #[test]
+    fn resumed_session_reproduces_early_stop_decision() {
+        // Including a resume that lands exactly on the watermark where the
+        // uninterrupted run stops: the resumed run must also stop there.
+        let config = RuntimeConfig::threaded(2).with_early_stop(EarlyStop::to_half_width(0.08));
+        let (whole, whole_report) = session_run(50_000, &config, TrialSession::default());
+        assert!(whole_report.stopped_early);
+        for cut in [64, whole.len() - 64, whole.len()] {
+            let outputs = whole[..cut].to_vec();
+            let mut stream = OnlineStats::new();
+            for x in &outputs {
+                stream.push(x.ln());
+            }
+            let (resumed, report) = session_run(
+                50_000,
+                &config,
+                TrialSession {
+                    resume: Some(SessionState { outputs, stream }),
+                    ..TrialSession::default()
+                },
+            );
+            assert_eq!(resumed, whole, "cut {cut}");
+            assert_eq!(report.trials_run, whole_report.trials_run);
+            assert!(report.stopped_early);
+            assert_eq!(report.stream, whole_report.stream);
+        }
+    }
+
+    #[test]
+    fn checkpoints_fire_at_the_requested_cadence() {
+        let mut watermarks = Vec::new();
+        let mut on_checkpoint = |outputs: &[f64], stream: &OnlineStats| {
+            assert_eq!(outputs.len() as u64, stream.count());
+            watermarks.push(outputs.len());
+        };
+        let session = TrialSession {
+            checkpoint_every: 50,
+            on_checkpoint: Some(&mut on_checkpoint),
+            ..TrialSession::default()
+        };
+        session_run(220, &RuntimeConfig::threaded(3), session);
+        assert_eq!(watermarks, vec![50, 100, 150, 200]);
+    }
+
+    #[test]
+    fn cancelled_session_commits_a_resumable_prefix() {
+        for threads in [1, 4] {
+            let config = RuntimeConfig::threaded(threads);
+            let (whole, _) = session_run(300, &config, TrialSession::default());
+
+            let token = CancelToken::new();
+            token.cancel(); // trip before the run: nothing should execute
+            let mut last: Option<(Vec<f64>, OnlineStats)> = None;
+            let mut on_checkpoint = |outputs: &[f64], stream: &OnlineStats| {
+                last = Some((outputs.to_vec(), *stream));
+            };
+            let (out, report) = session_run(
+                300,
+                &config,
+                TrialSession {
+                    cancel: Some(&token),
+                    checkpoint_every: 32,
+                    on_checkpoint: Some(&mut on_checkpoint),
+                    ..TrialSession::default()
+                },
+            );
+            assert!(report.cancelled);
+            assert!(out.is_empty());
+            assert!(last.is_none(), "no trials, no checkpoint");
+
+            // Trip mid-run (from inside a trial body): the committed prefix
+            // must be contiguous and resume to the uninterrupted result.
+            let token = CancelToken::new();
+            let mut last: Option<(Vec<f64>, OnlineStats)> = None;
+            let mut on_checkpoint = |outputs: &[f64], stream: &OnlineStats| {
+                last = Some((outputs.to_vec(), *stream));
+            };
+            enum Never {}
+            let cancel_at = 150usize;
+            let result: Result<_, Never> = run_trials_session(
+                300,
+                &config,
+                TrialSession {
+                    cancel: Some(&token),
+                    checkpoint_every: 32,
+                    on_checkpoint: Some(&mut on_checkpoint),
+                    ..TrialSession::default()
+                },
+                |t| {
+                    if t == cancel_at {
+                        token.cancel();
+                    }
+                    Ok(lognormal_trial(21, t))
+                },
+                |x: &f64| x.ln(),
+            );
+            let (out, report) = match result {
+                Ok(pair) => pair,
+                Err(never) => match never {},
+            };
+            assert!(report.cancelled, "threads {threads}");
+            assert!(!out.is_empty() && out.len() < 300);
+            assert_eq!(out[..], whole[..out.len()], "prefix must be contiguous");
+            let (outputs, stream) = last.expect("final checkpoint fired");
+            assert_eq!(outputs.len(), out.len());
+
+            let (resumed, resumed_report) = session_run(
+                300,
+                &config,
+                TrialSession {
+                    resume: Some(SessionState { outputs, stream }),
+                    ..TrialSession::default()
+                },
+            );
+            assert_eq!(resumed, whole, "threads {threads}");
+            assert!(!resumed_report.cancelled);
+        }
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! A deliberately small HTTP/1.1 server-side protocol layer.
+//!
+//! `std::net` gives us TCP; this module adds just enough HTTP on top for
+//! the daemon's JSON API: request-line + header parsing with hard caps,
+//! `Content-Length` bodies bounded by the server's configured maximum,
+//! and response serialization. Every response carries
+//! `Connection: close` — the daemon optimizes for operational simplicity
+//! and auditability, not connection reuse (a job submission is orders of
+//! magnitude more expensive than a TCP handshake).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::json::Json;
+
+/// Upper bound on request line + headers, bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request target as sent (path plus optional query).
+    pub target: String,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The path component of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not valid HTTP.
+    BadRequest(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The socket failed mid-read.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body too large: {declared} bytes (limit {limit})")
+            }
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] on malformed framing, [`HttpError::BodyTooLarge`]
+/// when `Content-Length` exceeds `max_body`, [`HttpError::Io`] on socket
+/// failures (including clients that disappear mid-request).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line; byte-at-a-time would be slow, so
+    // read in chunks and search for the terminator.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_terminator(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest("headers too large".into()));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed mid-headers".into(),
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let (head_bytes, rest) = head.split_at(split);
+    let rest = &rest[4..]; // skip \r\n\r\n
+    let head_text = std::str::from_utf8(head_bytes)
+        .map_err(|_| HttpError::BadRequest("headers are not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest("malformed request line".into()));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    let declared: usize = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+    };
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared,
+            limit: max_body,
+        });
+    }
+    let mut body = rest.to_vec();
+    while body.len() < declared {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(declared);
+    request.body = body;
+    Ok(request)
+}
+
+fn find_terminator(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A JSON response from pre-rendered bytes (served verbatim).
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": …}`.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(status, &Json::Obj(vec![("error".into(), Json::s(message))]))
+    }
+
+    /// Serializes the response (always `Connection: close`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw bytes pushed through a real socket
+    /// pair, mirroring production conditions (chunked arrival included).
+    fn read_from_bytes(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bytes = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Two writes exercise the header/body boundary handling.
+            let mid = bytes.len() / 2;
+            s.write_all(&bytes[..mid]).unwrap();
+            s.flush().unwrap();
+            s.write_all(&bytes[mid..]).unwrap();
+            s.flush().unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let out = read_request(&mut conn, max_body);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw =
+            b"POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n{\"a\":1}\r\n";
+        let req = read_from_bytes(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/jobs");
+        assert_eq!(req.header("HOST"), Some("h"));
+        assert_eq!(req.body, b"{\"a\":1}\r\n");
+    }
+
+    #[test]
+    fn enforces_the_body_limit() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        match read_from_bytes(raw, 10) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!((declared, limit), (100, 10));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert!(matches!(
+            read_from_bytes(b"NOT-HTTP\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_from_bytes(b"GET / SPDY/3\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_from_bytes(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_framing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        Response::json(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+            .write_to(&mut conn)
+            .unwrap();
+        drop(conn);
+        let text = reader.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,34 @@
+//! `emgrid-serve`: a zero-dependency analysis daemon for the EM power-grid
+//! toolkit.
+//!
+//! The crate turns the library pipelines (via-array characterization, full
+//! power-grid Monte Carlo, FEA stress characterization) into a long-running
+//! service with a small JSON-over-HTTP API, built entirely on `std`:
+//!
+//! * [`server`] — hand-rolled HTTP/1.1 listener, routing, and lifecycle;
+//! * [`spec`] — strict job-spec parsing with a canonical persisted form;
+//! * [`runner`] — job execution against the deterministic MC sessions;
+//! * [`store`] — crash-safe per-job state directories (atomic renames);
+//! * [`json`] — deterministic JSON reader/writer;
+//! * [`http`] — minimal request parsing and response writing;
+//! * [`metrics`] — Prometheus text exposition counters.
+//!
+//! Two properties anchor the design. **Determinism:** a job's result
+//! document depends only on its spec — never on worker count, queue order,
+//! or whether the daemon was restarted mid-job — so identical submissions
+//! produce byte-identical results. **Checkpointability:** Monte Carlo jobs
+//! persist checkpoints at fixed trial watermarks, and a daemon killed with
+//! `kill -9` requeues and resumes unfinished jobs on restart without
+//! re-running committed trials.
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod runner;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use server::{ServeConfig, Server};
+pub use spec::{DeckSource, JobSpec, McParams, SpecError};
+pub use store::{DiskJob, JobStore};

@@ -1,0 +1,115 @@
+//! Daemon counters exported in Prometheus text exposition format.
+//!
+//! Counters are plain relaxed atomics — they feed dashboards, not control
+//! flow — and the two queue gauges are sampled from the job engine at
+//! scrape time rather than stored, so `/metrics` can never disagree with
+//! the engine about how much work is outstanding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters plus scrape-time gauges.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests handled (any route, any status).
+    pub http_requests: AtomicU64,
+    /// Jobs accepted through `POST /v1/jobs` or requeued at startup.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs finished successfully.
+    pub jobs_done: AtomicU64,
+    /// Jobs that returned an error or panicked.
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled (client delete or shutdown).
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs that resumed from an on-disk checkpoint at startup.
+    pub jobs_resumed: AtomicU64,
+    /// Checkpoints persisted across all jobs.
+    pub checkpoints: AtomicU64,
+}
+
+impl Metrics {
+    /// Adds one to a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text format. `queued` and `running` are
+    /// sampled by the caller from the job engine.
+    pub fn render(&self, queued: usize, running: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "emgrid_http_requests_total",
+            "HTTP requests handled.",
+            self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_jobs_submitted_total",
+            "Jobs accepted or requeued.",
+            self.jobs_submitted.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_jobs_done_total",
+            "Jobs finished successfully.",
+            self.jobs_done.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_jobs_failed_total",
+            "Jobs that failed or panicked.",
+            self.jobs_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_jobs_cancelled_total",
+            "Jobs cancelled by clients or shutdown.",
+            self.jobs_cancelled.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_jobs_resumed_total",
+            "Jobs resumed from a checkpoint at startup.",
+            self.jobs_resumed.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_checkpoints_total",
+            "Checkpoints persisted across all jobs.",
+            self.checkpoints.load(Ordering::Relaxed),
+        );
+        for (name, help, value) in [
+            (
+                "emgrid_jobs_queued",
+                "Jobs waiting in the bounded queue.",
+                queued,
+            ),
+            ("emgrid_jobs_running", "Jobs currently executing.", running),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_in_prometheus_format() {
+        let m = Metrics::default();
+        Metrics::inc(&m.http_requests);
+        Metrics::inc(&m.http_requests);
+        Metrics::inc(&m.jobs_submitted);
+        let text = m.render(3, 1);
+        assert!(text.contains("emgrid_http_requests_total 2\n"), "{text}");
+        assert!(text.contains("emgrid_jobs_submitted_total 1\n"), "{text}");
+        assert!(text.contains("emgrid_jobs_done_total 0\n"), "{text}");
+        assert!(text.contains("emgrid_jobs_queued 3\n"), "{text}");
+        assert!(text.contains("emgrid_jobs_running 1\n"), "{text}");
+        // Every series carries HELP and TYPE lines.
+        assert_eq!(text.matches("# HELP").count(), 9, "{text}");
+        assert_eq!(text.matches("# TYPE").count(), 9, "{text}");
+    }
+}

@@ -1,0 +1,482 @@
+//! Executes accepted jobs inside the engine's worker threads.
+//!
+//! Every job runs a deterministic pipeline keyed only by its canonical
+//! spec: the result document contains statistics but never timing,
+//! thread-count or resume telemetry, so the same spec (and seed) yields
+//! byte-identical `result.json` whether the job ran cold, warm, on one
+//! worker or eight, straight through or resumed from a checkpoint after a
+//! `kill -9`. Checkpoints stream to the [`JobStore`] with atomic renames;
+//! cancellation (client delete or daemon shutdown) commits a final
+//! checkpoint via the runtime's session machinery and reports
+//! [`JobOutcome::Cancelled`] so a later restart can pick the work back up.
+
+use std::path::Path;
+
+use emgrid_em::{Technology, SECONDS_PER_YEAR};
+use emgrid_fea::geometry::CharacterizationModel;
+use emgrid_pg::{GridCheckpoint, GridSession, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_runtime::{JobCtx, JobOutcome};
+use emgrid_spice::ingest::{ingest, IngestOptions};
+use emgrid_spice::GridSpec;
+use emgrid_via::{
+    FeaOptions, LayerPair, StressCache, StressTable, ViaArrayMc, ViaCheckpoint, ViaSession,
+};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::spec::{
+    resolve_array, resolve_criterion, resolve_geometry, resolve_pattern, resolve_runtime,
+    DeckSource, JobSpec, McParams,
+};
+use crate::store::JobStore;
+
+/// Fixed reference current density for via-array characterization (A/m²),
+/// matching the CLI's `characterize`/`analyze` commands.
+const REFERENCE_J: f64 = 1e10;
+
+/// Everything a job needs besides its spec.
+pub struct RunEnv<'a> {
+    /// Where checkpoints (and final artifacts) are persisted.
+    pub store: &'a JobStore,
+    /// Daemon counters (checkpoints written).
+    pub metrics: &'a Metrics,
+    /// Trials between checkpoints; 0 disables periodic checkpointing.
+    pub checkpoint_every: usize,
+    /// Stress-cache directory override for `fea` jobs.
+    pub cache_dir: Option<&'a Path>,
+}
+
+/// Runs one job to an outcome. Never panics on bad input — every failure
+/// becomes [`JobOutcome::Failed`] with a client-readable message.
+pub fn run_job(spec: &JobSpec, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
+    match spec {
+        JobSpec::Characterize(mc) => run_characterize(mc, ctx, env),
+        JobSpec::Analyze {
+            mc,
+            deck,
+            grid_trials,
+            repair_vias,
+        } => run_analyze(mc, deck, *grid_trials, *repair_vias, ctx, env),
+        JobSpec::Fea {
+            array,
+            pattern,
+            resolution,
+            threads,
+            use_cache,
+        } => run_fea(array, pattern, *resolution, *threads, *use_cache, env),
+    }
+}
+
+fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
+    let config = resolve_array(&mc.array, &mc.pattern);
+    let criterion = resolve_criterion(&mc.criterion);
+    let runtime = resolve_runtime(mc.threads, mc.target_ci);
+    let model = ViaArrayMc::from_reference_table(&config, Technology::default(), REFERENCE_J);
+
+    let resume = env
+        .store
+        .read_checkpoint(ctx.id)
+        .and_then(|text| ViaCheckpoint::decode(&text).ok());
+    let mut on_checkpoint = |cp: &ViaCheckpoint| {
+        if env.store.write_checkpoint(ctx.id, &cp.encode()).is_ok() {
+            ctx.note_checkpoint();
+            Metrics::inc(&env.metrics.checkpoints);
+        }
+    };
+    let session = ViaSession {
+        resume,
+        cancel: Some(&ctx.cancel),
+        checkpoint_every: env.checkpoint_every,
+        on_checkpoint: Some(&mut on_checkpoint),
+    };
+    let Some(result) = model.characterize_session(mc.trials, mc.seed, &runtime, session) else {
+        return JobOutcome::Cancelled;
+    };
+    if result.report().cancelled {
+        return JobOutcome::Cancelled;
+    }
+
+    let ecdf = result.ecdf(criterion);
+    let fit = match result.fit_lognormal(criterion) {
+        Ok(fit) => fit,
+        Err(e) => return JobOutcome::Failed(format!("lognormal fit failed: {e}")),
+    };
+    let ks = match result.fit_quality(criterion) {
+        Ok(ks) => ks,
+        Err(e) => return JobOutcome::Failed(format!("fit quality failed: {e}")),
+    };
+    let doc = Json::Obj(vec![
+        ("kind".into(), Json::s("characterize")),
+        ("array".into(), Json::s(&mc.array)),
+        ("pattern".into(), Json::s(&mc.pattern)),
+        ("criterion".into(), Json::s(&mc.criterion)),
+        ("trials".into(), Json::n(mc.trials as f64)),
+        ("seed".into(), Json::n(mc.seed as f64)),
+        (
+            "trials_run".into(),
+            Json::n(result.report().trials_run as f64),
+        ),
+        (
+            "ttf_median_years".into(),
+            Json::n(ecdf.median() / SECONDS_PER_YEAR),
+        ),
+        (
+            "ttf_p03_years".into(),
+            Json::n(ecdf.worst_case() / SECONDS_PER_YEAR),
+        ),
+        (
+            "lognormal_median_years".into(),
+            Json::n(fit.median() / SECONDS_PER_YEAR),
+        ),
+        ("lognormal_sigma".into(), Json::n(fit.sigma())),
+        ("ks".into(), Json::n(ks)),
+    ]);
+    JobOutcome::Done(doc.to_string())
+}
+
+fn run_analyze(
+    mc: &McParams,
+    deck: &DeckSource,
+    grid_trials: usize,
+    repair_vias: Option<f64>,
+    ctx: &JobCtx,
+    env: &RunEnv<'_>,
+) -> JobOutcome<String> {
+    // Materialize the grid.
+    let (netlist, deck_label) = match deck {
+        DeckSource::Benchmark(name) => {
+            let spec = match name.as_str() {
+                "pg2" => GridSpec::pg2(),
+                "pg5" => GridSpec::pg5(),
+                _ => GridSpec::pg1(),
+            };
+            (spec.generate(), name.clone())
+        }
+        DeckSource::Netlist(text) => {
+            let options = IngestOptions {
+                repair_vias,
+                ..IngestOptions::default()
+            };
+            match ingest(text, &options) {
+                Ok(ok) => (ok.netlist, "inline".to_owned()),
+                Err(e) => return JobOutcome::Failed(format!("netlist rejected: {e}")),
+            }
+        }
+    };
+
+    // Level 1: via-array characterization (deterministic, re-run in full on
+    // resume — only the level-2 grid loop is checkpointed).
+    let config = resolve_array(&mc.array, &mc.pattern);
+    let criterion = resolve_criterion(&mc.criterion);
+    let runtime = resolve_runtime(mc.threads, mc.target_ci);
+    let model = ViaArrayMc::from_reference_table(&config, Technology::default(), REFERENCE_J);
+    let level1 = ViaSession {
+        cancel: Some(&ctx.cancel),
+        ..ViaSession::default()
+    };
+    let Some(characterization) = model.characterize_session(mc.trials, mc.seed, &runtime, level1)
+    else {
+        return JobOutcome::Cancelled;
+    };
+    if characterization.report().cancelled {
+        return JobOutcome::Cancelled;
+    }
+    let reliability = match characterization.reliability(criterion) {
+        Ok(r) => r,
+        Err(e) => return JobOutcome::Failed(format!("level-1 fit failed: {e}")),
+    };
+
+    // Level 2: system Monte Carlo over the grid, checkpointed.
+    let grid = match PowerGrid::from_netlist(netlist) {
+        Ok(g) => g,
+        Err(e) => return JobOutcome::Failed(format!("grid construction failed: {e}")),
+    };
+    let sites = grid.via_sites().len();
+    let grid_mc = PowerGridMc::new(grid, reliability)
+        .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+    let resume = env
+        .store
+        .read_checkpoint(ctx.id)
+        .and_then(|text| GridCheckpoint::decode(&text).ok());
+    let mut on_checkpoint = |cp: &GridCheckpoint| {
+        if env.store.write_checkpoint(ctx.id, &cp.encode()).is_ok() {
+            ctx.note_checkpoint();
+            Metrics::inc(&env.metrics.checkpoints);
+        }
+    };
+    let session = GridSession {
+        resume,
+        cancel: Some(&ctx.cancel),
+        checkpoint_every: env.checkpoint_every,
+        on_checkpoint: Some(&mut on_checkpoint),
+    };
+    let result = match grid_mc.run_session(grid_trials, mc.seed ^ 0xc11, &runtime, session) {
+        Ok(r) => r,
+        Err(e) => return JobOutcome::Failed(format!("grid Monte Carlo failed: {e}")),
+    };
+    if result.report().cancelled {
+        return JobOutcome::Cancelled;
+    }
+
+    let critical = Json::Arr(
+        result
+            .critical_sites(5)
+            .into_iter()
+            .map(|(site, count)| Json::Arr(vec![Json::n(site as f64), Json::n(count as f64)]))
+            .collect(),
+    );
+    let doc = Json::Obj(vec![
+        ("kind".into(), Json::s("analyze")),
+        ("deck".into(), Json::s(deck_label)),
+        ("array".into(), Json::s(&mc.array)),
+        ("pattern".into(), Json::s(&mc.pattern)),
+        ("criterion".into(), Json::s(&mc.criterion)),
+        ("trials".into(), Json::n(mc.trials as f64)),
+        ("grid_trials".into(), Json::n(grid_trials as f64)),
+        ("seed".into(), Json::n(mc.seed as f64)),
+        ("sites".into(), Json::n(sites as f64)),
+        (
+            "grid_trials_run".into(),
+            Json::n(result.report().trials_run as f64),
+        ),
+        ("ttf_median_years".into(), Json::n(result.median_years())),
+        ("ttf_p03_years".into(), Json::n(result.worst_case_years())),
+        ("mean_failures".into(), Json::n(result.mean_failures())),
+        ("critical_sites".into(), critical),
+    ]);
+    JobOutcome::Done(doc.to_string())
+}
+
+fn run_fea(
+    array: &str,
+    pattern: &str,
+    resolution: f64,
+    threads: usize,
+    use_cache: bool,
+    env: &RunEnv<'_>,
+) -> JobOutcome<String> {
+    let model = CharacterizationModel {
+        pattern: resolve_pattern(pattern),
+        array: resolve_geometry(array),
+        resolution,
+        ..CharacterizationModel::default()
+    };
+    let cache = if use_cache {
+        match env.cache_dir {
+            Some(dir) => Some(StressCache::new(dir)),
+            None => StressCache::open_default(),
+        }
+    } else {
+        None
+    };
+    let opts = FeaOptions {
+        threads,
+        cache,
+        ..FeaOptions::default()
+    };
+    let (table, report) = match StressTable::characterize_with_fea_opts(
+        &[(model, LayerPair::IntermediateTop)],
+        &opts,
+    ) {
+        Ok(out) => out,
+        Err(e) => return JobOutcome::Failed(format!("FEA failed: {e}")),
+    };
+    let entry = &table.entries()[0];
+    let prim = &report.primitives[0];
+    let doc = Json::Obj(vec![
+        ("kind".into(), Json::s("fea")),
+        ("array".into(), Json::s(array)),
+        ("pattern".into(), Json::s(pattern)),
+        ("resolution".into(), Json::n(resolution)),
+        ("rows".into(), Json::n(entry.rows as f64)),
+        ("cols".into(), Json::n(entry.cols as f64)),
+        ("unknowns".into(), Json::n(prim.unknowns as f64)),
+        (
+            "per_via_stress_mpa".into(),
+            Json::Arr(
+                entry
+                    .per_via_stress
+                    .iter()
+                    .map(|s| Json::n(s / 1e6))
+                    .collect(),
+            ),
+        ),
+    ]);
+    JobOutcome::Done(doc.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emgrid_runtime::JobEngine;
+    use std::time::Duration;
+
+    fn temp_store(tag: &str) -> JobStore {
+        let root = std::env::temp_dir().join(format!("emgrid-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        JobStore::open(root).unwrap()
+    }
+
+    /// Runs a spec through a real engine (so a genuine JobCtx exists) and
+    /// waits for the outcome.
+    fn run_to_outcome(
+        spec: JobSpec,
+        store: &JobStore,
+        checkpoint_every: usize,
+    ) -> (u64, JobOutcome<String>) {
+        let engine: JobEngine<String> = JobEngine::new(1, 4);
+        let store2 = store.clone();
+        let id = engine
+            .submit(move |ctx| {
+                let metrics = Metrics::default();
+                let env = RunEnv {
+                    store: &store2,
+                    metrics: &metrics,
+                    checkpoint_every,
+                    cache_dir: None,
+                };
+                run_job(&spec, ctx, &env)
+            })
+            .unwrap();
+        engine.wait_terminal(id, Duration::from_secs(120)).unwrap();
+        let snap = engine.snapshot(id).unwrap();
+        let outcome = match snap.result {
+            Some(r) => JobOutcome::Done(r),
+            None if snap.error.is_some() => JobOutcome::Failed(snap.error.unwrap()),
+            None => JobOutcome::Cancelled,
+        };
+        (id, outcome)
+    }
+
+    fn characterize_spec(trials: usize, seed: u64, threads: usize) -> JobSpec {
+        JobSpec::Characterize(McParams {
+            array: "4x4".into(),
+            pattern: "plus".into(),
+            criterion: "rinf".into(),
+            trials,
+            seed,
+            threads,
+            target_ci: None,
+        })
+    }
+
+    #[test]
+    fn characterize_result_is_thread_count_invariant() {
+        let store = temp_store("char");
+        let (_, one) = run_to_outcome(characterize_spec(96, 11, 1), &store, 0);
+        let (_, two) = run_to_outcome(characterize_spec(96, 11, 3), &store, 0);
+        let (JobOutcome::Done(a), JobOutcome::Done(b)) = (&one, &two) else {
+            panic!("jobs failed: {one:?} / {two:?}");
+        };
+        assert_eq!(a, b, "thread count leaked into the result document");
+        assert!(a.contains("\"kind\":\"characterize\""), "{a}");
+        assert!(a.contains("\"trials_run\":96"), "{a}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn analyze_checkpoint_resume_reproduces_the_uninterrupted_result() {
+        let deck =
+            emgrid_spice::writer::write_string(&GridSpec::custom("runner-test", 8, 8).generate());
+        let make_spec = |grid_trials: usize| JobSpec::Analyze {
+            mc: McParams {
+                array: "4x4".into(),
+                pattern: "plus".into(),
+                criterion: "rinf".into(),
+                trials: 120,
+                seed: 9,
+                threads: 2,
+                target_ci: None,
+            },
+            deck: DeckSource::Netlist(deck.clone()),
+            grid_trials,
+            repair_vias: None,
+        };
+
+        // Reference: 40 grid trials straight through, no checkpointing.
+        let store = temp_store("analyze");
+        let (_, reference) = run_to_outcome(make_spec(40), &store, 0);
+        let JobOutcome::Done(reference) = reference else {
+            panic!("reference failed: {reference:?}")
+        };
+
+        // Interruption, constructed deterministically: an 8-trial run with
+        // checkpoint cadence 8 leaves on disk exactly the checkpoint a
+        // 40-trial run would have written at its first watermark (same
+        // seed, and batch ends align to absolute trial-index multiples).
+        let store2 = temp_store("analyze-resume");
+        let (prefix_id, prefix) = run_to_outcome(make_spec(8), &store2, 8);
+        assert!(matches!(prefix, JobOutcome::Done(_)), "{prefix:?}");
+        assert!(
+            store2.read_checkpoint(prefix_id).is_some(),
+            "no checkpoint persisted"
+        );
+
+        // Resume: the full 40-trial spec under the same id finds the
+        // watermark-8 checkpoint and must land on the reference bytes.
+        let (resumed_id, resumed) = run_to_outcome(make_spec(40), &store2, 8);
+        assert_eq!(resumed_id, prefix_id, "store keying broken");
+        let JobOutcome::Done(resumed) = resumed else {
+            panic!("resumed run failed: {resumed:?}")
+        };
+        assert_eq!(
+            resumed, reference,
+            "resumed run diverged from the uninterrupted reference"
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+        let _ = std::fs::remove_dir_all(store2.root());
+    }
+
+    #[test]
+    fn a_pre_cancelled_job_reports_cancelled_without_output() {
+        let store = temp_store("cancel");
+        let engine: JobEngine<String> = JobEngine::new(1, 4);
+        let spec = characterize_spec(5_000, 3, 1);
+        let s = store.clone();
+        let id = engine
+            .submit(move |ctx| {
+                // Trip the job's own token before running, modelling a
+                // delete that raced submission.
+                ctx.cancel.cancel();
+                let metrics = Metrics::default();
+                let env = RunEnv {
+                    store: &s,
+                    metrics: &metrics,
+                    checkpoint_every: 0,
+                    cache_dir: None,
+                };
+                run_job(&spec, ctx, &env)
+            })
+            .unwrap();
+        engine.wait_terminal(id, Duration::from_secs(60)).unwrap();
+        let snap = engine.snapshot(id).unwrap();
+        assert!(snap.result.is_none(), "{snap:?}");
+        assert!(snap.error.is_none(), "{snap:?}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn bad_netlists_fail_with_structured_messages() {
+        let store = temp_store("badnet");
+        let spec = JobSpec::Analyze {
+            mc: McParams {
+                array: "4x4".into(),
+                pattern: "plus".into(),
+                criterion: "rinf".into(),
+                trials: 10,
+                seed: 1,
+                threads: 1,
+                target_ci: None,
+            },
+            deck: DeckSource::Netlist("R1 a b\n".into()),
+            grid_trials: 5,
+            repair_vias: None,
+        };
+        let (_, outcome) = run_to_outcome(spec, &store, 0);
+        let JobOutcome::Failed(message) = outcome else {
+            panic!("expected failure, got {outcome:?}")
+        };
+        assert!(message.contains("netlist rejected"), "{message}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,472 @@
+//! The daemon: TCP accept loop, routing, and the job-engine wiring.
+//!
+//! # Endpoints
+//!
+//! | method & path            | purpose                                    |
+//! |--------------------------|--------------------------------------------|
+//! | `POST /v1/jobs`          | submit a job spec; `202` with its id       |
+//! | `GET /v1/jobs/:id`       | status: queued/running/checkpointed/…      |
+//! | `GET /v1/jobs/:id/result`| the result document, byte-for-byte         |
+//! | `DELETE /v1/jobs/:id`    | cancel (running jobs checkpoint first)     |
+//! | `GET /healthz`           | liveness probe                             |
+//! | `GET /metrics`           | Prometheus text exposition                 |
+//!
+//! # Restart semantics
+//!
+//! All authoritative job state lives in the [`JobStore`]; on startup the
+//! daemon scans it and requeues every unfinished job under its original
+//! id. A job with a checkpoint resumes from its watermark instead of
+//! restarting trial zero, and because the whole pipeline is deterministic
+//! the post-restart result is byte-identical to an uninterrupted run —
+//! `kill -9` costs at most `checkpoint_every` trials of progress.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use emgrid_runtime::{JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
+use emgrid_spice::ingest::{ingest, IngestError, IngestLimits, IngestOptions};
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::runner::{run_job, RunEnv};
+use crate::spec::{DeckSource, JobSpec};
+use crate::store::{DiskJob, JobStore};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Job-engine worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it get `503`.
+    pub queue_depth: usize,
+    /// Trials between Monte Carlo checkpoints (0 disables).
+    pub checkpoint_every: usize,
+    /// Root directory for per-job state.
+    pub state_dir: PathBuf,
+    /// Stress-cache directory for `fea` jobs (`None` = crate default).
+    pub cache_dir: Option<PathBuf>,
+    /// Largest accepted request body, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 64,
+            checkpoint_every: 64,
+            state_dir: PathBuf::from("results").join("jobs"),
+            cache_dir: None,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+struct Shared {
+    engine: JobEngine<String>,
+    store: JobStore,
+    metrics: Metrics,
+    checkpoint_every: usize,
+    cache_dir: Option<PathBuf>,
+    max_body: usize,
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+    /// Every id submitted or requeued by this process, for shutdown.
+    known: Mutex<Vec<JobId>>,
+}
+
+/// A running daemon instance.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, requeues unfinished jobs from the state directory, and
+    /// starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and state-directory failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let store = JobStore::open(&config.state_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: JobEngine::new(config.workers, config.queue_depth),
+            store,
+            metrics: Metrics::default(),
+            checkpoint_every: config.checkpoint_every,
+            cache_dir: config.cache_dir,
+            max_body: config.max_body_bytes,
+            next_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            known: Mutex::new(Vec::new()),
+        });
+        requeue_unfinished(&shared);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("emgrid-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The root of the job state directory.
+    pub fn state_dir(&self) -> PathBuf {
+        self.shared.store.root().to_path_buf()
+    }
+
+    /// Blocks the calling thread until the accept loop exits — i.e. until
+    /// the process is killed or another thread initiates shutdown. This is
+    /// how `emgrid serve` runs as a foreground daemon.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let queued and running jobs
+    /// finish, then stop the workers.
+    pub fn shutdown(mut self) {
+        self.stop(false);
+    }
+
+    /// Fast shutdown: stop accepting and cancel outstanding jobs. Running
+    /// Monte Carlo jobs commit a final checkpoint on the way out, so a
+    /// later restart resumes them without losing committed trials.
+    pub fn shutdown_now(mut self) {
+        self.stop(true);
+    }
+
+    fn stop(&mut self, cancel_jobs: bool) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let ids: Vec<JobId> = self.shared.known.lock().expect("known jobs lock").clone();
+        if cancel_jobs {
+            for id in &ids {
+                self.shared.engine.cancel(*id);
+            }
+        }
+        for id in ids {
+            let _ = self
+                .shared
+                .engine
+                .wait_terminal(id, Duration::from_secs(600));
+        }
+        self.shared.engine.begin_shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+/// Requeues every unfinished on-disk job under its original id and seeds
+/// the id counter past everything ever seen.
+fn requeue_unfinished(shared: &Arc<Shared>) {
+    let mut max_id = 0;
+    for (id, state) in shared.store.scan() {
+        max_id = max_id.max(id);
+        match state {
+            DiskJob::Unfinished {
+                spec,
+                has_checkpoint,
+            } => match JobSpec::from_json(&spec) {
+                Ok(spec) => {
+                    if has_checkpoint {
+                        Metrics::inc(&shared.metrics.jobs_resumed);
+                    }
+                    enqueue(shared, id, spec).expect("startup requeue cannot overflow the queue");
+                }
+                Err(e) => {
+                    let _ = shared
+                        .store
+                        .write_error(id, &format!("unreadable spec: {e}"));
+                }
+            },
+            DiskJob::Done | DiskJob::Failed(_) | DiskJob::Cancelled => {}
+        }
+    }
+    shared.next_id.store(max_id + 1, Ordering::SeqCst);
+}
+
+/// Queues a job closure under `id`.
+fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitError> {
+    let job_shared = Arc::clone(shared);
+    shared.engine.submit_with_id(id, move |ctx| {
+        let env = RunEnv {
+            store: &job_shared.store,
+            metrics: &job_shared.metrics,
+            checkpoint_every: job_shared.checkpoint_every,
+            cache_dir: job_shared.cache_dir.as_deref(),
+        };
+        let outcome = run_job(&spec, ctx, &env);
+        // Persist the terminal state before the engine observes it, so a
+        // `done` status always has its result on disk.
+        match &outcome {
+            JobOutcome::Done(result) => {
+                let _ = job_shared.store.write_result(ctx.id, result);
+                Metrics::inc(&job_shared.metrics.jobs_done);
+            }
+            JobOutcome::Failed(message) => {
+                let _ = job_shared.store.write_error(ctx.id, message);
+                Metrics::inc(&job_shared.metrics.jobs_failed);
+            }
+            JobOutcome::Cancelled => {
+                Metrics::inc(&job_shared.metrics.jobs_cancelled);
+            }
+        }
+        outcome
+    })?;
+    Metrics::inc(&shared.metrics.jobs_submitted);
+    shared.known.lock().expect("known jobs lock").push(id);
+    Ok(())
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("emgrid-conn".into())
+                    .spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    // A stalled client must not pin the thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    Metrics::inc(&shared.metrics.http_requests);
+    let response = match read_request(&mut stream, shared.max_body) {
+        Ok(request) => route(&request, &shared),
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            let response = Response::error(
+                413,
+                format!("body too large: {declared} bytes (limit {limit})"),
+            );
+            let _ = response.write_to(&mut stream);
+            // Drain (bounded) what the client already sent so the close is
+            // a FIN, not an RST that could destroy the 413 in flight.
+            let mut sink = [0u8; 4096];
+            let mut left = declared.min(1 << 20);
+            while left > 0 {
+                match std::io::Read::read(&mut stream, &mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => left = left.saturating_sub(n),
+                }
+            }
+            return;
+        }
+        Err(HttpError::BadRequest(message)) => Response::error(400, message),
+        Err(HttpError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let segments: Vec<&str> = request
+        .path()
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("status".into(), Json::s("ok")),
+                ("version".into(), Json::s(env!("CARGO_PKG_VERSION"))),
+            ]),
+        ),
+        ("GET", ["metrics"]) => Response::text(
+            200,
+            shared
+                .metrics
+                .render(shared.engine.queue_len(), shared.engine.running()),
+        ),
+        ("POST", ["v1", "jobs"]) => submit(request, shared),
+        ("GET", ["v1", "jobs", id]) => match id.parse() {
+            Ok(id) => status(id, shared),
+            Err(_) => Response::error(404, "job ids are integers"),
+        },
+        ("GET", ["v1", "jobs", id, "result"]) => match id.parse() {
+            Ok(id) => result(id, shared),
+            Err(_) => Response::error(404, "job ids are integers"),
+        },
+        ("DELETE", ["v1", "jobs", id]) => match id.parse() {
+            Ok(id) => cancel(id, shared),
+            Err(_) => Response::error(404, "job ids are integers"),
+        },
+        (_, ["healthz" | "metrics"]) | (_, ["v1", "jobs", ..]) => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let doc = match json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    let spec = match JobSpec::from_json(&doc) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, e.to_string()),
+    };
+    // Uploaded netlists are screened at the door: a deck that cannot pass
+    // ingest would only fail later inside a worker, wasting queue space.
+    if let JobSpec::Analyze {
+        deck: DeckSource::Netlist(text),
+        repair_vias,
+        ..
+    } = &spec
+    {
+        let options = IngestOptions {
+            limits: IngestLimits {
+                max_bytes: shared.max_body,
+                ..IngestLimits::default()
+            },
+            repair_vias: *repair_vias,
+        };
+        if let Err(e) = ingest(text, &options) {
+            let kind = match &e {
+                IngestError::TooLarge { .. } | IngestError::TooManyLines { .. } => "limit",
+                IngestError::Parse(_) => "parse",
+                IngestError::Lint(_) => "lint",
+            };
+            return Response::json(
+                400,
+                &Json::Obj(vec![
+                    ("error".into(), Json::s(e.to_string())),
+                    ("kind".into(), Json::s(kind)),
+                ]),
+            );
+        }
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    if shared.store.write_spec(id, &spec.to_json()).is_err() {
+        return Response::error(503, "cannot persist job spec");
+    }
+    match enqueue(shared, id, spec) {
+        Ok(()) => Response::json(
+            202,
+            &Json::Obj(vec![
+                ("id".into(), Json::n(id as f64)),
+                ("status".into(), Json::s("queued")),
+            ]),
+        ),
+        Err(e) => {
+            // Remove the persisted spec so a restart does not resurrect a
+            // job the client was told we rejected.
+            let _ = std::fs::remove_dir_all(shared.store.dir(id));
+            Response::error(503, e.to_string())
+        }
+    }
+}
+
+fn status(id: JobId, shared: &Arc<Shared>) -> Response {
+    if let Some(snapshot) = shared.engine.snapshot(id) {
+        let mut pairs = vec![
+            ("id".into(), Json::n(id as f64)),
+            ("status".into(), Json::s(snapshot.status.to_string())),
+            ("checkpoints".into(), Json::n(snapshot.checkpoints as f64)),
+        ];
+        if let Some(error) = snapshot.error {
+            pairs.push(("error".into(), Json::s(error)));
+        }
+        return Response::json(200, &Json::Obj(pairs));
+    }
+    // Jobs from a previous daemon process live only on disk.
+    match shared.store.load(id) {
+        Some(disk) => {
+            let (status, error) = match disk {
+                DiskJob::Done => (JobStatus::Done, None),
+                DiskJob::Failed(message) => (JobStatus::Failed, Some(message)),
+                DiskJob::Cancelled => (JobStatus::Cancelled, None),
+                DiskJob::Unfinished { .. } => (JobStatus::Queued, None),
+            };
+            let mut pairs = vec![
+                ("id".into(), Json::n(id as f64)),
+                ("status".into(), Json::s(status.to_string())),
+            ];
+            if let Some(error) = error {
+                pairs.push(("error".into(), Json::s(error)));
+            }
+            Response::json(200, &Json::Obj(pairs))
+        }
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn result(id: JobId, shared: &Arc<Shared>) -> Response {
+    if let Some(bytes) = shared.store.read_result(id) {
+        return Response::json_bytes(200, bytes);
+    }
+    if let Some(message) = shared.store.read_error(id) {
+        return Response::error(409, format!("job failed: {message}"));
+    }
+    if shared.engine.snapshot(id).is_some() || shared.store.exists(id) {
+        return Response::error(409, "job not finished");
+    }
+    Response::error(404, "no such job")
+}
+
+fn cancel(id: JobId, shared: &Arc<Shared>) -> Response {
+    let known = shared.engine.snapshot(id).is_some() || shared.store.exists(id);
+    if !known {
+        return Response::error(404, "no such job");
+    }
+    // The marker keeps a restart from requeueing the job; the engine
+    // cancel interrupts it if it is queued or running right now.
+    let _ = shared.store.mark_cancelled(id);
+    shared.engine.cancel(id);
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("id".into(), Json::n(id as f64)),
+            ("status".into(), Json::s("cancelling")),
+        ]),
+    )
+}

@@ -1,0 +1,536 @@
+//! Job specifications: the JSON contract of `POST /v1/jobs`.
+//!
+//! A spec names one of three analyses — `characterize` (level-1 via-array
+//! Monte Carlo), `analyze` (two-level system MC over a benchmark grid or
+//! an uploaded SPICE netlist) or `fea` (finite-element stress
+//! characterization of one primitive) — plus its technology knobs.
+//! Parsing is strict: unknown keys, out-of-range budgets and malformed
+//! values are all rejected with a message the daemon returns as a `400`.
+//!
+//! [`JobSpec::to_json`] renders the *canonical* form with every default
+//! materialized; that document is persisted as `spec.json` and is what a
+//! restarted daemon re-parses, so a job resumes under exactly the
+//! parameters it was accepted with even if the client omitted them.
+
+use std::fmt;
+
+use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
+use emgrid_runtime::{EarlyStop, RuntimeConfig};
+use emgrid_via::{FailureCriterion, ViaArrayConfig};
+
+use crate::json::Json;
+
+/// Hard budget ceilings; a daemon accepts work from the network and must
+/// bound it.
+const MAX_TRIALS: usize = 1_000_000;
+const MAX_THREADS: usize = 64;
+
+/// A validation failure, phrased for the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Monte Carlo parameters shared by `characterize` and `analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McParams {
+    /// Array label: `1x1`, `4x4` or `8x8`.
+    pub array: String,
+    /// Intersection pattern label: `plus`, `tee` or `ell`.
+    pub pattern: String,
+    /// Failure criterion label: `wl`, `r2x` or `rinf`.
+    pub criterion: String,
+    /// Level-1 trial budget.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads inside the Monte Carlo scheduler.
+    pub threads: usize,
+    /// Optional early-stop target on the 95% CI half-width of mean ln TTF.
+    pub target_ci: Option<f64>,
+}
+
+/// Where an `analyze` job's power grid comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeckSource {
+    /// A built-in synthetic benchmark: `pg1`, `pg2` or `pg5`.
+    Benchmark(String),
+    /// An uploaded SPICE deck (screened by [`emgrid_spice::ingest`]).
+    Netlist(String),
+}
+
+/// One accepted unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSpec {
+    /// Level-1 via-array TTF characterization.
+    Characterize(McParams),
+    /// Two-level system analysis of a power grid.
+    Analyze {
+        /// Shared MC parameters (level-1 budget in `mc.trials`).
+        mc: McParams,
+        /// The grid under analysis.
+        deck: DeckSource,
+        /// Level-2 (grid) trial budget.
+        grid_trials: usize,
+        /// Retrofit resistance for shorted vias, Ω (the paper's §5.2).
+        repair_vias: Option<f64>,
+    },
+    /// Finite-element stress characterization of one primitive.
+    Fea {
+        /// Array label: `1x1`, `4x4` or `8x8`.
+        array: String,
+        /// Intersection pattern label.
+        pattern: String,
+        /// Mesh resolution, µm.
+        resolution: f64,
+        /// FEA solver threads.
+        threads: usize,
+        /// Whether to consult / populate the stress cache.
+        use_cache: bool,
+    },
+}
+
+impl JobSpec {
+    /// The job kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Characterize(_) => "characterize",
+            JobSpec::Analyze { .. } => "analyze",
+            JobSpec::Fea { .. } => "fea",
+        }
+    }
+
+    /// Parses and validates a client-submitted document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, SpecError> {
+        let Json::Obj(_) = doc else {
+            return Err(SpecError("spec must be a JSON object".into()));
+        };
+        let kind = get_str(doc, "kind")?.ok_or_else(|| SpecError("missing `kind`".into()))?;
+        match kind {
+            "characterize" => {
+                reject_unknown_keys(doc, &MC_KEYS)?;
+                Ok(JobSpec::Characterize(mc_params(doc)?))
+            }
+            "analyze" => {
+                const ANALYZE_KEYS: [&str; 11] = [
+                    "kind",
+                    "array",
+                    "pattern",
+                    "criterion",
+                    "trials",
+                    "seed",
+                    "threads",
+                    "target_ci",
+                    "grid_trials",
+                    "benchmark",
+                    "netlist",
+                ];
+                let mut keys = ANALYZE_KEYS.to_vec();
+                keys.push("repair_vias");
+                reject_unknown_keys(doc, &keys)?;
+                let mc = mc_params(doc)?;
+                let deck = match (get_str(doc, "benchmark")?, get_str(doc, "netlist")?) {
+                    (Some(_), Some(_)) => {
+                        return Err(SpecError(
+                            "give either `benchmark` or `netlist`, not both".into(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(SpecError("analyze needs `benchmark` or `netlist`".into()))
+                    }
+                    (Some(b), None) => {
+                        if !matches!(b, "pg1" | "pg2" | "pg5") {
+                            return Err(SpecError(format!(
+                                "unknown benchmark `{b}` (expected pg1, pg2 or pg5)"
+                            )));
+                        }
+                        DeckSource::Benchmark(b.to_owned())
+                    }
+                    (None, Some(n)) => DeckSource::Netlist(n.to_owned()),
+                };
+                let grid_trials = get_usize(doc, "grid_trials", 200, 1, MAX_TRIALS)?;
+                let repair_vias = get_pos_f64(doc, "repair_vias")?;
+                Ok(JobSpec::Analyze {
+                    mc,
+                    deck,
+                    grid_trials,
+                    repair_vias,
+                })
+            }
+            "fea" => {
+                reject_unknown_keys(
+                    doc,
+                    &[
+                        "kind",
+                        "array",
+                        "pattern",
+                        "resolution",
+                        "threads",
+                        "use_cache",
+                    ],
+                )?;
+                let array = get_array_label(doc)?;
+                let pattern = get_pattern_label(doc)?;
+                let resolution = match get_pos_f64(doc, "resolution")? {
+                    None => 0.25,
+                    Some(r) if (0.05..=5.0).contains(&r) => r,
+                    Some(r) => {
+                        return Err(SpecError(format!(
+                            "resolution {r} out of range [0.05, 5.0] um"
+                        )))
+                    }
+                };
+                let threads = get_usize(doc, "threads", 1, 1, MAX_THREADS)?;
+                let use_cache = match doc.get("use_cache") {
+                    None => true,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| SpecError("`use_cache` must be a boolean".into()))?,
+                };
+                Ok(JobSpec::Fea {
+                    array,
+                    pattern,
+                    resolution,
+                    threads,
+                    use_cache,
+                })
+            }
+            other => Err(SpecError(format!(
+                "unknown kind `{other}` (expected characterize, analyze or fea)"
+            ))),
+        }
+    }
+
+    /// Renders the canonical form (defaults materialized, fixed key order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            JobSpec::Characterize(mc) => {
+                let mut pairs = vec![("kind".to_owned(), Json::s("characterize"))];
+                push_mc(&mut pairs, mc);
+                Json::Obj(pairs)
+            }
+            JobSpec::Analyze {
+                mc,
+                deck,
+                grid_trials,
+                repair_vias,
+            } => {
+                let mut pairs = vec![("kind".to_owned(), Json::s("analyze"))];
+                push_mc(&mut pairs, mc);
+                pairs.push(("grid_trials".into(), Json::n(*grid_trials as f64)));
+                match deck {
+                    DeckSource::Benchmark(b) => pairs.push(("benchmark".into(), Json::s(b))),
+                    DeckSource::Netlist(n) => pairs.push(("netlist".into(), Json::s(n))),
+                }
+                if let Some(r) = repair_vias {
+                    pairs.push(("repair_vias".into(), Json::n(*r)));
+                }
+                Json::Obj(pairs)
+            }
+            JobSpec::Fea {
+                array,
+                pattern,
+                resolution,
+                threads,
+                use_cache,
+            } => Json::Obj(vec![
+                ("kind".into(), Json::s("fea")),
+                ("array".into(), Json::s(array)),
+                ("pattern".into(), Json::s(pattern)),
+                ("resolution".into(), Json::n(*resolution)),
+                ("threads".into(), Json::n(*threads as f64)),
+                ("use_cache".into(), Json::Bool(*use_cache)),
+            ]),
+        }
+    }
+}
+
+const MC_KEYS: [&str; 8] = [
+    "kind",
+    "array",
+    "pattern",
+    "criterion",
+    "trials",
+    "seed",
+    "threads",
+    "target_ci",
+];
+
+fn push_mc(pairs: &mut Vec<(String, Json)>, mc: &McParams) {
+    pairs.push(("array".into(), Json::s(&mc.array)));
+    pairs.push(("pattern".into(), Json::s(&mc.pattern)));
+    pairs.push(("criterion".into(), Json::s(&mc.criterion)));
+    pairs.push(("trials".into(), Json::n(mc.trials as f64)));
+    pairs.push(("seed".into(), Json::n(mc.seed as f64)));
+    pairs.push(("threads".into(), Json::n(mc.threads as f64)));
+    if let Some(ci) = mc.target_ci {
+        pairs.push(("target_ci".into(), Json::n(ci)));
+    }
+}
+
+fn mc_params(doc: &Json) -> Result<McParams, SpecError> {
+    Ok(McParams {
+        array: get_array_label(doc)?,
+        pattern: get_pattern_label(doc)?,
+        criterion: {
+            let c = get_str(doc, "criterion")?.unwrap_or("rinf");
+            if !matches!(c, "wl" | "r2x" | "rinf") {
+                return Err(SpecError(format!(
+                    "unknown criterion `{c}` (expected wl, r2x or rinf)"
+                )));
+            }
+            c.to_owned()
+        },
+        trials: get_usize(doc, "trials", 2000, 1, MAX_TRIALS)?,
+        seed: get_u64(doc, "seed", 1)?,
+        threads: get_usize(doc, "threads", 1, 1, MAX_THREADS)?,
+        // Positivity and finiteness are enforced by get_pos_f64.
+        target_ci: get_pos_f64(doc, "target_ci")?,
+    })
+}
+
+fn get_array_label(doc: &Json) -> Result<String, SpecError> {
+    let a = get_str(doc, "array")?.unwrap_or("4x4");
+    if !matches!(a, "1x1" | "4x4" | "8x8") {
+        return Err(SpecError(format!(
+            "unknown array `{a}` (expected 1x1, 4x4 or 8x8)"
+        )));
+    }
+    Ok(a.to_owned())
+}
+
+fn get_pattern_label(doc: &Json) -> Result<String, SpecError> {
+    let p = get_str(doc, "pattern")?.unwrap_or("plus");
+    if !matches!(p, "plus" | "tee" | "ell") {
+        return Err(SpecError(format!(
+            "unknown pattern `{p}` (expected plus, tee or ell)"
+        )));
+    }
+    Ok(p.to_owned())
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Result<Option<&'a str>, SpecError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| SpecError(format!("`{key}` must be a string"))),
+    }
+}
+
+fn get_usize(
+    doc: &Json,
+    key: &str,
+    default: usize,
+    min: usize,
+    max: usize,
+) -> Result<usize, SpecError> {
+    let v = match doc.get(key) {
+        None => return Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| SpecError(format!("`{key}` must be a non-negative integer")))?,
+    };
+    let v = usize::try_from(v).map_err(|_| SpecError(format!("`{key}` too large")))?;
+    if v < min || v > max {
+        return Err(SpecError(format!(
+            "`{key}` = {v} out of range [{min}, {max}]"
+        )));
+    }
+    Ok(v)
+}
+
+fn get_u64(doc: &Json, key: &str, default: u64) -> Result<u64, SpecError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| SpecError(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn get_pos_f64(doc: &Json, key: &str) -> Result<Option<f64>, SpecError> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let v = v
+                .as_f64()
+                .ok_or_else(|| SpecError(format!("`{key}` must be a number")))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SpecError(format!("`{key}` must be positive")));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+fn reject_unknown_keys(doc: &Json, allowed: &[&str]) -> Result<(), SpecError> {
+    let Json::Obj(pairs) = doc else {
+        return Ok(());
+    };
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SpecError(format!("unknown key `{key}`")));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves an array + pattern label pair into the paper's configuration.
+pub fn resolve_array(array: &str, pattern: &str) -> ViaArrayConfig {
+    let pattern = resolve_pattern(pattern);
+    match array {
+        "1x1" => ViaArrayConfig::paper_1x1(pattern),
+        "8x8" => ViaArrayConfig::paper_8x8(pattern),
+        _ => ViaArrayConfig::paper_4x4(pattern),
+    }
+}
+
+/// Resolves an array label into the FEA geometry.
+pub fn resolve_geometry(array: &str) -> ViaArrayGeometry {
+    match array {
+        "1x1" => ViaArrayGeometry::paper_1x1(),
+        "8x8" => ViaArrayGeometry::paper_8x8(),
+        _ => ViaArrayGeometry::paper_4x4(),
+    }
+}
+
+/// Resolves a pattern label.
+pub fn resolve_pattern(pattern: &str) -> IntersectionPattern {
+    match pattern {
+        "tee" => IntersectionPattern::Tee,
+        "ell" => IntersectionPattern::Ell,
+        _ => IntersectionPattern::Plus,
+    }
+}
+
+/// Resolves a criterion label.
+pub fn resolve_criterion(criterion: &str) -> FailureCriterion {
+    match criterion {
+        "wl" => FailureCriterion::WeakestLink,
+        "r2x" => FailureCriterion::ResistanceRatio(2.0),
+        _ => FailureCriterion::OpenCircuit,
+    }
+}
+
+/// Builds the scheduler configuration for a spec's thread/CI knobs.
+pub fn resolve_runtime(threads: usize, target_ci: Option<f64>) -> RuntimeConfig {
+    let mut runtime = RuntimeConfig::threaded(threads);
+    if let Some(hw) = target_ci {
+        runtime = runtime.with_early_stop(EarlyStop::to_half_width(hw));
+    }
+    runtime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn spec(text: &str) -> Result<JobSpec, SpecError> {
+        JobSpec::from_json(&json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn characterize_defaults_are_materialized() {
+        let s = spec(r#"{"kind":"characterize"}"#).unwrap();
+        let JobSpec::Characterize(mc) = &s else {
+            panic!("wrong kind")
+        };
+        assert_eq!(
+            (
+                mc.array.as_str(),
+                mc.pattern.as_str(),
+                mc.criterion.as_str()
+            ),
+            ("4x4", "plus", "rinf")
+        );
+        assert_eq!((mc.trials, mc.seed, mc.threads), (2000, 1, 1));
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"characterize","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1}"#
+        );
+        // The canonical form re-parses to the same spec.
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn analyze_requires_exactly_one_deck_source() {
+        assert!(spec(r#"{"kind":"analyze"}"#).is_err());
+        assert!(spec(r#"{"kind":"analyze","benchmark":"pg1","netlist":"R1 a 0 1"}"#).is_err());
+        assert!(spec(r#"{"kind":"analyze","benchmark":"pg9"}"#).is_err());
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1","grid_trials":50,"repair_vias":0.5}"#)
+            .unwrap();
+        let JobSpec::Analyze {
+            deck,
+            grid_trials,
+            repair_vias,
+            ..
+        } = &s
+        else {
+            panic!("wrong kind")
+        };
+        assert_eq!(deck, &DeckSource::Benchmark("pg1".into()));
+        assert_eq!(*grid_trials, 50);
+        assert_eq!(*repair_vias, Some(0.5));
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn fea_round_trips_and_bounds_resolution() {
+        let s = spec(r#"{"kind":"fea","array":"1x1","resolution":0.5,"use_cache":false}"#).unwrap();
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        assert!(spec(r#"{"kind":"fea","resolution":0.001}"#).is_err());
+        assert!(spec(r#"{"kind":"fea","resolution":-1}"#).is_err());
+    }
+
+    #[test]
+    fn strict_validation_rejects_bad_fields() {
+        for bad in [
+            r#"[1,2]"#,
+            r#"{"trials":10}"#,
+            r#"{"kind":"mine"}"#,
+            r#"{"kind":"characterize","typo":1}"#,
+            r#"{"kind":"characterize","array":"2x2"}"#,
+            r#"{"kind":"characterize","pattern":"round"}"#,
+            r#"{"kind":"characterize","criterion":"best"}"#,
+            r#"{"kind":"characterize","trials":0}"#,
+            r#"{"kind":"characterize","trials":10000000}"#,
+            r#"{"kind":"characterize","trials":2.5}"#,
+            r#"{"kind":"characterize","seed":-1}"#,
+            r#"{"kind":"characterize","threads":100}"#,
+            r#"{"kind":"characterize","target_ci":0}"#,
+            r#"{"kind":"analyze","benchmark":"pg1","repair_vias":-0.5}"#,
+        ] {
+            assert!(spec(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn resolvers_cover_all_labels() {
+        assert_eq!(resolve_array("8x8", "tee").count(), 64);
+        assert_eq!(resolve_array("1x1", "ell").count(), 1);
+        assert!(matches!(
+            resolve_criterion("r2x"),
+            FailureCriterion::ResistanceRatio(_)
+        ));
+        assert!(matches!(
+            resolve_criterion("wl"),
+            FailureCriterion::WeakestLink
+        ));
+        let rt = resolve_runtime(4, Some(0.05));
+        assert_eq!(rt.threads, 4);
+        assert!(rt.early_stop.is_some());
+    }
+}

@@ -1,0 +1,329 @@
+//! Guarded netlist ingestion for untrusted decks.
+//!
+//! The analysis daemon (`emgrid-serve`) accepts SPICE netlists over HTTP,
+//! so a deck must be screened before it reaches the solver: bounded in
+//! size, parsed with line-accurate errors, and lint-gated so structurally
+//! broken grids are rejected up front instead of failing deep inside DC
+//! analysis. [`ingest`] packages that pipeline; [`IngestError`] is the
+//! structured rejection the daemon serializes into its `400` responses.
+//!
+//! Shorted vias ([`LintIssue::ShortedVia`]) are deliberately *not* fatal:
+//! the paper's benchmark decks ship with zero-resistance vias and the
+//! caller may ask for the paper's retrofit via
+//! [`IngestOptions::repair_vias`]. Every other lint class leaves the
+//! operating point undefined or ambiguous and rejects the deck.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::lint::{lint, repair_shorted_vias, LintIssue};
+use crate::netlist::Netlist;
+use crate::parser::{parse, ParseError};
+
+/// Size caps applied before any parsing work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestLimits {
+    /// Maximum deck size in bytes.
+    pub max_bytes: usize,
+    /// Maximum number of lines (element cards plus comments/directives).
+    pub max_lines: usize,
+}
+
+impl Default for IngestLimits {
+    fn default() -> Self {
+        // Generous for the paper's benchmark scale (pg5 renders well under
+        // 2 MiB) while keeping a rogue upload from ballooning the parser.
+        IngestLimits {
+            max_bytes: 8 * 1024 * 1024,
+            max_lines: 400_000,
+        }
+    }
+}
+
+/// Knobs for one ingestion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestOptions {
+    /// Size caps; [`IngestLimits::default`] unless overridden.
+    pub limits: IngestLimits,
+    /// When set, shorted inter-layer vias are retrofitted to this nominal
+    /// resistance (Ω) before linting — the paper's §5.2 repair.
+    pub repair_vias: Option<f64>,
+}
+
+/// Why a deck was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The deck exceeds [`IngestLimits::max_bytes`].
+    TooLarge {
+        /// Size of the submitted deck.
+        bytes: usize,
+        /// The configured cap.
+        max_bytes: usize,
+    },
+    /// The deck exceeds [`IngestLimits::max_lines`].
+    TooManyLines {
+        /// Lines in the submitted deck.
+        lines: usize,
+        /// The configured cap.
+        max_lines: usize,
+    },
+    /// A card failed to parse (malformed fields, bad value, unsupported
+    /// element, zero/negative resistance).
+    Parse(ParseError),
+    /// The deck parsed but is structurally unsound; every fatal issue is
+    /// listed.
+    Lint(Vec<LintIssue>),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::TooLarge { bytes, max_bytes } => {
+                write!(f, "netlist too large: {bytes} bytes (limit {max_bytes})")
+            }
+            IngestError::TooManyLines { lines, max_lines } => {
+                write!(f, "netlist too long: {lines} lines (limit {max_lines})")
+            }
+            IngestError::Parse(e) => write!(f, "parse error: {e}"),
+            IngestError::Lint(issues) => {
+                write!(f, "netlist rejected by lint ({} issues):", issues.len())?;
+                for issue in issues {
+                    write!(f, " {issue};")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for IngestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IngestError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for IngestError {
+    fn from(e: ParseError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+/// A successfully screened deck.
+#[derive(Debug)]
+pub struct Ingested {
+    /// The parsed (and possibly via-repaired) netlist.
+    pub netlist: Netlist,
+    /// Non-fatal findings left in the deck (shorted vias when no repair
+    /// was requested).
+    pub warnings: Vec<LintIssue>,
+    /// How many vias [`IngestOptions::repair_vias`] retrofitted.
+    pub repaired_vias: usize,
+}
+
+/// Whether a lint finding rejects the deck.
+///
+/// Everything except [`LintIssue::ShortedVia`] is fatal: floating nodes
+/// and islands leave node voltages undefined, duplicate names make element
+/// currents ambiguous, and a zero-volt pad shorts the grid to ground.
+pub fn is_fatal(issue: &LintIssue) -> bool {
+    !matches!(issue, LintIssue::ShortedVia { .. })
+}
+
+/// Screens an untrusted SPICE deck: enforces [`IngestLimits`], parses,
+/// optionally repairs shorted vias, and rejects decks with fatal lint
+/// findings.
+///
+/// # Errors
+///
+/// Returns the first applicable [`IngestError`]; limit violations are
+/// detected before any parsing work.
+///
+/// # Example
+///
+/// ```
+/// use emgrid_spice::ingest::{ingest, IngestOptions};
+///
+/// let deck = "V1 a 0 1.8\nR1 a b 1.0\nR2 b 0 1.0\n.end";
+/// let ok = ingest(deck, &IngestOptions::default()).unwrap();
+/// assert_eq!(ok.netlist.counts(), (2, 1, 0));
+/// ```
+pub fn ingest(deck: &str, options: &IngestOptions) -> Result<Ingested, IngestError> {
+    let limits = options.limits;
+    if deck.len() > limits.max_bytes {
+        return Err(IngestError::TooLarge {
+            bytes: deck.len(),
+            max_bytes: limits.max_bytes,
+        });
+    }
+    let lines = deck.lines().count();
+    if lines > limits.max_lines {
+        return Err(IngestError::TooManyLines {
+            lines,
+            max_lines: limits.max_lines,
+        });
+    }
+    let mut netlist = parse(deck)?;
+    let repaired_vias = match options.repair_vias {
+        Some(nominal) => repair_shorted_vias(&mut netlist, nominal),
+        None => 0,
+    };
+    let (fatal, warnings): (Vec<_>, Vec<_>) = lint(&netlist).into_iter().partition(is_fatal);
+    if !fatal.is_empty() {
+        return Err(IngestError::Lint(fatal));
+    }
+    Ok(Ingested {
+        netlist,
+        warnings,
+        repaired_vias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::ParseErrorKind;
+
+    fn small_limits() -> IngestOptions {
+        IngestOptions {
+            limits: IngestLimits {
+                max_bytes: 64,
+                max_lines: 4,
+            },
+            repair_vias: None,
+        }
+    }
+
+    #[test]
+    fn accepts_a_clean_generated_deck() {
+        let deck =
+            crate::writer::write_string(&crate::benchgen::GridSpec::custom("t", 6, 6).generate());
+        let ok = ingest(&deck, &IngestOptions::default()).unwrap();
+        assert!(ok.warnings.is_empty(), "{:?}", ok.warnings);
+        assert_eq!(ok.repaired_vias, 0);
+        assert!(ok.netlist.node_count() > 0);
+    }
+
+    #[test]
+    fn rejects_malformed_element_lines() {
+        // Too few fields.
+        let err = ingest("V1 a 0 1.8\nR1 a b\n", &IngestOptions::default()).unwrap_err();
+        match &err {
+            IngestError::Parse(p) => {
+                assert_eq!(p.line, 2);
+                assert_eq!(p.kind, ParseErrorKind::MissingFields);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Unsupported element type.
+        let err = ingest("C1 a b 1p\n", &IngestOptions::default()).unwrap_err();
+        assert!(
+            matches!(&err, IngestError::Parse(p) if matches!(p.kind, ParseErrorKind::UnsupportedElement('C'))),
+            "{err:?}"
+        );
+        // Unparsable value.
+        let err = ingest("R1 a b 1.2.3\n", &IngestOptions::default()).unwrap_err();
+        assert!(
+            matches!(&err, IngestError::Parse(p) if matches!(p.kind, ParseErrorKind::BadValue(_))),
+            "{err:?}"
+        );
+        assert!(err.to_string().starts_with("parse error: "), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let deck = "V1 a 0 1.8\nR1 a b 1.0\nR1 b 0 1.0\n";
+        let err = ingest(deck, &IngestOptions::default()).unwrap_err();
+        let IngestError::Lint(issues) = &err else {
+            panic!("expected lint rejection, got {err:?}");
+        };
+        assert!(
+            issues
+                .iter()
+                .any(|i| matches!(i, LintIssue::DuplicateName { name } if name == "R1")),
+            "{issues:?}"
+        );
+        assert!(err.to_string().contains("duplicate element name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_resistance_branches() {
+        // Zero resistance is a parse-level rejection (value must be > 0)…
+        let err = ingest("V1 a 0 1.8\nR1 a 0 0\n", &IngestOptions::default()).unwrap_err();
+        assert!(
+            matches!(&err, IngestError::Parse(p) if matches!(p.kind, ParseErrorKind::NonPositiveResistance(_))),
+            "{err:?}"
+        );
+        // …while a near-zero *via* is only a warning, repairable on request.
+        let deck = "V1 n3_0_0 0 1.8\nRv n1_0_0 n3_0_0 1e-6\nR1 n1_0_0 n1_1_0 0.5\nI1 n1_1_0 0 1m\n";
+        let ok = ingest(deck, &IngestOptions::default()).unwrap();
+        assert!(
+            ok.warnings
+                .iter()
+                .any(|i| matches!(i, LintIssue::ShortedVia { name, .. } if name == "Rv")),
+            "{:?}",
+            ok.warnings
+        );
+        let repaired = ingest(
+            deck,
+            &IngestOptions {
+                repair_vias: Some(0.5),
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(repaired.repaired_vias, 1);
+        assert!(repaired.warnings.is_empty(), "{:?}", repaired.warnings);
+    }
+
+    #[test]
+    fn rejects_floating_nodes_and_islands() {
+        let err = ingest(
+            "V1 a 0 1.0\nR1 a b 1.0\nR2 b 0 1.0\nI1 c 0 1m\n",
+            &IngestOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, IngestError::Lint(is) if is.iter().any(|i| matches!(i, LintIssue::FloatingNode { .. }))),
+            "{err:?}"
+        );
+        let err = ingest(
+            "V1 a 0 1.0\nR1 a b 1.0\nR2 c d 1.0\n",
+            &IngestOptions::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, IngestError::Lint(is) if is.iter().any(|i| matches!(i, LintIssue::UnreachableIsland { .. }))),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_netlists_before_parsing() {
+        // Over the byte cap: even an unparsable payload is rejected by size
+        // alone, so the parser never sees it.
+        let big = "@".repeat(65);
+        let err = ingest(&big, &small_limits()).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::TooLarge {
+                bytes: 65,
+                max_bytes: 64
+            }
+        );
+        assert!(err.to_string().contains("netlist too large"), "{err}");
+
+        // Under the byte cap but over the line cap.
+        let tall = "* c\n".repeat(5);
+        let err = ingest(&tall, &small_limits()).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::TooManyLines {
+                lines: 5,
+                max_lines: 4
+            }
+        );
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 pub mod benchgen;
+pub mod ingest;
 pub mod lint;
 pub mod mna;
 pub mod netlist;
@@ -47,6 +48,7 @@ pub mod parser;
 pub mod writer;
 
 pub use benchgen::GridSpec;
+pub use ingest::{ingest, IngestError, IngestLimits, IngestOptions, Ingested};
 pub use lint::{lint, repair_shorted_vias, LintIssue};
 pub use mna::{DcAnalysis, DcSolution, MnaError};
 pub use netlist::{Element, Netlist, Node, NodeInfo};

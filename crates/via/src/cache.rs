@@ -67,10 +67,15 @@ impl StressCache {
         StressCache { dir: dir.into() }
     }
 
-    /// The conventional location: `results/cache/` under the working
+    /// The conventional location: the `EMGRID_CACHE_DIR` environment
+    /// variable when set and non-empty (so daemon workers and CI jobs can
+    /// keep separate caches), otherwise `results/cache/` under the working
     /// directory.
     pub fn default_dir() -> PathBuf {
-        PathBuf::from("results").join("cache")
+        match std::env::var("EMGRID_CACHE_DIR") {
+            Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("results").join("cache"),
+        }
     }
 
     /// Whether `EMGRID_NO_CACHE` asks to bypass caching entirely.
@@ -358,5 +363,32 @@ mod tests {
         std::env::set_var("EMGRID_NO_CACHE", "0");
         assert!(!StressCache::disabled_by_env());
         std::env::remove_var("EMGRID_NO_CACHE");
+    }
+
+    #[test]
+    fn env_override_redirects_default_dir() {
+        // Same process-wide-env caveat as above: one test, no parallel
+        // readers of EMGRID_CACHE_DIR.
+        std::env::remove_var("EMGRID_CACHE_DIR");
+        assert_eq!(
+            StressCache::default_dir(),
+            PathBuf::from("results").join("cache")
+        );
+        std::env::set_var("EMGRID_CACHE_DIR", "/tmp/emgrid-alt-cache");
+        assert_eq!(
+            StressCache::default_dir(),
+            PathBuf::from("/tmp/emgrid-alt-cache")
+        );
+        assert_eq!(
+            StressCache::new(StressCache::default_dir()).dir(),
+            Path::new("/tmp/emgrid-alt-cache")
+        );
+        // Empty means unset, not "cache in the working directory".
+        std::env::set_var("EMGRID_CACHE_DIR", "");
+        assert_eq!(
+            StressCache::default_dir(),
+            PathBuf::from("results").join("cache")
+        );
+        std::env::remove_var("EMGRID_CACHE_DIR");
     }
 }

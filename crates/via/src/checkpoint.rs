@@ -1,0 +1,182 @@
+//! Serialized state of an interrupted via-array characterization session.
+//!
+//! Same discipline as the grid checkpoint: line-oriented text, every `f64`
+//! stored as its 16-hex-digit IEEE-754 bit pattern, so the committed
+//! samples and Welford accumulator restore bit-exactly and the resumed run
+//! reproduces an uninterrupted characterization:
+//!
+//! ```text
+//! emgrid-via-checkpoint-v1
+//! stream <count> <mean> <m2> <min> <max>
+//! sample <failure time> <failure time> ...
+//! sample ...
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use emgrid_stats::OnlineStats;
+
+use crate::mc::ViaArraySample;
+
+const FORMAT: &str = "emgrid-via-checkpoint-v1";
+
+/// A malformed or truncated checkpoint (treated as absent: the
+/// characterization restarts from trial zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError(pub String);
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad via checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Committed state of a characterization run: a prefix of per-trial samples
+/// plus the open-circuit `ln TTF` stream over exactly those trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViaCheckpoint {
+    /// Samples of trials `0..samples.len()`, in trial order.
+    pub samples: Vec<ViaArraySample>,
+    /// The observable stream over those samples.
+    pub stream: OnlineStats,
+}
+
+impl ViaCheckpoint {
+    /// Serializes to the versioned text format.
+    pub fn encode(&self) -> String {
+        let (count, mean, m2, min, max) = self.stream.raw_parts();
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT}");
+        let _ = writeln!(
+            out,
+            "stream {count} {} {} {} {}",
+            hex(mean),
+            hex(m2),
+            hex(min),
+            hex(max)
+        );
+        for sample in &self.samples {
+            out.push_str("sample");
+            for t in &sample.failure_times {
+                let _ = write!(out, " {}", hex(*t));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format back, validating the header and that the
+    /// stream count matches the number of sample lines.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any malformed line or count mismatch.
+    pub fn decode(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(FORMAT) => {}
+            other => return Err(CheckpointError(format!("bad header {other:?}"))),
+        }
+        let stream_line = lines
+            .next()
+            .ok_or_else(|| CheckpointError("missing stream line".into()))?;
+        let mut fields = stream_line.split_whitespace();
+        if fields.next() != Some("stream") {
+            return Err(CheckpointError("missing stream line".into()));
+        }
+        let count: u64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CheckpointError("bad stream count".into()))?;
+        let mut next_f64 = || -> Result<f64, CheckpointError> {
+            parse_hex(
+                fields
+                    .next()
+                    .ok_or_else(|| CheckpointError("short stream line".into()))?,
+            )
+        };
+        let mean = next_f64()?;
+        let m2 = next_f64()?;
+        let min = next_f64()?;
+        let max = next_f64()?;
+        let stream = OnlineStats::from_raw_parts(count, mean, m2, min, max);
+
+        let mut samples = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            if fields.next() != Some("sample") {
+                return Err(CheckpointError(format!("bad line {line:?}")));
+            }
+            let failure_times = fields.map(parse_hex).collect::<Result<Vec<f64>, _>>()?;
+            if failure_times.is_empty() {
+                return Err(CheckpointError("sample line without times".into()));
+            }
+            samples.push(ViaArraySample { failure_times });
+        }
+        if samples.len() as u64 != count {
+            return Err(CheckpointError(format!(
+                "stream count {count} != {} sample lines",
+                samples.len()
+            )));
+        }
+        Ok(ViaCheckpoint { samples, stream })
+    }
+}
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_hex(s: &str) -> Result<f64, CheckpointError> {
+    if s.len() != 16 {
+        return Err(CheckpointError(format!("bad f64 field {s:?}")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError(format!("bad f64 field {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> ViaCheckpoint {
+        let samples = vec![
+            ViaArraySample {
+                failure_times: vec![1.0e7, 2.5e7, 3.125e7],
+            },
+            ViaArraySample {
+                failure_times: vec![0.5e7, 0.75e7, f64::MAX],
+            },
+        ];
+        let mut stream = OnlineStats::new();
+        for s in &samples {
+            stream.push(s.failure_times[2].max(f64::MIN_POSITIVE).ln());
+        }
+        ViaCheckpoint { samples, stream }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let cp = sample_checkpoint();
+        let back = ViaCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.stream.mean().to_bits(), cp.stream.mean().to_bits());
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let good = sample_checkpoint().encode();
+        assert!(ViaCheckpoint::decode("").is_err());
+        assert!(ViaCheckpoint::decode("emgrid-grid-checkpoint-v1\n").is_err());
+        let truncated: String = good.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(ViaCheckpoint::decode(&truncated).is_err());
+        assert!(ViaCheckpoint::decode(&good.replace("sample", "simple")).is_err());
+    }
+}

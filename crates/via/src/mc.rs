@@ -11,11 +11,12 @@
 
 use emgrid_em::void_growth::GrowthModel;
 use emgrid_em::{nucleation, Technology};
-use emgrid_runtime::RuntimeConfig;
+use emgrid_runtime::{CancelToken, RuntimeConfig, SessionState, TrialSession};
 use emgrid_stats::Rng;
 
 use crate::array::ViaArrayConfig;
 use crate::characterization::CharacterizationResult;
+use crate::checkpoint::ViaCheckpoint;
 use crate::electrical::CurrentModel;
 use crate::stress_table::{LayerPair, StressTable};
 
@@ -233,18 +234,91 @@ impl ViaArrayMc {
         seed: u64,
         runtime: &RuntimeConfig,
     ) -> CharacterizationResult {
+        self.characterize_session(trials, seed, runtime, ViaSession::default())
+            .expect("an uncancelled run commits at least one sample")
+    }
+
+    /// [`ViaArrayMc::characterize_with`] with checkpoint/resume/cancellation
+    /// controls — the entry point the analysis daemon drives.
+    ///
+    /// A run resumed from a [`ViaCheckpoint`] produces the same result as an
+    /// uninterrupted run with the same seed (every trial's randomness comes
+    /// from `(seed, trial)` alone). Returns `None` only when a cancellation
+    /// stopped the run before any sample was committed; a cancelled run
+    /// that did commit samples returns them with `report().cancelled` set.
+    ///
+    /// # Panics
+    ///
+    /// As [`ViaArrayMc::characterize_with`], plus if the resume checkpoint
+    /// is inconsistent with the trial budget or via count.
+    pub fn characterize_session(
+        &self,
+        trials: usize,
+        seed: u64,
+        runtime: &RuntimeConfig,
+        session: ViaSession<'_>,
+    ) -> Option<CharacterizationResult> {
         let open_circuit = self.config.count() - 1;
-        let (samples, report) = emgrid_runtime::run_trials_infallible(
+        let mut on_checkpoint = session.on_checkpoint;
+        let mut adapter = |samples: &[ViaArraySample], stream: &emgrid_stats::OnlineStats| {
+            if let Some(cb) = on_checkpoint.as_mut() {
+                cb(&ViaCheckpoint {
+                    samples: samples.to_vec(),
+                    stream: *stream,
+                });
+            }
+        };
+        let trial_session = TrialSession {
+            resume: session.resume.map(|cp| SessionState {
+                outputs: cp.samples,
+                stream: cp.stream,
+            }),
+            cancel: session.cancel,
+            checkpoint_every: session.checkpoint_every,
+            on_checkpoint: Some(&mut adapter),
+        };
+        enum Never {}
+        let result: Result<_, Never> = emgrid_runtime::run_trials_session(
             trials,
             runtime,
+            trial_session,
             |t| {
                 let mut rng = emgrid_stats::stream_rng(seed, t as u64);
-                self.simulate_once(&mut rng)
+                Ok(self.simulate_once(&mut rng))
             },
             |s: &ViaArraySample| s.failure_times[open_circuit].max(f64::MIN_POSITIVE).ln(),
         );
-        CharacterizationResult::with_report(self.config, self.current_density, samples, report)
+        let (samples, report) = match result {
+            Ok(pair) => pair,
+            Err(never) => match never {},
+        };
+        if samples.is_empty() {
+            return None;
+        }
+        Some(CharacterizationResult::with_report(
+            self.config,
+            self.current_density,
+            samples,
+            report,
+        ))
     }
+}
+
+/// Checkpoint/resume/cancellation controls for one
+/// [`ViaArrayMc::characterize_session`] call; the default is a plain fresh
+/// run.
+#[derive(Default)]
+pub struct ViaSession<'a> {
+    /// Checkpoint to resume from (`None` = start at trial zero).
+    pub resume: Option<ViaCheckpoint>,
+    /// Cooperative cancellation token, polled between trials.
+    pub cancel: Option<&'a CancelToken>,
+    /// Trials between checkpoint callbacks; 0 disables periodic
+    /// checkpointing (a final checkpoint still fires on cancellation).
+    pub checkpoint_every: usize,
+    /// Receives a snapshot of the committed state at each checkpoint.
+    #[allow(clippy::type_complexity)]
+    pub on_checkpoint: Option<&'a mut (dyn FnMut(&ViaCheckpoint) + 'a)>,
 }
 
 /// Convenience: the default layer pair used throughout the experiments.
@@ -366,6 +440,69 @@ mod tests {
             .ecdf(FailureCriterion::OpenCircuit)
             .median();
         assert!(with_growth > bare);
+    }
+
+    #[test]
+    fn session_resume_and_cancel_match_uninterrupted_run() {
+        let mc = paper_mc(IntersectionPattern::Plus);
+        let whole = mc.characterize(60, 29);
+
+        // Cancel from the first checkpoint, then resume from its state.
+        let token = CancelToken::new();
+        let mut last: Option<ViaCheckpoint> = None;
+        let mut on_checkpoint = |cp: &ViaCheckpoint| {
+            last = Some(cp.clone());
+            token.cancel();
+        };
+        let cancelled = mc
+            .characterize_session(
+                60,
+                29,
+                &RuntimeConfig::sequential(),
+                ViaSession {
+                    cancel: Some(&token),
+                    checkpoint_every: 16,
+                    on_checkpoint: Some(&mut on_checkpoint),
+                    ..ViaSession::default()
+                },
+            )
+            .expect("samples were committed before the cancel");
+        assert!(cancelled.report().cancelled);
+
+        let cp = ViaCheckpoint::decode(&last.expect("checkpoint fired").encode()).unwrap();
+        assert_eq!(cp.samples.len(), 16);
+        let resumed = mc
+            .characterize_session(
+                60,
+                29,
+                &RuntimeConfig::threaded(2),
+                ViaSession {
+                    resume: Some(cp),
+                    ..ViaSession::default()
+                },
+            )
+            .unwrap();
+        assert!(!resumed.report().cancelled);
+        assert_eq!(resumed.report().resumed_from, 16);
+        assert_eq!(
+            resumed.ttf_samples(FailureCriterion::OpenCircuit),
+            whole.ttf_samples(FailureCriterion::OpenCircuit)
+        );
+
+        // A token tripped before any trial commits nothing.
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(mc
+            .characterize_session(
+                60,
+                29,
+                &RuntimeConfig::sequential(),
+                ViaSession {
+                    cancel: Some(&token),
+                    ..ViaSession::default()
+                },
+            )
+            .is_none());
     }
 
     #[test]
