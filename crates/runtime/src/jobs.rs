@@ -190,12 +190,34 @@ impl<R> JobRecord<R> {
     }
 }
 
+/// Default cap on retained terminal [`JobRecord`]s (see
+/// [`JobEngine::with_retention`]). Without a cap the `jobs` map — each
+/// `Done` record holding its full result — grows for the engine's
+/// lifetime, a memory leak proportional to every job ever submitted.
+const DEFAULT_TERMINAL_RETENTION: usize = 1024;
+
 struct EngineState<R> {
     queue: VecDeque<(JobId, JobFn<R>)>,
     jobs: HashMap<JobId, JobRecord<R>>,
+    /// Terminal job ids, oldest first; beyond the retention cap the oldest
+    /// record is dropped and its id behaves like an unknown id.
+    terminal: VecDeque<JobId>,
     next_id: JobId,
     running: usize,
     shutting_down: bool,
+}
+
+impl<R> EngineState<R> {
+    /// Records a job as terminal and evicts the oldest terminal records
+    /// past the cap. Live (queued/running) records are never evicted.
+    fn retire(&mut self, id: JobId, retention: usize) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > retention {
+            if let Some(old) = self.terminal.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
 }
 
 struct EngineShared<R> {
@@ -205,6 +227,8 @@ struct EngineShared<R> {
     /// Signalled when a job reaches a terminal state (pollers wait here).
     done: Condvar,
     queue_depth: usize,
+    /// Terminal records kept in memory before eviction.
+    retention: usize,
 }
 
 /// A bounded FIFO job queue drained by a fixed worker pool.
@@ -220,18 +244,34 @@ pub struct JobEngine<R: Send + 'static> {
 
 impl<R: Send + 'static> JobEngine<R> {
     /// Starts `workers` worker threads over a queue bounded at
-    /// `queue_depth` jobs.
+    /// `queue_depth` jobs, retaining the last
+    /// [`DEFAULT_TERMINAL_RETENTION`] terminal records in memory.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0` or `queue_depth == 0`.
     pub fn new(workers: usize, queue_depth: usize) -> Self {
+        Self::with_retention(workers, queue_depth, DEFAULT_TERMINAL_RETENTION)
+    }
+
+    /// As [`JobEngine::new`], keeping at most `retention` terminal job
+    /// records in memory. Older terminal records are evicted (their ids
+    /// then behave like unknown ids), which bounds the engine's memory over
+    /// a long-running daemon's lifetime; durable status lives with the
+    /// caller (the daemon's `JobStore`), not the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_depth` or `retention` is 0.
+    pub fn with_retention(workers: usize, queue_depth: usize, retention: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(queue_depth > 0, "need a positive queue depth");
+        assert!(retention > 0, "need a positive terminal retention");
         let shared = Arc::new(EngineShared {
             state: Mutex::new(EngineState {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
+                terminal: VecDeque::new(),
                 next_id: 1,
                 running: 0,
                 shutting_down: false,
@@ -239,6 +279,7 @@ impl<R: Send + 'static> JobEngine<R> {
             work: Condvar::new(),
             done: Condvar::new(),
             queue_depth,
+            retention,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -342,6 +383,7 @@ impl<R: Send + 'static> JobEngine<R> {
                 state.queue.retain(|(qid, _)| *qid != id);
                 let record = state.jobs.get_mut(&id).unwrap();
                 record.status = JobStatus::Cancelled;
+                state.retire(id, self.shared.retention);
                 drop(state);
                 self.shared.done.notify_all();
                 true
@@ -352,6 +394,13 @@ impl<R: Send + 'static> JobEngine<R> {
             }
             _ => false,
         }
+    }
+
+    /// The job's observable status without cloning its result, or `None`
+    /// for unknown (or evicted) ids.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let state = self.shared.state.lock().unwrap();
+        state.jobs.get(&id).map(JobRecord::observable_status)
     }
 
     /// A point-in-time view of a job, or `None` if the id is unknown.
@@ -415,6 +464,7 @@ impl<R: Send + 'static> JobEngine<R> {
             for id in dequeued {
                 if let Some(record) = state.jobs.get_mut(&id) {
                     record.status = JobStatus::Cancelled;
+                    state.retire(id, self.shared.retention);
                 }
             }
         }
@@ -485,6 +535,7 @@ fn worker_loop<R: Send + 'static>(shared: &EngineShared<R>) {
                 record.error = Some(reason);
             }
         }
+        state.retire(id, shared.retention);
         drop(state);
         shared.done.notify_all();
     }
@@ -648,6 +699,31 @@ mod tests {
         engine.shutdown();
         assert_eq!(engine.snapshot(in_flight).unwrap().status, JobStatus::Done);
         assert_eq!(engine.snapshot(in_flight).unwrap().result, Some(7));
+    }
+
+    #[test]
+    fn terminal_records_are_evicted_beyond_the_retention_cap() {
+        let engine: JobEngine<u64> = JobEngine::with_retention(1, 8, 2);
+        let ids: Vec<JobId> = (0..4)
+            .map(|k| {
+                let id = engine.submit(move |_| JobOutcome::Done(k)).unwrap();
+                // Drain each job before submitting the next so eviction
+                // order is deterministic.
+                assert_eq!(engine.wait_terminal(id, WAIT), Some(JobStatus::Done));
+                id
+            })
+            .collect();
+        // Only the two most recent terminal records survive; evicted ids
+        // behave exactly like unknown ids.
+        assert!(engine.snapshot(ids[0]).is_none());
+        assert!(engine.snapshot(ids[1]).is_none());
+        assert_eq!(engine.status(ids[2]), Some(JobStatus::Done));
+        assert_eq!(engine.snapshot(ids[3]).unwrap().result, Some(3));
+        assert!(!engine.cancel(ids[0]));
+        assert_eq!(
+            engine.wait_terminal(ids[0], Duration::from_millis(10)),
+            None
+        );
     }
 
     #[test]

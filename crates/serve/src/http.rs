@@ -11,6 +11,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 use crate::json::Json;
 
@@ -58,6 +59,8 @@ pub enum HttpError {
         /// The configured cap.
         limit: usize,
     },
+    /// The client did not deliver the full request before the deadline.
+    Timeout,
     /// The socket failed mid-read.
     Io(io::Error),
 }
@@ -69,6 +72,7 @@ impl fmt::Display for HttpError {
             HttpError::BodyTooLarge { declared, limit } => {
                 write!(f, "body too large: {declared} bytes (limit {limit})")
             }
+            HttpError::Timeout => f.write_str("request read deadline exceeded"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -80,14 +84,48 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Reads one request from the stream.
+/// One socket read bounded by the request's overall deadline. A per-read
+/// timeout alone is not enough: a client trickling one byte per interval
+/// would reset it forever (slow-loris), so the remaining wall-clock budget
+/// is re-applied before every read.
+fn bounded_read(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, HttpError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(HttpError::Timeout);
+    }
+    let _ = stream.set_read_timeout(Some(deadline - now));
+    match stream.read(buf) {
+        Ok(n) => Ok(n),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(HttpError::Timeout)
+        }
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+/// Reads one request from the stream; the whole request (headers and body)
+/// must arrive before `deadline`.
 ///
 /// # Errors
 ///
 /// [`HttpError::BadRequest`] on malformed framing, [`HttpError::BodyTooLarge`]
-/// when `Content-Length` exceeds `max_body`, [`HttpError::Io`] on socket
-/// failures (including clients that disappear mid-request).
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+/// when `Content-Length` exceeds `max_body`, [`HttpError::Timeout`] when the
+/// deadline passes mid-request, [`HttpError::Io`] on socket failures
+/// (including clients that disappear mid-request).
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    deadline: Instant,
+) -> Result<Request, HttpError> {
     // Accumulate until the blank line; byte-at-a-time would be slow, so
     // read in chunks and search for the terminator.
     let mut head = Vec::new();
@@ -99,7 +137,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         if head.len() > MAX_HEAD_BYTES {
             return Err(HttpError::BadRequest("headers too large".into()));
         }
-        let n = stream.read(&mut buf)?;
+        let n = bounded_read(stream, &mut buf, deadline)?;
         if n == 0 {
             return Err(HttpError::BadRequest(
                 "connection closed mid-headers".into(),
@@ -155,7 +193,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let mut body = rest.to_vec();
     while body.len() < declared {
-        let n = stream.read(&mut buf)?;
+        let n = bounded_read(stream, &mut buf, deadline)?;
         if n == 0 {
             return Err(HttpError::BadRequest("connection closed mid-body".into()));
         }
@@ -241,6 +279,7 @@ fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         503 => "Service Unavailable",
@@ -269,7 +308,8 @@ mod tests {
             s.flush().unwrap();
         });
         let (mut conn, _) = listener.accept().unwrap();
-        let out = read_request(&mut conn, max_body);
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        let out = read_request(&mut conn, max_body, deadline);
         writer.join().unwrap();
         out
     }
@@ -310,6 +350,26 @@ mod tests {
             read_from_bytes(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
             Err(HttpError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn a_stalled_client_hits_the_overall_deadline() {
+        use std::time::Duration;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // A partial request line, then silence with the socket held
+            // open — the shape of a slow-loris connection.
+            s.write_all(b"GET / HTTP/1.1\r\nHost: h").unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1500));
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let deadline = Instant::now() + Duration::from_millis(250);
+        let out = read_request(&mut conn, 1024, deadline);
+        assert!(matches!(out, Err(HttpError::Timeout)), "{out:?}");
+        writer.join().unwrap();
     }
 
     #[test]

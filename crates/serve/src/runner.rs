@@ -16,7 +16,7 @@ use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::CharacterizationModel;
 use emgrid_pg::{GridCheckpoint, GridSession, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::{JobCtx, JobOutcome};
-use emgrid_spice::ingest::{ingest, IngestOptions};
+use emgrid_spice::ingest::{ingest, IngestLimits, IngestOptions};
 use emgrid_spice::GridSpec;
 use emgrid_via::{
     FeaOptions, LayerPair, StressCache, StressTable, ViaArrayMc, ViaCheckpoint, ViaSession,
@@ -44,6 +44,10 @@ pub struct RunEnv<'a> {
     pub checkpoint_every: usize,
     /// Stress-cache directory override for `fea` jobs.
     pub cache_dir: Option<&'a Path>,
+    /// Byte cap for netlist re-ingest, mirroring the limit the submission
+    /// endpoint screened with — a deck accepted at the door must never be
+    /// rejected as "too large" once it reaches a worker.
+    pub max_netlist_bytes: usize,
 }
 
 /// Runs one job to an outcome. Never panics on bad input — every failure
@@ -154,8 +158,11 @@ fn run_analyze(
         }
         DeckSource::Netlist(text) => {
             let options = IngestOptions {
+                limits: IngestLimits {
+                    max_bytes: env.max_netlist_bytes,
+                    ..IngestLimits::default()
+                },
                 repair_vias,
-                ..IngestOptions::default()
             };
             match ingest(text, &options) {
                 Ok(ok) => (ok.netlist, "inline".to_owned()),
@@ -334,6 +341,7 @@ mod tests {
                     metrics: &metrics,
                     checkpoint_every,
                     cache_dir: None,
+                    max_netlist_bytes: IngestLimits::default().max_bytes,
                 };
                 run_job(&spec, ctx, &env)
             })
@@ -444,6 +452,7 @@ mod tests {
                     metrics: &metrics,
                     checkpoint_every: 0,
                     cache_dir: None,
+                    max_netlist_bytes: IngestLimits::default().max_bytes,
                 };
                 run_job(&spec, ctx, &env)
             })

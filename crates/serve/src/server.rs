@@ -22,10 +22,10 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use emgrid_runtime::{JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
 use emgrid_spice::ingest::{ingest, IngestError, IngestLimits, IngestOptions};
@@ -79,7 +79,10 @@ struct Shared {
     max_body: usize,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
-    /// Every id submitted or requeued by this process, for shutdown.
+    /// Connection threads currently alive, for load shedding.
+    active_connections: Arc<AtomicUsize>,
+    /// Ids submitted or requeued by this process that may still be live,
+    /// for shutdown (terminal ids are pruned as new work arrives).
     known: Mutex<Vec<JobId>>,
 }
 
@@ -99,20 +102,54 @@ impl Server {
     /// Propagates bind and state-directory failures.
     pub fn start(config: ServeConfig) -> std::io::Result<Server> {
         let store = JobStore::open(&config.state_dir)?;
+        // Classify on-disk jobs *before* sizing the engine: at kill time up
+        // to workers + queue_depth unfinished jobs can exist (running jobs
+        // hold no queue slot), and an operator may restart with a smaller
+        // --queue-depth. The startup queue must fit every unfinished job or
+        // requeueing would fail on every boot until the state dir is pruned.
+        let mut unfinished = Vec::new();
+        let mut max_id = 0;
+        for (id, state) in store.scan() {
+            max_id = max_id.max(id);
+            match state {
+                DiskJob::Unfinished {
+                    spec,
+                    has_checkpoint,
+                } => match JobSpec::from_json(&spec) {
+                    Ok(spec) => unfinished.push((id, spec, has_checkpoint)),
+                    Err(e) => {
+                        let _ = store.write_error(id, &format!("unreadable spec: {e}"));
+                    }
+                },
+                DiskJob::Done | DiskJob::Failed(_) | DiskJob::Cancelled => {}
+            }
+        }
+        let queue_depth = config.queue_depth.max(unfinished.len());
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine: JobEngine::new(config.workers, config.queue_depth),
+            engine: JobEngine::new(config.workers, queue_depth),
             store,
             metrics: Metrics::default(),
             checkpoint_every: config.checkpoint_every,
             cache_dir: config.cache_dir,
             max_body: config.max_body_bytes,
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(max_id + 1),
             shutting_down: AtomicBool::new(false),
+            active_connections: Arc::new(AtomicUsize::new(0)),
             known: Mutex::new(Vec::new()),
         });
-        requeue_unfinished(&shared);
+        for (id, spec, has_checkpoint) in unfinished {
+            if has_checkpoint {
+                Metrics::inc(&shared.metrics.jobs_resumed);
+            }
+            if let Err(e) = enqueue(&shared, id, spec) {
+                // The queue was sized to fit, so this cannot happen — but a
+                // startup must never turn one bad job into a crash loop. The
+                // job stays unfinished on disk for the next restart.
+                eprintln!("emgrid-serve: cannot requeue job {id}: {e}");
+            }
+        }
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -189,35 +226,6 @@ impl Drop for Server {
     }
 }
 
-/// Requeues every unfinished on-disk job under its original id and seeds
-/// the id counter past everything ever seen.
-fn requeue_unfinished(shared: &Arc<Shared>) {
-    let mut max_id = 0;
-    for (id, state) in shared.store.scan() {
-        max_id = max_id.max(id);
-        match state {
-            DiskJob::Unfinished {
-                spec,
-                has_checkpoint,
-            } => match JobSpec::from_json(&spec) {
-                Ok(spec) => {
-                    if has_checkpoint {
-                        Metrics::inc(&shared.metrics.jobs_resumed);
-                    }
-                    enqueue(shared, id, spec).expect("startup requeue cannot overflow the queue");
-                }
-                Err(e) => {
-                    let _ = shared
-                        .store
-                        .write_error(id, &format!("unreadable spec: {e}"));
-                }
-            },
-            DiskJob::Done | DiskJob::Failed(_) | DiskJob::Cancelled => {}
-        }
-    }
-    shared.next_id.store(max_id + 1, Ordering::SeqCst);
-}
-
 /// Queues a job closure under `id`.
 fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitError> {
     let job_shared = Arc::clone(shared);
@@ -227,6 +235,7 @@ fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitE
             metrics: &job_shared.metrics,
             checkpoint_every: job_shared.checkpoint_every,
             cache_dir: job_shared.cache_dir.as_deref(),
+            max_netlist_bytes: job_shared.max_body,
         };
         let outcome = run_job(&spec, ctx, &env);
         // Persist the terminal state before the engine observes it, so a
@@ -247,21 +256,52 @@ fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitE
         outcome
     })?;
     Metrics::inc(&shared.metrics.jobs_submitted);
-    shared.known.lock().expect("known jobs lock").push(id);
+    let mut known = shared.known.lock().expect("known jobs lock");
+    // Terminal ids no longer need shutdown handling; pruning here keeps
+    // the list proportional to live work, not to total jobs ever run.
+    known.retain(|kid| {
+        shared
+            .engine
+            .status(*kid)
+            .is_some_and(|status| !status.is_terminal())
+    });
+    known.push(id);
     Ok(())
 }
+
+/// Total time a client gets to deliver one request. The per-read timeout
+/// inside `read_request` is re-derived from this, so a trickling client
+/// cannot hold a connection thread (and its partial body) indefinitely.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Concurrent connection threads; connections beyond the cap are shed with
+/// an immediate `503` instead of spawning.
+const MAX_CONNECTIONS: usize = 256;
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
+                let active = Arc::clone(&shared.active_connections);
+                if active.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    let _ = Response::error(503, "too many connections").write_to(&mut stream);
+                    continue;
+                }
                 let conn_shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("emgrid-conn".into())
-                    .spawn(move || handle_connection(stream, conn_shared));
+                    .spawn(move || {
+                        handle_connection(stream, conn_shared);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             Err(_) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -273,10 +313,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    // A stalled client must not pin the thread forever.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    // A client that stops reading must not pin the thread on writes either.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     Metrics::inc(&shared.metrics.http_requests);
-    let response = match read_request(&mut stream, shared.max_body) {
+    let response = match read_request(&mut stream, shared.max_body, deadline) {
         Ok(request) => route(&request, &shared),
         Err(HttpError::BodyTooLarge { declared, limit }) => {
             let response = Response::error(
@@ -288,7 +329,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             // a FIN, not an RST that could destroy the 413 in flight.
             let mut sink = [0u8; 4096];
             let mut left = declared.min(1 << 20);
-            while left > 0 {
+            while left > 0 && Instant::now() < deadline {
                 match std::io::Read::read(&mut stream, &mut sink) {
                     Ok(0) | Err(_) => break,
                     Ok(n) => left = left.saturating_sub(n),
@@ -296,6 +337,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             }
             return;
         }
+        Err(HttpError::Timeout) => Response::error(408, "request read deadline exceeded"),
         Err(HttpError::BadRequest(message)) => Response::error(400, message),
         Err(HttpError::Io(_)) => return,
     };

@@ -235,6 +235,49 @@ fn killed_daemon_resumes_checkpointed_jobs_to_the_same_bytes() {
 }
 
 #[test]
+fn restart_requeues_more_unfinished_jobs_than_the_queue_depth() {
+    // A crashed daemon can leave more unfinished jobs on disk than the
+    // configured queue depth (running jobs hold no queue slot, and the
+    // operator may restart with a smaller --queue-depth). Startup must
+    // absorb them all instead of panicking into a permanent crash loop.
+    let state_dir = temp_dir("requeue-overflow");
+    let store = emgrid_serve::JobStore::open(&state_dir).unwrap();
+    let spec = json::parse(
+        r#"{"kind":"characterize","array":"1x1","pattern":"plus","criterion":"rinf","trials":8,"seed":1,"threads":1}"#,
+    )
+    .unwrap();
+    for id in 1..=5u64 {
+        store.write_spec(id, &spec).unwrap();
+    }
+
+    let server = Server::start(ServeConfig {
+        state_dir: state_dir.clone(),
+        workers: 1,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    for id in 1..=5u64 {
+        let doc = wait_done(addr, id);
+        assert_eq!(
+            doc.get("status").and_then(Json::as_str),
+            Some("done"),
+            "{doc}"
+        );
+    }
+    // The door is still open for fresh submissions after the requeue.
+    let fresh = submit(
+        addr,
+        r#"{"kind":"characterize","array":"1x1","trials":8,"seed":2}"#,
+    );
+    assert!(fresh > 5, "id counter not seeded past disk ids");
+    wait_done(addr, fresh);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(state_dir);
+}
+
+#[test]
 fn cancelled_jobs_stay_cancelled_across_restart() {
     let state_dir = temp_dir("cancel");
     let base = ServeConfig {
