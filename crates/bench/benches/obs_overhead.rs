@@ -1,0 +1,69 @@
+//! Overhead of the observability layer.
+//!
+//! The contract of `runtime::obs` is that instrumentation woven through
+//! the hot paths (FEA solves, CG iterations, Monte Carlo batches) costs
+//! nothing measurable when tracing is disarmed and single-digit
+//! nanoseconds per event when armed. These benches watch that contract:
+//! the disarmed span case must stay within noise of a bare function
+//! call, and a full Monte Carlo characterization must not slow down when
+//! spans are armed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emgrid::prelude::*;
+use emgrid::runtime::obs;
+use std::hint::black_box;
+
+fn bench_instruments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+
+    obs::set_trace(false);
+    group.bench_function("span_disarmed", |b| {
+        b.iter(|| {
+            let _span = black_box(obs::span("bench-disarmed"));
+        })
+    });
+
+    obs::set_trace(true);
+    group.bench_function("span_armed", |b| {
+        b.iter(|| {
+            let _span = black_box(obs::span("bench-armed"));
+        })
+    });
+    obs::set_trace(false);
+    obs::reset_spans();
+
+    let counter = obs::counter("emgrid_bench_events_total", "Bench-only counter.");
+    group.bench_function("counter_inc", |b| b.iter(|| black_box(counter).inc()));
+
+    let histogram = obs::histogram("emgrid_bench_latency_seconds", "Bench-only histogram.");
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| black_box(histogram).observe(black_box(1.3e-4)))
+    });
+
+    group.finish();
+}
+
+/// End-to-end check that arming spans does not tax the Monte Carlo loop:
+/// the two variants below should report indistinguishable times.
+fn bench_mc_with_and_without_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_mc");
+    let config = ViaArrayConfig::paper_4x4(IntersectionPattern::Plus);
+    let mc = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10);
+    group.bench_function("mc_100_trials_disarmed", |b| {
+        b.iter(|| black_box(mc.characterize(100, 1)))
+    });
+    group.bench_function("mc_100_trials_armed", |b| {
+        obs::set_trace(true);
+        b.iter(|| black_box(mc.characterize(100, 1)));
+        obs::set_trace(false);
+        obs::reset_spans();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instruments,
+    bench_mc_with_and_without_tracing
+);
+criterion_main!(benches);

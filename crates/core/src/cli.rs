@@ -12,6 +12,7 @@ use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
 use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
 use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_runtime::obs;
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_serve::{ServeConfig, Server};
 use emgrid_spice::writer::write_string;
@@ -73,7 +74,14 @@ COMMANDS:
                     [--checkpoint-every <trials>] (default 64; 0 disables)
                     [--state-dir <dir>] (default results/jobs)
                     [--cache-dir <dir>] [--max-body-bytes <n>]
+                    [--max-connections <n>] (default 256)
+                    [--debug-panic-route] (CI only: POST /debug/panic panics
+                                           the connection thread)
     help          print this message
+
+Every command takes --trace: span timers are collected across all layers
+(assembly, factorization, CG iterations, Monte Carlo batches, checkpoint
+commits) and a nested wall-time summary is printed to stderr on exit.
 
 Monte Carlo commands take --threads (work-stealing across n OS threads;
 results are bit-identical for any thread count) and --target-ci (stop as
@@ -105,7 +113,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Err(CliError(USAGE.to_owned()));
     };
     let rest = &args[1..];
-    match command.as_str() {
+    // `--trace` arms the runtime's span timers for any command; the span
+    // tree goes to stderr so piped stdout reports stay clean.
+    let trace = rest.iter().any(|a| a == "--trace");
+    if trace {
+        obs::reset_spans();
+        obs::set_trace(true);
+    }
+    let result = match command.as_str() {
         "generate" => cmd_generate(rest),
         "lint" => cmd_lint(rest),
         "irdrop" => cmd_irdrop(rest),
@@ -116,7 +131,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    };
+    if trace {
+        obs::set_trace(false);
+        eprintln!("{}", obs::span_report());
     }
+    result
 }
 
 fn option_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -167,11 +187,12 @@ fn parse_runtime(args: &[String]) -> Result<RuntimeConfig, CliError> {
 /// One-line execution summary appended to Monte Carlo reports.
 fn format_report(report: &RunReport) -> String {
     let mut line = format!(
-        "execution      : {}/{} trials, {} thread(s), {:.0} ms",
+        "execution      : {}/{} trials, {} thread(s), {:.0} ms, {:.0} trials/s",
         report.trials_run,
         report.trials_requested,
         report.threads,
         report.wall.as_secs_f64() * 1e3,
+        report.throughput(),
     );
     if report.stopped_early {
         let _ = write!(
@@ -538,6 +559,10 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
     if queue_depth == 0 {
         return Err(CliError("--queue-depth must be at least 1".to_owned()));
     }
+    let max_connections = parse_usize(args, "--max-connections", defaults.max_connections)?;
+    if max_connections == 0 {
+        return Err(CliError("--max-connections must be at least 1".to_owned()));
+    }
     Ok(ServeConfig {
         addr: option_value(args, "--addr")
             .unwrap_or("127.0.0.1:8080")
@@ -550,6 +575,9 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
             .unwrap_or(defaults.state_dir),
         cache_dir: option_value(args, "--cache-dir").map(Into::into),
         max_body_bytes: parse_usize(args, "--max-body-bytes", defaults.max_body_bytes)?,
+        max_connections,
+        request_deadline: defaults.request_deadline,
+        debug_panic_route: args.iter().any(|a| a == "--debug-panic-route"),
     })
 }
 
@@ -599,7 +627,8 @@ mod tests {
     fn serve_flags_parse_into_a_config() {
         let cfg = serve_config(&argv(
             "--addr 127.0.0.1:0 --workers 3 --queue-depth 9 --checkpoint-every 5 \
-             --state-dir /tmp/emgrid-jobs --cache-dir /tmp/emgrid-cache --max-body-bytes 4096",
+             --state-dir /tmp/emgrid-jobs --cache-dir /tmp/emgrid-cache --max-body-bytes 4096 \
+             --max-connections 17 --debug-panic-route",
         ))
         .unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:0");
@@ -613,12 +642,16 @@ mod tests {
             Some(std::path::Path::new("/tmp/emgrid-cache"))
         );
         assert_eq!(cfg.max_body_bytes, 4096);
+        assert_eq!(cfg.max_connections, 17);
+        assert!(cfg.debug_panic_route);
 
         let defaults = serve_config(&[]).unwrap();
         assert_eq!(defaults.addr, "127.0.0.1:8080");
         assert!(defaults.cache_dir.is_none());
+        assert!(!defaults.debug_panic_route);
         assert!(serve_config(&argv("--workers 0")).is_err());
         assert!(serve_config(&argv("--queue-depth 0")).is_err());
+        assert!(serve_config(&argv("--max-connections 0")).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use emgrid_runtime::obs;
 use emgrid_sparse::{conjugate_gradient, CgOptions, LdlFactor, Preconditioner, SparseError};
 
 use crate::assembly::{assemble_with, AssembledSystem};
@@ -87,8 +88,11 @@ pub struct SolveStats {
     pub residual: f64,
     /// Wall time of mesh + assembly.
     pub assemble_time: Duration,
-    /// Wall time of the linear solve.
+    /// Wall time of the linear solve (factorization included).
     pub solve_time: Duration,
+    /// Factorization share of the solve: the LDLᵀ factorization for a
+    /// direct solve, the IC(0) preconditioner build for CG.
+    pub factor_time: Duration,
 }
 
 /// A configured thermomechanical stress analysis (the paper's per-primitive
@@ -135,9 +139,16 @@ impl ThermalStressAnalysis {
     }
 
     /// Solves the direct branch shared by [`SolveMethod::Direct`] and the
-    /// small-system arm of [`SolveMethod::Auto`].
-    fn direct_solve(sys: &AssembledSystem) -> Result<Vec<f64>, FeaError> {
-        Ok(LdlFactor::factor_rcm(&sys.stiffness)?.solve(&sys.load))
+    /// small-system arm of [`SolveMethod::Auto`], reporting the wall time
+    /// of the factorization separately from the triangular solves.
+    fn direct_solve(sys: &AssembledSystem) -> Result<(Vec<f64>, Duration), FeaError> {
+        let factor_start = Instant::now();
+        let factor = {
+            let _span = obs::span("factorize");
+            LdlFactor::factor_rcm(&sys.stiffness)?
+        };
+        let factor_time = factor_start.elapsed();
+        Ok((factor.solve(&sys.load), factor_time))
     }
 
     /// Meshes, assembles and solves the thermoelastic problem, returning the
@@ -154,13 +165,16 @@ impl ThermalStressAnalysis {
 
     /// [`run`](Self::run), additionally returning per-solve telemetry.
     pub fn run_with_stats(&self) -> Result<(StressField, SolveStats), FeaError> {
+        let _fea_span = obs::span("fea");
         let assemble_start = Instant::now();
+        let assemble_span = obs::span("assemble");
         let mesh = self.model.build_mesh();
         if mesh.occupied_count() == 0 {
             return Err(FeaError::EmptyMesh);
         }
         let bc = self.model.boundary_conditions();
         let sys = assemble_with(&mesh, &bc, self.model.delta_t(), self.threads);
+        drop(assemble_span);
         let assemble_time = assemble_start.elapsed();
         let n = sys.dof_map.free_count();
         let nonzeros = sys.stiffness.values().len();
@@ -172,15 +186,26 @@ impl ThermalStressAnalysis {
             threads: self.threads,
         };
         let solve_start = Instant::now();
-        let (solution, solver, iterations, residual) = match self.method {
-            SolveMethod::Direct => (Self::direct_solve(&sys)?, "direct-ldl", 0, 0.0),
+        let solve_span = obs::span("solve");
+        let (solution, solver, iterations, residual, factor_time) = match self.method {
+            SolveMethod::Direct => {
+                let (x, factor_time) = Self::direct_solve(&sys)?;
+                (x, "direct-ldl", 0, 0.0, factor_time)
+            }
             SolveMethod::Auto { direct_limit } if n <= direct_limit => {
-                (Self::direct_solve(&sys)?, "direct-ldl", 0, 0.0)
+                let (x, factor_time) = Self::direct_solve(&sys)?;
+                (x, "direct-ldl", 0, 0.0, factor_time)
             }
             SolveMethod::Auto { .. } => {
                 let out =
                     conjugate_gradient(&sys.stiffness, &sys.load, None, &cg_opts(1e-7, 40_000))?;
-                (out.x, "cg-ic0", out.iterations, out.residual)
+                (
+                    out.x,
+                    "cg-ic0",
+                    out.iterations,
+                    out.residual,
+                    out.precond_time,
+                )
             }
             SolveMethod::Iterative {
                 tolerance,
@@ -192,10 +217,27 @@ impl ThermalStressAnalysis {
                     None,
                     &cg_opts(tolerance, max_iterations),
                 )?;
-                (out.x, "cg-ic0", out.iterations, out.residual)
+                (
+                    out.x,
+                    "cg-ic0",
+                    out.iterations,
+                    out.residual,
+                    out.precond_time,
+                )
             }
         };
+        drop(solve_span);
         let solve_time = solve_start.elapsed();
+        obs::counter(
+            "emgrid_fea_solves_total",
+            "Finite-element solves completed.",
+        )
+        .inc();
+        obs::histogram(
+            "emgrid_fea_solve_seconds",
+            "Wall time of one FEA assemble + solve.",
+        )
+        .observe_duration(assemble_time + solve_time);
         let full = sys.dof_map.expand(&solution);
         let stats = SolveStats {
             unknowns: n,
@@ -205,6 +247,7 @@ impl ThermalStressAnalysis {
             residual,
             assemble_time,
             solve_time,
+            factor_time,
         };
         Ok((
             StressField::from_displacements(self.model, mesh, &full),

@@ -330,6 +330,7 @@ impl PowerGridMc {
         session: GridSession<'_>,
     ) -> Result<McResult, PgError> {
         assert!(trials > 0, "need at least one trial");
+        let _span = emgrid_runtime::obs::span("grid-mc");
         let dc = self.grid.dc();
         let base_solver = IncrementalSolver::new(dc.matrix())
             .map_err(|e| PgError::Mna(emgrid_spice::mna::MnaError::Singular(e)))?;

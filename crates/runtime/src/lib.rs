@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 use emgrid_stats::OnlineStats;
 
 pub mod jobs;
+pub mod obs;
 pub mod par;
 pub use jobs::{CancelToken, JobCtx, JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
 pub use par::{parallel_fill, parallel_map_chunks, parallel_reduce};
@@ -332,6 +333,7 @@ where
     assert!(trials > 0, "need at least one trial");
     assert!(config.threads > 0, "need at least one thread");
     let start = Instant::now();
+    let _mc_span = obs::span("mc");
     // Batch size: the early-stop decision grid when early stopping is on
     // (so the stopping rule is invariant to checkpoint cadence), otherwise
     // the checkpoint cadence, otherwise one batch for the whole budget.
@@ -406,7 +408,7 @@ where
             && outputs.len() - last_checkpoint >= session.checkpoint_every
         {
             if let Some(cb) = session.on_checkpoint.as_mut() {
-                cb(&outputs, &stream);
+                commit_checkpoint(cb, &outputs, &stream);
             }
             last_checkpoint = outputs.len();
         }
@@ -420,8 +422,29 @@ where
     // periodic checkpoint, so resumption loses nothing.
     if cancelled && outputs.len() > last_checkpoint {
         if let Some(cb) = session.on_checkpoint.as_mut() {
-            cb(&outputs, &stream);
+            commit_checkpoint(cb, &outputs, &stream);
         }
+    }
+
+    obs::counter("emgrid_mc_runs_total", "Monte Carlo runs completed.").inc();
+    obs::counter(
+        "emgrid_mc_trials_total",
+        "Monte Carlo trials executed (resumed trials excluded).",
+    )
+    .add((outputs.len() - resumed_from) as u64);
+    if stopped_early {
+        obs::counter(
+            "emgrid_mc_early_stops_total",
+            "MC runs terminated early by the CI half-width rule.",
+        )
+        .inc();
+    }
+    if cancelled {
+        obs::counter(
+            "emgrid_mc_cancelled_runs_total",
+            "MC runs interrupted by cancellation.",
+        )
+        .inc();
     }
 
     let report = RunReport {
@@ -437,6 +460,23 @@ where
         stream,
     };
     Ok((outputs, report))
+}
+
+/// Runs one checkpoint callback under a span and records its commit
+/// latency (serialize + persist) in the global histogram.
+fn commit_checkpoint<T>(
+    cb: &mut (dyn FnMut(&[T], &OnlineStats) + '_),
+    outputs: &[T],
+    stream: &OnlineStats,
+) {
+    let _span = obs::span("checkpoint");
+    let started = Instant::now();
+    cb(outputs, stream);
+    obs::histogram(
+        "emgrid_mc_checkpoint_commit_seconds",
+        "Wall time to commit one Monte Carlo checkpoint.",
+    )
+    .observe_duration(started.elapsed());
 }
 
 struct BatchOutcome<T> {

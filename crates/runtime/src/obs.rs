@@ -1,0 +1,515 @@
+//! Observability primitives shared by every crate in the workspace.
+//!
+//! Three instruments, all `std`-only:
+//!
+//! * [`Counter`] — a relaxed atomic monotonic counter.
+//! * [`Histogram`] — fixed log-spaced latency buckets with Prometheus
+//!   `histogram` text exposition (`_bucket{le=…}` / `_sum` / `_count`).
+//! * [`span`] — RAII scoped timers. Each thread accumulates its own span
+//!   statistics locally (no locks, no atomics on the hot path) and merges
+//!   them into the process-wide table only when its *outermost* span
+//!   closes, so deeply nested instrumentation costs two `Instant::now()`
+//!   calls and a thread-local map update per span.
+//!
+//! Leaf crates (the stress cache, the MC scheduler) record through the
+//! process-global registry ([`counter`] / [`histogram`]) instead of
+//! threading handles through every API; [`render_registry`] turns the
+//! whole registry into Prometheus text for `emgrid-serve`'s `/metrics`.
+//!
+//! Instrumentation must never perturb results: counters and histograms
+//! are observe-only, and spans are inert (a single relaxed atomic load)
+//! until [`set_trace`] arms them — analysis outputs stay byte-identical
+//! whether or not anything is watching.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonic counter. Relaxed ordering: these feed dashboards, never
+/// control flow.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, seconds: a 1–2.5–5 ladder from
+/// 10 µs to 60 s (log-spaced, ~3 buckets per decade). Wide enough for a
+/// `/healthz` round-trip and a multi-minute signoff job alike.
+pub const LATENCY_BOUNDS: &[f64] = &[
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0,
+];
+
+/// A fixed-bucket histogram in Prometheus `histogram` semantics:
+/// cumulative `le` buckets plus an implicit `+Inf`, a sum and a count.
+///
+/// Observation is three relaxed atomic adds; there is no lock anywhere,
+/// so concurrent connection threads can observe freely.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the `+Inf` overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// `count` log-spaced bounds starting at `first`, each `factor` apart.
+    pub fn log_spaced(first: f64, factor: f64, count: usize) -> Self {
+        assert!(first > 0.0 && factor > 1.0 && count > 0);
+        let bounds: Vec<f64> = (0..count).map(|i| first * factor.powi(i as i32)).collect();
+        Self::with_bounds(&bounds)
+    }
+
+    /// The default latency histogram over [`LATENCY_BOUNDS`].
+    pub fn latency() -> Self {
+        Self::with_bounds(LATENCY_BOUNDS)
+    }
+
+    /// Records one observation in seconds. Non-finite or negative values
+    /// are clamped to zero rather than poisoning the sum.
+    pub fn observe(&self, seconds: f64) {
+        let v = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add((v * 1e9).round() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation from a [`Duration`].
+    pub fn observe_duration(&self, elapsed: Duration) {
+        self.observe(elapsed.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// Appends the `# HELP` / `# TYPE` pair for one metric family.
+pub fn render_help(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one histogram series. `labels` is either empty or
+/// comma-joined `key="value"` pairs without braces (the `le` label is
+/// appended by this function).
+pub fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (bound, bucket) in h.bounds.iter().zip(&h.buckets) {
+        cumulative += bucket.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+        );
+    }
+    cumulative += h.buckets[h.bounds.len()].load(Ordering::Relaxed);
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+    );
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{braces} {}", h.sum_seconds());
+    let _ = writeln!(out, "{name}_count{braces} {}", h.count());
+}
+
+// ---------------------------------------------------------------------------
+// Process-global registry
+// ---------------------------------------------------------------------------
+
+enum Instrument {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+}
+
+struct Registered {
+    help: &'static str,
+    instrument: Instrument,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Registered>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Registered>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The process-global counter named `name`, registering it on first use.
+/// The handle is `'static`, so call sites may cache it.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a histogram.
+pub fn counter(name: &'static str, help: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = reg.entry(name).or_insert_with(|| Registered {
+        help,
+        instrument: Instrument::Counter(Box::leak(Box::new(Counter::new()))),
+    });
+    match entry.instrument {
+        Instrument::Counter(c) => c,
+        Instrument::Histogram(_) => panic!("{name} is registered as a histogram"),
+    }
+}
+
+/// The process-global latency histogram named `name`, registering it on
+/// first use (over [`LATENCY_BOUNDS`]).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a counter.
+pub fn histogram(name: &'static str, help: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let entry = reg.entry(name).or_insert_with(|| Registered {
+        help,
+        instrument: Instrument::Histogram(Box::leak(Box::new(Histogram::latency()))),
+    });
+    match entry.instrument {
+        Instrument::Histogram(h) => h,
+        Instrument::Counter(_) => panic!("{name} is registered as a counter"),
+    }
+}
+
+/// Appends every registered instrument in name order, each with its
+/// HELP/TYPE pair. Counters registered by *any* crate in the process
+/// (stress cache, MC scheduler, FEA) show up in one scrape.
+pub fn render_registry(out: &mut String) {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for (name, r) in reg.iter() {
+        match r.instrument {
+            Instrument::Counter(c) => {
+                render_help(out, name, r.help, "counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Instrument::Histogram(h) => {
+                render_help(out, name, r.help, "histogram");
+                render_histogram(out, name, "", h);
+            }
+        }
+    }
+}
+
+/// The value of a registered global counter, for tests and reports.
+pub fn counter_value(name: &str) -> Option<u64> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(name).and_then(|r| match r.instrument {
+        Instrument::Counter(c) => Some(c.get()),
+        Instrument::Histogram(_) => None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scoped spans
+// ---------------------------------------------------------------------------
+
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Arms (or disarms) span recording process-wide. Disarmed spans cost a
+/// single relaxed load, so instrumentation can stay in release builds.
+pub fn set_trace(enabled: bool) {
+    TRACE.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recording.
+pub fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    nanos: u64,
+}
+
+#[derive(Default)]
+struct ThreadSpans {
+    /// The open-span stack; a span's aggregation key is the `/`-joined
+    /// path of this stack at close time, so nesting is derived from call
+    /// structure, not declared by callers.
+    stack: Vec<&'static str>,
+    acc: BTreeMap<String, SpanStat>,
+}
+
+thread_local! {
+    static LOCAL_SPANS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::default());
+}
+
+fn global_spans() -> &'static Mutex<BTreeMap<String, SpanStat>> {
+    static GLOBAL: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// An open span; closing (dropping) it records the elapsed time under
+/// its stack path. Returned by [`span`] — bind it (`let _span = …`), a
+/// bare `let _ =` closes it immediately.
+#[must_use = "binding the guard keeps the span open for the scope"]
+pub struct Span {
+    start: Instant,
+    armed: bool,
+}
+
+/// Opens a scoped span named `name`. Inert unless [`set_trace`] armed
+/// tracing before the span opened.
+pub fn span(name: &'static str) -> Span {
+    let armed = trace_enabled();
+    if armed {
+        LOCAL_SPANS.with(|l| l.borrow_mut().stack.push(name));
+    }
+    Span {
+        start: Instant::now(),
+        armed,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let elapsed = self.start.elapsed();
+        LOCAL_SPANS.with(|l| {
+            let mut l = l.borrow_mut();
+            let path = l.stack.join("/");
+            l.stack.pop();
+            let stat = l.acc.entry(path).or_default();
+            stat.count += 1;
+            stat.nanos += elapsed.as_nanos() as u64;
+            // Root scope closed: this thread's accumulator merges into the
+            // process table in one short critical section.
+            if l.stack.is_empty() {
+                let drained = std::mem::take(&mut l.acc);
+                let mut global = global_spans().lock().unwrap_or_else(|e| e.into_inner());
+                for (p, s) in drained {
+                    let t = global.entry(p).or_default();
+                    t.count += s.count;
+                    t.nanos += s.nanos;
+                }
+            }
+        });
+    }
+}
+
+/// Clears the recorded span table (tests, or between CLI runs).
+pub fn reset_spans() {
+    global_spans()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Renders the recorded spans as an indented tree with per-path call
+/// count, total and mean wall time. Lexicographic path order places each
+/// parent directly above its children.
+pub fn span_report() -> String {
+    let global = global_spans().lock().unwrap_or_else(|e| e.into_inner());
+    if global.is_empty() {
+        return "trace: no spans recorded\n".into();
+    }
+    let mut out = String::from("trace: span tree (calls, total, mean)\n");
+    for (path, stat) in global.iter() {
+        let depth = path.matches('/').count();
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let total = stat.nanos as f64 / 1e9;
+        let mean = total / stat.count.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:indent$}{name:<28} {:>7}x  {:>10}  {:>10}",
+            "",
+            stat.count,
+            fmt_secs(total),
+            fmt_secs(mean),
+            indent = depth * 2
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace flag is process-global; tests that toggle it must not
+    /// overlap.
+    fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let h = Histogram::with_bounds(&[0.001, 0.01, 0.1]);
+        h.observe(0.0005); // -> le=0.001
+        h.observe(0.005); // -> le=0.01
+        h.observe(0.05); // -> le=0.1
+        h.observe(5.0); // -> +Inf
+        h.observe(0.001); // boundary lands in le=0.001 (inclusive)
+        assert_eq!(h.count(), 5);
+        let mut out = String::new();
+        render_histogram(&mut out, "t_seconds", "", &h);
+        assert!(out.contains("t_seconds_bucket{le=\"0.001\"} 2\n"), "{out}");
+        assert!(out.contains("t_seconds_bucket{le=\"0.01\"} 3\n"), "{out}");
+        assert!(out.contains("t_seconds_bucket{le=\"0.1\"} 4\n"), "{out}");
+        assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 5\n"), "{out}");
+        assert!(out.contains("t_seconds_count 5\n"), "{out}");
+    }
+
+    #[test]
+    fn histogram_labels_compose_with_le() {
+        let h = Histogram::with_bounds(&[1.0]);
+        h.observe(0.5);
+        let mut out = String::new();
+        render_histogram(&mut out, "t_seconds", "route=\"healthz\"", &h);
+        assert!(
+            out.contains("t_seconds_bucket{route=\"healthz\",le=\"1\"} 1\n"),
+            "{out}"
+        );
+        assert!(out.contains("t_seconds_sum{route=\"healthz\"}"), "{out}");
+        assert!(
+            out.contains("t_seconds_count{route=\"healthz\"} 1\n"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn histogram_rejects_garbage_observations() {
+        let h = Histogram::with_bounds(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_seconds(), 0.0);
+    }
+
+    #[test]
+    fn log_spaced_bounds_grow_by_factor() {
+        let h = Histogram::log_spaced(1e-4, 10.0, 4);
+        let mut out = String::new();
+        render_histogram(&mut out, "x", "", &h);
+        assert!(out.contains("le=\"0.0001\""), "{out}");
+        assert!(out.contains("le=\"0.1\""), "{out}");
+    }
+
+    #[test]
+    fn registry_renders_help_and_type_for_every_family() {
+        counter("obs_test_counter_total", "A test counter.").add(7);
+        histogram("obs_test_seconds", "A test histogram.").observe(0.02);
+        let mut out = String::new();
+        render_registry(&mut out);
+        assert!(out.contains("# HELP obs_test_counter_total A test counter.\n"));
+        assert!(out.contains("# TYPE obs_test_counter_total counter\n"));
+        assert!(out.contains("obs_test_counter_total 7\n"));
+        assert!(out.contains("# TYPE obs_test_seconds histogram\n"));
+        assert!(out.contains("obs_test_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert_eq!(counter_value("obs_test_counter_total"), Some(7));
+    }
+
+    #[test]
+    fn spans_nest_by_call_structure_and_merge_on_root_exit() {
+        let _guard = trace_lock();
+        reset_spans();
+        set_trace(true);
+        {
+            let _root = span("outer_test_span");
+            for _ in 0..3 {
+                let _child = span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        set_trace(false);
+        let report = span_report();
+        assert!(report.contains("outer_test_span"), "{report}");
+        assert!(report.contains("inner"), "{report}");
+        let global = global_spans().lock().unwrap();
+        assert_eq!(global["outer_test_span"].count, 1);
+        assert_eq!(global["outer_test_span/inner"].count, 3);
+        assert!(global["outer_test_span/inner"].nanos >= 3_000_000);
+        drop(global);
+        reset_spans();
+    }
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        let _guard = trace_lock();
+        set_trace(false);
+        {
+            let _s = span("never_recorded_span");
+        }
+        let global = global_spans().lock().unwrap();
+        assert!(!global.contains_key("never_recorded_span"));
+    }
+}

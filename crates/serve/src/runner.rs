@@ -10,12 +10,15 @@
 //! checkpoint via the runtime's session machinery and reports
 //! [`JobOutcome::Cancelled`] so a later restart can pick the work back up.
 
+use std::collections::{HashMap, VecDeque};
 use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::CharacterizationModel;
 use emgrid_pg::{GridCheckpoint, GridSession, PowerGrid, PowerGridMc, SystemCriterion};
-use emgrid_runtime::{JobCtx, JobOutcome};
+use emgrid_runtime::{JobCtx, JobId, JobOutcome};
 use emgrid_spice::ingest::{ingest, IngestLimits, IngestOptions};
 use emgrid_spice::GridSpec;
 use emgrid_via::{
@@ -34,6 +37,49 @@ use crate::store::JobStore;
 /// matching the CLI's `characterize`/`analyze` commands.
 const REFERENCE_J: f64 = 1e10;
 
+/// Jobs whose phase timings stay queryable after the map would otherwise
+/// grow without bound; disk stays authoritative for everything else, so
+/// evicted phase data is merely absent from old status docs.
+const PHASE_RETENTION: usize = 1024;
+
+/// Per-job phase wall times (`mc`, `ingest`, `level1`, `level2`, `fea`),
+/// surfaced in `GET /v1/jobs/:id` status docs — never in result docs,
+/// which must stay byte-identical whatever the timings were.
+///
+/// Bounded like the engine's terminal-record ring: beyond
+/// [`PHASE_RETENTION`] jobs the oldest entry is evicted.
+#[derive(Debug, Default)]
+pub struct PhaseLog {
+    /// Insertion order (for eviction) alongside the id → phases map.
+    inner: Mutex<(VecDeque<JobId>, HashMap<JobId, PhaseTimings>)>,
+}
+
+/// `(phase, seconds)` pairs in execution order.
+type PhaseTimings = Vec<(&'static str, f64)>;
+
+impl PhaseLog {
+    /// Appends one `(phase, seconds)` pair for `id`.
+    pub fn record(&self, id: JobId, phase: &'static str, seconds: f64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let (order, map) = &mut *inner;
+        if !map.contains_key(&id) {
+            order.push_back(id);
+            if order.len() > PHASE_RETENTION {
+                if let Some(old) = order.pop_front() {
+                    map.remove(&old);
+                }
+            }
+        }
+        map.entry(id).or_default().push((phase, seconds));
+    }
+
+    /// The recorded phases of `id`, in execution order.
+    pub fn phases(&self, id: JobId) -> PhaseTimings {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.1.get(&id).cloned().unwrap_or_default()
+    }
+}
+
 /// Everything a job needs besides its spec.
 pub struct RunEnv<'a> {
     /// Where checkpoints (and final artifacts) are persisted.
@@ -48,6 +94,16 @@ pub struct RunEnv<'a> {
     /// endpoint screened with — a deck accepted at the door must never be
     /// rejected as "too large" once it reaches a worker.
     pub max_netlist_bytes: usize,
+    /// Phase-duration sink for status docs (`None` = don't record).
+    pub phases: Option<&'a PhaseLog>,
+}
+
+impl RunEnv<'_> {
+    fn record_phase(&self, id: JobId, phase: &'static str, started: Instant) {
+        if let Some(log) = self.phases {
+            log.record(id, phase, started.elapsed().as_secs_f64());
+        }
+    }
 }
 
 /// Runs one job to an outcome. Never panics on bad input — every failure
@@ -67,7 +123,15 @@ pub fn run_job(spec: &JobSpec, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<Str
             resolution,
             threads,
             use_cache,
-        } => run_fea(array, pattern, *resolution, *threads, *use_cache, env),
+        } => run_fea(
+            array,
+            pattern,
+            *resolution,
+            *threads,
+            *use_cache,
+            ctx.id,
+            env,
+        ),
     }
 }
 
@@ -93,7 +157,10 @@ fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome
         checkpoint_every: env.checkpoint_every,
         on_checkpoint: Some(&mut on_checkpoint),
     };
-    let Some(result) = model.characterize_session(mc.trials, mc.seed, &runtime, session) else {
+    let mc_start = Instant::now();
+    let outcome = model.characterize_session(mc.trials, mc.seed, &runtime, session);
+    env.record_phase(ctx.id, "mc", mc_start);
+    let Some(result) = outcome else {
         return JobOutcome::Cancelled;
     };
     if result.report().cancelled {
@@ -147,6 +214,7 @@ fn run_analyze(
     env: &RunEnv<'_>,
 ) -> JobOutcome<String> {
     // Materialize the grid.
+    let ingest_start = Instant::now();
     let (netlist, deck_label) = match deck {
         DeckSource::Benchmark(name) => {
             let spec = match name.as_str() {
@@ -170,6 +238,7 @@ fn run_analyze(
             }
         }
     };
+    env.record_phase(ctx.id, "ingest", ingest_start);
 
     // Level 1: via-array characterization (deterministic, re-run in full on
     // resume — only the level-2 grid loop is checkpointed).
@@ -181,8 +250,10 @@ fn run_analyze(
         cancel: Some(&ctx.cancel),
         ..ViaSession::default()
     };
-    let Some(characterization) = model.characterize_session(mc.trials, mc.seed, &runtime, level1)
-    else {
+    let level1_start = Instant::now();
+    let level1_outcome = model.characterize_session(mc.trials, mc.seed, &runtime, level1);
+    env.record_phase(ctx.id, "level1", level1_start);
+    let Some(characterization) = level1_outcome else {
         return JobOutcome::Cancelled;
     };
     if characterization.report().cancelled {
@@ -217,7 +288,10 @@ fn run_analyze(
         checkpoint_every: env.checkpoint_every,
         on_checkpoint: Some(&mut on_checkpoint),
     };
-    let result = match grid_mc.run_session(grid_trials, mc.seed ^ 0xc11, &runtime, session) {
+    let level2_start = Instant::now();
+    let level2_outcome = grid_mc.run_session(grid_trials, mc.seed ^ 0xc11, &runtime, session);
+    env.record_phase(ctx.id, "level2", level2_start);
+    let result = match level2_outcome {
         Ok(r) => r,
         Err(e) => return JobOutcome::Failed(format!("grid Monte Carlo failed: {e}")),
     };
@@ -260,6 +334,7 @@ fn run_fea(
     resolution: f64,
     threads: usize,
     use_cache: bool,
+    id: JobId,
     env: &RunEnv<'_>,
 ) -> JobOutcome<String> {
     let model = CharacterizationModel {
@@ -281,10 +356,11 @@ fn run_fea(
         cache,
         ..FeaOptions::default()
     };
-    let (table, report) = match StressTable::characterize_with_fea_opts(
-        &[(model, LayerPair::IntermediateTop)],
-        &opts,
-    ) {
+    let fea_start = Instant::now();
+    let fea_outcome =
+        StressTable::characterize_with_fea_opts(&[(model, LayerPair::IntermediateTop)], &opts);
+    env.record_phase(id, "fea", fea_start);
+    let (table, report) = match fea_outcome {
         Ok(out) => out,
         Err(e) => return JobOutcome::Failed(format!("FEA failed: {e}")),
     };
@@ -342,6 +418,7 @@ mod tests {
                     checkpoint_every,
                     cache_dir: None,
                     max_netlist_bytes: IngestLimits::default().max_bytes,
+                    phases: None,
                 };
                 run_job(&spec, ctx, &env)
             })
@@ -453,6 +530,7 @@ mod tests {
                     checkpoint_every: 0,
                     cache_dir: None,
                     max_netlist_bytes: IngestLimits::default().max_bytes,
+                    phases: None,
                 };
                 run_job(&spec, ctx, &env)
             })

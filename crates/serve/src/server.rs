@@ -33,7 +33,7 @@ use emgrid_spice::ingest::{ingest, IngestError, IngestLimits, IngestOptions};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
-use crate::runner::{run_job, RunEnv};
+use crate::runner::{run_job, PhaseLog, RunEnv};
 use crate::spec::{DeckSource, JobSpec};
 use crate::store::{DiskJob, JobStore};
 
@@ -54,6 +54,17 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
+    /// Concurrent connection threads; connections beyond the cap are shed
+    /// with an immediate `503` instead of spawning.
+    pub max_connections: usize,
+    /// Total time a client gets to deliver one request (the per-read
+    /// timeout inside the request reader is re-derived from this).
+    pub request_deadline: Duration,
+    /// Enables `POST /debug/panic`, a route whose handler panics — used by
+    /// regression tests and the CI smoke job (via the hidden
+    /// `--debug-panic-route` serve flag) to prove that panicking connection
+    /// threads cannot leak `active_connections` slots. Off by default.
+    pub debug_panic_route: bool,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +77,9 @@ impl Default for ServeConfig {
             state_dir: PathBuf::from("results").join("jobs"),
             cache_dir: None,
             max_body_bytes: 8 * 1024 * 1024,
+            max_connections: 256,
+            request_deadline: Duration::from_secs(30),
+            debug_panic_route: false,
         }
     }
 }
@@ -74,9 +88,13 @@ struct Shared {
     engine: JobEngine<String>,
     store: JobStore,
     metrics: Metrics,
+    phases: PhaseLog,
     checkpoint_every: usize,
     cache_dir: Option<PathBuf>,
     max_body: usize,
+    max_connections: usize,
+    request_deadline: Duration,
+    debug_panic_route: bool,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
     /// Connection threads currently alive, for load shedding.
@@ -131,9 +149,13 @@ impl Server {
             engine: JobEngine::new(config.workers, queue_depth),
             store,
             metrics: Metrics::default(),
+            phases: PhaseLog::default(),
             checkpoint_every: config.checkpoint_every,
             cache_dir: config.cache_dir,
             max_body: config.max_body_bytes,
+            max_connections: config.max_connections.max(1),
+            request_deadline: config.request_deadline,
+            debug_panic_route: config.debug_panic_route,
             next_id: AtomicU64::new(max_id + 1),
             shutting_down: AtomicBool::new(false),
             active_connections: Arc::new(AtomicUsize::new(0)),
@@ -204,7 +226,14 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
-        let ids: Vec<JobId> = self.shared.known.lock().expect("known jobs lock").clone();
+        // A poisoned lock only means some connection thread panicked while
+        // holding it; the id list carries no invariant worth dying over.
+        let ids: Vec<JobId> = self
+            .shared
+            .known
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
         if cancel_jobs {
             for id in &ids {
                 self.shared.engine.cancel(*id);
@@ -229,15 +258,26 @@ impl Drop for Server {
 /// Queues a job closure under `id`.
 fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitError> {
     let job_shared = Arc::clone(shared);
+    let submitted = Instant::now();
     shared.engine.submit_with_id(id, move |ctx| {
+        job_shared
+            .metrics
+            .queue_wait
+            .observe_duration(submitted.elapsed());
+        let started = Instant::now();
         let env = RunEnv {
             store: &job_shared.store,
             metrics: &job_shared.metrics,
             checkpoint_every: job_shared.checkpoint_every,
             cache_dir: job_shared.cache_dir.as_deref(),
             max_netlist_bytes: job_shared.max_body,
+            phases: Some(&job_shared.phases),
         };
         let outcome = run_job(&spec, ctx, &env);
+        job_shared
+            .metrics
+            .job_duration
+            .observe_duration(started.elapsed());
         // Persist the terminal state before the engine observes it, so a
         // `done` status always has its result on disk.
         match &outcome {
@@ -256,7 +296,10 @@ fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitE
         outcome
     })?;
     Metrics::inc(&shared.metrics.jobs_submitted);
-    let mut known = shared.known.lock().expect("known jobs lock");
+    // Recover from poisoning: a plain id vec has no invariant a panicked
+    // thread could have broken, and dying here would turn one crashed
+    // connection into a daemon that rejects every later submission.
+    let mut known = shared.known.lock().unwrap_or_else(|e| e.into_inner());
     // Terminal ids no longer need shutdown handling; pruning here keeps
     // the list proportional to live work, not to total jobs ever run.
     known.retain(|kid| {
@@ -269,14 +312,26 @@ fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitE
     Ok(())
 }
 
-/// Total time a client gets to deliver one request. The per-read timeout
-/// inside `read_request` is re-derived from this, so a trickling client
-/// cannot hold a connection thread (and its partial body) indefinitely.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+/// Owns one `active_connections` slot. The decrement lives in `Drop` so
+/// it runs on every exit path out of the connection thread — normal
+/// return, spawn failure, *and* unwinding from a panic. Before this
+/// guard, each panicking handler leaked its slot permanently; after
+/// `max_connections` panics the daemon would shed all traffic with 503s
+/// forever.
+struct ConnectionSlot {
+    shared: Arc<Shared>,
+}
 
-/// Concurrent connection threads; connections beyond the cap are shed with
-/// an immediate `503` instead of spawning.
-const MAX_CONNECTIONS: usize = 256;
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() {
+            Metrics::inc(&self.shared.metrics.connection_panics);
+        }
+    }
+}
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     loop {
@@ -285,23 +340,27 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                let active = Arc::clone(&shared.active_connections);
-                if active.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                let active = &shared.active_connections;
+                if active.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
                     active.fetch_sub(1, Ordering::SeqCst);
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                    let _ = Response::error(503, "too many connections").write_to(&mut stream);
+                    let response = Response::error(503, "too many connections");
+                    shared.metrics.count_response(response.status);
+                    let _ = response.write_to(&mut stream);
                     continue;
                 }
+                let slot = ConnectionSlot {
+                    shared: Arc::clone(&shared),
+                };
                 let conn_shared = Arc::clone(&shared);
-                let spawned = std::thread::Builder::new()
+                // If the spawn itself fails, the closure is dropped
+                // unstarted and the slot guard inside releases the slot.
+                let _ = std::thread::Builder::new()
                     .name("emgrid-conn".into())
                     .spawn(move || {
+                        let _slot = slot;
                         handle_connection(stream, conn_shared);
-                        active.fetch_sub(1, Ordering::SeqCst);
                     });
-                if spawned.is_err() {
-                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
-                }
             }
             Err(_) => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -312,19 +371,46 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// The latency-histogram label for a parsed request.
+fn route_label(request: &Request) -> &'static str {
+    let segments: Vec<&str> = request
+        .path()
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match segments.as_slice() {
+        ["healthz"] => "healthz",
+        ["metrics"] => "metrics",
+        ["v1", "jobs"] => "submit",
+        ["v1", "jobs", _] if request.method == "DELETE" => "cancel",
+        ["v1", "jobs", _] => "status",
+        ["v1", "jobs", _, "result"] => "result",
+        _ => "other",
+    }
+}
+
+/// Counts and writes one response; every response the daemon produces
+/// (routed or early-error) goes through here so the
+/// `emgrid_http_responses_total` family sees them all.
+fn send(stream: &mut TcpStream, response: &Response, metrics: &Metrics) {
+    metrics.count_response(response.status);
+    let _ = response.write_to(stream);
+}
+
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let started = Instant::now();
+    let deadline = started + shared.request_deadline;
     // A client that stops reading must not pin the thread on writes either.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     Metrics::inc(&shared.metrics.http_requests);
-    let response = match read_request(&mut stream, shared.max_body, deadline) {
-        Ok(request) => route(&request, &shared),
+    let (label, response) = match read_request(&mut stream, shared.max_body, deadline) {
+        Ok(request) => (route_label(&request), route(&request, &shared)),
         Err(HttpError::BodyTooLarge { declared, limit }) => {
             let response = Response::error(
                 413,
                 format!("body too large: {declared} bytes (limit {limit})"),
             );
-            let _ = response.write_to(&mut stream);
+            send(&mut stream, &response, &shared.metrics);
             // Drain (bounded) what the client already sent so the close is
             // a FIN, not an RST that could destroy the 413 in flight.
             let mut sink = [0u8; 4096];
@@ -335,13 +421,18 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                     Ok(n) => left = left.saturating_sub(n),
                 }
             }
+            shared.metrics.observe_route("other", started.elapsed());
             return;
         }
-        Err(HttpError::Timeout) => Response::error(408, "request read deadline exceeded"),
-        Err(HttpError::BadRequest(message)) => Response::error(400, message),
+        Err(HttpError::Timeout) => (
+            "other",
+            Response::error(408, "request read deadline exceeded"),
+        ),
+        Err(HttpError::BadRequest(message)) => ("other", Response::error(400, message)),
         Err(HttpError::Io(_)) => return,
     };
-    let _ = response.write_to(&mut stream);
+    send(&mut stream, &response, &shared.metrics);
+    shared.metrics.observe_route(label, started.elapsed());
 }
 
 fn route(request: &Request, shared: &Arc<Shared>) -> Response {
@@ -360,10 +451,15 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         ),
         ("GET", ["metrics"]) => Response::text(
             200,
-            shared
-                .metrics
-                .render(shared.engine.queue_len(), shared.engine.running()),
+            shared.metrics.render(
+                shared.engine.queue_len(),
+                shared.engine.running(),
+                shared.active_connections.load(Ordering::SeqCst),
+            ),
         ),
+        ("POST", ["debug", "panic"]) if shared.debug_panic_route => {
+            panic!("induced panic (debug route)")
+        }
         ("POST", ["v1", "jobs"]) => submit(request, shared),
         ("GET", ["v1", "jobs", id]) => match id.parse() {
             Ok(id) => status(id, shared),
@@ -458,6 +554,20 @@ fn status(id: JobId, shared: &Arc<Shared>) -> Response {
         if let Some(error) = snapshot.error {
             pairs.push(("error".into(), Json::s(error)));
         }
+        // Phase wall times are status-doc-only telemetry: result docs must
+        // stay byte-identical however long each stage took.
+        let phases = shared.phases.phases(id);
+        if !phases.is_empty() {
+            pairs.push((
+                "phases".into(),
+                Json::Obj(
+                    phases
+                        .into_iter()
+                        .map(|(name, seconds)| (format!("{name}_seconds"), Json::n(seconds)))
+                        .collect(),
+                ),
+            ));
+        }
         return Response::json(200, &Json::Obj(pairs));
     }
     // Jobs from a previous daemon process live only on disk.
@@ -511,4 +621,52 @@ fn cancel(id: JobId, shared: &Arc<Shared>) -> Response {
             ("status".into(), Json::s("cancelling")),
         ]),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+
+    /// A connection thread that panics while holding `shared.known` must
+    /// not take the daemon down with it: later lockers recover the
+    /// poisoned mutex with `into_inner` and keep serving.
+    #[test]
+    fn poisoned_known_lock_is_recovered_not_fatal() {
+        let state_dir = std::env::temp_dir().join(format!("emgrid-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            state_dir: state_dir.clone(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+
+        // Poison the lock the way a panicking connection thread would.
+        let shared = Arc::clone(&server.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.known.lock().unwrap();
+            panic!("poison the known-ids lock");
+        })
+        .join();
+        assert!(server.shared.known.lock().is_err(), "lock is poisoned");
+
+        // Submission still locks `known` (to record the id for shutdown)
+        // and must succeed despite the poison.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let body = r#"{"kind":"characterize","array":"1x1","trials":8,"seed":1}"#;
+        let request = format!(
+            "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 202"), "{response}");
+
+        // Shutdown reads the same lock and must drain the job, not panic.
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(state_dir);
+    }
 }

@@ -344,3 +344,168 @@ fn uploaded_netlists_are_screened_and_bodies_are_bounded() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(root);
 }
+
+/// Filters the default panic hook so the induced connection panics below
+/// don't spam test output; every other panic still prints normally.
+fn silence_induced_panics() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if message.is_some_and(|m| m.contains("induced panic (debug route)")) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// The value of a plain (unlabelled) counter in a `/metrics` scrape.
+fn scrape_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no `{name}` series in scrape:\n{metrics}"))
+}
+
+#[test]
+fn panicking_connections_do_not_leak_slots() {
+    // Regression for the connection-slot leak: handle_connection used to
+    // decrement `active_connections` only on the normal return path, so
+    // 256 panics bricked the daemon into shedding every future request.
+    // Induce more panics than the connection cap and prove the daemon is
+    // still fully alive afterwards.
+    silence_induced_panics();
+    let mut cfg = config("panic-flood");
+    cfg.debug_panic_route = true;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr();
+
+    let floods = 300usize;
+    for _ in 0..floods {
+        // The handler panics before writing anything, so the client just
+        // sees the connection close; there is no response to parse.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ =
+            stream.write_all(b"POST /debug/panic HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+        let mut sink = String::new();
+        let _ = stream.read_to_string(&mut sink);
+    }
+
+    // Past the old 256-slot ceiling the daemon must still answer, not 503.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "daemon bricked after panic flood: {body}");
+
+    // Every panic was observed by the drop guard. The last unwinding
+    // threads may still be mid-drop, so poll briefly for the full count.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, metrics) = request(addr, "GET", "/metrics", "");
+        if scrape_counter(&metrics, "emgrid_http_connection_panics_total") >= floods as u64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "panic counter stuck:\n{metrics}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let root = server.state_dir();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn sheds_and_slow_requests_show_up_in_response_counters() {
+    // Shed 503s and request-deadline 408s used to be written straight to
+    // the socket without touching any counter, so overload was invisible
+    // in `/metrics`. Both must now land in the responses-by-class family.
+    let mut cfg = config("shed-counts");
+    cfg.max_connections = 2;
+    cfg.request_deadline = Duration::from_millis(900);
+    let server = Server::start(cfg).unwrap();
+    let addr = server.local_addr();
+
+    // Two idle connections occupy both slots (their eventual fate is a
+    // 408 when the request deadline lapses with no bytes on the wire).
+    let idle_a = TcpStream::connect(addr).unwrap();
+    let idle_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // With both slots held, the accept loop sheds the next connection.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 503, "expected a shed: {body}");
+
+    // The idle connections time out with a 408 once the deadline lapses.
+    for mut idle in [idle_a, idle_b] {
+        let mut raw = String::new();
+        idle.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+    }
+
+    // Slots are free again, and both failure modes are on the scoreboard.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("emgrid_http_responses_total{status_class=\"5xx\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("emgrid_http_responses_total{status_class=\"4xx\"} 2"),
+        "{metrics}"
+    );
+
+    let root = server.state_dir();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn scrape_has_histograms_and_status_docs_carry_phases() {
+    let server = Server::start(config("obs")).unwrap();
+    let addr = server.local_addr();
+    let id = submit(
+        addr,
+        r#"{"kind":"characterize","array":"1x1","trials":32,"seed":9}"#,
+    );
+    let doc = wait_done(addr, id);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+
+    // Per-job phase timings are operator telemetry: they belong in the
+    // status document and must never reach the (byte-stable) result doc.
+    let phases = doc.get("phases").expect("status doc carries phases");
+    assert!(
+        phases.get("mc_seconds").and_then(Json::as_f64).is_some(),
+        "{doc}"
+    );
+    assert!(!result_bytes(addr, id).contains("phases"));
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    for family in [
+        "emgrid_http_request_duration_seconds",
+        "emgrid_job_queue_wait_seconds",
+        "emgrid_job_duration_seconds",
+    ] {
+        assert!(
+            metrics.contains(&format!("# TYPE {family} histogram")),
+            "{metrics}"
+        );
+    }
+    assert!(
+        scrape_counter(&metrics, "emgrid_job_duration_seconds_count") >= 1,
+        "{metrics}"
+    );
+    // Process-global registry instruments ride along in the same scrape.
+    // Their values are process-wide (other tests contribute), so only
+    // presence is asserted.
+    assert!(metrics.contains("emgrid_mc_trials_total"), "{metrics}");
+    assert!(metrics.contains("emgrid_mc_runs_total"), "{metrics}");
+
+    let root = server.state_dir();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}

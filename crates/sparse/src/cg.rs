@@ -9,7 +9,8 @@ use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::ic0::Ic0;
 use crate::kernels::{axpy, dot, norm, xpby, VEC_CHUNK};
-use emgrid_runtime::parallel_fill;
+use emgrid_runtime::{obs, parallel_fill};
+use std::time::{Duration, Instant};
 
 /// Preconditioner selection for [`conjugate_gradient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,10 @@ pub struct CgOutcome {
     pub iterations: usize,
     /// Final relative residual.
     pub residual: f64,
+    /// Wall time spent building the preconditioner (the IC(0)
+    /// factorization for [`Preconditioner::IncompleteCholesky`]; near
+    /// zero for the diagonal choices).
+    pub precond_time: Duration,
 }
 
 /// Solves the SPD system `A x = b` by (Jacobi-)preconditioned CG.
@@ -110,12 +115,14 @@ pub fn conjugate_gradient(
         });
     }
     let threads = options.threads.max(1);
+    let _cg_span = obs::span("cg");
     let bnorm = norm(b, threads);
     if bnorm == 0.0 {
         return Ok(CgOutcome {
             x: vec![0.0; n],
             iterations: 0,
             residual: 0.0,
+            precond_time: Duration::ZERO,
         });
     }
 
@@ -123,6 +130,8 @@ pub fn conjugate_gradient(
         Diagonal(Vec<f64>),
         Ic(Box<Ic0>),
     }
+    let precond_span = obs::span("precondition");
+    let precond_start = Instant::now();
     let prec = match options.preconditioner {
         Preconditioner::Identity => Prec::Diagonal(vec![1.0; n]),
         Preconditioner::Jacobi => Prec::Diagonal(
@@ -139,6 +148,8 @@ pub fn conjugate_gradient(
         ),
         Preconditioner::IncompleteCholesky => Prec::Ic(Box::new(Ic0::factor(a)?)),
     };
+    let precond_time = precond_start.elapsed();
+    drop(precond_span);
     let apply_prec = |r: &[f64]| -> Vec<f64> {
         match &prec {
             Prec::Diagonal(d) => {
@@ -177,9 +188,11 @@ pub fn conjugate_gradient(
             x,
             iterations: 0,
             residual,
+            precond_time,
         });
     }
 
+    let _iterate_span = obs::span("iterate");
     for it in 1..=options.max_iterations {
         a.par_matvec_into(&p, &mut ap, threads);
         let pap = dot(&p, &ap, threads);
@@ -198,6 +211,7 @@ pub fn conjugate_gradient(
                 x,
                 iterations: it,
                 residual,
+                precond_time,
             });
         }
         z = apply_prec(&r);

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use emgrid_fea::geometry::CharacterizationModel;
 use emgrid_fea::model::SolveMethod;
 use emgrid_fea::stress::StressField;
+use emgrid_runtime::obs;
 
 /// Format tag written as the first line of every entry; bump on any layout
 /// change so stale entries read as misses instead of garbage.
@@ -159,8 +160,22 @@ impl StressCache {
     /// Loads the entry for `key`, or `None` on miss / unreadable /
     /// mismatched entry.
     pub fn load(&self, key: u64) -> Option<CacheEntry> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
-        parse_entry(&text, key)
+        let entry = fs::read_to_string(self.entry_path(key))
+            .ok()
+            .and_then(|text| parse_entry(&text, key));
+        match entry {
+            Some(_) => obs::counter(
+                "emgrid_stress_cache_hits_total",
+                "Stress-cache lookups served from disk.",
+            )
+            .inc(),
+            None => obs::counter(
+                "emgrid_stress_cache_misses_total",
+                "Stress-cache lookups that fell through to a solve.",
+            )
+            .inc(),
+        }
+        entry
     }
 
     /// Loads the entry for `key` and reconstructs the full stress field by
@@ -208,6 +223,11 @@ impl StressCache {
         push_bits_lines(&mut text, &entry.displacements);
         fs::write(&tmp, text)?;
         fs::rename(&tmp, &path)?;
+        obs::counter(
+            "emgrid_stress_cache_stores_total",
+            "Stress-cache entries persisted.",
+        )
+        .inc();
         Ok(path)
     }
 }

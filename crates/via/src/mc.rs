@@ -258,6 +258,7 @@ impl ViaArrayMc {
         runtime: &RuntimeConfig,
         session: ViaSession<'_>,
     ) -> Option<CharacterizationResult> {
+        let _span = emgrid_runtime::obs::span("via-mc");
         let open_circuit = self.config.count() - 1;
         let mut on_checkpoint = session.on_checkpoint;
         let mut adapter = |samples: &[ViaArraySample], stream: &emgrid_stats::OnlineStats| {

@@ -249,6 +249,7 @@ impl StressTable {
         opts: &FeaOptions,
     ) -> Result<(Self, FeaReport), FeaError> {
         let start = Instant::now();
+        let _span = emgrid_runtime::obs::span("characterize");
         // One solve per distinct cache key; later duplicates borrow it.
         let keys: Vec<u64> = models
             .iter()
