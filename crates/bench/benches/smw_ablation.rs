@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emgrid::prelude::*;
-use emgrid::sparse::{IncrementalSolver, LdlFactor, TripletMatrix};
+use emgrid::sparse::{FactorOptions, IncrementalSolver, LdlFactor, TripletMatrix};
 use std::hint::black_box;
 
 /// Builds the PG1-profile conductance system and the list of via edges in
@@ -71,7 +71,8 @@ fn bench_failure_sequences(c: &mut Criterion) {
                             t.push(i, j, g);
                             t.push(j, i, g);
                         }
-                        let f = LdlFactor::factor_rcm(&t.to_csr()).unwrap();
+                        let f =
+                            LdlFactor::factor_with(&t.to_csr(), &FactorOptions::default()).unwrap();
                         black_box(f.solve(&rhs));
                     }
                 })

@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use emgrid::sparse::{
-    conjugate_gradient, CgOptions, CsrMatrix, LdlFactor, Preconditioner, TripletMatrix,
+    conjugate_gradient, CgOptions, CsrMatrix, FactorOptions, LdlFactor, Preconditioner,
+    TripletMatrix,
 };
 use std::hint::black_box;
 
@@ -34,12 +35,13 @@ fn bench_solvers(c: &mut Criterion) {
             &n,
             |bench, _| {
                 bench.iter(|| {
-                    let f = LdlFactor::factor_rcm(black_box(&a)).unwrap();
+                    let f =
+                        LdlFactor::factor_with(black_box(&a), &FactorOptions::default()).unwrap();
                     black_box(f.solve(&b))
                 })
             },
         );
-        let factored = LdlFactor::factor_rcm(&a).unwrap();
+        let factored = LdlFactor::factor_with(&a, &FactorOptions::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("ldl_solve_only", n * n), &n, |bench, _| {
             bench.iter(|| black_box(factored.solve(black_box(&b))))
         });

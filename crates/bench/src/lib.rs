@@ -47,7 +47,7 @@ pub fn solve_figure_field(model: &CharacterizationModel) -> emgrid::fea::StressF
     use emgrid::via::{CacheEntry, StressCache};
     let method = emgrid::fea::SolveMethod::default();
     let cache = StressCache::open_default();
-    let key = StressCache::key(model, &method);
+    let key = StressCache::key(model, &method, emgrid::sparse::Ordering::default());
     if let Some(cache) = &cache {
         if let Some(field) = cache.load_field(key, model) {
             eprintln!("# fea: cache hit {key:016x} ({})", cache.dir().display());

@@ -15,6 +15,7 @@ use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::obs;
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_serve::{ServeConfig, Server};
+use emgrid_sparse::{FactorOptions, Ordering};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{
@@ -58,12 +59,13 @@ COMMANDS:
                     --grid-trials <n> (default 200)
                     [--repair-vias <ohms>] [--threads <n>]
                     [--target-ci <half-width>]
+                    [--ordering natural|rcm|amd]
 
     fea           finite-element stress characterization of one primitive
                     --array 1x1|4x4|8x8 (default 4x4)
                     --pattern plus|tee|ell (default plus)
                     [--resolution <um>] [--fea-threads <n>] [--no-cache]
-                    [--cache-dir <dir>]
+                    [--cache-dir <dir>] [--ordering natural|rcm|amd]
 
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
@@ -87,6 +89,11 @@ Monte Carlo commands take --threads (work-stealing across n OS threads;
 results are bit-identical for any thread count) and --target-ci (stop as
 soon as the 95% CI half-width on mean ln TTF reaches the target instead
 of exhausting the trial budget).
+
+The analyze and fea commands read the sparse solver's fill-reducing
+ordering from --ordering first, the EMGRID_ORDERING environment variable
+second, and default to amd. The ordering changes factorization wall time
+only, never which statistics come out.
 
 The fea command reads its mesh resolution from --resolution first, the
 EMGRID_RESOLUTION environment variable second, and defaults to 0.25 um.
@@ -248,6 +255,31 @@ fn parse_resolution(args: &[String]) -> Result<(f64, &'static str), CliError> {
     Ok((0.25, "default"))
 }
 
+/// Fill-reducing ordering precedence: `--ordering` flag, then the
+/// `EMGRID_ORDERING` environment variable, then AMD. Returns the value
+/// and which source supplied it.
+fn parse_ordering(args: &[String]) -> Result<(Ordering, &'static str), CliError> {
+    if let Some(v) = option_value(args, "--ordering") {
+        return Ordering::parse(v)
+            .map(|o| (o, "--ordering"))
+            .ok_or_else(|| {
+                CliError(format!(
+                    "unknown ordering `{v}` for --ordering (expected natural, rcm or amd)"
+                ))
+            });
+    }
+    if let Ok(v) = std::env::var("EMGRID_ORDERING") {
+        return Ordering::parse(&v)
+            .map(|o| (o, "EMGRID_ORDERING"))
+            .ok_or_else(|| {
+                CliError(format!(
+                    "unknown ordering `{v}` in EMGRID_ORDERING (expected natural, rcm or amd)"
+                ))
+            });
+    }
+    Ok((Ordering::default(), "default"))
+}
+
 fn parse_criterion(args: &[String]) -> Result<FailureCriterion, CliError> {
     match option_value(args, "--criterion").unwrap_or("rinf") {
         "wl" | "weakest-link" => Ok(FailureCriterion::WeakestLink),
@@ -388,6 +420,7 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let grid_trials = parse_usize(args, "--grid-trials", 200)?;
     let seed = parse_u64(args, "--seed", 1)?;
     let runtime = parse_runtime(args)?;
+    let (ordering, _) = parse_ordering(args)?;
     let reliability = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
         .characterize_with(trials, seed, &runtime)
         .reliability(criterion)
@@ -395,7 +428,8 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
     let sites = grid.via_sites().len();
     let mc = PowerGridMc::new(grid, reliability)
-        .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+        .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
+        .with_factor_options(FactorOptions::default().with_ordering(ordering));
     let result = mc
         .run_with(grid_trials, seed ^ 0xc11, &runtime)
         .map_err(|e| CliError(e.to_string()))?;
@@ -432,6 +466,7 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
         other => return Err(CliError(format!("unknown array `{other}`"))),
     };
     let (resolution, source) = parse_resolution(args)?;
+    let (ordering, ordering_source) = parse_ordering(args)?;
     let threads = parse_usize(args, "--fea-threads", 1)?;
     if threads == 0 {
         return Err(CliError("--fea-threads must be at least 1".to_owned()));
@@ -456,6 +491,7 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
     };
     let opts = FeaOptions {
         threads,
+        ordering,
         cache,
         ..FeaOptions::default()
     };
@@ -470,6 +506,11 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
         "array {label} ({pattern} pattern), resolution {resolution} um (from {source})"
     );
     let _ = writeln!(out, "cache          : {caching}");
+    let _ = writeln!(
+        out,
+        "ordering       : {} (from {ordering_source})",
+        ordering.label()
+    );
     let _ = writeln!(
         out,
         "solve          : {} ({} unknowns, {} iterations), {} thread(s), {:.0} ms",
@@ -812,6 +853,22 @@ mod tests {
         assert!(run(&argv("fea --resolution 0")).is_err());
         assert!(run(&argv("fea --resolution coarse")).is_err());
         assert!(run(&argv("fea --fea-threads 0")).is_err());
+        assert!(run(&argv("fea --ordering best")).is_err());
+    }
+
+    #[test]
+    fn ordering_flag_beats_env_var_and_env_beats_default() {
+        // One test mutates EMGRID_ORDERING to avoid races.
+        std::env::set_var("EMGRID_ORDERING", "rcm");
+        let (o, src) = parse_ordering(&argv("--ordering natural")).unwrap();
+        assert_eq!((o, src), (Ordering::Natural, "--ordering"));
+        let (o, src) = parse_ordering(&argv("")).unwrap();
+        assert_eq!((o, src), (Ordering::Rcm, "EMGRID_ORDERING"));
+        std::env::set_var("EMGRID_ORDERING", "fastest");
+        assert!(parse_ordering(&argv("")).is_err());
+        std::env::remove_var("EMGRID_ORDERING");
+        let (o, src) = parse_ordering(&argv("")).unwrap();
+        assert_eq!((o, src), (Ordering::Amd, "default"));
     }
 
     #[test]

@@ -279,7 +279,7 @@ pub(crate) fn local_coords(size: [f64; 3]) -> [[f64; 3]; 8] {
 mod tests {
     use super::*;
     use crate::material::{table1, MaterialKind};
-    use emgrid_sparse::LdlFactor;
+    use emgrid_sparse::{FactorOptions, LdlFactor};
 
     fn solid_block(n: usize) -> HexMesh {
         let planes: Vec<f64> = (0..=n).map(|i| i as f64 / n as f64).collect();
@@ -353,7 +353,7 @@ mod tests {
         let m = solid_block(2);
         let sys = assemble(&m, &BoundaryConditions::confined_stack(), -100.0);
         assert!(sys.stiffness.is_symmetric(1e-3));
-        assert!(LdlFactor::factor_rcm(&sys.stiffness).is_ok());
+        assert!(LdlFactor::factor_with(&sys.stiffness, &FactorOptions::default()).is_ok());
     }
 
     #[test]
@@ -371,7 +371,7 @@ mod tests {
             ..BoundaryConditions::confined_stack()
         };
         let sys = assemble(&m, &bc, dt);
-        let u = LdlFactor::factor_rcm(&sys.stiffness)
+        let u = LdlFactor::factor_with(&sys.stiffness, &FactorOptions::default())
             .unwrap()
             .solve(&sys.load);
         let full = sys.dof_map.expand(&u);

@@ -6,7 +6,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use emgrid_runtime::obs;
-use emgrid_sparse::{conjugate_gradient, CgOptions, LdlFactor, Preconditioner, SparseError};
+use emgrid_sparse::{
+    conjugate_gradient, CgOptions, FactorOptions, LdlFactor, Ordering, Preconditioner, SparseError,
+};
 
 use crate::assembly::{assemble_with, AssembledSystem};
 use crate::geometry::CharacterizationModel;
@@ -105,6 +107,7 @@ pub struct SolveStats {
 pub struct ThermalStressAnalysis {
     model: CharacterizationModel,
     method: SolveMethod,
+    ordering: Ordering,
     threads: usize,
 }
 
@@ -114,6 +117,7 @@ impl ThermalStressAnalysis {
         ThermalStressAnalysis {
             model,
             method: SolveMethod::default(),
+            ordering: Ordering::default(),
             threads: 1,
         }
     }
@@ -121,6 +125,13 @@ impl ThermalStressAnalysis {
     /// Overrides the solver selection.
     pub fn with_method(mut self, method: SolveMethod) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Overrides the fill-reducing ordering used by the direct solver
+    /// (ignored by the CG branch). Defaults to [`Ordering::Amd`].
+    pub fn with_ordering(mut self, ordering: Ordering) -> Self {
+        self.ordering = ordering;
         self
     }
 
@@ -141,11 +152,14 @@ impl ThermalStressAnalysis {
     /// Solves the direct branch shared by [`SolveMethod::Direct`] and the
     /// small-system arm of [`SolveMethod::Auto`], reporting the wall time
     /// of the factorization separately from the triangular solves.
-    fn direct_solve(sys: &AssembledSystem) -> Result<(Vec<f64>, Duration), FeaError> {
+    fn direct_solve(&self, sys: &AssembledSystem) -> Result<(Vec<f64>, Duration), FeaError> {
         let factor_start = Instant::now();
+        let opts = FactorOptions::default()
+            .with_ordering(self.ordering)
+            .with_threads(self.threads);
         let factor = {
             let _span = obs::span("factorize");
-            LdlFactor::factor_rcm(&sys.stiffness)?
+            LdlFactor::factor_with(&sys.stiffness, &opts)?
         };
         let factor_time = factor_start.elapsed();
         Ok((factor.solve(&sys.load), factor_time))
@@ -189,11 +203,11 @@ impl ThermalStressAnalysis {
         let solve_span = obs::span("solve");
         let (solution, solver, iterations, residual, factor_time) = match self.method {
             SolveMethod::Direct => {
-                let (x, factor_time) = Self::direct_solve(&sys)?;
+                let (x, factor_time) = self.direct_solve(&sys)?;
                 (x, "direct-ldl", 0, 0.0, factor_time)
             }
             SolveMethod::Auto { direct_limit } if n <= direct_limit => {
-                let (x, factor_time) = Self::direct_solve(&sys)?;
+                let (x, factor_time) = self.direct_solve(&sys)?;
                 (x, "direct-ldl", 0, 0.0, factor_time)
             }
             SolveMethod::Auto { .. } => {

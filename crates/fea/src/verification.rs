@@ -13,7 +13,7 @@ use crate::material::Material;
 use crate::mesh::HexMesh;
 use crate::model::FeaError;
 use crate::stress::StressField;
-use emgrid_sparse::LdlFactor;
+use emgrid_sparse::{FactorOptions, LdlFactor};
 
 /// A uniform block of one material under a thermal load, with laterally
 /// confined (sliding) walls, sliding bottom and free top.
@@ -62,7 +62,7 @@ impl ConfinedBlock {
             z_max: FaceBc::Free,
         };
         let sys = assemble(&mesh, &bc, self.delta_t);
-        let u = LdlFactor::factor_rcm(&sys.stiffness)?.solve(&sys.load);
+        let u = LdlFactor::factor_with(&sys.stiffness, &FactorOptions::default())?.solve(&sys.load);
         let full = sys.dof_map.expand(&u);
         // Reuse the stress recovery through a StressField-like direct path.
         let exact = self.exact_hydrostatic();

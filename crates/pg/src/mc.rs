@@ -14,7 +14,7 @@ use emgrid_em::nucleation::rescale_remaining_life;
 use emgrid_runtime::{
     run_trials_session, CancelToken, RunReport, RuntimeConfig, SessionState, TrialSession,
 };
-use emgrid_sparse::{IncrementalSolver, LdlFactor, TripletMatrix};
+use emgrid_sparse::{FactorOptions, IncrementalSolver, LdlFactor, TripletMatrix};
 use emgrid_stats::Ecdf;
 use emgrid_stats::Rng;
 use emgrid_via::ViaArrayReliability;
@@ -174,6 +174,9 @@ pub struct PowerGridMc {
     assignment: SiteAssignment,
     system_criterion: SystemCriterion,
     solver: SolverStrategy,
+    /// Sparse factorization configuration for the grid conductance solves
+    /// (base factor, SMW rebases, and full refactorizations).
+    factor: FactorOptions,
     /// Lower bound on per-array current density, as a fraction of the
     /// characterization reference (guards the 1/j² rescale against
     /// near-zero via currents).
@@ -190,6 +193,7 @@ impl PowerGridMc {
             assignment: SiteAssignment::Uniform(reliability),
             system_criterion: SystemCriterion::IrDropFraction(0.10),
             solver: SolverStrategy::default(),
+            factor: FactorOptions::default(),
             current_floor_fraction: 1e-3,
         }
     }
@@ -203,6 +207,14 @@ impl PowerGridMc {
     /// Sets the re-solve strategy (default: incremental SMW).
     pub fn with_solver(mut self, solver: SolverStrategy) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Sets the sparse factorization options used for every grid
+    /// conductance solve (default: AMD ordering, supernodal numeric). The
+    /// choice changes wall time, never the failure statistics' semantics.
+    pub fn with_factor_options(mut self, factor: FactorOptions) -> Self {
+        self.factor = factor;
         self
     }
 
@@ -332,7 +344,7 @@ impl PowerGridMc {
         assert!(trials > 0, "need at least one trial");
         let _span = emgrid_runtime::obs::span("grid-mc");
         let dc = self.grid.dc();
-        let base_solver = IncrementalSolver::new(dc.matrix())
+        let base_solver = IncrementalSolver::with_options(dc.matrix(), &self.factor)
             .map_err(|e| PgError::Mna(emgrid_spice::mna::MnaError::Singular(e)))?;
         let base_rhs = dc.rhs().to_vec();
         let site_rels = self.site_reliabilities();
@@ -418,7 +430,7 @@ impl PowerGridMc {
         assert!(trials > 0, "need at least one trial");
         assert!(threads > 0, "need at least one thread");
         let dc = self.grid.dc();
-        let base_solver = IncrementalSolver::new(dc.matrix())
+        let base_solver = IncrementalSolver::with_options(dc.matrix(), &self.factor)
             .map_err(|e| PgError::Mna(emgrid_spice::mna::MnaError::Singular(e)))?;
         let base_rhs = dc.rhs().to_vec();
         let site_rels = self.site_reliabilities();
@@ -644,7 +656,7 @@ impl PowerGridMc {
                 (None, None) => {}
             }
         }
-        Ok(LdlFactor::factor_rcm(&t.to_csr())?.solve(rhs))
+        Ok(LdlFactor::factor_with(&t.to_csr(), &self.factor)?.solve(rhs))
     }
 }
 

@@ -30,5 +30,8 @@ pub mod spec;
 pub mod store;
 
 pub use server::{ServeConfig, Server};
-pub use spec::{DeckSource, JobSpec, McParams, SpecError};
+pub use spec::{
+    DeckSource, JobSpec, McParams, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc,
+    SolverSpec, SpecError,
+};
 pub use store::{DiskJob, JobStore};

@@ -27,10 +27,7 @@ use emgrid_via::{
 
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::spec::{
-    resolve_array, resolve_criterion, resolve_geometry, resolve_pattern, resolve_runtime,
-    DeckSource, JobSpec, McParams,
-};
+use crate::spec::{DeckSource, JobSpec, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc};
 use crate::store::JobStore;
 
 /// Fixed reference current density for via-array characterization (A/m²),
@@ -109,37 +106,21 @@ impl RunEnv<'_> {
 /// Runs one job to an outcome. Never panics on bad input — every failure
 /// becomes [`JobOutcome::Failed`] with a client-readable message.
 pub fn run_job(spec: &JobSpec, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
-    match spec {
-        JobSpec::Characterize(mc) => run_characterize(mc, ctx, env),
-        JobSpec::Analyze {
-            mc,
-            deck,
-            grid_trials,
-            repair_vias,
-        } => run_analyze(mc, deck, *grid_trials, *repair_vias, ctx, env),
-        JobSpec::Fea {
-            array,
-            pattern,
-            resolution,
-            threads,
-            use_cache,
-        } => run_fea(
-            array,
-            pattern,
-            *resolution,
-            *threads,
-            *use_cache,
-            ctx.id,
-            env,
-        ),
+    // Accepted specs always resolve; a failure here means a hand-built or
+    // tampered spec reached a worker, and the field-level message says why.
+    let resolved = match spec.resolve() {
+        Ok(resolved) => resolved,
+        Err(e) => return JobOutcome::Failed(format!("spec failed to resolve: {e}")),
+    };
+    match resolved {
+        ResolvedJob::Characterize(mc) => run_characterize(&mc, ctx, env),
+        ResolvedJob::Analyze(job) => run_analyze(&job, ctx, env),
+        ResolvedJob::Fea(job) => run_fea(&job, ctx.id, env),
     }
 }
 
-fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
-    let config = resolve_array(&mc.array, &mc.pattern);
-    let criterion = resolve_criterion(&mc.criterion);
-    let runtime = resolve_runtime(mc.threads, mc.target_ci);
-    let model = ViaArrayMc::from_reference_table(&config, Technology::default(), REFERENCE_J);
+fn run_characterize(mc: &ResolvedMc, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
+    let model = ViaArrayMc::from_reference_table(&mc.config, Technology::default(), REFERENCE_J);
 
     let resume = env
         .store
@@ -158,7 +139,7 @@ fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome
         on_checkpoint: Some(&mut on_checkpoint),
     };
     let mc_start = Instant::now();
-    let outcome = model.characterize_session(mc.trials, mc.seed, &runtime, session);
+    let outcome = model.characterize_session(mc.trials, mc.seed, &mc.runtime, session);
     env.record_phase(ctx.id, "mc", mc_start);
     let Some(result) = outcome else {
         return JobOutcome::Cancelled;
@@ -167,12 +148,12 @@ fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome
         return JobOutcome::Cancelled;
     }
 
-    let ecdf = result.ecdf(criterion);
-    let fit = match result.fit_lognormal(criterion) {
+    let ecdf = result.ecdf(mc.criterion);
+    let fit = match result.fit_lognormal(mc.criterion) {
         Ok(fit) => fit,
         Err(e) => return JobOutcome::Failed(format!("lognormal fit failed: {e}")),
     };
-    let ks = match result.fit_quality(criterion) {
+    let ks = match result.fit_quality(mc.criterion) {
         Ok(ks) => ks,
         Err(e) => return JobOutcome::Failed(format!("fit quality failed: {e}")),
     };
@@ -180,7 +161,7 @@ fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome
         ("kind".into(), Json::s("characterize")),
         ("array".into(), Json::s(&mc.array)),
         ("pattern".into(), Json::s(&mc.pattern)),
-        ("criterion".into(), Json::s(&mc.criterion)),
+        ("criterion".into(), Json::s(&mc.criterion_label)),
         ("trials".into(), Json::n(mc.trials as f64)),
         ("seed".into(), Json::n(mc.seed as f64)),
         (
@@ -205,17 +186,11 @@ fn run_characterize(mc: &McParams, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome
     JobOutcome::Done(doc.to_string())
 }
 
-fn run_analyze(
-    mc: &McParams,
-    deck: &DeckSource,
-    grid_trials: usize,
-    repair_vias: Option<f64>,
-    ctx: &JobCtx,
-    env: &RunEnv<'_>,
-) -> JobOutcome<String> {
+fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
+    let mc = &job.mc;
     // Materialize the grid.
     let ingest_start = Instant::now();
-    let (netlist, deck_label) = match deck {
+    let (netlist, deck_label) = match &job.deck {
         DeckSource::Benchmark(name) => {
             let spec = match name.as_str() {
                 "pg2" => GridSpec::pg2(),
@@ -230,7 +205,7 @@ fn run_analyze(
                     max_bytes: env.max_netlist_bytes,
                     ..IngestLimits::default()
                 },
-                repair_vias,
+                repair_vias: job.repair_vias,
             };
             match ingest(text, &options) {
                 Ok(ok) => (ok.netlist, "inline".to_owned()),
@@ -242,16 +217,13 @@ fn run_analyze(
 
     // Level 1: via-array characterization (deterministic, re-run in full on
     // resume — only the level-2 grid loop is checkpointed).
-    let config = resolve_array(&mc.array, &mc.pattern);
-    let criterion = resolve_criterion(&mc.criterion);
-    let runtime = resolve_runtime(mc.threads, mc.target_ci);
-    let model = ViaArrayMc::from_reference_table(&config, Technology::default(), REFERENCE_J);
+    let model = ViaArrayMc::from_reference_table(&mc.config, Technology::default(), REFERENCE_J);
     let level1 = ViaSession {
         cancel: Some(&ctx.cancel),
         ..ViaSession::default()
     };
     let level1_start = Instant::now();
-    let level1_outcome = model.characterize_session(mc.trials, mc.seed, &runtime, level1);
+    let level1_outcome = model.characterize_session(mc.trials, mc.seed, &mc.runtime, level1);
     env.record_phase(ctx.id, "level1", level1_start);
     let Some(characterization) = level1_outcome else {
         return JobOutcome::Cancelled;
@@ -259,7 +231,7 @@ fn run_analyze(
     if characterization.report().cancelled {
         return JobOutcome::Cancelled;
     }
-    let reliability = match characterization.reliability(criterion) {
+    let reliability = match characterization.reliability(mc.criterion) {
         Ok(r) => r,
         Err(e) => return JobOutcome::Failed(format!("level-1 fit failed: {e}")),
     };
@@ -271,7 +243,8 @@ fn run_analyze(
     };
     let sites = grid.via_sites().len();
     let grid_mc = PowerGridMc::new(grid, reliability)
-        .with_system_criterion(SystemCriterion::IrDropFraction(0.10));
+        .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
+        .with_factor_options(job.factor);
     let resume = env
         .store
         .read_checkpoint(ctx.id)
@@ -289,7 +262,8 @@ fn run_analyze(
         on_checkpoint: Some(&mut on_checkpoint),
     };
     let level2_start = Instant::now();
-    let level2_outcome = grid_mc.run_session(grid_trials, mc.seed ^ 0xc11, &runtime, session);
+    let level2_outcome =
+        grid_mc.run_session(job.grid_trials, mc.seed ^ 0xc11, &mc.runtime, session);
     env.record_phase(ctx.id, "level2", level2_start);
     let result = match level2_outcome {
         Ok(r) => r,
@@ -311,9 +285,9 @@ fn run_analyze(
         ("deck".into(), Json::s(deck_label)),
         ("array".into(), Json::s(&mc.array)),
         ("pattern".into(), Json::s(&mc.pattern)),
-        ("criterion".into(), Json::s(&mc.criterion)),
+        ("criterion".into(), Json::s(&mc.criterion_label)),
         ("trials".into(), Json::n(mc.trials as f64)),
-        ("grid_trials".into(), Json::n(grid_trials as f64)),
+        ("grid_trials".into(), Json::n(job.grid_trials as f64)),
         ("seed".into(), Json::n(mc.seed as f64)),
         ("sites".into(), Json::n(sites as f64)),
         (
@@ -328,22 +302,14 @@ fn run_analyze(
     JobOutcome::Done(doc.to_string())
 }
 
-fn run_fea(
-    array: &str,
-    pattern: &str,
-    resolution: f64,
-    threads: usize,
-    use_cache: bool,
-    id: JobId,
-    env: &RunEnv<'_>,
-) -> JobOutcome<String> {
+fn run_fea(job: &ResolvedFea, id: JobId, env: &RunEnv<'_>) -> JobOutcome<String> {
     let model = CharacterizationModel {
-        pattern: resolve_pattern(pattern),
-        array: resolve_geometry(array),
-        resolution,
+        pattern: job.intersection,
+        array: job.geometry,
+        resolution: job.resolution,
         ..CharacterizationModel::default()
     };
-    let cache = if use_cache {
+    let cache = if job.use_cache {
         match env.cache_dir {
             Some(dir) => Some(StressCache::new(dir)),
             None => StressCache::open_default(),
@@ -352,7 +318,8 @@ fn run_fea(
         None
     };
     let opts = FeaOptions {
-        threads,
+        threads: job.threads,
+        ordering: job.ordering,
         cache,
         ..FeaOptions::default()
     };
@@ -368,9 +335,9 @@ fn run_fea(
     let prim = &report.primitives[0];
     let doc = Json::Obj(vec![
         ("kind".into(), Json::s("fea")),
-        ("array".into(), Json::s(array)),
-        ("pattern".into(), Json::s(pattern)),
-        ("resolution".into(), Json::n(resolution)),
+        ("array".into(), Json::s(&job.array)),
+        ("pattern".into(), Json::s(&job.pattern)),
+        ("resolution".into(), Json::n(job.resolution)),
         ("rows".into(), Json::n(entry.rows as f64)),
         ("cols".into(), Json::n(entry.cols as f64)),
         ("unknowns".into(), Json::n(prim.unknowns as f64)),
@@ -391,6 +358,7 @@ fn run_fea(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{McParams, SolverSpec};
     use emgrid_runtime::JobEngine;
     use std::time::Duration;
 
@@ -476,6 +444,7 @@ mod tests {
             deck: DeckSource::Netlist(deck.clone()),
             grid_trials,
             repair_vias: None,
+            solver: SolverSpec::default(),
         };
 
         // Reference: 40 grid trials straight through, no checkpointing.
@@ -558,6 +527,7 @@ mod tests {
             deck: DeckSource::Netlist("R1 a b\n".into()),
             grid_trials: 5,
             repair_vias: None,
+            solver: SolverSpec::default(),
         };
         let (_, outcome) = run_to_outcome(spec, &store, 0);
         let JobOutcome::Failed(message) = outcome else {

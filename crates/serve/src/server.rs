@@ -490,7 +490,9 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
     };
     let spec = match JobSpec::from_json(&doc) {
         Ok(spec) => spec,
-        Err(e) => return Response::error(400, e.to_string()),
+        // Structured body: {"error": ..., "field": ...} so clients can
+        // point at the offending spec field without parsing prose.
+        Err(e) => return Response::json(400, &e.to_json()),
     };
     // Uploaded netlists are screened at the door: a deck that cannot pass
     // ingest would only fail later inside a worker, wasting queue space.

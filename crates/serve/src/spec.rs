@@ -5,17 +5,24 @@
 //! an uploaded SPICE netlist) or `fea` (finite-element stress
 //! characterization of one primitive) — plus its technology knobs.
 //! Parsing is strict: unknown keys, out-of-range budgets and malformed
-//! values are all rejected with a message the daemon returns as a `400`.
+//! values are all rejected with a [`SpecError`] naming the offending
+//! field; the daemon renders it as a structured `400` body.
 //!
 //! [`JobSpec::to_json`] renders the *canonical* form with every default
 //! materialized; that document is persisted as `spec.json` and is what a
 //! restarted daemon re-parses, so a job resumes under exactly the
 //! parameters it was accepted with even if the client omitted them.
+//!
+//! Label strings stay labels inside the spec; [`JobSpec::resolve`] turns
+//! an accepted spec into the [`ResolvedJob`] a worker actually runs —
+//! configurations, criteria, scheduler settings and the sparse-solver
+//! [`FactorOptions`] — in one validated step.
 
 use std::fmt;
 
 use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
 use emgrid_runtime::{EarlyStop, RuntimeConfig};
+use emgrid_sparse::{FactorOptions, Ordering};
 use emgrid_via::{FailureCriterion, ViaArrayConfig};
 
 use crate::json::Json;
@@ -25,13 +32,48 @@ use crate::json::Json;
 const MAX_TRIALS: usize = 1_000_000;
 const MAX_THREADS: usize = 64;
 
-/// A validation failure, phrased for the client.
+/// A validation failure, phrased for the client and naming the field at
+/// fault so a caller can highlight it without parsing prose.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SpecError(pub String);
+pub struct SpecError {
+    /// The offending spec field (dotted for nested keys, e.g.
+    /// `solver.ordering`); `None` for document-level failures.
+    pub field: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl SpecError {
+    /// A failure attributed to one spec field.
+    pub fn field(field: impl Into<String>, message: impl Into<String>) -> SpecError {
+        SpecError {
+            field: Some(field.into()),
+            message: message.into(),
+        }
+    }
+
+    /// A failure of the document as a whole (wrong shape, missing kind).
+    pub fn document(message: impl Into<String>) -> SpecError {
+        SpecError {
+            field: None,
+            message: message.into(),
+        }
+    }
+
+    /// The structured `400` body: `{"error": ..., "field": ...}` with the
+    /// `field` key omitted for document-level failures.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("error".to_owned(), Json::s(&self.message))];
+        if let Some(field) = &self.field {
+            pairs.push(("field".into(), Json::s(field)));
+        }
+        Json::Obj(pairs)
+    }
+}
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -65,6 +107,46 @@ pub enum DeckSource {
     Netlist(String),
 }
 
+/// The `solver` block of an `analyze` spec: which sparse factorization
+/// engine the grid solves run on. Maps onto [`FactorOptions`]; changes
+/// wall time, never the statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverSpec {
+    /// Fill-reducing ordering: `natural`, `rcm` or `amd`.
+    pub ordering: Ordering,
+    /// Whether the blocked supernodal numeric engine is used.
+    pub supernodal: bool,
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        SolverSpec {
+            ordering: Ordering::Amd,
+            supernodal: true,
+        }
+    }
+}
+
+impl SolverSpec {
+    /// The factorization options this block resolves to. Solve threading
+    /// stays at 1: the Monte Carlo scheduler already parallelizes across
+    /// trials, so nested solver threads would only oversubscribe.
+    pub fn factor_options(&self) -> FactorOptions {
+        FactorOptions {
+            ordering: self.ordering,
+            supernodal: self.supernodal,
+            threads: 1,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("ordering".into(), Json::s(self.ordering.label())),
+            ("supernodal".into(), Json::Bool(self.supernodal)),
+        ])
+    }
+}
+
 /// One accepted unit of work.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSpec {
@@ -80,6 +162,8 @@ pub enum JobSpec {
         grid_trials: usize,
         /// Retrofit resistance for shorted vias, Ω (the paper's §5.2).
         repair_vias: Option<f64>,
+        /// Sparse-solver selection for the grid solves.
+        solver: SolverSpec,
     },
     /// Finite-element stress characterization of one primitive.
     Fea {
@@ -93,7 +177,80 @@ pub enum JobSpec {
         threads: usize,
         /// Whether to consult / populate the stress cache.
         use_cache: bool,
+        /// Fill-reducing ordering for the stiffness factorization. The
+        /// `solver` block of an `fea` spec accepts only `ordering`: the
+        /// stress cache keys on the ordering, so it is the one solver
+        /// knob an `fea` job may vary without invalidating cached fields.
+        ordering: Ordering,
     },
+}
+
+/// A characterization spec resolved to runnable configuration.
+#[derive(Debug, Clone)]
+pub struct ResolvedMc {
+    /// Array label, echoed into result documents.
+    pub array: String,
+    /// Pattern label, echoed into result documents.
+    pub pattern: String,
+    /// Criterion label, echoed into result documents.
+    pub criterion_label: String,
+    /// The paper's via-array configuration for the label pair.
+    pub config: ViaArrayConfig,
+    /// The failure criterion the labels name.
+    pub criterion: FailureCriterion,
+    /// Scheduler configuration (threads + optional early stop).
+    pub runtime: RuntimeConfig,
+    /// Level-1 trial budget.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// An `analyze` spec resolved to runnable configuration.
+#[derive(Debug, Clone)]
+pub struct ResolvedAnalyze {
+    /// Level-1 configuration.
+    pub mc: ResolvedMc,
+    /// The grid under analysis.
+    pub deck: DeckSource,
+    /// Level-2 (grid) trial budget.
+    pub grid_trials: usize,
+    /// Retrofit resistance for shorted vias, Ω.
+    pub repair_vias: Option<f64>,
+    /// Factorization options for the grid solves.
+    pub factor: FactorOptions,
+}
+
+/// An `fea` spec resolved to runnable configuration.
+#[derive(Debug, Clone)]
+pub struct ResolvedFea {
+    /// Array label, echoed into result documents.
+    pub array: String,
+    /// Pattern label, echoed into result documents.
+    pub pattern: String,
+    /// The FEA geometry for the array label.
+    pub geometry: ViaArrayGeometry,
+    /// The intersection pattern for the pattern label.
+    pub intersection: IntersectionPattern,
+    /// Mesh resolution, µm.
+    pub resolution: f64,
+    /// FEA solver threads.
+    pub threads: usize,
+    /// Whether to consult / populate the stress cache.
+    pub use_cache: bool,
+    /// Fill-reducing ordering for the stiffness factorization.
+    pub ordering: Ordering,
+}
+
+/// What a worker actually runs: every label resolved, every knob typed.
+#[derive(Debug, Clone)]
+pub enum ResolvedJob {
+    /// Level-1 via-array TTF characterization.
+    Characterize(ResolvedMc),
+    /// Two-level system analysis of a power grid.
+    Analyze(ResolvedAnalyze),
+    /// Finite-element stress characterization of one primitive.
+    Fea(ResolvedFea),
 }
 
 impl JobSpec {
@@ -113,16 +270,17 @@ impl JobSpec {
     /// Returns [`SpecError`] naming the offending field.
     pub fn from_json(doc: &Json) -> Result<JobSpec, SpecError> {
         let Json::Obj(_) = doc else {
-            return Err(SpecError("spec must be a JSON object".into()));
+            return Err(SpecError::document("spec must be a JSON object"));
         };
-        let kind = get_str(doc, "kind")?.ok_or_else(|| SpecError("missing `kind`".into()))?;
+        let kind =
+            get_str(doc, "kind")?.ok_or_else(|| SpecError::field("kind", "missing `kind`"))?;
         match kind {
             "characterize" => {
                 reject_unknown_keys(doc, &MC_KEYS)?;
                 Ok(JobSpec::Characterize(mc_params(doc)?))
             }
             "analyze" => {
-                const ANALYZE_KEYS: [&str; 11] = [
+                const ANALYZE_KEYS: [&str; 13] = [
                     "kind",
                     "array",
                     "pattern",
@@ -134,25 +292,28 @@ impl JobSpec {
                     "grid_trials",
                     "benchmark",
                     "netlist",
+                    "repair_vias",
+                    "solver",
                 ];
-                let mut keys = ANALYZE_KEYS.to_vec();
-                keys.push("repair_vias");
-                reject_unknown_keys(doc, &keys)?;
+                reject_unknown_keys(doc, &ANALYZE_KEYS)?;
                 let mc = mc_params(doc)?;
                 let deck = match (get_str(doc, "benchmark")?, get_str(doc, "netlist")?) {
                     (Some(_), Some(_)) => {
-                        return Err(SpecError(
-                            "give either `benchmark` or `netlist`, not both".into(),
+                        return Err(SpecError::document(
+                            "give either `benchmark` or `netlist`, not both",
                         ))
                     }
                     (None, None) => {
-                        return Err(SpecError("analyze needs `benchmark` or `netlist`".into()))
+                        return Err(SpecError::document(
+                            "analyze needs `benchmark` or `netlist`",
+                        ))
                     }
                     (Some(b), None) => {
                         if !matches!(b, "pg1" | "pg2" | "pg5") {
-                            return Err(SpecError(format!(
-                                "unknown benchmark `{b}` (expected pg1, pg2 or pg5)"
-                            )));
+                            return Err(SpecError::field(
+                                "benchmark",
+                                format!("unknown benchmark `{b}` (expected pg1, pg2 or pg5)"),
+                            ));
                         }
                         DeckSource::Benchmark(b.to_owned())
                     }
@@ -160,11 +321,13 @@ impl JobSpec {
                 };
                 let grid_trials = get_usize(doc, "grid_trials", 200, 1, MAX_TRIALS)?;
                 let repair_vias = get_pos_f64(doc, "repair_vias")?;
+                let solver = get_solver(doc)?;
                 Ok(JobSpec::Analyze {
                     mc,
                     deck,
                     grid_trials,
                     repair_vias,
+                    solver,
                 })
             }
             "fea" => {
@@ -177,6 +340,7 @@ impl JobSpec {
                         "resolution",
                         "threads",
                         "use_cache",
+                        "solver",
                     ],
                 )?;
                 let array = get_array_label(doc)?;
@@ -185,29 +349,33 @@ impl JobSpec {
                     None => 0.25,
                     Some(r) if (0.05..=5.0).contains(&r) => r,
                     Some(r) => {
-                        return Err(SpecError(format!(
-                            "resolution {r} out of range [0.05, 5.0] um"
-                        )))
+                        return Err(SpecError::field(
+                            "resolution",
+                            format!("resolution {r} out of range [0.05, 5.0] um"),
+                        ))
                     }
                 };
                 let threads = get_usize(doc, "threads", 1, 1, MAX_THREADS)?;
                 let use_cache = match doc.get("use_cache") {
                     None => true,
-                    Some(v) => v
-                        .as_bool()
-                        .ok_or_else(|| SpecError("`use_cache` must be a boolean".into()))?,
+                    Some(v) => v.as_bool().ok_or_else(|| {
+                        SpecError::field("use_cache", "`use_cache` must be a boolean")
+                    })?,
                 };
+                let ordering = get_solver_ordering(doc)?;
                 Ok(JobSpec::Fea {
                     array,
                     pattern,
                     resolution,
                     threads,
                     use_cache,
+                    ordering,
                 })
             }
-            other => Err(SpecError(format!(
-                "unknown kind `{other}` (expected characterize, analyze or fea)"
-            ))),
+            other => Err(SpecError::field(
+                "kind",
+                format!("unknown kind `{other}` (expected characterize, analyze or fea)"),
+            )),
         }
     }
 
@@ -224,6 +392,7 @@ impl JobSpec {
                 deck,
                 grid_trials,
                 repair_vias,
+                solver,
             } => {
                 let mut pairs = vec![("kind".to_owned(), Json::s("analyze"))];
                 push_mc(&mut pairs, mc);
@@ -235,6 +404,7 @@ impl JobSpec {
                 if let Some(r) = repair_vias {
                     pairs.push(("repair_vias".into(), Json::n(*r)));
                 }
+                pairs.push(("solver".into(), solver.to_json()));
                 Json::Obj(pairs)
             }
             JobSpec::Fea {
@@ -243,6 +413,7 @@ impl JobSpec {
                 resolution,
                 threads,
                 use_cache,
+                ordering,
             } => Json::Obj(vec![
                 ("kind".into(), Json::s("fea")),
                 ("array".into(), Json::s(array)),
@@ -250,8 +421,122 @@ impl JobSpec {
                 ("resolution".into(), Json::n(*resolution)),
                 ("threads".into(), Json::n(*threads as f64)),
                 ("use_cache".into(), Json::Bool(*use_cache)),
+                (
+                    "solver".into(),
+                    Json::Obj(vec![("ordering".into(), Json::s(ordering.label()))]),
+                ),
             ]),
         }
+    }
+
+    /// Resolves labels and knobs into the configuration a worker runs.
+    ///
+    /// Specs built by [`JobSpec::from_json`] always resolve; the
+    /// fallible signature exists because specs can also be constructed
+    /// directly, and a bad label must surface as a [`SpecError`] naming
+    /// its field rather than silently falling back to a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the unresolvable field.
+    pub fn resolve(&self) -> Result<ResolvedJob, SpecError> {
+        match self {
+            JobSpec::Characterize(mc) => Ok(ResolvedJob::Characterize(resolve_mc(mc)?)),
+            JobSpec::Analyze {
+                mc,
+                deck,
+                grid_trials,
+                repair_vias,
+                solver,
+            } => Ok(ResolvedJob::Analyze(ResolvedAnalyze {
+                mc: resolve_mc(mc)?,
+                deck: deck.clone(),
+                grid_trials: *grid_trials,
+                repair_vias: *repair_vias,
+                factor: solver.factor_options(),
+            })),
+            JobSpec::Fea {
+                array,
+                pattern,
+                resolution,
+                threads,
+                use_cache,
+                ordering,
+            } => Ok(ResolvedJob::Fea(ResolvedFea {
+                array: array.clone(),
+                pattern: pattern.clone(),
+                geometry: geometry_of(array)?,
+                intersection: pattern_of(pattern)?,
+                resolution: *resolution,
+                threads: *threads,
+                use_cache: *use_cache,
+                ordering: *ordering,
+            })),
+        }
+    }
+}
+
+fn resolve_mc(mc: &McParams) -> Result<ResolvedMc, SpecError> {
+    let intersection = pattern_of(&mc.pattern)?;
+    let config = match mc.array.as_str() {
+        "1x1" => ViaArrayConfig::paper_1x1(intersection),
+        "4x4" => ViaArrayConfig::paper_4x4(intersection),
+        "8x8" => ViaArrayConfig::paper_8x8(intersection),
+        other => {
+            return Err(SpecError::field(
+                "array",
+                format!("unknown array `{other}` (expected 1x1, 4x4 or 8x8)"),
+            ))
+        }
+    };
+    let criterion = match mc.criterion.as_str() {
+        "wl" => FailureCriterion::WeakestLink,
+        "r2x" => FailureCriterion::ResistanceRatio(2.0),
+        "rinf" => FailureCriterion::OpenCircuit,
+        other => {
+            return Err(SpecError::field(
+                "criterion",
+                format!("unknown criterion `{other}` (expected wl, r2x or rinf)"),
+            ))
+        }
+    };
+    let mut runtime = RuntimeConfig::threaded(mc.threads);
+    if let Some(hw) = mc.target_ci {
+        runtime = runtime.with_early_stop(EarlyStop::to_half_width(hw));
+    }
+    Ok(ResolvedMc {
+        array: mc.array.clone(),
+        pattern: mc.pattern.clone(),
+        criterion_label: mc.criterion.clone(),
+        config,
+        criterion,
+        runtime,
+        trials: mc.trials,
+        seed: mc.seed,
+    })
+}
+
+fn geometry_of(array: &str) -> Result<ViaArrayGeometry, SpecError> {
+    match array {
+        "1x1" => Ok(ViaArrayGeometry::paper_1x1()),
+        "4x4" => Ok(ViaArrayGeometry::paper_4x4()),
+        "8x8" => Ok(ViaArrayGeometry::paper_8x8()),
+        other => Err(SpecError::field(
+            "array",
+            format!("unknown array `{other}` (expected 1x1, 4x4 or 8x8)"),
+        )),
+    }
+}
+
+fn pattern_of(pattern: &str) -> Result<IntersectionPattern, SpecError> {
+    match pattern {
+        "plus" => Ok(IntersectionPattern::Plus),
+        "tee" => Ok(IntersectionPattern::Tee),
+        "ell" => Ok(IntersectionPattern::Ell),
+        other => Err(SpecError::field(
+            "pattern",
+            format!("unknown pattern `{other}` (expected plus, tee or ell)"),
+        )),
     }
 }
 
@@ -285,9 +570,10 @@ fn mc_params(doc: &Json) -> Result<McParams, SpecError> {
         criterion: {
             let c = get_str(doc, "criterion")?.unwrap_or("rinf");
             if !matches!(c, "wl" | "r2x" | "rinf") {
-                return Err(SpecError(format!(
-                    "unknown criterion `{c}` (expected wl, r2x or rinf)"
-                )));
+                return Err(SpecError::field(
+                    "criterion",
+                    format!("unknown criterion `{c}` (expected wl, r2x or rinf)"),
+                ));
             }
             c.to_owned()
         },
@@ -302,9 +588,10 @@ fn mc_params(doc: &Json) -> Result<McParams, SpecError> {
 fn get_array_label(doc: &Json) -> Result<String, SpecError> {
     let a = get_str(doc, "array")?.unwrap_or("4x4");
     if !matches!(a, "1x1" | "4x4" | "8x8") {
-        return Err(SpecError(format!(
-            "unknown array `{a}` (expected 1x1, 4x4 or 8x8)"
-        )));
+        return Err(SpecError::field(
+            "array",
+            format!("unknown array `{a}` (expected 1x1, 4x4 or 8x8)"),
+        ));
     }
     Ok(a.to_owned())
 }
@@ -312,11 +599,77 @@ fn get_array_label(doc: &Json) -> Result<String, SpecError> {
 fn get_pattern_label(doc: &Json) -> Result<String, SpecError> {
     let p = get_str(doc, "pattern")?.unwrap_or("plus");
     if !matches!(p, "plus" | "tee" | "ell") {
-        return Err(SpecError(format!(
-            "unknown pattern `{p}` (expected plus, tee or ell)"
-        )));
+        return Err(SpecError::field(
+            "pattern",
+            format!("unknown pattern `{p}` (expected plus, tee or ell)"),
+        ));
     }
     Ok(p.to_owned())
+}
+
+/// Parses the full `solver` block of an `analyze` spec.
+fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
+    let Some(block) = doc.get("solver") else {
+        return Ok(SolverSpec::default());
+    };
+    let Json::Obj(pairs) = block else {
+        return Err(SpecError::field("solver", "`solver` must be an object"));
+    };
+    let mut solver = SolverSpec::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "ordering" => solver.ordering = parse_ordering(value)?,
+            "supernodal" => {
+                solver.supernodal = value.as_bool().ok_or_else(|| {
+                    SpecError::field("solver.supernodal", "`solver.supernodal` must be a boolean")
+                })?
+            }
+            other => {
+                return Err(SpecError::field(
+                    format!("solver.{other}"),
+                    format!("unknown key `solver.{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(solver)
+}
+
+/// Parses the ordering-only `solver` block of an `fea` spec. The
+/// supernode toggle is deliberately absent: the stress cache keys on
+/// the ordering alone, so only knobs in the key may vary per job.
+fn get_solver_ordering(doc: &Json) -> Result<Ordering, SpecError> {
+    let Some(block) = doc.get("solver") else {
+        return Ok(Ordering::default());
+    };
+    let Json::Obj(pairs) = block else {
+        return Err(SpecError::field("solver", "`solver` must be an object"));
+    };
+    let mut ordering = Ordering::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "ordering" => ordering = parse_ordering(value)?,
+            other => {
+                return Err(SpecError::field(
+                    format!("solver.{other}"),
+                    format!("unknown key `solver.{other}` (fea accepts only `ordering`)"),
+                ))
+            }
+        }
+    }
+    Ok(ordering)
+}
+
+fn parse_ordering(value: &Json) -> Result<Ordering, SpecError> {
+    let s = value
+        .as_str()
+        .ok_or_else(|| SpecError::field("solver.ordering", "`solver.ordering` must be a string"))?;
+    Ordering::parse(s).ok_or_else(|| {
+        SpecError::field(
+            "solver.ordering",
+            format!("unknown ordering `{s}` (expected natural, rcm or amd)"),
+        )
+    })
 }
 
 fn get_str<'a>(doc: &'a Json, key: &str) -> Result<Option<&'a str>, SpecError> {
@@ -325,7 +678,7 @@ fn get_str<'a>(doc: &'a Json, key: &str) -> Result<Option<&'a str>, SpecError> {
         Some(v) => v
             .as_str()
             .map(Some)
-            .ok_or_else(|| SpecError(format!("`{key}` must be a string"))),
+            .ok_or_else(|| SpecError::field(key, format!("`{key}` must be a string"))),
     }
 }
 
@@ -338,15 +691,16 @@ fn get_usize(
 ) -> Result<usize, SpecError> {
     let v = match doc.get(key) {
         None => return Ok(default),
-        Some(v) => v
-            .as_u64()
-            .ok_or_else(|| SpecError(format!("`{key}` must be a non-negative integer")))?,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            SpecError::field(key, format!("`{key}` must be a non-negative integer"))
+        })?,
     };
-    let v = usize::try_from(v).map_err(|_| SpecError(format!("`{key}` too large")))?;
+    let v = usize::try_from(v).map_err(|_| SpecError::field(key, format!("`{key}` too large")))?;
     if v < min || v > max {
-        return Err(SpecError(format!(
-            "`{key}` = {v} out of range [{min}, {max}]"
-        )));
+        return Err(SpecError::field(
+            key,
+            format!("`{key}` = {v} out of range [{min}, {max}]"),
+        ));
     }
     Ok(v)
 }
@@ -354,9 +708,9 @@ fn get_usize(
 fn get_u64(doc: &Json, key: &str, default: u64) -> Result<u64, SpecError> {
     match doc.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .as_u64()
-            .ok_or_else(|| SpecError(format!("`{key}` must be a non-negative integer"))),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            SpecError::field(key, format!("`{key}` must be a non-negative integer"))
+        }),
     }
 }
 
@@ -366,9 +720,9 @@ fn get_pos_f64(doc: &Json, key: &str) -> Result<Option<f64>, SpecError> {
         Some(v) => {
             let v = v
                 .as_f64()
-                .ok_or_else(|| SpecError(format!("`{key}` must be a number")))?;
+                .ok_or_else(|| SpecError::field(key, format!("`{key}` must be a number")))?;
             if !v.is_finite() || v <= 0.0 {
-                return Err(SpecError(format!("`{key}` must be positive")));
+                return Err(SpecError::field(key, format!("`{key}` must be positive")));
             }
             Ok(Some(v))
         }
@@ -381,56 +735,10 @@ fn reject_unknown_keys(doc: &Json, allowed: &[&str]) -> Result<(), SpecError> {
     };
     for (key, _) in pairs {
         if !allowed.contains(&key.as_str()) {
-            return Err(SpecError(format!("unknown key `{key}`")));
+            return Err(SpecError::field(key, format!("unknown key `{key}`")));
         }
     }
     Ok(())
-}
-
-/// Resolves an array + pattern label pair into the paper's configuration.
-pub fn resolve_array(array: &str, pattern: &str) -> ViaArrayConfig {
-    let pattern = resolve_pattern(pattern);
-    match array {
-        "1x1" => ViaArrayConfig::paper_1x1(pattern),
-        "8x8" => ViaArrayConfig::paper_8x8(pattern),
-        _ => ViaArrayConfig::paper_4x4(pattern),
-    }
-}
-
-/// Resolves an array label into the FEA geometry.
-pub fn resolve_geometry(array: &str) -> ViaArrayGeometry {
-    match array {
-        "1x1" => ViaArrayGeometry::paper_1x1(),
-        "8x8" => ViaArrayGeometry::paper_8x8(),
-        _ => ViaArrayGeometry::paper_4x4(),
-    }
-}
-
-/// Resolves a pattern label.
-pub fn resolve_pattern(pattern: &str) -> IntersectionPattern {
-    match pattern {
-        "tee" => IntersectionPattern::Tee,
-        "ell" => IntersectionPattern::Ell,
-        _ => IntersectionPattern::Plus,
-    }
-}
-
-/// Resolves a criterion label.
-pub fn resolve_criterion(criterion: &str) -> FailureCriterion {
-    match criterion {
-        "wl" => FailureCriterion::WeakestLink,
-        "r2x" => FailureCriterion::ResistanceRatio(2.0),
-        _ => FailureCriterion::OpenCircuit,
-    }
-}
-
-/// Builds the scheduler configuration for a spec's thread/CI knobs.
-pub fn resolve_runtime(threads: usize, target_ci: Option<f64>) -> RuntimeConfig {
-    let mut runtime = RuntimeConfig::threaded(threads);
-    if let Some(hw) = target_ci {
-        runtime = runtime.with_early_stop(EarlyStop::to_half_width(hw));
-    }
-    runtime
 }
 
 #[cfg(test)]
@@ -488,6 +796,62 @@ mod tests {
     }
 
     #[test]
+    fn analyze_canonical_form_materializes_the_solver_block() {
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg2","grid_trials":10}"#).unwrap();
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"analyze","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1,"grid_trials":10,"benchmark":"pg2","solver":{"ordering":"amd","supernodal":true}}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn solver_block_round_trips_and_names_bad_nested_fields() {
+        let s = spec(
+            r#"{"kind":"analyze","benchmark":"pg1","solver":{"ordering":"rcm","supernodal":false}}"#,
+        )
+        .unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.factor.ordering, Ordering::Rcm);
+        assert!(!a.factor.supernodal);
+        assert_eq!(a.factor.threads, 1);
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+
+        let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"ordering":"best"}}"#)
+            .unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.ordering"));
+        let e =
+            spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"supernodal":3}}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.supernodal"));
+        let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"threads":2}}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.threads"));
+        let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":"amd"}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver"));
+        // `characterize` has no grid solves to steer; the key is unknown.
+        assert!(spec(r#"{"kind":"characterize","solver":{"ordering":"amd"}}"#).is_err());
+    }
+
+    #[test]
+    fn fea_solver_block_accepts_ordering_only() {
+        let s = spec(r#"{"kind":"fea","solver":{"ordering":"natural"}}"#).unwrap();
+        let ResolvedJob::Fea(f) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(f.ordering, Ordering::Natural);
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"fea","array":"4x4","pattern":"plus","resolution":0.25,"threads":1,"use_cache":true,"solver":{"ordering":"natural"}}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        // The supernode toggle is not part of the stress-cache key, so an
+        // fea spec may not set it.
+        let e = spec(r#"{"kind":"fea","solver":{"supernodal":false}}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.supernodal"));
+    }
+
+    #[test]
     fn fea_round_trips_and_bounds_resolution() {
         let s = spec(r#"{"kind":"fea","array":"1x1","resolution":0.5,"use_cache":false}"#).unwrap();
         assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
@@ -518,19 +882,68 @@ mod tests {
     }
 
     #[test]
-    fn resolvers_cover_all_labels() {
-        assert_eq!(resolve_array("8x8", "tee").count(), 64);
-        assert_eq!(resolve_array("1x1", "ell").count(), 1);
-        assert!(matches!(
-            resolve_criterion("r2x"),
-            FailureCriterion::ResistanceRatio(_)
-        ));
-        assert!(matches!(
-            resolve_criterion("wl"),
-            FailureCriterion::WeakestLink
-        ));
-        let rt = resolve_runtime(4, Some(0.05));
-        assert_eq!(rt.threads, 4);
-        assert!(rt.early_stop.is_some());
+    fn spec_errors_name_the_offending_field() {
+        for (bad, field) in [
+            (r#"{"trials":10}"#, Some("kind")),
+            (r#"{"kind":"mine"}"#, Some("kind")),
+            (r#"{"kind":"characterize","typo":1}"#, Some("typo")),
+            (r#"{"kind":"characterize","array":"2x2"}"#, Some("array")),
+            (r#"{"kind":"characterize","trials":0}"#, Some("trials")),
+            (
+                r#"{"kind":"characterize","target_ci":0}"#,
+                Some("target_ci"),
+            ),
+            (r#"{"kind":"analyze","benchmark":"pg9"}"#, Some("benchmark")),
+            (r#"{"kind":"analyze"}"#, None),
+            (r#"[1,2]"#, None),
+        ] {
+            let e = spec(bad).unwrap_err();
+            assert_eq!(e.field.as_deref(), field, "wrong field for {bad}: {e:?}");
+            let rendered = e.to_json().to_string();
+            assert!(rendered.starts_with(r#"{"error":"#), "{rendered}");
+            assert_eq!(rendered.contains("field"), field.is_some(), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn resolve_covers_all_labels_and_rejects_unknown_ones() {
+        let s = spec(
+            r#"{"kind":"characterize","array":"8x8","pattern":"tee","criterion":"r2x","threads":4,"target_ci":0.05}"#,
+        )
+        .unwrap();
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.config.count(), 64);
+        assert!(matches!(mc.criterion, FailureCriterion::ResistanceRatio(_)));
+        assert_eq!(mc.runtime.threads, 4);
+        assert!(mc.runtime.early_stop.is_some());
+        assert_eq!(
+            (mc.array.as_str(), mc.criterion_label.as_str()),
+            ("8x8", "r2x")
+        );
+
+        let s = spec(r#"{"kind":"characterize","array":"1x1","pattern":"ell","criterion":"wl"}"#)
+            .unwrap();
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.config.count(), 1);
+        assert!(matches!(mc.criterion, FailureCriterion::WeakestLink));
+        assert!(mc.runtime.early_stop.is_none());
+
+        // A hand-built spec bypasses from_json's label screening; resolve
+        // must still name the bad field instead of defaulting.
+        let bad = JobSpec::Characterize(McParams {
+            array: "9x9".into(),
+            pattern: "plus".into(),
+            criterion: "rinf".into(),
+            trials: 1,
+            seed: 1,
+            threads: 1,
+            target_ci: None,
+        });
+        let e = bad.resolve().unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("array"));
     }
 }

@@ -230,7 +230,7 @@ pub fn conjugate_gradient(
 mod tests {
     use super::*;
     use crate::coo::TripletMatrix;
-    use crate::ldl::LdlFactor;
+    use crate::ldl::{FactorOptions, LdlFactor};
     use proptest::prelude::*;
 
     fn laplacian_2d(nx: usize, ny: usize) -> CsrMatrix {
@@ -254,7 +254,9 @@ mod tests {
     fn matches_direct_solver_on_mesh() {
         let a = laplacian_2d(12, 12);
         let b: Vec<f64> = (0..144).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
-        let direct = LdlFactor::factor_rcm(&a).unwrap().solve(&b);
+        let direct = LdlFactor::factor_with(&a, &FactorOptions::default())
+            .unwrap()
+            .solve(&b);
         let cg = conjugate_gradient(&a, &b, None, &CgOptions::default()).unwrap();
         for (u, v) in cg.x.iter().zip(&direct) {
             assert!((u - v).abs() < 1e-6);
@@ -273,7 +275,9 @@ mod tests {
     fn warm_start_from_solution_converges_instantly() {
         let a = laplacian_2d(5, 5);
         let b = vec![1.0; 25];
-        let exact = LdlFactor::factor(&a).unwrap().solve(&b);
+        let exact = LdlFactor::factor_with(&a, &FactorOptions::default())
+            .unwrap()
+            .solve(&b);
         let out = conjugate_gradient(&a, &b, Some(&exact), &CgOptions::default()).unwrap();
         assert_eq!(out.iterations, 0);
     }

@@ -1,15 +1,125 @@
 //! Sparse LDLᵀ (Cholesky-type) factorization for SPD matrices.
 //!
-//! This is an up-looking factorization in the style of Davis' `LDL` package:
-//! a symbolic pass computes the elimination tree and column counts, then a
-//! numeric pass computes one row of `L` at a time using the tree to find each
-//! row's sparsity pattern. Combined with a reverse Cuthill–McKee ordering
-//! ([`crate::ordering::reverse_cuthill_mckee`]) this comfortably factors the
-//! mesh-structured conductance and stiffness matrices this workspace produces.
+//! Two numeric engines share one entry point, [`LdlFactor::factor_with`]:
+//!
+//! * a scalar up-looking factorization in the style of Davis' `LDL` package —
+//!   a symbolic pass computes the elimination tree and column counts, then a
+//!   numeric pass computes one row of `L` at a time using the tree to find
+//!   each row's sparsity pattern; and
+//! * a blocked supernodal factorization ([`crate::supernodal`]) that groups
+//!   columns with nested patterns into dense panels and applies
+//!   cache-contiguous update kernels — the default, and the faster choice on
+//!   the mesh-structured conductance and stiffness matrices this workspace
+//!   produces.
+//!
+//! [`FactorOptions`] selects the fill-reducing ordering (natural, reverse
+//! Cuthill–McKee, or minimum degree via [`crate::ordering::amd`]), the numeric
+//! engine, and the worker-thread count for the triangular solves. Whatever the
+//! combination, results are deterministic: the ordering and supernode
+//! partition are pure functions of the sparsity pattern, and the parallel
+//! solve folds per-subtree contributions in a fixed order, so bits never
+//! depend on thread count.
+
+use emgrid_runtime::{obs, parallel_map_chunks};
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
-use crate::ordering::{reverse_cuthill_mckee, Permutation};
+use crate::ordering::{amd, reverse_cuthill_mckee, Permutation};
+use crate::supernodal::{self, SolvePlan, Symbolic, TOP};
+
+/// Fill-reducing ordering applied before factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ordering {
+    /// Factor the matrix as given.
+    Natural,
+    /// Reverse Cuthill–McKee: bandwidth-reducing, good on path-like meshes.
+    Rcm,
+    /// Minimum degree (the AMD family): the lowest fill on 2-D/3-D meshes
+    /// and the default.
+    #[default]
+    Amd,
+}
+
+impl Ordering {
+    /// Parses a CLI/spec label (`natural`, `rcm`, `amd`).
+    pub fn parse(s: &str) -> Option<Ordering> {
+        match s {
+            "natural" => Some(Ordering::Natural),
+            "rcm" => Some(Ordering::Rcm),
+            "amd" => Some(Ordering::Amd),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case label (inverse of [`Ordering::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Ordering::Natural => "natural",
+            Ordering::Rcm => "rcm",
+            Ordering::Amd => "amd",
+        }
+    }
+}
+
+/// Configuration for [`LdlFactor::factor_with`].
+///
+/// The default — AMD ordering, supernodal numeric, one thread — is the right
+/// choice for one-shot solves of mesh-structured systems. Callers batching
+/// many solves against one factor set `threads`; callers factoring tiny
+/// systems in a hot loop (where ordering quality is irrelevant and setup cost
+/// is not) pick `Rcm` or `Natural` with `supernodal: false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorOptions {
+    /// Fill-reducing ordering.
+    pub ordering: Ordering,
+    /// Use the blocked supernodal numeric engine instead of the scalar
+    /// up-looking one. Both produce the same factor layout; the supernodal
+    /// engine is faster on matrices with meaningful fill.
+    pub supernodal: bool,
+    /// Worker threads for the triangular solves ([`LdlFactor::solve`] uses
+    /// independent elimination-tree subtrees, [`LdlFactor::solve_many`]
+    /// blocks of right-hand sides). Never changes results, only wall time.
+    pub threads: usize,
+}
+
+impl Default for FactorOptions {
+    fn default() -> Self {
+        FactorOptions {
+            ordering: Ordering::Amd,
+            supernodal: true,
+            threads: 1,
+        }
+    }
+}
+
+impl FactorOptions {
+    /// Returns the options with a different ordering.
+    pub fn with_ordering(mut self, ordering: Ordering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Returns the options with a different solve-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The scalar RCM configuration the workspace used before the supernodal
+    /// engine existed: bit-identical to the historical `factor_rcm` path, so
+    /// hot loops whose sample streams must not move pin themselves to it.
+    pub fn scalar_rcm() -> Self {
+        FactorOptions {
+            ordering: Ordering::Rcm,
+            supernodal: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Number of right-hand sides processed per panel by
+/// [`LdlFactor::solve_many`].
+const RHS_BLOCK: usize = 8;
 
 /// A factorization `P A Pᵀ = L D Lᵀ` of a sparse SPD matrix.
 ///
@@ -17,7 +127,7 @@ use crate::ordering::{reverse_cuthill_mckee, Permutation};
 ///
 /// ```
 /// # fn main() -> Result<(), emgrid_sparse::SparseError> {
-/// use emgrid_sparse::{TripletMatrix, LdlFactor};
+/// use emgrid_sparse::{FactorOptions, TripletMatrix, LdlFactor};
 ///
 /// // 1-D Laplacian with Dirichlet ends: tridiag(-1, 2, -1).
 /// let n = 10;
@@ -29,7 +139,7 @@ use crate::ordering::{reverse_cuthill_mckee, Permutation};
 ///     }
 /// }
 /// let a = t.to_csr();
-/// let f = LdlFactor::factor_rcm(&a)?;
+/// let f = LdlFactor::factor_with(&a, &FactorOptions::default())?;
 /// let b = vec![1.0; n];
 /// let x = f.solve(&b);
 /// assert!(a.residual_norm(&x, &b) < 1e-10);
@@ -49,29 +159,69 @@ pub struct LdlFactor {
     diag: Vec<f64>,
     /// Fill-reducing permutation applied to the matrix (new -> old).
     perm: Permutation,
+    /// Supernode column boundaries, when the supernodal engine ran.
+    sn_ptr: Vec<usize>,
+    /// Structural subtree plan for the parallel solve (large systems only).
+    plan: Option<SolvePlan>,
+    /// Worker threads for the solve sweeps.
+    threads: usize,
 }
 
 impl LdlFactor {
+    /// Factors `a` under the given [`FactorOptions`]. This is the single
+    /// entry point; the historical `factor` / `factor_rcm` /
+    /// `factor_permuted` constructors are deprecated wrappers over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::NotSquare`] for non-square input and
+    /// [`SparseError::NotPositiveDefinite`] if a pivot is non-positive (the
+    /// reported column index is in the permuted ordering).
+    pub fn factor_with(a: &CsrMatrix, opts: &FactorOptions) -> Result<Self, SparseError> {
+        if a.rows() != a.cols() {
+            return Err(SparseError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let perm = {
+            let _span = obs::span("order");
+            match opts.ordering {
+                Ordering::Natural => Permutation::identity(a.rows()),
+                Ordering::Rcm => reverse_cuthill_mckee(a),
+                Ordering::Amd => amd(a),
+            }
+        };
+        Self::factor_impl(a, perm, opts.supernodal, opts.threads.max(1))
+    }
+
     /// Factors `a` in its natural ordering.
     ///
     /// # Errors
     ///
     /// Returns [`SparseError::NotSquare`] for non-square input and
     /// [`SparseError::NotPositiveDefinite`] if a pivot is non-positive.
+    #[deprecated(note = "use LdlFactor::factor_with with Ordering::Natural")]
     pub fn factor(a: &CsrMatrix) -> Result<Self, SparseError> {
-        Self::factor_permuted(a, Permutation::identity(a.rows()))
+        Self::factor_with(
+            a,
+            &FactorOptions {
+                ordering: Ordering::Natural,
+                supernodal: false,
+                threads: 1,
+            },
+        )
     }
 
     /// Factors `a` after applying a reverse Cuthill–McKee ordering.
     ///
-    /// This is the recommended entry point for mesh-structured matrices.
-    ///
     /// # Errors
     ///
-    /// Same conditions as [`LdlFactor::factor`].
+    /// Same conditions as [`LdlFactor::factor_with`].
+    #[deprecated(note = "use LdlFactor::factor_with (FactorOptions::scalar_rcm \
+                         reproduces this path bit for bit)")]
     pub fn factor_rcm(a: &CsrMatrix) -> Result<Self, SparseError> {
-        let perm = reverse_cuthill_mckee(a);
-        Self::factor_permuted(a, perm)
+        Self::factor_with(a, &FactorOptions::scalar_rcm())
     }
 
     /// Factors `P A Pᵀ` for a caller-supplied permutation `P`.
@@ -80,6 +230,8 @@ impl LdlFactor {
     ///
     /// Returns [`SparseError::NotSquare`], [`SparseError::DimensionMismatch`]
     /// if `perm.len() != a.rows()`, or [`SparseError::NotPositiveDefinite`].
+    #[deprecated(note = "use LdlFactor::factor_with; custom permutations are \
+                         subsumed by FactorOptions orderings")]
     pub fn factor_permuted(a: &CsrMatrix, perm: Permutation) -> Result<Self, SparseError> {
         if a.rows() != a.cols() {
             return Err(SparseError::NotSquare {
@@ -87,6 +239,15 @@ impl LdlFactor {
                 cols: a.cols(),
             });
         }
+        Self::factor_impl(a, perm, false, 1)
+    }
+
+    fn factor_impl(
+        a: &CsrMatrix,
+        perm: Permutation,
+        use_supernodes: bool,
+        threads: usize,
+    ) -> Result<Self, SparseError> {
         if perm.len() != a.rows() {
             return Err(SparseError::DimensionMismatch {
                 expected: a.rows(),
@@ -98,41 +259,52 @@ impl LdlFactor {
         } else {
             a.permute_symmetric(&perm)
         };
-        let n = pa.rows();
 
-        // Symbolic: elimination tree and column counts.
-        // For row k we walk the tree from every i < k with A(k, i) != 0.
-        let none = usize::MAX;
-        let mut parent = vec![none; n];
-        let mut flag = vec![none; n];
-        let mut lnz = vec![0usize; n];
-        for k in 0..n {
-            flag[k] = k;
-            for (i, _) in pa.row(k) {
-                if i >= k {
-                    break;
-                }
-                let mut j = i;
-                while flag[j] != k {
-                    if parent[j] == none {
-                        parent[j] = k;
-                    }
-                    lnz[j] += 1;
-                    flag[j] = k;
-                    j = parent[j];
-                }
+        let sym = {
+            let _span = obs::span("symbolic");
+            supernodal::analyze(&pa, use_supernodes)
+        };
+        let n = sym.n();
+        let (row_idx, values, diag) = {
+            let _span = obs::span("numeric");
+            if use_supernodes {
+                supernodal::factor_numeric(&pa, &sym)?
+            } else {
+                Self::factor_numeric_scalar(&pa, &sym)?
             }
-        }
-        let mut col_ptr = vec![0usize; n + 1];
-        for k in 0..n {
-            col_ptr[k + 1] = col_ptr[k] + lnz[k];
-        }
+        };
+        let plan = supernodal::build_solve_plan(&sym.parent);
+        let Symbolic {
+            col_ptr, sn_ptr, ..
+        } = sym;
+        Ok(LdlFactor {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+            diag,
+            perm,
+            sn_ptr,
+            plan,
+            threads,
+        })
+    }
+
+    /// Scalar up-looking numeric phase: compute row k of L against columns
+    /// `< k`, using the elimination tree to enumerate each row's pattern.
+    fn factor_numeric_scalar(
+        pa: &CsrMatrix,
+        sym: &Symbolic,
+    ) -> Result<supernodal::NumericFactor, SparseError> {
+        let n = sym.n();
+        let none = usize::MAX;
+        let col_ptr = &sym.col_ptr;
+        let parent = &sym.parent;
         let nnz = col_ptr[n];
         let mut row_idx = vec![0u32; nnz];
         let mut values = vec![0.0f64; nnz];
         let mut diag = vec![0.0f64; n];
 
-        // Numeric, up-looking: compute row k of L against columns < k.
         let mut y = vec![0.0f64; n];
         let mut pattern = vec![0usize; n];
         let mut stack = vec![0usize; n];
@@ -186,15 +358,7 @@ impl LdlFactor {
             }
             diag[k] = dk;
         }
-
-        Ok(LdlFactor {
-            n,
-            col_ptr,
-            row_idx,
-            values,
-            diag,
-            perm,
-        })
+        Ok((row_idx, values, diag))
     }
 
     /// Dimension of the factored matrix.
@@ -207,7 +371,8 @@ impl LdlFactor {
         self.n == 0
     }
 
-    /// Number of off-diagonal nonzeros in `L`.
+    /// Number of off-diagonal nonzeros in `L` (the fill-in measure reported
+    /// by the ordering ablation bench).
     pub fn l_nnz(&self) -> usize {
         self.values.len()
     }
@@ -217,6 +382,14 @@ impl LdlFactor {
         &self.perm
     }
 
+    /// Supernode column boundaries of the permuted factor, when the
+    /// supernodal engine ran: supernode `s` spans columns
+    /// `sn[s]..sn[s + 1]`. Empty for scalar factors. The partition is a pure
+    /// function of the matrix pattern and ordering — never of thread count.
+    pub fn supernode_ptr(&self) -> &[usize] {
+        &self.sn_ptr
+    }
+
     /// Solves `A x = b`.
     ///
     /// # Panics
@@ -224,8 +397,12 @@ impl LdlFactor {
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let _span = obs::span("solve");
         let mut x = self.perm.apply(b);
-        self.solve_permuted_in_place(&mut x);
+        match &self.plan {
+            Some(plan) => self.solve_planned(&mut x, plan),
+            None => self.solve_permuted_in_place(&mut x),
+        }
         self.perm.apply_inverse(&x)
     }
 
@@ -261,13 +438,182 @@ impl LdlFactor {
         }
     }
 
-    /// Solves for several right-hand sides, reusing internal machinery.
+    /// Parallel triangular sweeps over independent elimination-tree
+    /// subtrees. Every entry of `x` is produced by exactly one deterministic
+    /// expression and cross-subtree contributions fold in subtree order, so
+    /// the result is bit-identical for any thread count — and because the
+    /// plan itself is structural, a factor of a given matrix always takes
+    /// this same path regardless of how many workers execute it.
+    fn solve_planned(&self, x: &mut [f64], plan: &SolvePlan) {
+        let nsub = plan.subtree_count();
+        let top_len = plan.top_cols.len();
+
+        // Forward within subtrees: each returns its own solution values plus
+        // a dense vector of contributions to the shared top separator.
+        let xr: &[f64] = x;
+        let parts: Vec<(Vec<f64>, Vec<f64>)> =
+            parallel_map_chunks(nsub, 1, self.threads, |c, _| {
+                let cols = plan.sub_cols(c);
+                let mut loc = vec![0.0f64; cols.len()];
+                let mut topadd = vec![0.0f64; top_len];
+                for (li, &j) in cols.iter().enumerate() {
+                    let j = j as usize;
+                    let zj = xr[j] + loc[li];
+                    loc[li] = zj;
+                    if zj != 0.0 {
+                        for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                            let r = self.row_idx[p] as usize;
+                            let v = self.values[p] * zj;
+                            if plan.home[r] == c as u32 {
+                                loc[plan.slot[r] as usize] -= v;
+                            } else {
+                                // Rows of a column are etree ancestors, so a
+                                // foreign row is necessarily in the top.
+                                topadd[plan.slot[r] as usize] -= v;
+                            }
+                        }
+                    }
+                }
+                (loc, topadd)
+            });
+        for (c, (loc, topadd)) in parts.iter().enumerate() {
+            for (li, &j) in plan.sub_cols(c).iter().enumerate() {
+                x[j as usize] = loc[li];
+            }
+            for (t, &j) in plan.top_cols.iter().enumerate() {
+                x[j as usize] += topadd[t];
+            }
+        }
+        // Forward over the top separator (its columns only reach other top
+        // columns: the top is ancestor-closed).
+        for &j in &plan.top_cols {
+            let j = j as usize;
+            let zj = x[j];
+            if zj != 0.0 {
+                for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                    x[self.row_idx[p] as usize] -= self.values[p] * zj;
+                }
+            }
+        }
+        // Diagonal.
+        for j in 0..self.n {
+            x[j] /= self.diag[j];
+        }
+        // Backward over the top separator first...
+        for &j in plan.top_cols.iter().rev() {
+            let j = j as usize;
+            let mut acc = x[j];
+            for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                acc -= self.values[p] * x[self.row_idx[p] as usize];
+            }
+            x[j] = acc;
+        }
+        // ...then independently within each subtree, reading only finalized
+        // top entries and the subtree's own (descending) results.
+        let xr: &[f64] = x;
+        let parts: Vec<Vec<f64>> = parallel_map_chunks(nsub, 1, self.threads, |c, _| {
+            let cols = plan.sub_cols(c);
+            let mut loc: Vec<f64> = cols.iter().map(|&j| xr[j as usize]).collect();
+            for li in (0..cols.len()).rev() {
+                let j = cols[li] as usize;
+                let mut acc = loc[li];
+                for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                    let r = self.row_idx[p] as usize;
+                    let xv = if plan.home[r] == c as u32 {
+                        loc[plan.slot[r] as usize]
+                    } else {
+                        debug_assert_eq!(plan.home[r], TOP);
+                        xr[r]
+                    };
+                    acc -= self.values[p] * xv;
+                }
+                loc[li] = acc;
+            }
+            loc
+        });
+        for (c, loc) in parts.iter().enumerate() {
+            for (li, &j) in plan.sub_cols(c).iter().enumerate() {
+                x[j as usize] = loc[li];
+            }
+        }
+    }
+
+    /// Solves for several right-hand sides with a blocked kernel: panels of
+    /// up to eight vectors share one forward/diagonal/backward sweep (one
+    /// pass over the factor per panel instead of one per vector), and panels
+    /// run on the configured worker threads. Each solution is bit-identical
+    /// to a scalar sweep of the same factor for any thread count.
     ///
     /// # Panics
     ///
     /// Panics if any right-hand side has the wrong length.
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        rhs.iter().map(|b| self.solve(b)).collect()
+        if rhs.is_empty() {
+            return Vec::new();
+        }
+        let _span = obs::span("solve");
+        let blocks: Vec<Vec<Vec<f64>>> =
+            parallel_map_chunks(rhs.len(), RHS_BLOCK, self.threads, |_, range| {
+                self.solve_block(&rhs[range])
+            });
+        blocks.into_iter().flatten().collect()
+    }
+
+    /// One blocked sweep over `k <= RHS_BLOCK` right-hand sides held in a
+    /// row-major `n x k` panel.
+    fn solve_block(&self, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let k = rhs.len();
+        let n = self.n;
+        let mut panel = vec![0.0f64; n * k];
+        for (c, b) in rhs.iter().enumerate() {
+            assert_eq!(b.len(), n, "rhs length mismatch");
+            for new in 0..n {
+                panel[new * k + c] = b[self.perm.map(new)];
+            }
+        }
+        // Forward: row j of the panel updates strictly-later rows.
+        for j in 0..n {
+            let (head, tail) = panel.split_at_mut((j + 1) * k);
+            let xj = &head[j * k..];
+            for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let r = self.row_idx[p] as usize;
+                let v = self.values[p];
+                let row = &mut tail[(r - j - 1) * k..(r - j) * k];
+                for (rc, &xc) in row.iter_mut().zip(xj) {
+                    *rc -= v * xc;
+                }
+            }
+        }
+        // Diagonal.
+        for j in 0..n {
+            let d = self.diag[j];
+            for v in &mut panel[j * k..(j + 1) * k] {
+                *v /= d;
+            }
+        }
+        // Backward: row j accumulates from strictly-later rows.
+        for j in (0..n).rev() {
+            let (head, tail) = panel.split_at_mut((j + 1) * k);
+            let xj = &mut head[j * k..];
+            for p in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let r = self.row_idx[p] as usize;
+                let v = self.values[p];
+                let row = &tail[(r - j - 1) * k..(r - j) * k];
+                for (xc, &rc) in xj.iter_mut().zip(row) {
+                    *xc -= v * rc;
+                }
+            }
+        }
+        // Unpermute each column.
+        (0..k)
+            .map(|c| {
+                let mut out = vec![0.0f64; n];
+                for new in 0..n {
+                    out[self.perm.map(new)] = panel[new * k + c];
+                }
+                out
+            })
+            .collect()
     }
 }
 
@@ -305,24 +651,114 @@ mod tests {
         t.to_csr()
     }
 
+    fn opts(ordering: Ordering, supernodal: bool) -> FactorOptions {
+        FactorOptions {
+            ordering,
+            supernodal,
+            threads: 1,
+        }
+    }
+
     #[test]
     fn solves_tridiagonal_exactly() {
         let a = laplacian_1d(50);
-        let f = LdlFactor::factor(&a).unwrap();
+        let f = LdlFactor::factor_with(&a, &opts(Ordering::Natural, false)).unwrap();
         let b: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
         let x = f.solve(&b);
         assert!(a.residual_norm(&x, &b) < 1e-10);
     }
 
     #[test]
-    fn rcm_factor_matches_natural_factor_solution() {
+    fn all_orderings_and_engines_solve_the_same_system() {
         let a = laplacian_2d(7, 9);
         let b: Vec<f64> = (0..63).map(|i| (i % 5) as f64 - 2.0).collect();
-        let x1 = LdlFactor::factor(&a).unwrap().solve(&b);
-        let x2 = LdlFactor::factor_rcm(&a).unwrap().solve(&b);
-        for (u, v) in x1.iter().zip(&x2) {
-            assert!((u - v).abs() < 1e-9);
+        let reference = LdlFactor::factor_with(&a, &opts(Ordering::Natural, false))
+            .unwrap()
+            .solve(&b);
+        for ordering in [Ordering::Natural, Ordering::Rcm, Ordering::Amd] {
+            for supernodal in [false, true] {
+                let x = LdlFactor::factor_with(&a, &opts(ordering, supernodal))
+                    .unwrap()
+                    .solve(&b);
+                for (u, v) in reference.iter().zip(&x) {
+                    assert!(
+                        (u - v).abs() < 1e-9,
+                        "{ordering:?} supernodal={supernodal}: {u} vs {v}"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn supernodal_factor_matches_scalar_layout_and_values() {
+        // Both engines must emit the same CSC structure; values agree to
+        // rounding (the update orders differ).
+        let a = laplacian_2d(12, 11);
+        for ordering in [Ordering::Rcm, Ordering::Amd] {
+            let s = LdlFactor::factor_with(&a, &opts(ordering, false)).unwrap();
+            let p = LdlFactor::factor_with(&a, &opts(ordering, true)).unwrap();
+            assert_eq!(s.col_ptr, p.col_ptr);
+            assert_eq!(s.row_idx, p.row_idx);
+            for (u, v) in s.values.iter().zip(&p.values) {
+                assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+            }
+            for (u, v) in s.diag.iter().zip(&p.diag) {
+                assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+            }
+            assert!(!p.supernode_ptr().is_empty());
+            assert!(s.supernode_ptr().is_empty());
+        }
+    }
+
+    #[test]
+    fn factor_is_bit_identical_across_thread_counts() {
+        // The ordering, supernode partition, factor bits, and solve bits must
+        // not depend on the solve-thread count. Size pushes past the parallel
+        // plan threshold so the planned path is actually exercised.
+        let a = laplacian_2d(80, 70);
+        let b: Vec<f64> = (0..80 * 70).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let f1 = LdlFactor::factor_with(&a, &FactorOptions::default().with_threads(1)).unwrap();
+        let f8 = LdlFactor::factor_with(&a, &FactorOptions::default().with_threads(8)).unwrap();
+        assert_eq!(f1.permutation().as_slice(), f8.permutation().as_slice());
+        assert_eq!(f1.supernode_ptr(), f8.supernode_ptr());
+        assert_eq!(f1.values, f8.values);
+        assert!(f1.plan.is_some(), "plan should trigger at this size");
+        let x1 = f1.solve(&b);
+        let x8 = f8.solve(&b);
+        assert_eq!(x1, x8, "planned solve must be bit-identical across threads");
+        assert!(a.residual_norm(&x1, &b) < 1e-8);
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves_bitwise() {
+        let a = laplacian_2d(9, 8);
+        let f = LdlFactor::factor_with(&a, &FactorOptions::default().with_threads(4)).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..19)
+            .map(|s| (0..72).map(|i| ((i + s * 7) % 13) as f64 - 6.0).collect())
+            .collect();
+        let batched = f.solve_many(&rhs);
+        assert_eq!(batched.len(), rhs.len());
+        for (b, x) in rhs.iter().zip(&batched) {
+            assert!(a.residual_norm(x, b) < 1e-9);
+        }
+        // Blocked panels are bit-stable against re-blocking: a panel of one.
+        let single = f.solve_block(std::slice::from_ref(&rhs[3]));
+        assert_eq!(single[0], batched[3]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_factor_with() {
+        let a = laplacian_2d(7, 9);
+        let b: Vec<f64> = (0..63).map(|i| (i % 5) as f64 - 2.0).collect();
+        let old = LdlFactor::factor_rcm(&a).unwrap();
+        let new = LdlFactor::factor_with(&a, &FactorOptions::scalar_rcm()).unwrap();
+        assert_eq!(old.values, new.values);
+        assert_eq!(old.solve(&b), new.solve(&b));
+        let old = LdlFactor::factor(&a).unwrap();
+        let new = LdlFactor::factor_with(&a, &opts(Ordering::Natural, false)).unwrap();
+        assert_eq!(old.values, new.values);
     }
 
     #[test]
@@ -331,24 +767,37 @@ mod tests {
         t.push(0, 0, 1.0);
         t.push_sym(0, 1, 2.0);
         t.push(1, 1, 1.0); // eigenvalues 3, -1
-        let err = LdlFactor::factor(&t.to_csr()).unwrap_err();
-        assert!(matches!(err, SparseError::NotPositiveDefinite { .. }));
+        for supernodal in [false, true] {
+            let err = LdlFactor::factor_with(&t.to_csr(), &opts(Ordering::Natural, supernodal))
+                .unwrap_err();
+            assert!(matches!(err, SparseError::NotPositiveDefinite { .. }));
+        }
     }
 
     #[test]
     fn rejects_non_square() {
         let t = TripletMatrix::new(2, 3);
-        let err = LdlFactor::factor(&t.to_csr()).unwrap_err();
+        let err = LdlFactor::factor_with(&t.to_csr(), &FactorOptions::default()).unwrap_err();
         assert!(matches!(err, SparseError::NotSquare { .. }));
     }
 
     #[test]
     fn identity_factor_solves_trivially() {
-        let a = CsrMatrix::identity(5);
-        let f = LdlFactor::factor(&a).unwrap();
-        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(f.solve(&b), b);
-        assert_eq!(f.l_nnz(), 0);
+        for supernodal in [false, true] {
+            let a = CsrMatrix::identity(5);
+            let f = LdlFactor::factor_with(&a, &opts(Ordering::Amd, supernodal)).unwrap();
+            let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+            assert_eq!(f.solve(&b), b);
+            assert_eq!(f.l_nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_factors() {
+        let a = CsrMatrix::identity(0);
+        let f = LdlFactor::factor_with(&a, &FactorOptions::default()).unwrap();
+        assert!(f.is_empty());
+        assert!(f.solve(&[]).is_empty());
     }
 
     #[test]
@@ -357,7 +806,7 @@ mod tests {
         t.push(0, 0, 2.0);
         t.push(1, 1, 4.0);
         t.push(2, 2, 8.0);
-        let f = LdlFactor::factor(&t.to_csr()).unwrap();
+        let f = LdlFactor::factor_with(&t.to_csr(), &FactorOptions::default()).unwrap();
         let x = f.solve(&[2.0, 4.0, 8.0]);
         assert_eq!(x, vec![1.0, 1.0, 1.0]);
     }
@@ -381,11 +830,24 @@ mod tests {
         }
         let a = t.to_csr();
         let b = vec![1.0, -2.0, 0.5];
-        let xs = LdlFactor::factor(&a).unwrap().solve(&b);
         let xd = a.to_dense().solve(&b).unwrap();
-        for (u, v) in xs.iter().zip(&xd) {
-            assert!((u - v).abs() < 1e-10);
+        for supernodal in [false, true] {
+            let xs = LdlFactor::factor_with(&a, &opts(Ordering::Natural, supernodal))
+                .unwrap()
+                .solve(&b);
+            for (u, v) in xs.iter().zip(&xd) {
+                assert!((u - v).abs() < 1e-10);
+            }
         }
+    }
+
+    #[test]
+    fn ordering_parse_round_trips() {
+        for o in [Ordering::Natural, Ordering::Rcm, Ordering::Amd] {
+            assert_eq!(Ordering::parse(o.label()), Some(o));
+        }
+        assert_eq!(Ordering::parse("metis"), None);
+        assert_eq!(Ordering::default(), Ordering::Amd);
     }
 
     proptest! {
@@ -412,9 +874,57 @@ mod tests {
                 t.push(i, i, *d);
             }
             let a = t.to_csr();
-            let f = LdlFactor::factor_rcm(&a).unwrap();
+            let f = LdlFactor::factor_with(&a, &FactorOptions::default()).unwrap();
             let x = f.solve(&b);
             prop_assert!(a.residual_norm(&x, &b) < 1e-8);
+        }
+
+        #[test]
+        fn three_orderings_agree_on_random_spd(
+            diag_boost in 0.5f64..5.0,
+            edges in proptest::collection::vec((0u32..20, 0u32..20, 0.01f64..1.0), 1..80),
+            b in proptest::collection::vec(-10.0f64..10.0, 20),
+        ) {
+            // The satellite guarantee: natural, RCM, and AMD factors of the
+            // same SPD system agree to <= 1e-10 relative error.
+            let n = 20;
+            let mut t = TripletMatrix::new(n, n);
+            let mut diag = vec![diag_boost; n];
+            for (a_, b_, w) in edges {
+                let (i, j) = (a_ as usize, b_ as usize);
+                if i != j {
+                    t.push_sym(i, j, -w);
+                    diag[i] += w;
+                    diag[j] += w;
+                }
+            }
+            for (i, d) in diag.iter().enumerate() {
+                t.push(i, i, *d);
+            }
+            let a = t.to_csr();
+            let norm = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let solutions: Vec<Vec<f64>> = [Ordering::Natural, Ordering::Rcm, Ordering::Amd]
+                .iter()
+                .map(|&o| {
+                    LdlFactor::factor_with(&a, &FactorOptions {
+                        ordering: o,
+                        supernodal: true,
+                        threads: 1,
+                    })
+                    .unwrap()
+                    .solve(&b)
+                })
+                .collect();
+            let scale = norm(&solutions[0]).max(1e-30);
+            for other in &solutions[1..] {
+                let diff: Vec<f64> = solutions[0]
+                    .iter()
+                    .zip(other)
+                    .map(|(u, v)| u - v)
+                    .collect();
+                prop_assert!(norm(&diff) / scale <= 1e-10,
+                    "relative gap {}", norm(&diff) / scale);
+            }
         }
     }
 }

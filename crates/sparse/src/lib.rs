@@ -16,10 +16,11 @@
 //!
 //! Everything is built from scratch on plain `Vec`-based storage: a triplet
 //! builder ([`coo::TripletMatrix`]), compressed sparse row storage
-//! ([`csr::CsrMatrix`]), reverse Cuthill–McKee ordering
-//! ([`ordering::reverse_cuthill_mckee`]) and small dense kernels
-//! ([`dense::DenseMatrix`]) used for element matrices and Woodbury capacitance
-//! systems.
+//! ([`csr::CsrMatrix`]), fill-reducing orderings (reverse Cuthill–McKee and
+//! minimum degree, [`ordering`]), a blocked supernodal numeric engine behind
+//! [`ldl::LdlFactor::factor_with`] and small dense kernels
+//! ([`dense::DenseMatrix`]) used for element matrices and Woodbury
+//! capacitance systems.
 //!
 //! # Example
 //!
@@ -27,7 +28,7 @@
 //!
 //! ```
 //! # fn main() -> Result<(), emgrid_sparse::SparseError> {
-//! use emgrid_sparse::{TripletMatrix, LdlFactor};
+//! use emgrid_sparse::{FactorOptions, TripletMatrix, LdlFactor};
 //!
 //! let mut a = TripletMatrix::new(2, 2);
 //! a.push(0, 0, 4.0);
@@ -36,7 +37,7 @@
 //! a.push(1, 1, 3.0);
 //! let a = a.to_csr();
 //!
-//! let factor = LdlFactor::factor(&a)?;
+//! let factor = LdlFactor::factor_with(&a, &FactorOptions::default())?;
 //! let x = factor.solve(&[1.0, 2.0]);
 //! let r = a.residual_norm(&x, &[1.0, 2.0]);
 //! assert!(r < 1e-12);
@@ -58,6 +59,7 @@ pub mod kernels;
 pub mod ldl;
 pub mod ordering;
 pub mod smw;
+pub(crate) mod supernodal;
 
 pub use cg::{conjugate_gradient, CgOptions, CgOutcome, Preconditioner};
 pub use coo::TripletMatrix;
@@ -65,6 +67,6 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use ic0::Ic0;
-pub use ldl::LdlFactor;
-pub use ordering::{reverse_cuthill_mckee, Permutation};
+pub use ldl::{FactorOptions, LdlFactor, Ordering};
+pub use ordering::{amd, reverse_cuthill_mckee, Permutation};
 pub use smw::IncrementalSolver;

@@ -17,7 +17,7 @@
 use crate::csr::CsrMatrix;
 use crate::dense::{DenseMatrix, LuFactor};
 use crate::error::SparseError;
-use crate::ldl::LdlFactor;
+use crate::ldl::{FactorOptions, LdlFactor};
 
 /// A sparse update vector: a short list of `(index, coefficient)` pairs.
 pub type UpdateVector = Vec<(usize, f64)>;
@@ -51,6 +51,8 @@ pub type UpdateVector = Vec<(usize, f64)>;
 pub struct IncrementalSolver {
     a: CsrMatrix,
     base: LdlFactor,
+    /// Factorization configuration reused by [`IncrementalSolver::rebase`].
+    opts: FactorOptions,
     n: usize,
     /// Sparse update vectors u_k.
     us: Vec<UpdateVector>,
@@ -63,17 +65,29 @@ pub struct IncrementalSolver {
 }
 
 impl IncrementalSolver {
-    /// Factors the base matrix (with RCM ordering) and starts with no updates.
+    /// Factors the base matrix with the default [`FactorOptions`] and starts
+    /// with no updates.
     ///
     /// # Errors
     ///
-    /// Propagates factorization failures from [`LdlFactor::factor_rcm`].
+    /// Propagates factorization failures from [`LdlFactor::factor_with`].
     pub fn new(a: &CsrMatrix) -> Result<Self, SparseError> {
-        let base = LdlFactor::factor_rcm(a)?;
+        Self::with_options(a, &FactorOptions::default())
+    }
+
+    /// [`IncrementalSolver::new`] with explicit factorization options; the
+    /// same options are reused on every [`IncrementalSolver::rebase`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures from [`LdlFactor::factor_with`].
+    pub fn with_options(a: &CsrMatrix, opts: &FactorOptions) -> Result<Self, SparseError> {
+        let base = LdlFactor::factor_with(a, opts)?;
         Ok(IncrementalSolver {
             a: a.clone(),
             n: a.rows(),
             base,
+            opts: *opts,
             us: Vec::new(),
             cs: Vec::new(),
             z: Vec::new(),
@@ -245,7 +259,7 @@ impl IncrementalSolver {
             }
         }
         let folded = CsrMatrix::from_triplets(self.n, self.n, &triplets);
-        let base = LdlFactor::factor_rcm(&folded)?;
+        let base = LdlFactor::factor_with(&folded, &self.opts)?;
         self.a = folded;
         self.base = base;
         self.us.clear();
@@ -318,7 +332,9 @@ mod tests {
         let updated = solver.to_matrix();
         let b: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
         let x_smw = solver.solve(&b).unwrap();
-        let x_direct = LdlFactor::factor_rcm(&updated).unwrap().solve(&b);
+        let x_direct = LdlFactor::factor_with(&updated, &FactorOptions::default())
+            .unwrap()
+            .solve(&b);
         for (u, v) in x_smw.iter().zip(&x_direct) {
             assert!((u - v).abs() < 1e-9, "{u} vs {v}");
         }
@@ -334,7 +350,7 @@ mod tests {
         solver.update_edge(2, 3, -0.49).unwrap(); // nearly sever
         let b = vec![1.0; 12];
         let x_smw = solver.solve(&b).unwrap();
-        let x_direct = LdlFactor::factor_rcm(&solver.to_matrix())
+        let x_direct = LdlFactor::factor_with(&solver.to_matrix(), &FactorOptions::default())
             .unwrap()
             .solve(&b);
         for (u, v) in x_smw.iter().zip(&x_direct) {
@@ -389,6 +405,36 @@ mod tests {
     }
 
     #[test]
+    fn smw_and_refactor_agree_under_amd() {
+        // Regression guard for the FactorOptions migration: the Woodbury
+        // correction must stay consistent with a from-scratch AMD+supernodal
+        // refactorization, including across a rebase.
+        use crate::ldl::Ordering;
+        let a = chain(16);
+        let opts = FactorOptions::default().with_ordering(Ordering::Amd);
+        let mut solver = IncrementalSolver::with_options(&a, &opts).unwrap();
+        solver.update_edge(4, 5, -0.7).unwrap();
+        solver.update_edge(10, 11, -0.3).unwrap();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).cos()).collect();
+        let x_smw = solver.solve(&b).unwrap();
+        let x_direct = LdlFactor::factor_with(&solver.to_matrix(), &opts)
+            .unwrap()
+            .solve(&b);
+        for (u, v) in x_smw.iter().zip(&x_direct) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+        solver.rebase().unwrap();
+        solver.update_edge(7, 8, -0.5).unwrap();
+        let x_smw = solver.solve(&b).unwrap();
+        let x_direct = LdlFactor::factor_with(&solver.to_matrix(), &opts)
+            .unwrap()
+            .solve(&b);
+        for (u, v) in x_smw.iter().zip(&x_direct) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
     fn out_of_bounds_index_rejected() {
         let a = chain(4);
         let mut solver = IncrementalSolver::new(&a).unwrap();
@@ -414,7 +460,9 @@ mod tests {
                 solver.update_edge(edge, edge + 1, -cut).unwrap();
             }
             let x_smw = solver.solve(&b).unwrap();
-            let x_direct = LdlFactor::factor_rcm(&solver.to_matrix()).unwrap().solve(&b);
+            let x_direct = LdlFactor::factor_with(&solver.to_matrix(), &FactorOptions::default())
+                .unwrap()
+                .solve(&b);
             for (u, v) in x_smw.iter().zip(&x_direct) {
                 prop_assert!((u - v).abs() < 1e-6);
             }

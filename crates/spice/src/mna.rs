@@ -10,7 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
-use emgrid_sparse::{CsrMatrix, LdlFactor, SparseError, TripletMatrix};
+use emgrid_sparse::{CsrMatrix, FactorOptions, LdlFactor, SparseError, TripletMatrix};
 
 use crate::netlist::{Element, Netlist, Node};
 
@@ -220,7 +220,17 @@ impl DcAnalysis {
     /// Returns [`MnaError::Singular`] when a node floats (no path to any
     /// pad).
     pub fn solve(&self) -> Result<DcSolution, MnaError> {
-        let factor = LdlFactor::factor_rcm(&self.matrix)?;
+        self.solve_with(&FactorOptions::default())
+    }
+
+    /// [`DcSystem::solve`] with explicit factorization options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::Singular`] when a node floats (no path to any
+    /// pad).
+    pub fn solve_with(&self, opts: &FactorOptions) -> Result<DcSolution, MnaError> {
+        let factor = LdlFactor::factor_with(&self.matrix, opts)?;
         let x = factor.solve(&self.rhs);
         Ok(self.solution_from_unknowns(&x))
     }

@@ -37,6 +37,7 @@ use emgrid_fea::geometry::CharacterizationModel;
 use emgrid_fea::model::SolveMethod;
 use emgrid_fea::stress::StressField;
 use emgrid_runtime::obs;
+use emgrid_sparse::Ordering as FactorOrdering;
 
 /// Format tag written as the first line of every entry; bump on any layout
 /// change so stale entries read as misses instead of garbage.
@@ -100,8 +101,14 @@ impl StressCache {
     }
 
     /// Content key of a `(model, solver)` pair; see the module docs for
-    /// what it covers.
-    pub fn key(model: &CharacterizationModel, method: &SolveMethod) -> u64 {
+    /// what it covers. The fill-reducing ordering participates because it
+    /// changes the direct solve's rounding, and cached stress fields must
+    /// reproduce a live solve bit for bit.
+    pub fn key(
+        model: &CharacterizationModel,
+        method: &SolveMethod,
+        ordering: FactorOrdering,
+    ) -> u64 {
         fn bits(s: &mut String, v: f64) {
             s.push_str(&format!(" {:016x}", v.to_bits()));
         }
@@ -149,6 +156,7 @@ impl StressCache {
                 bits(&mut s, *tolerance);
             }
         }
+        s.push_str(&format!(" ordering:{}", ordering.label()));
         fnv1a(s.as_bytes())
     }
 
@@ -316,26 +324,33 @@ mod tests {
     fn key_is_stable_and_sensitive_to_inputs() {
         let m = small_model();
         let method = SolveMethod::default();
-        let base = StressCache::key(&m, &method);
-        assert_eq!(base, StressCache::key(&m, &method), "key must be stable");
+        let base = StressCache::key(&m, &method, FactorOrdering::Amd);
+        assert_eq!(
+            base,
+            StressCache::key(&m, &method, FactorOrdering::Amd),
+            "key must be stable"
+        );
 
         let mut finer = m;
         finer.resolution = 0.25;
-        assert_ne!(base, StressCache::key(&finer, &method));
+        assert_ne!(base, StressCache::key(&finer, &method, FactorOrdering::Amd));
 
         let mut hotter = m;
         hotter.operating_temperature += 25.0; // changes ΔT
-        assert_ne!(base, StressCache::key(&hotter, &method));
+        assert_ne!(
+            base,
+            StressCache::key(&hotter, &method, FactorOrdering::Amd)
+        );
 
         let mut wider = m;
         wider.wire_width += 0.5;
-        assert_ne!(base, StressCache::key(&wider, &method));
+        assert_ne!(base, StressCache::key(&wider, &method, FactorOrdering::Amd));
 
         let tighter = SolveMethod::Iterative {
             tolerance: 1e-9,
             max_iterations: 1000,
         };
-        assert_ne!(base, StressCache::key(&m, &tighter));
+        assert_ne!(base, StressCache::key(&m, &tighter, FactorOrdering::Amd));
     }
 
     #[test]

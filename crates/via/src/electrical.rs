@@ -12,7 +12,7 @@
 //!   near the feeding edges carry more than interior vias (the effect
 //!   studied by the multi-via model of the paper's reference \[4\]).
 
-use emgrid_sparse::{LdlFactor, TripletMatrix};
+use emgrid_sparse::{FactorOptions, LdlFactor, TripletMatrix};
 
 /// Parameters of the plate-network redistribution model (conductances in
 /// siemens).
@@ -145,7 +145,10 @@ fn network_currents(
         }
     }
     let matrix = g.to_csr();
-    let v = LdlFactor::factor_rcm(&matrix)
+    // Pinned to the scalar RCM path: this runs once per Monte Carlo failure
+    // event on a <=130-node network, where AMD/supernode setup costs more
+    // than it saves and the published trial streams must stay bit-identical.
+    let v = LdlFactor::factor_with(&matrix, &FactorOptions::scalar_rcm())
         .expect("plate network is SPD while any via is alive")
         .solve(&rhs);
     let mut currents = vec![0.0; n];

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
 use emgrid_fea::model::{FeaError, SolveMethod, ThermalStressAnalysis};
+use emgrid_sparse::Ordering;
 
 use crate::cache::{CacheEntry, StressCache};
 
@@ -253,7 +254,7 @@ impl StressTable {
         // One solve per distinct cache key; later duplicates borrow it.
         let keys: Vec<u64> = models
             .iter()
-            .map(|(m, _)| StressCache::key(m, &opts.method))
+            .map(|(m, _)| StressCache::key(m, &opts.method, opts.ordering))
             .collect();
         let mut solve_for: Vec<usize> = Vec::new(); // model index of each unique solve
         let mut unique_of: Vec<usize> = Vec::with_capacity(models.len());
@@ -294,6 +295,7 @@ impl StressTable {
                 }
                 let (field, stats) = ThermalStressAnalysis::new(*model)
                     .with_method(opts.method)
+                    .with_ordering(opts.ordering)
                     .with_threads(inner)
                     .run_with_stats()?;
                 let per_via = field.per_via_peak_stress();
@@ -368,6 +370,8 @@ pub struct FeaOptions {
     pub threads: usize,
     /// Solver selection forwarded to every analysis.
     pub method: SolveMethod,
+    /// Fill-reducing ordering for the direct solver (default AMD).
+    pub ordering: Ordering,
     /// Persistent cache to consult and populate; `None` solves everything.
     pub cache: Option<StressCache>,
 }

@@ -102,6 +102,60 @@ fn trials_run_is_scheduling_independent_telemetry() {
     assert!(report.wall.as_nanos() > 0);
 }
 
+/// The supernodal sparse engine behind every direct solve: the AMD
+/// permutation, the supernode partition and every solve bit must be
+/// independent of the solver's thread count, including on systems large
+/// enough to engage the parallel elimination-tree solve plan.
+#[test]
+fn sparse_factorization_is_thread_count_invariant() {
+    use emgrid::sparse::{FactorOptions, LdlFactor, TripletMatrix};
+
+    // 5-point Laplacian on an 80 x 70 grid: 5600 unknowns, comfortably
+    // past the threshold where the planned parallel solve kicks in.
+    let (rows, cols) = (80usize, 70usize);
+    let n = rows * cols;
+    let mut t = TripletMatrix::new(n, n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            t.push(i, i, 4.0 + 1e-3);
+            if r + 1 < rows {
+                let j = (r + 1) * cols + c;
+                t.push(i, j, -1.0);
+                t.push(j, i, -1.0);
+            }
+            if c + 1 < cols {
+                let j = r * cols + c + 1;
+                t.push(i, j, -1.0);
+                t.push(j, i, -1.0);
+            }
+        }
+    }
+    let a = t.to_csr();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+
+    let factor = |threads: usize| {
+        LdlFactor::factor_with(&a, &FactorOptions::default().with_threads(threads)).unwrap()
+    };
+    let seq = factor(1);
+    let x_seq = seq.solve(&b);
+    for threads in [2, 8] {
+        let par = factor(threads);
+        assert_eq!(
+            par.permutation().as_slice(),
+            seq.permutation().as_slice(),
+            "AMD permutation must not depend on threads"
+        );
+        assert_eq!(
+            par.supernode_ptr(),
+            seq.supernode_ptr(),
+            "supernode partition must not depend on threads"
+        );
+        assert_eq!(par.l_nnz(), seq.l_nnz());
+        assert_eq!(par.solve(&b), x_seq, "threads = {threads}");
+    }
+}
+
 /// Tentpole invariant of the parallel FEA path: the full stress field —
 /// every displacement bit — is identical whether the assembly and CG
 /// kernels run on 1, 2, or 8 threads.
