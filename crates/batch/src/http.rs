@@ -1,0 +1,93 @@
+//! The `/v1/sweeps` route family, plugged into the daemon through
+//! [`Server::set_route_hook`](emgrid_serve::Server::set_route_hook).
+//!
+//! | method & path               | purpose                                |
+//! |-----------------------------|----------------------------------------|
+//! | `POST /v1/sweeps`           | submit a sweep spec (idempotent by id) |
+//! | `GET /v1/sweeps`            | list every persisted sweep             |
+//! | `GET /v1/sweeps/:id`        | one sweep's progress                   |
+//! | `GET /v1/sweeps/:id/report` | the aggregated report, byte-for-byte   |
+
+use std::sync::Arc;
+
+use emgrid_serve::http::{Request, Response};
+use emgrid_serve::json::Json;
+
+use crate::engine::{SubmissionState, SweepEngine, SweepStatus};
+
+/// Routes one request, `None` when the path is not a sweep route (the
+/// daemon then falls through to its own `404`).
+pub fn route(request: &Request, engine: &Arc<SweepEngine>) -> Option<Response> {
+    let segments: Vec<&str> = request
+        .path()
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    Some(match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "sweeps"]) => submit(request, engine),
+        ("GET", ["v1", "sweeps"]) => Response::json(
+            200,
+            &Json::Obj(vec![(
+                "sweeps".into(),
+                Json::Arr(engine.list().iter().map(status_doc).collect()),
+            )]),
+        ),
+        ("GET", ["v1", "sweeps", sweep]) => match engine.status(sweep) {
+            Some(status) => Response::json(200, &status_doc(&status)),
+            None => Response::error(404, "no such sweep"),
+        },
+        ("GET", ["v1", "sweeps", sweep, "report"]) => match engine.report_bytes(sweep) {
+            Some(bytes) => Response::json_bytes(200, bytes),
+            None if engine.status(sweep).is_some() => Response::error(409, "sweep not finished"),
+            None => Response::error(404, "no such sweep"),
+        },
+        (_, ["v1", "sweeps", ..]) => Response::error(405, "method not allowed"),
+        _ => return None,
+    })
+}
+
+fn submit(request: &Request, engine: &Arc<SweepEngine>) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    match engine.submit_text(body) {
+        // Structured body, like job-spec rejections: axis-value failures
+        // arrive with field `axes.<name>[<index>]`.
+        Err(e) => Response::json(400, &e.to_json()),
+        Ok(submission) => {
+            let (code, status) = match submission.state {
+                SubmissionState::Started => (202, "running"),
+                SubmissionState::AlreadyRunning => (200, "running"),
+                SubmissionState::Complete => (200, "done"),
+            };
+            Response::json(
+                code,
+                &Json::Obj(vec![
+                    ("sweep".into(), Json::s(submission.sweep)),
+                    ("name".into(), Json::s(submission.name)),
+                    ("jobs".into(), Json::n(submission.jobs as f64)),
+                    ("status".into(), Json::s(status)),
+                ]),
+            )
+        }
+    }
+}
+
+fn status_doc(status: &SweepStatus) -> Json {
+    let state = if status.complete {
+        "done"
+    } else if status.active {
+        "running"
+    } else {
+        "pending"
+    };
+    Json::Obj(vec![
+        ("sweep".into(), Json::s(&status.sweep)),
+        ("name".into(), Json::s(&status.name)),
+        ("jobs_total".into(), Json::n(status.total as f64)),
+        ("jobs_done".into(), Json::n(status.done as f64)),
+        ("jobs_failed".into(), Json::n(status.failed as f64)),
+        ("jobs_cancelled".into(), Json::n(status.cancelled as f64)),
+        ("status".into(), Json::s(state)),
+    ])
+}

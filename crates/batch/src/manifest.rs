@@ -1,0 +1,394 @@
+//! The on-disk sweep manifest: the crash-safe record of which expanded
+//! job holds which engine id and how far it has progressed.
+//!
+//! Each sweep owns `<sweeps_root>/<sweep-id>/` containing:
+//!
+//! | file            | meaning                                           |
+//! |-----------------|---------------------------------------------------|
+//! | `spec.json`     | the canonical sweep spec text                     |
+//! | `manifest.json` | entry states and job-id bindings (this module)    |
+//! | `report.json`   | the final aggregated report, byte-stable          |
+//!
+//! Every write uses the same atomic tmp-file + rename discipline as the
+//! job store, so a `kill -9` at any instant leaves either the previous
+//! complete manifest or the new complete manifest — never a torn one.
+//!
+//! # Entry state machine
+//!
+//! ```text
+//! pending ──(id bound, persisted)──▶ submitted ──▶ done
+//!                                        │    └──▶ failed
+//!                                        └───────▶ cancelled
+//! ```
+//!
+//! The binding write happens *before* the job is handed to the engine:
+//! a crash between the two leaves a bound entry whose job is missing,
+//! and the resume pass simply submits the persisted spec under the
+//! already-bound id. The reverse order would orphan a running job and
+//! double-submit its work under a fresh id.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use emgrid_runtime::JobId;
+use emgrid_serve::json::{self, Json};
+
+/// Manifest format version, bumped on layout changes.
+const MANIFEST_VERSION: f64 = 1.0;
+
+/// Monotonic tmp-file disambiguator.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Where one sweep entry stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// No job id bound yet.
+    Pending,
+    /// An id is bound and the job has been (or is about to be) queued.
+    Submitted,
+    /// The job's result document is on disk.
+    Done,
+    /// The job failed; the message lives in the job store.
+    Failed,
+    /// A client cancelled the job; the sweep records, not retries, it.
+    Cancelled,
+}
+
+impl EntryState {
+    /// The manifest wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryState::Pending => "pending",
+            EntryState::Submitted => "submitted",
+            EntryState::Done => "done",
+            EntryState::Failed => "failed",
+            EntryState::Cancelled => "cancelled",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<EntryState> {
+        Some(match label {
+            "pending" => EntryState::Pending,
+            "submitted" => EntryState::Submitted,
+            "done" => EntryState::Done,
+            "failed" => EntryState::Failed,
+            "cancelled" => EntryState::Cancelled,
+            _ => return None,
+        })
+    }
+
+    /// Whether this entry needs no further scheduling.
+    pub fn is_settled(self) -> bool {
+        matches!(
+            self,
+            EntryState::Done | EntryState::Failed | EntryState::Cancelled
+        )
+    }
+}
+
+/// One expanded job's progress record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The stable derived key from the scenario expansion.
+    pub key: String,
+    /// The engine job id, once bound.
+    pub job: Option<JobId>,
+    /// Where the entry stands.
+    pub state: EntryState,
+}
+
+/// The progress record of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The content-derived sweep id.
+    pub sweep: String,
+    /// The sweep's display name.
+    pub name: String,
+    /// One entry per expanded job, in expansion order.
+    pub entries: Vec<Entry>,
+}
+
+impl Manifest {
+    /// A fresh manifest with every entry pending.
+    pub fn new(sweep: &str, name: &str, keys: &[String]) -> Manifest {
+        Manifest {
+            sweep: sweep.to_owned(),
+            name: name.to_owned(),
+            entries: keys
+                .iter()
+                .map(|key| Entry {
+                    key: key.clone(),
+                    job: None,
+                    state: EntryState::Pending,
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether this manifest covers exactly `keys` in order — the guard
+    /// against a manifest written by a different expansion.
+    pub fn matches(&self, keys: &[String]) -> bool {
+        self.entries.len() == keys.len() && self.entries.iter().zip(keys).all(|(e, k)| &e.key == k)
+    }
+
+    /// Settled/total progress counts: `(done, failed, cancelled, total)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut done = 0;
+        let mut failed = 0;
+        let mut cancelled = 0;
+        for entry in &self.entries {
+            match entry.state {
+                EntryState::Done => done += 1,
+                EntryState::Failed => failed += 1,
+                EntryState::Cancelled => cancelled += 1,
+                EntryState::Pending | EntryState::Submitted => {}
+            }
+        }
+        (done, failed, cancelled, self.entries.len())
+    }
+
+    /// The highest bound job id, for reserving the daemon's id counter
+    /// above everything a resumed sweep already owns.
+    pub fn max_job_id(&self) -> Option<JobId> {
+        self.entries.iter().filter_map(|e| e.job).max()
+    }
+
+    /// The serialized form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::n(MANIFEST_VERSION)),
+            ("sweep".into(), Json::s(&self.sweep)),
+            ("name".into(), Json::s(&self.name)),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|entry| {
+                            let mut pairs = vec![("key".to_owned(), Json::s(&entry.key))];
+                            if let Some(job) = entry.job {
+                                pairs.push(("job".into(), Json::n(job as f64)));
+                            }
+                            pairs.push(("state".into(), Json::s(entry.state.label())));
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a persisted manifest; `None` on any structural mismatch
+    /// (the caller falls back to rebuilding from the expansion).
+    pub fn from_json(doc: &Json) -> Option<Manifest> {
+        if doc.get("version")?.as_f64()? != MANIFEST_VERSION {
+            return None;
+        }
+        let sweep = doc.get("sweep")?.as_str()?.to_owned();
+        let name = doc.get("name")?.as_str()?.to_owned();
+        let Json::Arr(rows) = doc.get("entries")? else {
+            return None;
+        };
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            entries.push(Entry {
+                key: row.get("key")?.as_str()?.to_owned(),
+                job: match row.get("job") {
+                    Some(v) => Some(v.as_u64()?),
+                    None => None,
+                },
+                state: EntryState::from_label(row.get("state")?.as_str()?)?,
+            });
+        }
+        Some(Manifest {
+            sweep,
+            name,
+            entries,
+        })
+    }
+}
+
+/// Filesystem root for sweep state (`<root>/<sweep-id>/…`).
+#[derive(Debug, Clone)]
+pub struct SweepStore {
+    root: PathBuf,
+}
+
+impl SweepStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<SweepStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(SweepStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory owned by one sweep.
+    pub fn dir(&self, sweep: &str) -> PathBuf {
+        self.root.join(sweep)
+    }
+
+    fn write_atomic(&self, sweep: &str, file: &str, bytes: &[u8]) -> io::Result<()> {
+        let dir = self.dir(sweep);
+        fs::create_dir_all(&dir)?;
+        let tmp = dir.join(format!(
+            ".{file}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, dir.join(file))
+    }
+
+    /// Persists the canonical sweep spec text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_spec(&self, sweep: &str, canonical: &str) -> io::Result<()> {
+        self.write_atomic(sweep, "spec.json", canonical.as_bytes())
+    }
+
+    /// Reads the canonical sweep spec text.
+    pub fn read_spec(&self, sweep: &str) -> Option<String> {
+        fs::read_to_string(self.dir(sweep).join("spec.json")).ok()
+    }
+
+    /// Persists the manifest atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_manifest(&self, manifest: &Manifest) -> io::Result<()> {
+        self.write_atomic(
+            &manifest.sweep,
+            "manifest.json",
+            manifest.to_json().to_string().as_bytes(),
+        )
+    }
+
+    /// Reads and parses the manifest, `None` if absent or unreadable.
+    pub fn read_manifest(&self, sweep: &str) -> Option<Manifest> {
+        let text = fs::read_to_string(self.dir(sweep).join("manifest.json")).ok()?;
+        Manifest::from_json(&json::parse(&text).ok()?)
+    }
+
+    /// Persists the final aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_report(&self, sweep: &str, bytes: &[u8]) -> io::Result<()> {
+        self.write_atomic(sweep, "report.json", bytes)
+    }
+
+    /// Reads the final report verbatim.
+    pub fn read_report(&self, sweep: &str) -> Option<Vec<u8>> {
+        fs::read(self.dir(sweep).join("report.json")).ok()
+    }
+
+    /// The path the report lives at (for CLI output).
+    pub fn report_path(&self, sweep: &str) -> PathBuf {
+        self.dir(sweep).join("report.json")
+    }
+
+    /// Every sweep id with a persisted spec, sorted for determinism.
+    pub fn list(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+            .filter(|id| self.dir(id).join("spec.json").is_file())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SweepStore {
+        let root = std::env::temp_dir().join(format!(
+            "emgrid-sweepstore-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&root);
+        SweepStore::open(root).unwrap()
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("axis=v{i}")).collect()
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut manifest = Manifest::new("deadbeefdeadbeef", "fig8", &keys(3));
+        manifest.entries[0].job = Some(7);
+        manifest.entries[0].state = EntryState::Done;
+        manifest.entries[1].job = Some(9);
+        manifest.entries[1].state = EntryState::Submitted;
+        let text = manifest.to_json().to_string();
+        let again = Manifest::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(manifest, again);
+        assert_eq!(again.counts(), (1, 0, 0, 3));
+        assert_eq!(again.max_job_id(), Some(9));
+    }
+
+    #[test]
+    fn matches_guards_key_set_and_order() {
+        let manifest = Manifest::new("s", "n", &keys(2));
+        assert!(manifest.matches(&keys(2)));
+        assert!(!manifest.matches(&keys(3)));
+        let mut reversed = keys(2);
+        reversed.reverse();
+        assert!(!manifest.matches(&reversed));
+    }
+
+    #[test]
+    fn store_round_trips_all_three_artifacts() {
+        let store = temp_store("roundtrip");
+        let manifest = Manifest::new("abc123", "demo", &keys(2));
+        store.write_spec("abc123", "{\"name\":\"demo\"}").unwrap();
+        store.write_manifest(&manifest).unwrap();
+        store
+            .write_report("abc123", b"{\"kind\":\"sweep_report\"}")
+            .unwrap();
+        assert_eq!(
+            store.read_spec("abc123").as_deref(),
+            Some("{\"name\":\"demo\"}")
+        );
+        assert_eq!(store.read_manifest("abc123"), Some(manifest));
+        assert_eq!(
+            store.read_report("abc123").as_deref(),
+            Some(b"{\"kind\":\"sweep_report\"}".as_slice())
+        );
+        assert_eq!(store.list(), vec!["abc123".to_owned()]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn unreadable_manifests_read_as_none_not_panic() {
+        let store = temp_store("junk");
+        fs::create_dir_all(store.dir("bad")).unwrap();
+        fs::write(store.dir("bad").join("manifest.json"), b"{not json").unwrap();
+        assert_eq!(store.read_manifest("bad"), None);
+        // No spec.json → not listed.
+        assert!(store.list().is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

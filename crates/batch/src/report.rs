@@ -1,0 +1,217 @@
+//! Folding finished sweep jobs into one byte-stable report document.
+//!
+//! The report is assembled in **manifest order** from on-disk result
+//! documents, and every row is addressed by the expansion's derived key —
+//! never by runtime job ids — so the bytes depend only on the sweep spec
+//! and the (deterministic) per-job results. Worker count, queue order,
+//! and any number of `kill -9` + resume cycles leave it unchanged.
+//!
+//! Beyond the raw `entries`, two derived views reproduce the paper's
+//! figure families when the sweep has the axes for them:
+//!
+//! * `curves.ttf_vs_current_density` (Fig. 8) — per combination of the
+//!   remaining axes, TTF statistics against the `current_density` axis;
+//! * `tables.pattern_comparison` (Figs. 9–10) — per combination of the
+//!   remaining axes, the Plus/T/L (`pattern` axis) statistics side by
+//!   side.
+
+use emgrid_scenarios::{SweepJob, SweepSpec};
+use emgrid_serve::json::{self, Json};
+
+use crate::backend::{JobBackend, JobPoll};
+use crate::manifest::{EntryState, Manifest};
+
+/// Result-doc fields lifted into curve points and table cells.
+const SUMMARY_FIELDS: [&str; 3] = ["ttf_median_years", "ttf_p03_years", "lognormal_sigma"];
+
+/// Builds the aggregated report for a fully settled manifest.
+pub(crate) fn aggregate(
+    spec: &SweepSpec,
+    jobs: &[SweepJob],
+    manifest: &Manifest,
+    backend: &dyn JobBackend,
+) -> Json {
+    let (done, failed, cancelled, total) = manifest.counts();
+    let mut entries = Vec::with_capacity(jobs.len());
+    // (job, parsed result doc) for the derived views, in manifest order.
+    let mut results: Vec<(&SweepJob, Json)> = Vec::with_capacity(done);
+
+    for (entry, job) in manifest.entries.iter().zip(jobs) {
+        let axes = Json::Obj(
+            job.axis_values
+                .iter()
+                .map(|(axis, value)| (axis.clone(), value.clone()))
+                .collect(),
+        );
+        let mut pairs = vec![("key".to_owned(), Json::s(&job.key)), ("axes".into(), axes)];
+        match entry.state {
+            EntryState::Done => {
+                let doc = entry
+                    .job
+                    .and_then(|id| backend.read_result(id))
+                    .and_then(|bytes| String::from_utf8(bytes).ok())
+                    .and_then(|text| json::parse(&text).ok());
+                match doc {
+                    Some(doc) => {
+                        pairs.push(("status".into(), Json::s("done")));
+                        results.push((job, doc.clone()));
+                        pairs.push(("result".into(), doc));
+                    }
+                    None => {
+                        pairs.push(("status".into(), Json::s("failed")));
+                        pairs.push(("error".into(), Json::s("result unreadable")));
+                    }
+                }
+            }
+            EntryState::Failed => {
+                let message = match entry.job.map(|id| backend.poll(id)) {
+                    Some(JobPoll::Failed(message)) => message,
+                    _ => "failed".to_owned(),
+                };
+                pairs.push(("status".into(), Json::s("failed")));
+                pairs.push(("error".into(), Json::s(message)));
+            }
+            EntryState::Cancelled => {
+                pairs.push(("status".into(), Json::s("cancelled")));
+            }
+            // Aggregation runs only on settled manifests; an unsettled
+            // entry would mean the dispatcher broke its own contract.
+            EntryState::Pending | EntryState::Submitted => {
+                pairs.push(("status".into(), Json::s("unsettled")));
+            }
+        }
+        entries.push(Json::Obj(pairs));
+    }
+
+    let mut doc = vec![
+        ("kind".to_owned(), Json::s("sweep_report")),
+        ("sweep".into(), Json::s(&manifest.sweep)),
+        ("name".into(), Json::s(&manifest.name)),
+        ("jobs_total".into(), Json::n(total as f64)),
+        ("jobs_done".into(), Json::n(done as f64)),
+        ("jobs_failed".into(), Json::n(failed as f64)),
+        ("jobs_cancelled".into(), Json::n(cancelled as f64)),
+        (
+            "axes".into(),
+            Json::Obj(
+                spec.axes()
+                    .iter()
+                    .map(|(axis, values)| (axis.clone(), Json::Arr(values.clone())))
+                    .collect(),
+            ),
+        ),
+        ("entries".into(), Json::Arr(entries)),
+    ];
+
+    let has_axis = |name: &str| spec.axes().iter().any(|(axis, _)| axis == name);
+    if has_axis("current_density") {
+        doc.push((
+            "curves".into(),
+            Json::Obj(vec![(
+                "ttf_vs_current_density".into(),
+                grouped_view(&results, "current_density", false, |job, result| {
+                    let mut point = vec![(
+                        "current_density".to_owned(),
+                        axis_value(job, "current_density"),
+                    )];
+                    point.extend(summary_fields(result));
+                    Json::Obj(point)
+                }),
+            )]),
+        ));
+    }
+    if has_axis("pattern") {
+        doc.push((
+            "tables".into(),
+            Json::Obj(vec![(
+                "pattern_comparison".into(),
+                grouped_view(&results, "pattern", true, |job, result| {
+                    Json::Obj(vec![(
+                        axis_value(job, "pattern")
+                            .as_str()
+                            .unwrap_or_default()
+                            .to_owned(),
+                        Json::Obj(summary_fields(result)),
+                    )])
+                }),
+            )]),
+        ));
+    }
+    Json::Obj(doc)
+}
+
+/// The job's coordinate on one axis.
+fn axis_value(job: &SweepJob, axis: &str) -> Json {
+    job.axis_values
+        .iter()
+        .find(|(a, _)| a == axis)
+        .map(|(_, v)| v.clone())
+        .unwrap_or(Json::Null)
+}
+
+/// The TTF summary statistics present in one result document.
+fn summary_fields(result: &Json) -> Vec<(String, Json)> {
+    SUMMARY_FIELDS
+        .iter()
+        .filter_map(|field| result.get(field).map(|v| (field.to_string(), v.clone())))
+        .collect()
+}
+
+/// Groups finished jobs by every axis except `varying` (first-seen order,
+/// which manifest order makes deterministic) and renders each job through
+/// `point`. With `merge` set (table view), each group's single-key row
+/// objects merge into one object keyed by the varying axis; otherwise
+/// (curve view) the rows stay a `points` array.
+fn grouped_view(
+    results: &[(&SweepJob, Json)],
+    varying: &str,
+    merge: bool,
+    point: impl Fn(&SweepJob, &Json) -> Json,
+) -> Json {
+    let mut groups: Vec<(String, Vec<Json>)> = Vec::new();
+    for (job, result) in results {
+        let group: Vec<String> = job
+            .axis_values
+            .iter()
+            .filter(|(axis, _)| axis != varying)
+            .map(|(axis, value)| format!("{axis}={}", value_text(value)))
+            .collect();
+        let group = if group.is_empty() {
+            "all".to_owned()
+        } else {
+            group.join(",")
+        };
+        let rendered = point(job, result);
+        match groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, points)) => points.push(rendered),
+            None => groups.push((group, vec![rendered])),
+        }
+    }
+    Json::Arr(
+        groups
+            .into_iter()
+            .map(|(group, points)| {
+                let body = if merge {
+                    let mut merged = Vec::with_capacity(points.len());
+                    for p in points {
+                        if let Json::Obj(pairs) = p {
+                            merged.extend(pairs);
+                        }
+                    }
+                    ("values".to_owned(), Json::Obj(merged))
+                } else {
+                    ("points".to_owned(), Json::Arr(points))
+                };
+                Json::Obj(vec![("group".into(), Json::s(group)), body])
+            })
+            .collect(),
+    )
+}
+
+/// The deterministic text of an axis value inside a group key.
+fn value_text(value: &Json) -> String {
+    match value {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}

@@ -1,0 +1,212 @@
+//! The sweep API end-to-end through a real in-process daemon: the
+//! `/v1/sweeps` route hook, structured 400s for bad axis values, the
+//! sweep back-reference in job status docs, and idempotent resubmission.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use emgrid_batch::SweepEngine;
+use emgrid_serve::{ServeConfig, Server};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "emgrid-daemon-sweeps-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP/1.1 request over a raw socket; returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let text = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(text.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_owned();
+    (status, body)
+}
+
+/// Extracts `"field":"value"` from a JSON body (enough for these tests).
+fn str_field(body: &str, field: &str) -> Option<String> {
+    let marker = format!("\"{field}\":\"");
+    let start = body.find(&marker)? + marker.len();
+    let end = body[start..].find('"')?;
+    Some(body[start..start + end].to_owned())
+}
+
+/// Starts a daemon with the sweep engine mounted, exactly as `cmd_serve`
+/// wires it.
+fn start_daemon(state_dir: &Path) -> (Server, Arc<SweepEngine>, SocketAddr) {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        checkpoint_every: 16,
+        state_dir: state_dir.to_path_buf(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let engine =
+        SweepEngine::new(Arc::new(server.jobs_api()), state_dir.join("sweeps"), 4).unwrap();
+    let hook_engine = Arc::clone(&engine);
+    server.set_route_hook(Arc::new(move |req| {
+        emgrid_batch::http::route(req, &hook_engine)
+    }));
+    engine.resume_all();
+    let addr = server.local_addr();
+    (server, engine, addr)
+}
+
+const SWEEP: &str = r#"{
+    "name": "daemon-e2e",
+    "job": {"kind": "characterize", "trials": 48, "threads": 1},
+    "axes": {"array": ["1x1", "4x4"], "seed": [1, 2]}
+}"#;
+
+#[test]
+fn sweeps_run_end_to_end_through_the_daemon() {
+    let state_dir = temp_dir("e2e");
+    let (server, engine, addr) = start_daemon(&state_dir);
+
+    // Submit: 202 with the content-derived id.
+    let (status, body) = request(addr, "POST", "/v1/sweeps", SWEEP);
+    assert_eq!(status, 202, "{body}");
+    let sweep = str_field(&body, "sweep").unwrap();
+    assert_eq!(sweep.len(), 16, "{body}");
+    assert!(body.contains("\"jobs\":4"), "{body}");
+
+    // Progress surfaces through GET /v1/sweeps/:id until done.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/v1/sweeps/{sweep}"), "");
+        assert_eq!(status, 200, "{body}");
+        if str_field(&body, "status").as_deref() == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sweep never finished: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The report is served byte-for-byte from disk.
+    let (status, report) = request(addr, "GET", &format!("/v1/sweeps/{sweep}/report"), "");
+    assert_eq!(status, 200);
+    assert!(report.contains("\"kind\":\"sweep_report\""), "{report}");
+    assert!(report.contains("\"jobs_done\":4"), "{report}");
+    assert_eq!(
+        report.as_bytes(),
+        engine.report_bytes(&sweep).unwrap().as_slice()
+    );
+
+    // Regression (sweep back-reference): a sweep-owned job's status doc
+    // names its sweep so clients can navigate back.
+    let (status, body) = request(addr, "GET", "/v1/jobs/1", "");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        str_field(&body, "sweep").as_deref(),
+        Some(sweep.as_str()),
+        "{body}"
+    );
+
+    // The list endpoint shows it, and resubmission is idempotent (200,
+    // same id, nothing re-runs).
+    let (status, body) = request(addr, "GET", "/v1/sweeps", "");
+    assert_eq!(status, 200);
+    assert!(body.contains(&sweep), "{body}");
+    let (status, body) = request(addr, "POST", "/v1/sweeps", SWEEP);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        str_field(&body, "status").as_deref(),
+        Some("done"),
+        "{body}"
+    );
+    assert_eq!(str_field(&body, "sweep").as_deref(), Some(sweep.as_str()));
+
+    // Sweep metrics flow into the Prometheus exposition.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("emgrid_sweeps_submitted_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("emgrid_sweeps_completed_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("emgrid_sweep_jobs_done_total"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn bad_axis_values_produce_attributed_400s() {
+    let state_dir = temp_dir("bad-axis");
+    let (server, _engine, addr) = start_daemon(&state_dir);
+
+    // A bad value inside an axis names the axis and index…
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        r#"{
+            "name": "bad",
+            "job": {"kind": "characterize", "trials": 16},
+            "axes": {"array": ["1x1", "9x9"]}
+        }"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(
+        str_field(&body, "field").as_deref(),
+        Some("axes.array[1]"),
+        "{body}"
+    );
+    assert!(body.contains("9x9"), "{body}");
+
+    // …a structural failure names the sweep-level field…
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        r#"{"name": "bad", "job": {"kind": "characterize"}, "axes": {}}"#,
+    );
+    assert_eq!(status, 400);
+    assert_eq!(str_field(&body, "field").as_deref(), Some("axes"), "{body}");
+
+    // …no sweep state is persisted for rejected specs…
+    let (status, body) = request(addr, "GET", "/v1/sweeps", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"sweeps\":[]"), "{body}");
+
+    // …and non-sweep unknown routes still fall through to the 404.
+    let (status, _) = request(addr, "GET", "/v1/nonsense", "");
+    assert_eq!(status, 404);
+    // Wrong method under /v1/sweeps is a 405, not a 404.
+    let (status, _) = request(addr, "DELETE", "/v1/sweeps/abc", "");
+    assert_eq!(status, 405);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -69,6 +69,12 @@ COMMANDS:
 
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
+    sweep         run a manifest-driven parameter sweep to completion
+                    <spec.json> (declarative sweep: job template + axes)
+                    [--state-dir <dir>] (default results/jobs)
+                    [--workers <n>] (default 2)
+                    [--checkpoint-every <trials>] (default 64; 0 disables)
+                    [--max-in-flight <n>] (default 2*workers)
     serve         run the analysis daemon (JSON over HTTP)
                     [--addr <ip:port>] (default 127.0.0.1:8080; port 0 = ephemeral)
                     [--workers <n>] (default 2)
@@ -106,7 +112,17 @@ thread count.
 The serve command runs in the foreground until killed. Job state lives
 under --state-dir; a restarted daemon requeues unfinished jobs and
 resumes them from their last checkpoint, reproducing the exact bytes an
-uninterrupted run would have returned.
+uninterrupted run would have returned. The daemon also mounts the sweep
+API (POST /v1/sweeps, GET /v1/sweeps/:id[/report]) and resumes any
+interrupted sweeps on startup.
+
+The sweep command expands a JSON sweep spec (a job template plus axes of
+values) into one job per axis combination, runs them through the same
+checkpointable engine, and folds the results into a single byte-stable
+report under <state-dir>/sweeps/<id>/report.json. Progress is tracked in
+an on-disk manifest: re-running the same spec after an interruption (or
+`kill -9`) resumes from the completed jobs instead of starting over, and
+the final report is byte-identical to an uninterrupted run's.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name).
@@ -135,6 +151,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "analyze" => cmd_analyze(rest),
         "fea" => cmd_fea(rest),
         "signoff" => cmd_signoff(rest),
+        "sweep" => cmd_sweep(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -622,14 +639,106 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
     })
 }
 
+/// Runs one sweep spec to completion on an in-process backend and prints
+/// where the aggregated report landed. Sharing `--state-dir` with a prior
+/// interrupted run resumes it from the completed jobs.
+fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
+    use emgrid_batch::{LocalBackend, SweepEngine};
+
+    // First positional argument: the sweep spec path.
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&args[i]);
+            break;
+        }
+    }
+    let path = path.ok_or_else(|| CliError("missing sweep spec path".to_owned()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+
+    let workers = parse_usize(args, "--workers", 2)?;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".to_owned()));
+    }
+    let checkpoint_every = parse_usize(args, "--checkpoint-every", 64)?;
+    let max_in_flight = parse_usize(args, "--max-in-flight", 2 * workers)?;
+    if max_in_flight == 0 {
+        return Err(CliError("--max-in-flight must be at least 1".to_owned()));
+    }
+    let state_dir: std::path::PathBuf = option_value(args, "--state-dir")
+        .unwrap_or("results/jobs")
+        .into();
+
+    let backend = LocalBackend::open(&state_dir, workers, checkpoint_every)
+        .map_err(|e| CliError(format!("cannot open state dir: {e}")))?;
+    let engine = SweepEngine::new(
+        std::sync::Arc::new(backend),
+        state_dir.join("sweeps"),
+        max_in_flight,
+    )
+    .map_err(|e| CliError(format!("cannot open sweep store: {e}")))?;
+    let submission = engine.submit_text(&text).map_err(|e| {
+        CliError(match &e.field {
+            Some(field) => format!("invalid sweep spec at `{field}`: {e}"),
+            None => format!("invalid sweep spec: {e}"),
+        })
+    })?;
+    engine.wait_idle();
+
+    let status = engine
+        .status(&submission.sweep)
+        .ok_or_else(|| CliError("sweep state disappeared".to_owned()))?;
+    let report = engine.store().report_path(&submission.sweep);
+    if engine.report_bytes(&submission.sweep).is_none() {
+        return Err(CliError(format!(
+            "sweep {} was interrupted before completing; re-run to resume",
+            submission.sweep
+        )));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep          : {} ({})",
+        submission.sweep, submission.name
+    );
+    let _ = writeln!(
+        out,
+        "jobs           : {} total, {} done, {} failed, {} cancelled",
+        status.total, status.done, status.failed, status.cancelled
+    );
+    let _ = writeln!(out, "report         : {}", report.display());
+    Ok(out)
+}
+
 /// Runs the daemon in the foreground until the process is killed. Prints
 /// the bound address before blocking so scripts can discover an ephemeral
 /// port (`--addr 127.0.0.1:0`).
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    use emgrid_batch::SweepEngine;
+    use std::sync::Arc;
+
     let config = serve_config(args)?;
     let state_dir = config.state_dir.clone();
+    let workers = config.workers;
     let server =
         Server::start(config).map_err(|e| CliError(format!("cannot start daemon: {e}")))?;
+    // Mount the sweep API over the job engine and resume any sweep that
+    // was interrupted (spec on disk, no report) by a previous daemon.
+    let engine = SweepEngine::new(
+        Arc::new(server.jobs_api()),
+        state_dir.join("sweeps"),
+        2 * workers,
+    )
+    .map_err(|e| CliError(format!("cannot open sweep store: {e}")))?;
+    let hook_engine = Arc::clone(&engine);
+    server.set_route_hook(Arc::new(move |req| {
+        emgrid_batch::http::route(req, &hook_engine)
+    }));
+    engine.resume_all();
     println!("emgrid-serve listening on {}", server.local_addr());
     println!("state dir      : {}", state_dir.display());
     use std::io::Write as _;
@@ -801,6 +910,41 @@ mod tests {
         assert!(out.contains("verdict"), "{out}");
         assert!(out.contains("current-density limit"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_a_small_spec_and_writes_a_report() {
+        let dir = std::env::temp_dir().join(format!("emgrid-cli-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.json");
+        std::fs::write(
+            &spec,
+            r#"{
+                "name": "cli-sweep",
+                "job": {"kind": "characterize", "trials": 32, "threads": 1, "array": "1x1"},
+                "axes": {"seed": [1, 2]}
+            }"#,
+        )
+        .unwrap();
+        let out = run(&[
+            "sweep".into(),
+            spec.to_string_lossy().into_owned(),
+            "--state-dir".into(),
+            dir.join("jobs").to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("2 total, 2 done, 0 failed"), "{out}");
+        let report = out
+            .lines()
+            .find(|l| l.starts_with("report"))
+            .and_then(|l| l.split_once(':').map(|x| x.1))
+            .map(str::trim)
+            .unwrap();
+        assert!(std::path::Path::new(report).exists(), "{out}");
+        assert!(run(&argv("sweep")).is_err(), "missing spec path");
+        assert!(run(&argv("sweep nope.json --workers 0")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Cross-product expansion of a sweep spec into concrete job specs.
+
+use emgrid_serve::json::Json;
+use emgrid_serve::{JobSpec, SpecError};
+
+use crate::spec::{render_value, SweepSpec};
+
+/// One expanded point of a sweep: a fully validated [`JobSpec`] plus the
+/// axis coordinates that produced it.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Position in expansion order (the last-named axis varies fastest).
+    pub index: usize,
+    /// The stable derived key, `axis=value` pairs joined with `,` in
+    /// canonical (sorted-axis) order — e.g.
+    /// `array=4x4,current_density=20000000000,pattern=plus`. This, not
+    /// any runtime job id, is how manifest entries and report rows are
+    /// addressed, so reports stay byte-identical across restarts.
+    pub key: String,
+    /// The axis coordinates, in canonical axis order.
+    pub axis_values: Vec<(String, Json)>,
+    /// The validated job spec for this point.
+    pub spec: JobSpec,
+}
+
+impl SweepSpec {
+    /// Expands the cross product into validated jobs, in a deterministic
+    /// order: axes iterate in canonical (sorted-name) order with the last
+    /// axis varying fastest, values in declared order.
+    ///
+    /// Every composed document passes through both
+    /// [`JobSpec::from_json`] *and* [`JobSpec::resolve`], so a sweep that
+    /// expands cleanly cannot later die on spec validation inside a
+    /// worker.
+    ///
+    /// # Errors
+    ///
+    /// A failure caused by an axis value is re-attributed to
+    /// `axes.<name>[<index>]`; template-caused failures keep the job
+    /// spec's own field name.
+    pub fn expand(&self) -> Result<Vec<SweepJob>, SpecError> {
+        let total = self.job_count();
+        let mut jobs = Vec::with_capacity(total);
+        let mut odometer = vec![0usize; self.axes.len()];
+        for index in 0..total {
+            let mut pairs = self.template.clone();
+            let mut axis_values = Vec::with_capacity(self.axes.len());
+            for (pos, (axis, values)) in self.axes.iter().enumerate() {
+                let value = values[odometer[pos]].clone();
+                pairs.push((axis.clone(), value.clone()));
+                axis_values.push((axis.clone(), value));
+            }
+            let doc = Json::Obj(pairs);
+            let spec = JobSpec::from_json(&doc).map_err(|e| self.attribute(e, &odometer))?;
+            spec.resolve().map_err(|e| self.attribute(e, &odometer))?;
+            jobs.push(SweepJob {
+                index,
+                key: self.key_at(&odometer),
+                axis_values,
+                spec,
+            });
+            for pos in (0..odometer.len()).rev() {
+                odometer[pos] += 1;
+                if odometer[pos] < self.axes[pos].1.len() {
+                    break;
+                }
+                odometer[pos] = 0;
+            }
+        }
+        Ok(jobs)
+    }
+
+    /// The derived key for the job at one odometer position.
+    fn key_at(&self, odometer: &[usize]) -> String {
+        let mut key = String::new();
+        for (pos, (axis, values)) in self.axes.iter().enumerate() {
+            if pos > 0 {
+                key.push(',');
+            }
+            key.push_str(axis);
+            key.push('=');
+            // Scalar-ness was checked at parse time.
+            key.push_str(&render_value(&values[odometer[pos]]).expect("scalar axis value"));
+        }
+        key
+    }
+
+    /// Pins a job-spec error on the axis value that caused it, when one
+    /// of the composed document's failing fields is an axis.
+    fn attribute(&self, e: SpecError, odometer: &[usize]) -> SpecError {
+        if let Some(field) = &e.field {
+            if let Some(pos) = self.axes.iter().position(|(axis, _)| axis == field) {
+                return SpecError::field(format!("axes.{field}[{}]", odometer[pos]), e.message);
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand(text: &str) -> Vec<SweepJob> {
+        SweepSpec::parse(text).unwrap().expand().unwrap()
+    }
+
+    #[test]
+    fn expansion_order_is_odometer_over_sorted_axes() {
+        let jobs = expand(
+            r#"{
+            "name": "order",
+            "job": {"kind": "characterize", "trials": 8},
+            "axes": {
+                "pattern": ["plus", "tee"],
+                "array": ["1x1", "4x4"]
+            }
+        }"#,
+        );
+        let keys: Vec<&str> = jobs.iter().map(|j| j.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "array=1x1,pattern=plus",
+                "array=1x1,pattern=tee",
+                "array=4x4,pattern=plus",
+                "array=4x4,pattern=tee",
+            ]
+        );
+        assert_eq!(
+            jobs.iter().map(|j| j.index).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn numeric_axis_values_render_like_canonical_json() {
+        let jobs = expand(
+            r#"{
+            "name": "j",
+            "job": {"kind": "characterize", "trials": 8},
+            "axes": {"current_density": [5e9, 2e10]}
+        }"#,
+        );
+        assert_eq!(jobs[0].key, "current_density=5000000000");
+        assert_eq!(jobs[1].key, "current_density=20000000000");
+        assert!(matches!(
+            &jobs[1].spec,
+            JobSpec::Characterize(mc) if mc.current_density == Some(2e10)
+        ));
+    }
+
+    #[test]
+    fn bad_axis_value_is_attributed_to_axis_and_index() {
+        let spec = SweepSpec::parse(
+            r#"{
+            "name": "bad",
+            "job": {"kind": "characterize", "trials": 8},
+            "axes": {"array": ["1x1", "9x9"]}
+        }"#,
+        )
+        .unwrap();
+        let e = spec.expand().unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("axes.array[1]"));
+        assert!(e.message.contains("9x9"), "{}", e.message);
+    }
+
+    #[test]
+    fn template_errors_keep_the_job_spec_field() {
+        let spec = SweepSpec::parse(
+            r#"{
+            "name": "bad",
+            "job": {"kind": "characterize", "trials": 0},
+            "axes": {"array": ["1x1"]}
+        }"#,
+        )
+        .unwrap();
+        let e = spec.expand().unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("trials"));
+    }
+
+    #[test]
+    fn resolve_level_errors_are_attributed_too() {
+        // `criterion` parses as a string but only resolves against the
+        // known labels, exercising the JobSpec::resolve error path.
+        let spec = SweepSpec::parse(
+            r#"{
+            "name": "bad",
+            "job": {"kind": "characterize", "trials": 8},
+            "axes": {"criterion": ["wl", "nope"]}
+        }"#,
+        )
+        .unwrap();
+        let e = spec.expand().unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("axes.criterion[1]"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `emgrid-scenarios`: declarative sweep specifications.
+//!
+//! A *sweep spec* is a small JSON document — a job template plus named
+//! axes of values — that expands into the full cross product of concrete
+//! [`JobSpec`](emgrid_serve::JobSpec)s. It is how the paper's figures
+//! become one artifact each: Fig. 8's TTF-vs-current-density curves are a
+//! `current_density` axis over a `characterize` template; Figs. 9–10's
+//! Plus/T/L comparisons add `pattern` and `array` axes.
+//!
+//! Two properties anchor the design, mirroring the job engine they feed:
+//!
+//! * **Expansion is a pure function.** The same spec bytes always expand
+//!   to the same job list in the same order — axes are canonicalized
+//!   (sorted by name) before anything else happens, so axis *declaration*
+//!   order cannot matter, while the *value* order inside each axis is
+//!   preserved because it is semantic (it orders the points of a curve).
+//! * **Identity is content-derived.** A sweep's id is a hash of its
+//!   canonical form, so resubmitting the same spec addresses the same
+//!   sweep (and its manifest and report) rather than starting a twin.
+//!
+//! The expansion-side validation is strict and *attributed*: a bad value
+//! inside an axis surfaces as a [`SpecError`](emgrid_serve::SpecError)
+//! whose field is `axes.<name>[<index>]`, so a client sees exactly which
+//! point of which axis was rejected.
+
+mod expand;
+mod spec;
+
+pub use expand::SweepJob;
+pub use spec::{SweepSpec, MAX_SWEEP_JOBS};

@@ -1,0 +1,381 @@
+//! Sweep-spec parsing, canonicalization, and content-derived identity.
+
+use emgrid_serve::json::{self, Json};
+use emgrid_serve::SpecError;
+
+/// Ceiling on the expanded job count: a sweep spec arrives over the
+/// network and a handful of ten-value axes would otherwise multiply into
+/// millions of queued jobs.
+pub const MAX_SWEEP_JOBS: usize = 4096;
+
+/// Longest accepted sweep name / axis name / string axis value.
+const MAX_LABEL: usize = 64;
+
+/// A parsed, canonicalized sweep specification.
+///
+/// Canonical form: the `job` template is kept verbatim (its key order is
+/// the client's, and [`JobSpec::to_json`](emgrid_serve::JobSpec::to_json)
+/// normalizes it downstream anyway), while `axes` are sorted by axis
+/// name. Value order *within* an axis is preserved — it orders the points
+/// of a curve, so sorting it would change what the sweep means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    pub(crate) name: String,
+    pub(crate) template: Vec<(String, Json)>,
+    /// Sorted by axis name; each axis holds at least one scalar value.
+    pub(crate) axes: Vec<(String, Vec<Json>)>,
+}
+
+impl SweepSpec {
+    /// Parses a sweep spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the offending field.
+    pub fn parse(text: &str) -> Result<SweepSpec, SpecError> {
+        let doc = json::parse(text).map_err(|e| SpecError::document(e.to_string()))?;
+        SweepSpec::from_json(&doc)
+    }
+
+    /// Parses a sweep spec from a parsed document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<SweepSpec, SpecError> {
+        let Json::Obj(pairs) = doc else {
+            return Err(SpecError::document("sweep spec must be a JSON object"));
+        };
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "name" | "job" | "axes") {
+                return Err(SpecError::field(
+                    key.clone(),
+                    format!("unknown sweep key `{key}` (expected name, job, axes)"),
+                ));
+            }
+        }
+
+        let name = doc
+            .get("name")
+            .ok_or_else(|| SpecError::field("name", "missing `name`"))?
+            .as_str()
+            .ok_or_else(|| SpecError::field("name", "`name` must be a string"))?;
+        check_label("name", name)?;
+
+        let Some(Json::Obj(template)) = doc.get("job") else {
+            return Err(SpecError::field(
+                "job",
+                "`job` must be an object (the job template)",
+            ));
+        };
+
+        let Some(Json::Obj(axis_pairs)) = doc.get("axes") else {
+            return Err(SpecError::field(
+                "axes",
+                "`axes` must be an object of value arrays",
+            ));
+        };
+        if axis_pairs.is_empty() {
+            return Err(SpecError::field("axes", "at least one axis is required"));
+        }
+
+        let mut axes: Vec<(String, Vec<Json>)> = Vec::with_capacity(axis_pairs.len());
+        for (axis, values) in axis_pairs {
+            let field = format!("axes.{axis}");
+            check_label(&field, axis)?;
+            if axes.iter().any(|(a, _)| a == axis) {
+                return Err(SpecError::field(field, "duplicate axis"));
+            }
+            if template.iter().any(|(k, _)| k == axis) {
+                return Err(SpecError::field(
+                    field,
+                    "axis shadows a key already set in the job template",
+                ));
+            }
+            let Json::Arr(values) = values else {
+                return Err(SpecError::field(field, "axis must be an array of values"));
+            };
+            if values.is_empty() {
+                return Err(SpecError::field(field, "axis must hold at least one value"));
+            }
+            let mut rendered = Vec::with_capacity(values.len());
+            for (index, value) in values.iter().enumerate() {
+                let field = format!("axes.{axis}[{index}]");
+                let text = render_value(value).ok_or_else(|| {
+                    SpecError::field(field.clone(), "axis values must be scalars")
+                })?;
+                if let Json::Str(s) = value {
+                    check_label(&field, s)?;
+                }
+                if rendered.contains(&text) {
+                    return Err(SpecError::field(
+                        field,
+                        format!("duplicate axis value `{text}`"),
+                    ));
+                }
+                rendered.push(text);
+            }
+            axes.push((axis.clone(), values.clone()));
+        }
+        // Canonical order: axis declaration order must not matter.
+        axes.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let spec = SweepSpec {
+            name: name.to_owned(),
+            template: template.clone(),
+            axes,
+        };
+        if spec.job_count() == 0 {
+            return Err(SpecError::field(
+                "axes",
+                format!("sweep expands to more than {MAX_SWEEP_JOBS} jobs"),
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// The sweep's name (a label, not its identity).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The canonicalized axes: sorted by name, value order preserved.
+    pub fn axes(&self) -> &[(String, Vec<Json>)] {
+        &self.axes
+    }
+
+    /// The number of jobs the cross product expands to (0 only as the
+    /// overflow sentinel checked at parse time).
+    pub fn job_count(&self) -> usize {
+        let mut total = 1usize;
+        for (_, values) in &self.axes {
+            total = match total.checked_mul(values.len()) {
+                Some(t) if t <= MAX_SWEEP_JOBS => t,
+                _ => return 0,
+            };
+        }
+        total
+    }
+
+    /// The canonical document: fixed key order, axes sorted by name.
+    pub fn canonical_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::s(&self.name)),
+            ("job".into(), Json::Obj(self.template.clone())),
+            (
+                "axes".into(),
+                Json::Obj(
+                    self.axes
+                        .iter()
+                        .map(|(axis, values)| (axis.clone(), Json::Arr(values.clone())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The canonical text form — what the sweep id hashes and what the
+    /// manifest stores as `spec.json`.
+    pub fn canonical_string(&self) -> String {
+        self.canonical_json().to_string()
+    }
+
+    /// The content-derived sweep id: 16 hex digits of FNV-1a over the
+    /// canonical bytes. Two specs share an id exactly when they share a
+    /// canonical form, so resubmission is naturally idempotent.
+    pub fn id(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.canonical_string().as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+}
+
+/// The deterministic text form of one axis value, used in job keys and
+/// duplicate detection. `None` for non-scalars.
+pub(crate) fn render_value(value: &Json) -> Option<String> {
+    match value {
+        Json::Str(s) => Some(s.clone()),
+        Json::Num(_) | Json::Bool(_) => Some(value.to_string()),
+        Json::Null | Json::Arr(_) | Json::Obj(_) => None,
+    }
+}
+
+/// Labels (names, axis names, string axis values) appear in derived job
+/// keys and on the filesystem, so the accepted alphabet is strict.
+fn check_label(field: &str, value: &str) -> Result<(), SpecError> {
+    if value.is_empty() || value.len() > MAX_LABEL {
+        return Err(SpecError::field(
+            field,
+            format!("must be 1..={MAX_LABEL} characters"),
+        ));
+    }
+    if !value
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(SpecError::field(
+            field,
+            "allowed characters: ASCII letters, digits, `-`, `_`, `.`",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> SweepSpec {
+        SweepSpec::parse(text).unwrap()
+    }
+
+    fn err(text: &str) -> SpecError {
+        SweepSpec::parse(text).unwrap_err()
+    }
+
+    const FIG8_FRAGMENT: &str = r#"{
+        "name": "fig8",
+        "job": {"kind": "characterize", "trials": 100},
+        "axes": {
+            "current_density": [5e9, 1e10, 2e10],
+            "array": ["1x1", "4x4"]
+        }
+    }"#;
+
+    #[test]
+    fn axes_are_canonicalized_by_name_with_value_order_preserved() {
+        let s = spec(FIG8_FRAGMENT);
+        let names: Vec<&str> = s.axes().iter().map(|(a, _)| a.as_str()).collect();
+        assert_eq!(names, ["array", "current_density"]);
+        let j: Vec<String> = s.axes()[1].1.iter().map(|v| v.to_string()).collect();
+        assert_eq!(j, ["5000000000", "10000000000", "20000000000"]);
+        assert_eq!(s.job_count(), 6);
+    }
+
+    #[test]
+    fn axis_declaration_order_does_not_change_identity() {
+        let forward = spec(FIG8_FRAGMENT);
+        let reversed = spec(
+            r#"{
+            "name": "fig8",
+            "job": {"kind": "characterize", "trials": 100},
+            "axes": {
+                "array": ["1x1", "4x4"],
+                "current_density": [5e9, 1e10, 2e10]
+            }
+        }"#,
+        );
+        assert_eq!(forward.canonical_string(), reversed.canonical_string());
+        assert_eq!(forward.id(), reversed.id());
+    }
+
+    #[test]
+    fn id_is_sixteen_hex_digits_and_content_sensitive() {
+        let a = spec(FIG8_FRAGMENT);
+        assert_eq!(a.id().len(), 16);
+        assert!(a.id().chars().all(|c| c.is_ascii_hexdigit()));
+        let b = spec(&FIG8_FRAGMENT.replace("\"fig8\"", "\"fig9\""));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn canonical_string_round_trips() {
+        let s = spec(FIG8_FRAGMENT);
+        let again = SweepSpec::parse(&s.canonical_string()).unwrap();
+        assert_eq!(s, again);
+        assert_eq!(s.id(), again.id());
+    }
+
+    #[test]
+    fn structural_errors_name_their_field() {
+        assert_eq!(err("[]").field, None);
+        assert_eq!(
+            err(r#"{"job": {}, "axes": {"a": [1]}}"#).field.as_deref(),
+            Some("name")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "axes": {"a": [1]}}"#).field.as_deref(),
+            Some("job")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}}"#).field.as_deref(),
+            Some("axes")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {}}"#)
+                .field
+                .as_deref(),
+            Some("axes")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": [1]}, "extra": 1}"#)
+                .field
+                .as_deref(),
+            Some("extra")
+        );
+        assert_eq!(
+            err(r#"{"name": "bad name!", "job": {}, "axes": {"a": [1]}}"#)
+                .field
+                .as_deref(),
+            Some("name")
+        );
+    }
+
+    #[test]
+    fn axis_errors_name_axis_and_index() {
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": []}}"#)
+                .field
+                .as_deref(),
+            Some("axes.a")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": 3}}"#)
+                .field
+                .as_deref(),
+            Some("axes.a")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": [[1]]}}"#)
+                .field
+                .as_deref(),
+            Some("axes.a[0]")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": [1, 1]}}"#)
+                .field
+                .as_deref(),
+            Some("axes.a[1]")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {}, "axes": {"a": ["x,y"]}}"#)
+                .field
+                .as_deref(),
+            Some("axes.a[0]")
+        );
+        assert_eq!(
+            err(r#"{"name": "s", "job": {"trials": 5}, "axes": {"trials": [1]}}"#)
+                .field
+                .as_deref(),
+            Some("axes.trials")
+        );
+    }
+
+    #[test]
+    fn expansion_overflow_is_rejected_at_parse_time() {
+        // 17 values on each of 3 axes: 4913 > MAX_SWEEP_JOBS.
+        let values: Vec<String> = (0..17).map(|i| i.to_string()).collect();
+        let arr = format!("[{}]", values.join(","));
+        let text = format!(
+            r#"{{"name": "big", "job": {{}}, "axes": {{"a": {arr}, "b": {arr}, "c": {arr}}}}}"#
+        );
+        let e = err(&text);
+        assert_eq!(e.field.as_deref(), Some("axes"));
+        assert!(e.message.contains("4096"), "{}", e.message);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: sweep expansion is a pure function of the spec bytes,
+//! and axis declaration order never changes a sweep's identity or its
+//! expanded job list.
+
+use emgrid_scenarios::SweepSpec;
+use emgrid_serve::JobSpec;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A randomly composed sweep over the characterize spec's label axes,
+/// returned as JSON text with axes in a seed-dependent declaration order.
+/// The second text is the same sweep with the axis order rotated.
+fn random_spec_texts(seed: u64) -> (String, String) {
+    let mut rng = TestRng::from_name(&format!("sweep-spec-{seed}"));
+    let mut pick = |pool: &[&str]| -> Vec<String> {
+        let count = 1 + rng.next_below(pool.len() as u64) as usize;
+        pool[..count].iter().map(|s| format!("\"{s}\"")).collect()
+    };
+    let mut axes: Vec<(String, Vec<String>)> = vec![
+        ("array".into(), pick(&["1x1", "4x4", "8x8"])),
+        ("pattern".into(), pick(&["plus", "tee", "ell"])),
+        ("criterion".into(), pick(&["wl", "r2x", "rinf"])),
+        (
+            "seed".into(),
+            (0..1 + rng.next_below(3) as u64)
+                .map(|i| (i * 100 + 1 + rng.next_below(100)).to_string())
+                .collect(),
+        ),
+    ];
+    // Seed-dependent declaration order for the first rendering...
+    let swaps = rng.next_below(8);
+    for i in 0..swaps as usize {
+        let a = i % axes.len();
+        let b = rng.next_below(axes.len() as u64) as usize;
+        axes.swap(a, b);
+    }
+    let render = |axes: &[(String, Vec<String>)]| {
+        let body: Vec<String> = axes
+            .iter()
+            .map(|(name, values)| format!("\"{name}\": [{}]", values.join(", ")))
+            .collect();
+        format!(
+            r#"{{"name": "prop", "job": {{"kind": "characterize", "trials": 16}}, "axes": {{{}}}}}"#,
+            body.join(", ")
+        )
+    };
+    let forward = render(&axes);
+    // ...and a rotated order for the second: same sweep, different bytes.
+    axes.rotate_left(1);
+    (forward, render(&axes))
+}
+
+/// A comparable fingerprint of an expanded job list; canonical spec JSON
+/// stands in for `JobSpec: Eq`.
+fn fingerprint(jobs: &[emgrid_scenarios::SweepJob]) -> Vec<(usize, String, String)> {
+    jobs.iter()
+        .map(|j| (j.index, j.key.clone(), j.spec.to_json().to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expansion_is_a_pure_function_of_the_spec_bytes(seed in 0u64..1_000_000) {
+        let (text, _) = random_spec_texts(seed);
+        let a = SweepSpec::parse(&text).unwrap();
+        let b = SweepSpec::parse(&text).unwrap();
+        prop_assert_eq!(a.id(), b.id());
+        prop_assert_eq!(a.canonical_string(), b.canonical_string());
+        prop_assert_eq!(
+            fingerprint(&a.expand().unwrap()),
+            fingerprint(&b.expand().unwrap())
+        );
+    }
+
+    #[test]
+    fn axis_declaration_order_is_canonicalized_away(seed in 0u64..1_000_000) {
+        let (forward, rotated) = random_spec_texts(seed);
+        let a = SweepSpec::parse(&forward).unwrap();
+        let b = SweepSpec::parse(&rotated).unwrap();
+        prop_assert_eq!(a.id(), b.id());
+        prop_assert_eq!(a.canonical_string(), b.canonical_string());
+        prop_assert_eq!(
+            fingerprint(&a.expand().unwrap()),
+            fingerprint(&b.expand().unwrap())
+        );
+    }
+
+    #[test]
+    fn every_expanded_job_resolves_and_keys_are_unique(seed in 0u64..1_000_000) {
+        let (text, _) = random_spec_texts(seed);
+        let spec = SweepSpec::parse(&text).unwrap();
+        let jobs = spec.expand().unwrap();
+        prop_assert_eq!(jobs.len(), spec.job_count());
+        let mut keys: Vec<&str> = jobs.iter().map(|j| j.key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), jobs.len());
+        for job in &jobs {
+            prop_assert!(job.spec.resolve().is_ok());
+            prop_assert!(matches!(job.spec, JobSpec::Characterize(_)));
+        }
+    }
+}
+
+/// The committed Fig. 8 example spec is the acceptance artifact: it must
+/// keep expanding to at least 100 fully resolved jobs.
+#[test]
+fn committed_fig08_spec_expands_to_at_least_100_jobs() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/sweeps/fig08.json"
+    );
+    let text = std::fs::read_to_string(path).unwrap();
+    let spec = SweepSpec::parse(&text).unwrap();
+    let jobs = spec.expand().unwrap();
+    assert!(
+        jobs.len() >= 100,
+        "fig08 expands to only {} jobs",
+        jobs.len()
+    );
+    assert_eq!(jobs.len(), 108);
+    assert_eq!(spec.id().len(), 16);
+}
+
+/// The committed smoke spec (the CI `sweep-smoke` victim) stays small.
+#[test]
+fn committed_smoke_spec_expands_to_eight_jobs() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/sweeps/smoke.json"
+    );
+    let text = std::fs::read_to_string(path).unwrap();
+    assert_eq!(SweepSpec::parse(&text).unwrap().expand().unwrap().len(), 8);
+}

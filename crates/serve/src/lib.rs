@@ -29,7 +29,7 @@ pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use server::{ServeConfig, Server};
+pub use server::{JobsApi, JobsApiError, RouteHook, ServeConfig, Server};
 pub use spec::{
     DeckSource, JobSpec, McParams, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc,
     SolverSpec, SpecError,

@@ -24,7 +24,7 @@ use emgrid_runtime::obs::{self, Histogram};
 /// Route labels for the request-latency histogram family. `other` takes
 /// unroutable requests (parse errors, unknown paths).
 pub const ROUTES: &[&str] = &[
-    "healthz", "metrics", "submit", "status", "result", "cancel", "other",
+    "healthz", "metrics", "submit", "status", "result", "cancel", "sweep", "other",
 ];
 
 /// Status classes tracked by `emgrid_http_responses_total`.

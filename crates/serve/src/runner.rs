@@ -30,10 +30,6 @@ use crate::metrics::Metrics;
 use crate::spec::{DeckSource, JobSpec, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc};
 use crate::store::JobStore;
 
-/// Fixed reference current density for via-array characterization (A/m²),
-/// matching the CLI's `characterize`/`analyze` commands.
-const REFERENCE_J: f64 = 1e10;
-
 /// Jobs whose phase timings stay queryable after the map would otherwise
 /// grow without bound; disk stays authoritative for everything else, so
 /// evicted phase data is merely absent from old status docs.
@@ -120,7 +116,8 @@ pub fn run_job(spec: &JobSpec, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<Str
 }
 
 fn run_characterize(mc: &ResolvedMc, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
-    let model = ViaArrayMc::from_reference_table(&mc.config, Technology::default(), REFERENCE_J);
+    let model =
+        ViaArrayMc::from_reference_table(&mc.config, Technology::default(), mc.current_density);
 
     let resume = env
         .store
@@ -217,7 +214,8 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
 
     // Level 1: via-array characterization (deterministic, re-run in full on
     // resume — only the level-2 grid loop is checkpointed).
-    let model = ViaArrayMc::from_reference_table(&mc.config, Technology::default(), REFERENCE_J);
+    let model =
+        ViaArrayMc::from_reference_table(&mc.config, Technology::default(), mc.current_density);
     let level1 = ViaSession {
         cancel: Some(&ctx.cancel),
         ..ViaSession::default()
@@ -410,6 +408,7 @@ mod tests {
             seed,
             threads,
             target_ci: None,
+            current_density: None,
         })
     }
 
@@ -440,6 +439,7 @@ mod tests {
                 seed: 9,
                 threads: 2,
                 target_ci: None,
+                current_density: None,
             },
             deck: DeckSource::Netlist(deck.clone()),
             grid_trials,
@@ -523,6 +523,7 @@ mod tests {
                 seed: 1,
                 threads: 1,
                 target_ci: None,
+                current_density: None,
             },
             deck: DeckSource::Netlist("R1 a b\n".into()),
             grid_trials: 5,

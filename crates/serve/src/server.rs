@@ -23,7 +23,7 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,11 @@ use crate::metrics::Metrics;
 use crate::runner::{run_job, PhaseLog, RunEnv};
 use crate::spec::{DeckSource, JobSpec};
 use crate::store::{DiskJob, JobStore};
+
+/// A pluggable handler consulted for requests no built-in route claims
+/// (see [`Server::set_route_hook`]). Returning `None` falls through to
+/// the daemon's `404`.
+pub type RouteHook = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -97,6 +102,9 @@ struct Shared {
     debug_panic_route: bool,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
+    /// Extension routes (e.g. `/v1/sweeps` from `emgrid-batch`), consulted
+    /// only after every built-in route has declined the request.
+    route_hook: RwLock<Option<RouteHook>>,
     /// Connection threads currently alive, for load shedding.
     active_connections: Arc<AtomicUsize>,
     /// Ids submitted or requeued by this process that may still be live,
@@ -158,6 +166,7 @@ impl Server {
             debug_panic_route: config.debug_panic_route,
             next_id: AtomicU64::new(max_id + 1),
             shutting_down: AtomicBool::new(false),
+            route_hook: RwLock::new(None),
             active_connections: Arc::new(AtomicUsize::new(0)),
             known: Mutex::new(Vec::new()),
         });
@@ -201,6 +210,24 @@ impl Server {
     pub fn wait(mut self) {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
+        }
+    }
+
+    /// Installs the extension-route handler consulted for requests no
+    /// built-in route claims (e.g. `/v1/sweeps` from `emgrid-batch`).
+    pub fn set_route_hook(&self, hook: RouteHook) {
+        *self
+            .shared
+            .route_hook
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    }
+
+    /// A handle for submitting jobs programmatically (used by the sweep
+    /// engine), sharing this daemon's id space, store, and job engine.
+    pub fn jobs_api(&self) -> JobsApi {
+        JobsApi {
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -252,6 +279,98 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop(true);
+    }
+}
+
+/// Why [`JobsApi::submit`] or [`JobsApi::resubmit`] rejected a job.
+#[derive(Debug)]
+pub enum JobsApiError {
+    /// The engine's bounded queue is full; retry after jobs drain.
+    QueueFull,
+    /// The daemon is shutting down; no new work is accepted.
+    ShuttingDown,
+    /// The spec could not be persisted (jobs must never run spec-less).
+    Persist(std::io::Error),
+}
+
+impl std::fmt::Display for JobsApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobsApiError::QueueFull => write!(f, "job queue full"),
+            JobsApiError::ShuttingDown => write!(f, "daemon shutting down"),
+            JobsApiError::Persist(e) => write!(f, "cannot persist job spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobsApiError {}
+
+/// Programmatic job submission sharing the daemon's id space, store, and
+/// engine — how the sweep engine fans jobs out without going through
+/// HTTP. Cloning is cheap (one `Arc`).
+#[derive(Clone)]
+pub struct JobsApi {
+    shared: Arc<Shared>,
+}
+
+impl JobsApi {
+    /// Allocates the next job id (never reused within this process).
+    pub fn allocate_id(&self) -> JobId {
+        self.shared.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Ensures future [`allocate_id`](Self::allocate_id) calls return ids
+    /// strictly above `floor` — called by the sweep engine after reading
+    /// a manifest so resumed sweeps never collide with their own jobs.
+    pub fn reserve_above(&self, floor: JobId) {
+        self.shared.next_id.fetch_max(floor + 1, Ordering::SeqCst);
+    }
+
+    /// Persists `spec` under `id` and queues it.
+    ///
+    /// The caller owns `id` exclusively (the engine panics on duplicate
+    /// live ids, so callers must confirm via the store/engine that the id
+    /// is unknown before submitting).
+    ///
+    /// # Errors
+    ///
+    /// [`JobsApiError::Persist`] if the spec cannot be written,
+    /// [`JobsApiError::QueueFull`] / [`JobsApiError::ShuttingDown`] from
+    /// the engine. On engine rejection the persisted spec is left on disk
+    /// so a later retry (or a daemon restart) can still run the job.
+    pub fn submit(&self, id: JobId, spec: &JobSpec) -> Result<(), JobsApiError> {
+        self.shared
+            .store
+            .write_spec(id, &spec.to_json())
+            .map_err(JobsApiError::Persist)?;
+        self.resubmit(id, spec.clone())
+    }
+
+    /// Queues a job whose spec is already on disk under `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`JobsApiError::QueueFull`] / [`JobsApiError::ShuttingDown`].
+    pub fn resubmit(&self, id: JobId, spec: JobSpec) -> Result<(), JobsApiError> {
+        enqueue(&self.shared, id, spec).map_err(|e| match e {
+            SubmitError::QueueFull => JobsApiError::QueueFull,
+            SubmitError::ShuttingDown => JobsApiError::ShuttingDown,
+        })
+    }
+
+    /// The engine's view of a job (`None` once evicted or never known).
+    pub fn engine_status(&self, id: JobId) -> Option<JobStatus> {
+        self.shared.engine.status(id)
+    }
+
+    /// The daemon's job store (authoritative terminal state).
+    pub fn store(&self) -> JobStore {
+        self.shared.store.clone()
+    }
+
+    /// Whether the daemon has begun shutting down.
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
     }
 }
 
@@ -385,6 +504,7 @@ fn route_label(request: &Request) -> &'static str {
         ["v1", "jobs", _] if request.method == "DELETE" => "cancel",
         ["v1", "jobs", _] => "status",
         ["v1", "jobs", _, "result"] => "result",
+        ["v1", "sweeps", ..] => "sweep",
         _ => "other",
     }
 }
@@ -476,7 +596,19 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         (_, ["healthz" | "metrics"]) | (_, ["v1", "jobs", ..]) => {
             Response::error(405, "method not allowed")
         }
-        _ => Response::error(404, "no such route"),
+        _ => {
+            // A poisoned hook lock means a handler panicked mid-request;
+            // the Arc inside carries no state a panic could corrupt.
+            let hook = shared
+                .route_hook
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            match hook.and_then(|hook| hook(request)) {
+                Some(response) => response,
+                None => Response::error(404, "no such route"),
+            }
+        }
     }
 }
 
@@ -556,6 +688,9 @@ fn status(id: JobId, shared: &Arc<Shared>) -> Response {
         if let Some(error) = snapshot.error {
             pairs.push(("error".into(), Json::s(error)));
         }
+        if let Some(sweep) = shared.store.read_sweep(id) {
+            pairs.push(("sweep".into(), Json::s(sweep)));
+        }
         // Phase wall times are status-doc-only telemetry: result docs must
         // stay byte-identical however long each stage took.
         let phases = shared.phases.phases(id);
@@ -587,6 +722,9 @@ fn status(id: JobId, shared: &Arc<Shared>) -> Response {
             ];
             if let Some(error) = error {
                 pairs.push(("error".into(), Json::s(error)));
+            }
+            if let Some(sweep) = shared.store.read_sweep(id) {
+                pairs.push(("sweep".into(), Json::s(sweep)));
             }
             Response::json(200, &Json::Obj(pairs))
         }

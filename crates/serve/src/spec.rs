@@ -32,6 +32,11 @@ use crate::json::Json;
 const MAX_TRIALS: usize = 1_000_000;
 const MAX_THREADS: usize = 64;
 
+/// Reference current density for via-array characterization (A/m²) when a
+/// spec does not set `current_density`, matching the CLI's
+/// `characterize`/`analyze` commands and the paper's stress tables.
+pub const REFERENCE_CURRENT_DENSITY: f64 = 1e10;
+
 /// A validation failure, phrased for the client and naming the field at
 /// fault so a caller can highlight it without parsing prose.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +101,10 @@ pub struct McParams {
     pub threads: usize,
     /// Optional early-stop target on the 95% CI half-width of mean ln TTF.
     pub target_ci: Option<f64>,
+    /// Stress current density, A/m² (`None` = the reference
+    /// [`REFERENCE_CURRENT_DENSITY`]). The sweep axis behind the paper's
+    /// TTF-vs-j curves (Fig. 8).
+    pub current_density: Option<f64>,
 }
 
 /// Where an `analyze` job's power grid comes from.
@@ -204,6 +213,8 @@ pub struct ResolvedMc {
     pub trials: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Stress current density, A/m² (defaults materialized).
+    pub current_density: f64,
 }
 
 /// An `analyze` spec resolved to runnable configuration.
@@ -280,7 +291,7 @@ impl JobSpec {
                 Ok(JobSpec::Characterize(mc_params(doc)?))
             }
             "analyze" => {
-                const ANALYZE_KEYS: [&str; 13] = [
+                const ANALYZE_KEYS: [&str; 14] = [
                     "kind",
                     "array",
                     "pattern",
@@ -289,6 +300,7 @@ impl JobSpec {
                     "seed",
                     "threads",
                     "target_ci",
+                    "current_density",
                     "grid_trials",
                     "benchmark",
                     "netlist",
@@ -513,6 +525,7 @@ fn resolve_mc(mc: &McParams) -> Result<ResolvedMc, SpecError> {
         runtime,
         trials: mc.trials,
         seed: mc.seed,
+        current_density: mc.current_density.unwrap_or(REFERENCE_CURRENT_DENSITY),
     })
 }
 
@@ -540,7 +553,7 @@ fn pattern_of(pattern: &str) -> Result<IntersectionPattern, SpecError> {
     }
 }
 
-const MC_KEYS: [&str; 8] = [
+const MC_KEYS: [&str; 9] = [
     "kind",
     "array",
     "pattern",
@@ -549,6 +562,7 @@ const MC_KEYS: [&str; 8] = [
     "seed",
     "threads",
     "target_ci",
+    "current_density",
 ];
 
 fn push_mc(pairs: &mut Vec<(String, Json)>, mc: &McParams) {
@@ -560,6 +574,11 @@ fn push_mc(pairs: &mut Vec<(String, Json)>, mc: &McParams) {
     pairs.push(("threads".into(), Json::n(mc.threads as f64)));
     if let Some(ci) = mc.target_ci {
         pairs.push(("target_ci".into(), Json::n(ci)));
+    }
+    // Emitted only when set: older canonical spec documents (and their
+    // byte-exact tests) predate the key and must keep re-parsing.
+    if let Some(j) = mc.current_density {
+        pairs.push(("current_density".into(), Json::n(j)));
     }
 }
 
@@ -582,6 +601,7 @@ fn mc_params(doc: &Json) -> Result<McParams, SpecError> {
         threads: get_usize(doc, "threads", 1, 1, MAX_THREADS)?,
         // Positivity and finiteness are enforced by get_pos_f64.
         target_ci: get_pos_f64(doc, "target_ci")?,
+        current_density: get_pos_f64(doc, "current_density")?,
     })
 }
 
@@ -942,8 +962,47 @@ mod tests {
             seed: 1,
             threads: 1,
             target_ci: None,
+            current_density: None,
         });
         let e = bad.resolve().unwrap_err();
         assert_eq!(e.field.as_deref(), Some("array"));
+    }
+
+    #[test]
+    fn current_density_is_optional_and_round_trips() {
+        // Absent: canonical form omits the key and resolve falls back to
+        // the reference density.
+        let s = spec(r#"{"kind":"characterize"}"#).unwrap();
+        assert!(!s.to_json().to_string().contains("current_density"));
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.current_density, REFERENCE_CURRENT_DENSITY);
+
+        // Present: the canonical form keeps it and it survives re-parsing.
+        let s = spec(r#"{"kind":"characterize","current_density":2e10}"#).unwrap();
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"characterize","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1,"current_density":20000000000}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.current_density, 2e10);
+
+        // Analyze accepts it too, and bad values name the field.
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1","current_density":5e9}"#).unwrap();
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        for bad in [
+            r#"{"kind":"characterize","current_density":0}"#,
+            r#"{"kind":"characterize","current_density":-1e10}"#,
+            r#"{"kind":"characterize","current_density":"high"}"#,
+        ] {
+            let e = spec(bad).unwrap_err();
+            assert_eq!(e.field.as_deref(), Some("current_density"), "{bad}");
+        }
+        // fea has no current to carry; the key stays unknown there.
+        assert!(spec(r#"{"kind":"fea","current_density":1e10}"#).is_err());
     }
 }

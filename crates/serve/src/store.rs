@@ -9,6 +9,7 @@
 //! | `result.json`| final result document, served verbatim               |
 //! | `error`      | failure message when the job failed                  |
 //! | `cancelled`  | marker: a client cancelled the job — never requeue   |
+//! | `sweep`      | owning sweep id, when a sweep submitted the job      |
 //!
 //! Every write goes through the same atomic tmp-file + rename discipline
 //! as the FEA [`StressCache`](emgrid_via::StressCache): readers (and a
@@ -153,6 +154,21 @@ impl JobStore {
         self.dir(id).join("cancelled").exists()
     }
 
+    /// Records which sweep owns this job, so status documents can point
+    /// clients back at `GET /v1/sweeps/:id`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write_sweep(&self, id: JobId, sweep: &str) -> io::Result<()> {
+        self.write_atomic(id, "sweep", sweep.as_bytes())
+    }
+
+    /// The owning sweep id, if a sweep submitted this job.
+    pub fn read_sweep(&self, id: JobId) -> Option<String> {
+        fs::read_to_string(self.dir(id).join("sweep")).ok()
+    }
+
     /// Whether the job has any state on disk at all.
     pub fn exists(&self, id: JobId) -> bool {
         self.dir(id).join("spec.json").exists()
@@ -264,6 +280,19 @@ mod tests {
         store.mark_cancelled(2).unwrap();
         assert!(matches!(store.load(2), Some(DiskJob::Cancelled)));
         assert!(store.is_cancelled(2));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn sweep_marker_round_trips_without_affecting_state() {
+        let store = temp_store("sweep");
+        let spec = Json::Obj(vec![]);
+        store.write_spec(5, &spec).unwrap();
+        assert_eq!(store.read_sweep(5), None);
+        store.write_sweep(5, "a1b2c3d4e5f60718").unwrap();
+        assert_eq!(store.read_sweep(5).as_deref(), Some("a1b2c3d4e5f60718"));
+        // The marker is metadata: the derived lifecycle state is unchanged.
+        assert!(matches!(store.load(5), Some(DiskJob::Unfinished { .. })));
         let _ = fs::remove_dir_all(store.root());
     }
 
