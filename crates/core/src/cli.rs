@@ -15,7 +15,7 @@ use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::obs;
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_serve::{ServeConfig, Server};
-use emgrid_sparse::{FactorOptions, Ordering};
+use emgrid_sparse::{FactorOptions, KernelBackend, Ordering};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{
@@ -60,12 +60,14 @@ COMMANDS:
                     [--repair-vias <ohms>] [--threads <n>]
                     [--target-ci <half-width>]
                     [--ordering natural|rcm|amd]
+                    [--kernels auto|scalar|blocked]
 
     fea           finite-element stress characterization of one primitive
                     --array 1x1|4x4|8x8 (default 4x4)
                     --pattern plus|tee|ell (default plus)
                     [--resolution <um>] [--fea-threads <n>] [--no-cache]
                     [--cache-dir <dir>] [--ordering natural|rcm|amd]
+                    [--kernels auto|scalar|blocked]
 
     signoff       traditional current-density signoff (Black's law)
                     <deck.sp> --target-years <y> (default 10)
@@ -99,7 +101,11 @@ of exhausting the trial budget).
 The analyze and fea commands read the sparse solver's fill-reducing
 ordering from --ordering first, the EMGRID_ORDERING environment variable
 second, and default to amd. The ordering changes factorization wall time
-only, never which statistics come out.
+only, never which statistics come out. They likewise read the dense-panel
+microkernel backend from --kernels first, EMGRID_KERNELS second, and
+default to auto (which picks the register-blocked kernels); every backend
+produces bit-identical factors and solutions, so this too is purely a
+speed knob.
 
 The fea command reads its mesh resolution from --resolution first, the
 EMGRID_RESOLUTION environment variable second, and defaults to 0.25 um.
@@ -297,6 +303,31 @@ fn parse_ordering(args: &[String]) -> Result<(Ordering, &'static str), CliError>
     Ok((Ordering::default(), "default"))
 }
 
+/// Dense-panel microkernel backend precedence: `--kernels` flag, then
+/// the `EMGRID_KERNELS` environment variable, then `auto`. Returns the
+/// value and which source supplied it.
+fn parse_kernels(args: &[String]) -> Result<(KernelBackend, &'static str), CliError> {
+    if let Some(v) = option_value(args, "--kernels") {
+        return KernelBackend::parse(v)
+            .map(|k| (k, "--kernels"))
+            .ok_or_else(|| {
+                CliError(format!(
+                    "unknown kernel backend `{v}` for --kernels (expected auto, scalar or blocked)"
+                ))
+            });
+    }
+    if let Ok(v) = std::env::var("EMGRID_KERNELS") {
+        return KernelBackend::parse(&v)
+            .map(|k| (k, "EMGRID_KERNELS"))
+            .ok_or_else(|| {
+                CliError(format!(
+                    "unknown kernel backend `{v}` in EMGRID_KERNELS (expected auto, scalar or blocked)"
+                ))
+            });
+    }
+    Ok((KernelBackend::default(), "default"))
+}
+
 fn parse_criterion(args: &[String]) -> Result<FailureCriterion, CliError> {
     match option_value(args, "--criterion").unwrap_or("rinf") {
         "wl" | "weakest-link" => Ok(FailureCriterion::WeakestLink),
@@ -438,6 +469,7 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let seed = parse_u64(args, "--seed", 1)?;
     let runtime = parse_runtime(args)?;
     let (ordering, _) = parse_ordering(args)?;
+    let (kernels, _) = parse_kernels(args)?;
     let reliability = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
         .characterize_with(trials, seed, &runtime)
         .reliability(criterion)
@@ -446,7 +478,11 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let sites = grid.via_sites().len();
     let mc = PowerGridMc::new(grid, reliability)
         .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
-        .with_factor_options(FactorOptions::default().with_ordering(ordering));
+        .with_factor_options(
+            FactorOptions::default()
+                .with_ordering(ordering)
+                .with_kernels(kernels),
+        );
     let result = mc
         .run_with(grid_trials, seed ^ 0xc11, &runtime)
         .map_err(|e| CliError(e.to_string()))?;
@@ -484,6 +520,7 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
     };
     let (resolution, source) = parse_resolution(args)?;
     let (ordering, ordering_source) = parse_ordering(args)?;
+    let (kernels, kernels_source) = parse_kernels(args)?;
     let threads = parse_usize(args, "--fea-threads", 1)?;
     if threads == 0 {
         return Err(CliError("--fea-threads must be at least 1".to_owned()));
@@ -509,6 +546,7 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
     let opts = FeaOptions {
         threads,
         ordering,
+        kernels,
         cache,
         ..FeaOptions::default()
     };
@@ -527,6 +565,11 @@ fn cmd_fea(args: &[String]) -> Result<String, CliError> {
         out,
         "ordering       : {} (from {ordering_source})",
         ordering.label()
+    );
+    let _ = writeln!(
+        out,
+        "kernels        : {} (from {kernels_source})",
+        kernels.label()
     );
     let _ = writeln!(
         out,
@@ -998,6 +1041,22 @@ mod tests {
         assert!(run(&argv("fea --resolution coarse")).is_err());
         assert!(run(&argv("fea --fea-threads 0")).is_err());
         assert!(run(&argv("fea --ordering best")).is_err());
+        assert!(run(&argv("fea --kernels simd")).is_err());
+    }
+
+    #[test]
+    fn kernels_flag_beats_env_var_and_env_beats_default() {
+        // One test mutates EMGRID_KERNELS to avoid races.
+        std::env::set_var("EMGRID_KERNELS", "scalar");
+        let (k, src) = parse_kernels(&argv("--kernels blocked")).unwrap();
+        assert_eq!((k, src), (KernelBackend::Blocked, "--kernels"));
+        let (k, src) = parse_kernels(&argv("")).unwrap();
+        assert_eq!((k, src), (KernelBackend::Scalar, "EMGRID_KERNELS"));
+        std::env::set_var("EMGRID_KERNELS", "fastest");
+        assert!(parse_kernels(&argv("")).is_err());
+        std::env::remove_var("EMGRID_KERNELS");
+        let (k, src) = parse_kernels(&argv("")).unwrap();
+        assert_eq!((k, src), (KernelBackend::Auto, "default"));
     }
 
     #[test]

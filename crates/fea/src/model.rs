@@ -7,7 +7,8 @@ use std::time::{Duration, Instant};
 
 use emgrid_runtime::obs;
 use emgrid_sparse::{
-    conjugate_gradient, CgOptions, FactorOptions, LdlFactor, Ordering, Preconditioner, SparseError,
+    conjugate_gradient, CgOptions, FactorOptions, KernelBackend, LdlFactor, Ordering,
+    Preconditioner, SparseError,
 };
 
 use crate::assembly::{assemble_with, AssembledSystem};
@@ -109,6 +110,7 @@ pub struct ThermalStressAnalysis {
     method: SolveMethod,
     ordering: Ordering,
     threads: usize,
+    kernels: KernelBackend,
 }
 
 impl ThermalStressAnalysis {
@@ -119,6 +121,7 @@ impl ThermalStressAnalysis {
             method: SolveMethod::default(),
             ordering: Ordering::default(),
             threads: 1,
+            kernels: KernelBackend::default(),
         }
     }
 
@@ -144,6 +147,14 @@ impl ThermalStressAnalysis {
         self
     }
 
+    /// Selects the dense-panel microkernel backend used by both the direct
+    /// factorization and the CG/IC(0) kernels. Backends are bit-identical
+    /// (the stress field never changes), so this only moves wall time.
+    pub fn with_kernels(mut self, kernels: KernelBackend) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
     /// The model being analyzed.
     pub fn model(&self) -> &CharacterizationModel {
         &self.model
@@ -156,7 +167,8 @@ impl ThermalStressAnalysis {
         let factor_start = Instant::now();
         let opts = FactorOptions::default()
             .with_ordering(self.ordering)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_kernels(self.kernels);
         let factor = {
             let _span = obs::span("factorize");
             LdlFactor::factor_with(&sys.stiffness, &opts)?
@@ -198,6 +210,7 @@ impl ThermalStressAnalysis {
             max_iterations,
             preconditioner: Preconditioner::IncompleteCholesky,
             threads: self.threads,
+            kernels: self.kernels,
         };
         let solve_start = Instant::now();
         let solve_span = obs::span("solve");

@@ -41,7 +41,7 @@ pub mod jobs;
 pub mod obs;
 pub mod par;
 pub use jobs::{CancelToken, JobCtx, JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
-pub use par::{parallel_fill, parallel_map_chunks, parallel_reduce};
+pub use par::{parallel_chunks_mut, parallel_fill, parallel_map_chunks, parallel_reduce};
 
 /// Early-termination policy: stop once the two-sided confidence interval on
 /// the mean of the streamed observable is narrow enough.

@@ -155,6 +155,50 @@ where
     });
 }
 
+/// Updates every fixed-size chunk of `out` in place via
+/// `update(start, chunk_slice)`.
+///
+/// The chunk-level sibling of [`parallel_fill`]: the closure receives a
+/// whole disjoint sub-slice (plus its starting index) instead of one
+/// element, so callers can run unrolled or otherwise blocked chunk bodies.
+/// Chunk boundaries depend only on `chunk`, never on `threads`, and each
+/// chunk is written by exactly one worker — the same determinism contract
+/// as the rest of this module.
+pub fn parallel_chunks_mut<U, F>(out: &mut [U], chunk: usize, threads: usize, update: F)
+where
+    U: Send,
+    F: Fn(usize, &mut [U]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let n = out.len();
+    if threads <= 1 || n <= chunk {
+        for (c, s) in out.chunks_mut(chunk).enumerate() {
+            update(c * chunk, s);
+        }
+        return;
+    }
+    let workers = threads.min(chunk_count(n, chunk));
+    let queue: Mutex<Vec<(usize, &mut [U])>> = Mutex::new(
+        out.chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, s)| (c * chunk, s))
+            .rev()
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let queue = &queue;
+            let update = &update;
+            scope.spawn(move || loop {
+                let Some((start, slice)) = queue.lock().expect("chunk queue poisoned").pop() else {
+                    break;
+                };
+                update(start, slice);
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +263,22 @@ mod tests {
         let expect: Vec<f64> = out.iter().map(|v| v * 2.0 + 1.0).collect();
         parallel_fill(&mut out, 32, 4, |_, u| *u = *u * 2.0 + 1.0);
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunks_mut_covers_every_chunk_once() {
+        for threads in [1, 2, 8] {
+            let mut out = vec![0usize; 1037];
+            parallel_chunks_mut(&mut out, 64, threads, |start, slice| {
+                for (off, u) in slice.iter_mut().enumerate() {
+                    *u = (start + off) * 3;
+                }
+            });
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i * 3),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -318,6 +318,7 @@ fn run_fea(job: &ResolvedFea, id: JobId, env: &RunEnv<'_>) -> JobOutcome<String>
     let opts = FeaOptions {
         threads: job.threads,
         ordering: job.ordering,
+        kernels: job.kernels,
         cache,
         ..FeaOptions::default()
     };

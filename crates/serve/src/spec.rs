@@ -22,7 +22,7 @@ use std::fmt;
 
 use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
 use emgrid_runtime::{EarlyStop, RuntimeConfig};
-use emgrid_sparse::{FactorOptions, Ordering};
+use emgrid_sparse::{FactorOptions, KernelBackend, Ordering};
 use emgrid_via::{FailureCriterion, ViaArrayConfig};
 
 use crate::json::Json;
@@ -125,6 +125,9 @@ pub struct SolverSpec {
     pub ordering: Ordering,
     /// Whether the blocked supernodal numeric engine is used.
     pub supernodal: bool,
+    /// Dense-panel microkernel backend: `auto`, `scalar` or `blocked`.
+    /// Bit-identical results by contract, so this is purely a speed knob.
+    pub kernels: KernelBackend,
 }
 
 impl Default for SolverSpec {
@@ -132,6 +135,7 @@ impl Default for SolverSpec {
         SolverSpec {
             ordering: Ordering::Amd,
             supernodal: true,
+            kernels: KernelBackend::Auto,
         }
     }
 }
@@ -145,14 +149,23 @@ impl SolverSpec {
             ordering: self.ordering,
             supernodal: self.supernodal,
             threads: 1,
+            kernels: self.kernels,
+            ..FactorOptions::default()
         }
     }
 
     fn to_json(self) -> Json {
-        Json::Obj(vec![
+        let mut pairs = vec![
             ("ordering".into(), Json::s(self.ordering.label())),
             ("supernodal".into(), Json::Bool(self.supernodal)),
-        ])
+        ];
+        // `auto` is the default and resolves at run time; materializing it
+        // would pin old canonical documents to whatever backend `auto`
+        // meant when they were accepted.
+        if self.kernels != KernelBackend::Auto {
+            pairs.push(("kernels".into(), Json::s(self.kernels.label())));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -187,10 +200,16 @@ pub enum JobSpec {
         /// Whether to consult / populate the stress cache.
         use_cache: bool,
         /// Fill-reducing ordering for the stiffness factorization. The
-        /// `solver` block of an `fea` spec accepts only `ordering`: the
-        /// stress cache keys on the ordering, so it is the one solver
-        /// knob an `fea` job may vary without invalidating cached fields.
+        /// `solver` block of an `fea` spec accepts `ordering` and
+        /// `kernels` but not `supernodal`: the stress cache keys on the
+        /// ordering, and the microkernel backend is bit-identical by
+        /// contract, so these are the solver knobs an `fea` job may vary
+        /// without invalidating cached fields.
         ordering: Ordering,
+        /// Dense-panel microkernel backend for the stiffness solves.
+        /// Deliberately absent from the stress-cache key: every backend
+        /// produces byte-identical fields.
+        kernels: KernelBackend,
     },
 }
 
@@ -251,6 +270,8 @@ pub struct ResolvedFea {
     pub use_cache: bool,
     /// Fill-reducing ordering for the stiffness factorization.
     pub ordering: Ordering,
+    /// Dense-panel microkernel backend for the stiffness solves.
+    pub kernels: KernelBackend,
 }
 
 /// What a worker actually runs: every label resolved, every knob typed.
@@ -374,7 +395,7 @@ impl JobSpec {
                         SpecError::field("use_cache", "`use_cache` must be a boolean")
                     })?,
                 };
-                let ordering = get_solver_ordering(doc)?;
+                let (ordering, kernels) = get_solver_fea(doc)?;
                 Ok(JobSpec::Fea {
                     array,
                     pattern,
@@ -382,6 +403,7 @@ impl JobSpec {
                     threads,
                     use_cache,
                     ordering,
+                    kernels,
                 })
             }
             other => Err(SpecError::field(
@@ -426,18 +448,23 @@ impl JobSpec {
                 threads,
                 use_cache,
                 ordering,
-            } => Json::Obj(vec![
-                ("kind".into(), Json::s("fea")),
-                ("array".into(), Json::s(array)),
-                ("pattern".into(), Json::s(pattern)),
-                ("resolution".into(), Json::n(*resolution)),
-                ("threads".into(), Json::n(*threads as f64)),
-                ("use_cache".into(), Json::Bool(*use_cache)),
-                (
-                    "solver".into(),
-                    Json::Obj(vec![("ordering".into(), Json::s(ordering.label()))]),
-                ),
-            ]),
+                kernels,
+            } => {
+                let mut solver = vec![("ordering".to_owned(), Json::s(ordering.label()))];
+                // Same rule as `SolverSpec::to_json`: `auto` stays implicit.
+                if *kernels != KernelBackend::Auto {
+                    solver.push(("kernels".into(), Json::s(kernels.label())));
+                }
+                Json::Obj(vec![
+                    ("kind".into(), Json::s("fea")),
+                    ("array".into(), Json::s(array)),
+                    ("pattern".into(), Json::s(pattern)),
+                    ("resolution".into(), Json::n(*resolution)),
+                    ("threads".into(), Json::n(*threads as f64)),
+                    ("use_cache".into(), Json::Bool(*use_cache)),
+                    ("solver".into(), Json::Obj(solver)),
+                ])
+            }
         }
     }
 
@@ -474,6 +501,7 @@ impl JobSpec {
                 threads,
                 use_cache,
                 ordering,
+                kernels,
             } => Ok(ResolvedJob::Fea(ResolvedFea {
                 array: array.clone(),
                 pattern: pattern.clone(),
@@ -483,6 +511,7 @@ impl JobSpec {
                 threads: *threads,
                 use_cache: *use_cache,
                 ordering: *ordering,
+                kernels: *kernels,
             })),
         }
     }
@@ -644,6 +673,7 @@ fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
                     SpecError::field("solver.supernodal", "`solver.supernodal` must be a boolean")
                 })?
             }
+            "kernels" => solver.kernels = parse_kernels(value)?,
             other => {
                 return Err(SpecError::field(
                     format!("solver.{other}"),
@@ -655,29 +685,34 @@ fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
     Ok(solver)
 }
 
-/// Parses the ordering-only `solver` block of an `fea` spec. The
-/// supernode toggle is deliberately absent: the stress cache keys on
-/// the ordering alone, so only knobs in the key may vary per job.
-fn get_solver_ordering(doc: &Json) -> Result<Ordering, SpecError> {
+/// Parses the `solver` block of an `fea` spec: `ordering` plus the
+/// bit-identical `kernels` backend. The supernode toggle is deliberately
+/// absent: the stress cache keys on the ordering alone, so only knobs
+/// that cannot change cached fields may vary per job.
+fn get_solver_fea(doc: &Json) -> Result<(Ordering, KernelBackend), SpecError> {
     let Some(block) = doc.get("solver") else {
-        return Ok(Ordering::default());
+        return Ok((Ordering::default(), KernelBackend::default()));
     };
     let Json::Obj(pairs) = block else {
         return Err(SpecError::field("solver", "`solver` must be an object"));
     };
     let mut ordering = Ordering::default();
+    let mut kernels = KernelBackend::default();
     for (key, value) in pairs {
         match key.as_str() {
             "ordering" => ordering = parse_ordering(value)?,
+            "kernels" => kernels = parse_kernels(value)?,
             other => {
                 return Err(SpecError::field(
                     format!("solver.{other}"),
-                    format!("unknown key `solver.{other}` (fea accepts only `ordering`)"),
+                    format!(
+                        "unknown key `solver.{other}` (fea accepts only `ordering` and `kernels`)"
+                    ),
                 ))
             }
         }
     }
-    Ok(ordering)
+    Ok((ordering, kernels))
 }
 
 fn parse_ordering(value: &Json) -> Result<Ordering, SpecError> {
@@ -688,6 +723,18 @@ fn parse_ordering(value: &Json) -> Result<Ordering, SpecError> {
         SpecError::field(
             "solver.ordering",
             format!("unknown ordering `{s}` (expected natural, rcm or amd)"),
+        )
+    })
+}
+
+fn parse_kernels(value: &Json) -> Result<KernelBackend, SpecError> {
+    let s = value
+        .as_str()
+        .ok_or_else(|| SpecError::field("solver.kernels", "`solver.kernels` must be a string"))?;
+    KernelBackend::parse(s).ok_or_else(|| {
+        SpecError::field(
+            "solver.kernels",
+            format!("unknown kernel backend `{s}` (expected auto, scalar or blocked)"),
         )
     })
 }
@@ -847,6 +894,9 @@ mod tests {
         assert_eq!(e.field.as_deref(), Some("solver.supernodal"));
         let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"threads":2}}"#).unwrap_err();
         assert_eq!(e.field.as_deref(), Some("solver.threads"));
+        let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"kernels":"simd"}}"#)
+            .unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.kernels"));
         let e = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":"amd"}"#).unwrap_err();
         assert_eq!(e.field.as_deref(), Some("solver"));
         // `characterize` has no grid solves to steer; the key is unknown.
@@ -854,12 +904,13 @@ mod tests {
     }
 
     #[test]
-    fn fea_solver_block_accepts_ordering_only() {
+    fn fea_solver_block_accepts_ordering_and_kernels() {
         let s = spec(r#"{"kind":"fea","solver":{"ordering":"natural"}}"#).unwrap();
         let ResolvedJob::Fea(f) = s.resolve().unwrap() else {
             panic!("wrong kind")
         };
         assert_eq!(f.ordering, Ordering::Natural);
+        assert_eq!(f.kernels, KernelBackend::Auto);
         assert_eq!(
             s.to_json().to_string(),
             r#"{"kind":"fea","array":"4x4","pattern":"plus","resolution":0.25,"threads":1,"use_cache":true,"solver":{"ordering":"natural"}}"#
@@ -869,6 +920,33 @@ mod tests {
         // fea spec may not set it.
         let e = spec(r#"{"kind":"fea","solver":{"supernodal":false}}"#).unwrap_err();
         assert_eq!(e.field.as_deref(), Some("solver.supernodal"));
+    }
+
+    #[test]
+    fn kernels_key_round_trips_and_stays_implicit_when_auto() {
+        // An explicit non-default backend is materialized in canonical form.
+        let s = spec(r#"{"kind":"fea","solver":{"kernels":"scalar"}}"#).unwrap();
+        let ResolvedJob::Fea(f) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(f.kernels, KernelBackend::Scalar);
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"fea","array":"4x4","pattern":"plus","resolution":0.25,"threads":1,"use_cache":true,"solver":{"ordering":"amd","kernels":"scalar"}}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+
+        // Same for the analyze solver block; `auto` is never emitted.
+        let s =
+            spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"kernels":"blocked"}}"#).unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.factor.kernels, KernelBackend::Blocked);
+        assert!(s.to_json().to_string().contains(r#""kernels":"blocked""#));
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        let e = spec(r#"{"kind":"fea","solver":{"kernels":"avx"}}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.kernels"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use emgrid_runtime::{obs, parallel_map_chunks};
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::ordering::{amd, reverse_cuthill_mckee, Permutation};
+use crate::panel::{self, KernelBackend, PanelKernels};
 use crate::supernodal::{self, SolvePlan, Symbolic, TOP};
 
 /// Fill-reducing ordering applied before factorization.
@@ -80,7 +81,28 @@ pub struct FactorOptions {
     /// independent elimination-tree subtrees, [`LdlFactor::solve_many`]
     /// blocks of right-hand sides). Never changes results, only wall time.
     pub threads: usize,
+    /// Dense-panel microkernel backend for the supernodal factor and the
+    /// blocked solves ([`crate::panel`]). Every backend produces identical
+    /// bytes, so this — like `threads` — only moves wall time.
+    pub kernels: KernelBackend,
+    /// Right-hand sides per panel in [`LdlFactor::solve_many`]. Panels of
+    /// this width share one forward/diagonal/backward sweep; the default
+    /// (8) matches the blocked backend's row-unroll width. Re-blocking
+    /// never changes solution bits.
+    pub rhs_panel: usize,
+    /// Cap on supernode width in the supernodal engine. Wider panels
+    /// amortize better but waste work on patterns that only almost match;
+    /// the default (48) keeps the dense diagonal block (48×48 f64 ≈ 18 KiB)
+    /// comfortably in L1/L2. Changes the supernode partition — and thus
+    /// panel shapes — but never the factor's CSC layout or values.
+    pub max_supernode_width: usize,
 }
+
+/// Default [`FactorOptions::rhs_panel`].
+pub const DEFAULT_RHS_PANEL: usize = 8;
+
+/// Default [`FactorOptions::max_supernode_width`].
+pub const DEFAULT_MAX_SUPERNODE_WIDTH: usize = 48;
 
 impl Default for FactorOptions {
     fn default() -> Self {
@@ -88,6 +110,9 @@ impl Default for FactorOptions {
             ordering: Ordering::Amd,
             supernodal: true,
             threads: 1,
+            kernels: KernelBackend::Auto,
+            rhs_panel: DEFAULT_RHS_PANEL,
+            max_supernode_width: DEFAULT_MAX_SUPERNODE_WIDTH,
         }
     }
 }
@@ -105,21 +130,28 @@ impl FactorOptions {
         self
     }
 
+    /// Returns the options with a different microkernel backend.
+    pub fn with_kernels(mut self, kernels: KernelBackend) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
     /// The scalar RCM configuration the workspace used before the supernodal
-    /// engine existed: bit-identical to the historical `factor_rcm` path, so
-    /// hot loops whose sample streams must not move pin themselves to it.
+    /// engine existed: bit-identical to the historical scalar-RCM path, so
+    /// hot loops whose sample streams must not move pin themselves to it
+    /// (including pinning the reference kernel backend, although backends
+    /// are bit-identical anyway).
     pub fn scalar_rcm() -> Self {
         FactorOptions {
             ordering: Ordering::Rcm,
             supernodal: false,
             threads: 1,
+            kernels: KernelBackend::Scalar,
+            rhs_panel: DEFAULT_RHS_PANEL,
+            max_supernode_width: DEFAULT_MAX_SUPERNODE_WIDTH,
         }
     }
 }
-
-/// Number of right-hand sides processed per panel by
-/// [`LdlFactor::solve_many`].
-const RHS_BLOCK: usize = 8;
 
 /// A factorization `P A Pᵀ = L D Lᵀ` of a sparse SPD matrix.
 ///
@@ -165,12 +197,16 @@ pub struct LdlFactor {
     plan: Option<SolvePlan>,
     /// Worker threads for the solve sweeps.
     threads: usize,
+    /// Microkernel backend for the blocked solve sweeps.
+    kernels: KernelBackend,
+    /// Right-hand sides per [`LdlFactor::solve_many`] panel.
+    rhs_panel: usize,
 }
 
 impl LdlFactor {
     /// Factors `a` under the given [`FactorOptions`]. This is the single
-    /// entry point; the historical `factor` / `factor_rcm` /
-    /// `factor_permuted` constructors are deprecated wrappers over it.
+    /// entry point for every ordering, numeric engine, and microkernel
+    /// backend combination.
     ///
     /// # Errors
     ///
@@ -192,61 +228,13 @@ impl LdlFactor {
                 Ordering::Amd => amd(a),
             }
         };
-        Self::factor_impl(a, perm, opts.supernodal, opts.threads.max(1))
-    }
-
-    /// Factors `a` in its natural ordering.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SparseError::NotSquare`] for non-square input and
-    /// [`SparseError::NotPositiveDefinite`] if a pivot is non-positive.
-    #[deprecated(note = "use LdlFactor::factor_with with Ordering::Natural")]
-    pub fn factor(a: &CsrMatrix) -> Result<Self, SparseError> {
-        Self::factor_with(
-            a,
-            &FactorOptions {
-                ordering: Ordering::Natural,
-                supernodal: false,
-                threads: 1,
-            },
-        )
-    }
-
-    /// Factors `a` after applying a reverse Cuthill–McKee ordering.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`LdlFactor::factor_with`].
-    #[deprecated(note = "use LdlFactor::factor_with (FactorOptions::scalar_rcm \
-                         reproduces this path bit for bit)")]
-    pub fn factor_rcm(a: &CsrMatrix) -> Result<Self, SparseError> {
-        Self::factor_with(a, &FactorOptions::scalar_rcm())
-    }
-
-    /// Factors `P A Pᵀ` for a caller-supplied permutation `P`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SparseError::NotSquare`], [`SparseError::DimensionMismatch`]
-    /// if `perm.len() != a.rows()`, or [`SparseError::NotPositiveDefinite`].
-    #[deprecated(note = "use LdlFactor::factor_with; custom permutations are \
-                         subsumed by FactorOptions orderings")]
-    pub fn factor_permuted(a: &CsrMatrix, perm: Permutation) -> Result<Self, SparseError> {
-        if a.rows() != a.cols() {
-            return Err(SparseError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
-            });
-        }
-        Self::factor_impl(a, perm, false, 1)
+        Self::factor_impl(a, perm, opts)
     }
 
     fn factor_impl(
         a: &CsrMatrix,
         perm: Permutation,
-        use_supernodes: bool,
-        threads: usize,
+        opts: &FactorOptions,
     ) -> Result<Self, SparseError> {
         if perm.len() != a.rows() {
             return Err(SparseError::DimensionMismatch {
@@ -262,13 +250,19 @@ impl LdlFactor {
 
         let sym = {
             let _span = obs::span("symbolic");
-            supernodal::analyze(&pa, use_supernodes)
+            supernodal::analyze(&pa, opts.supernodal, opts.max_supernode_width)
         };
         let n = sym.n();
         let (row_idx, values, diag) = {
             let _span = obs::span("numeric");
-            if use_supernodes {
-                supernodal::factor_numeric(&pa, &sym)?
+            if opts.supernodal {
+                // Dispatch once to a concrete backend so the panel kernels
+                // monomorphize (and inline) instead of going through the
+                // vtable on every dense update.
+                match opts.kernels.resolve() {
+                    KernelBackend::Scalar => supernodal::factor_numeric(&pa, &sym, &panel::SCALAR)?,
+                    _ => supernodal::factor_numeric(&pa, &sym, &panel::BLOCKED)?,
+                }
             } else {
                 Self::factor_numeric_scalar(&pa, &sym)?
             }
@@ -286,7 +280,9 @@ impl LdlFactor {
             perm,
             sn_ptr,
             plan,
-            threads,
+            threads: opts.threads.max(1),
+            kernels: opts.kernels,
+            rhs_panel: opts.rhs_panel.max(1),
         })
     }
 
@@ -539,10 +535,11 @@ impl LdlFactor {
     }
 
     /// Solves for several right-hand sides with a blocked kernel: panels of
-    /// up to eight vectors share one forward/diagonal/backward sweep (one
-    /// pass over the factor per panel instead of one per vector), and panels
-    /// run on the configured worker threads. Each solution is bit-identical
-    /// to a scalar sweep of the same factor for any thread count.
+    /// up to [`FactorOptions::rhs_panel`] vectors share one
+    /// forward/diagonal/backward sweep (one pass over the factor per panel
+    /// instead of one per vector), and panels run on the configured worker
+    /// threads. Each solution is bit-identical to a scalar sweep of the
+    /// same factor for any thread count, panel width, or kernel backend.
     ///
     /// # Panics
     ///
@@ -553,15 +550,30 @@ impl LdlFactor {
         }
         let _span = obs::span("solve");
         let blocks: Vec<Vec<Vec<f64>>> =
-            parallel_map_chunks(rhs.len(), RHS_BLOCK, self.threads, |_, range| {
+            parallel_map_chunks(rhs.len(), self.rhs_panel, self.threads, |_, range| {
                 self.solve_block(&rhs[range])
             });
         blocks.into_iter().flatten().collect()
     }
 
-    /// One blocked sweep over `k <= RHS_BLOCK` right-hand sides held in a
-    /// row-major `n x k` panel.
+    /// One blocked sweep over `k <= rhs_panel` right-hand sides held in a
+    /// row-major `n x k` panel. The k columns are independent, so the row
+    /// operations route through the microkernel backend, which may
+    /// vectorize across them.
     fn solve_block(&self, rhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        // One concrete dispatch per panel; the per-nonzero row kernels then
+        // inline instead of paying a virtual call each.
+        match self.kernels.resolve() {
+            KernelBackend::Scalar => self.solve_block_with(&panel::SCALAR, rhs),
+            _ => self.solve_block_with(&panel::BLOCKED, rhs),
+        }
+    }
+
+    fn solve_block_with<K: PanelKernels + ?Sized>(
+        &self,
+        kern: &K,
+        rhs: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
         let k = rhs.len();
         let n = self.n;
         let mut panel = vec![0.0f64; n * k];
@@ -577,19 +589,13 @@ impl LdlFactor {
             let xj = &head[j * k..];
             for p in self.col_ptr[j]..self.col_ptr[j + 1] {
                 let r = self.row_idx[p] as usize;
-                let v = self.values[p];
                 let row = &mut tail[(r - j - 1) * k..(r - j) * k];
-                for (rc, &xc) in row.iter_mut().zip(xj) {
-                    *rc -= v * xc;
-                }
+                kern.row_update(row, xj, self.values[p]);
             }
         }
         // Diagonal.
         for j in 0..n {
-            let d = self.diag[j];
-            for v in &mut panel[j * k..(j + 1) * k] {
-                *v /= d;
-            }
+            kern.row_div(&mut panel[j * k..(j + 1) * k], self.diag[j]);
         }
         // Backward: row j accumulates from strictly-later rows.
         for j in (0..n).rev() {
@@ -597,11 +603,8 @@ impl LdlFactor {
             let xj = &mut head[j * k..];
             for p in self.col_ptr[j]..self.col_ptr[j + 1] {
                 let r = self.row_idx[p] as usize;
-                let v = self.values[p];
                 let row = &tail[(r - j - 1) * k..(r - j) * k];
-                for (xc, &rc) in xj.iter_mut().zip(row) {
-                    *xc -= v * rc;
-                }
+                kern.row_update(xj, row, self.values[p]);
             }
         }
         // Unpermute each column.
@@ -614,6 +617,14 @@ impl LdlFactor {
                 out
             })
             .collect()
+    }
+
+    /// The raw CSC parts of the permuted factor: `(col_ptr, row_idx,
+    /// values, diag)`. Exposed for byte-level determinism checks (the
+    /// backend bit-identity suites compare these arrays directly) and
+    /// diagnostics.
+    pub fn factor_parts(&self) -> (&[usize], &[u32], &[f64], &[f64]) {
+        (&self.col_ptr, &self.row_idx, &self.values, &self.diag)
     }
 }
 
@@ -655,7 +666,7 @@ mod tests {
         FactorOptions {
             ordering,
             supernodal,
-            threads: 1,
+            ..FactorOptions::default()
         }
     }
 
@@ -748,17 +759,65 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_factor_with() {
-        let a = laplacian_2d(7, 9);
-        let b: Vec<f64> = (0..63).map(|i| (i % 5) as f64 - 2.0).collect();
-        let old = LdlFactor::factor_rcm(&a).unwrap();
-        let new = LdlFactor::factor_with(&a, &FactorOptions::scalar_rcm()).unwrap();
-        assert_eq!(old.values, new.values);
-        assert_eq!(old.solve(&b), new.solve(&b));
-        let old = LdlFactor::factor(&a).unwrap();
-        let new = LdlFactor::factor_with(&a, &opts(Ordering::Natural, false)).unwrap();
-        assert_eq!(old.values, new.values);
+    fn kernel_backends_factor_and_solve_bit_identically() {
+        let a = laplacian_2d(40, 33);
+        let b: Vec<f64> = (0..40 * 33).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let factor =
+            |k| LdlFactor::factor_with(&a, &FactorOptions::default().with_kernels(k)).unwrap();
+        let fs = factor(KernelBackend::Scalar);
+        let fb = factor(KernelBackend::Blocked);
+        assert_eq!(fs.col_ptr, fb.col_ptr);
+        assert_eq!(fs.row_idx, fb.row_idx);
+        assert_eq!(fs.values, fb.values, "factor values must be bit-identical");
+        assert_eq!(fs.diag, fb.diag);
+        assert_eq!(fs.solve(&b), fb.solve(&b));
+        // Auto must resolve to one of the two, not a third behavior.
+        let fa = factor(KernelBackend::Auto);
+        assert_eq!(fa.values, fb.values);
+    }
+
+    #[test]
+    fn rhs_panel_and_width_cap_tunables_are_honored() {
+        let a = laplacian_2d(14, 13);
+        let rhs: Vec<Vec<f64>> = (0..11)
+            .map(|s| (0..182).map(|i| ((i + s * 5) % 9) as f64 - 4.0).collect())
+            .collect();
+        let base = LdlFactor::factor_with(&a, &FactorOptions::default()).unwrap();
+        // Any panel width re-blocking keeps solve_many bit-identical.
+        for rhs_panel in [1, 3, 8, 64] {
+            let f = LdlFactor::factor_with(
+                &a,
+                &FactorOptions {
+                    rhs_panel,
+                    ..FactorOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                f.solve_many(&rhs),
+                base.solve_many(&rhs),
+                "panel={rhs_panel}"
+            );
+        }
+        // A width cap of 1 forces single-column supernodes. The partition
+        // (and hence FP grouping) changes, so values agree to rounding, not
+        // bitwise — but the CSC layout is identical and, for a fixed cap,
+        // backends still agree bitwise.
+        let narrow_opts = FactorOptions {
+            max_supernode_width: 1,
+            ..FactorOptions::default()
+        };
+        let narrow = LdlFactor::factor_with(&a, &narrow_opts).unwrap();
+        assert!(narrow.supernode_ptr().windows(2).all(|w| w[1] - w[0] == 1));
+        assert!(base.supernode_ptr().windows(2).any(|w| w[1] - w[0] > 1));
+        assert_eq!(narrow.col_ptr, base.col_ptr);
+        assert_eq!(narrow.row_idx, base.row_idx);
+        for (u, v) in narrow.values.iter().zip(&base.values) {
+            assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+        }
+        let narrow_scalar =
+            LdlFactor::factor_with(&a, &narrow_opts.with_kernels(KernelBackend::Scalar)).unwrap();
+        assert_eq!(narrow.values, narrow_scalar.values);
     }
 
     #[test]
@@ -906,13 +965,9 @@ mod tests {
             let solutions: Vec<Vec<f64>> = [Ordering::Natural, Ordering::Rcm, Ordering::Amd]
                 .iter()
                 .map(|&o| {
-                    LdlFactor::factor_with(&a, &FactorOptions {
-                        ordering: o,
-                        supernodal: true,
-                        threads: 1,
-                    })
-                    .unwrap()
-                    .solve(&b)
+                    LdlFactor::factor_with(&a, &FactorOptions::default().with_ordering(o))
+                        .unwrap()
+                        .solve(&b)
                 })
                 .collect();
             let scale = norm(&solutions[0]).max(1e-30);
@@ -924,6 +979,50 @@ mod tests {
                     .collect();
                 prop_assert!(norm(&diff) / scale <= 1e-10,
                     "relative gap {}", norm(&diff) / scale);
+            }
+        }
+
+        #[test]
+        fn kernel_backends_are_byte_identical_on_random_spd(
+            diag_boost in 0.1f64..5.0,
+            edges in proptest::collection::vec((0u32..24, 0u32..24, 0.01f64..1.0), 1..120),
+            rhs in proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 24), 1..6),
+        ) {
+            // The tentpole guarantee: scalar and blocked microkernels give
+            // byte-for-byte the same factor CSC arrays and solve_many
+            // panels on arbitrary SPD systems.
+            let n = 24;
+            let mut t = TripletMatrix::new(n, n);
+            let mut diag = vec![diag_boost; n];
+            for (a_, b_, w) in edges {
+                let (i, j) = (a_ as usize, b_ as usize);
+                if i != j {
+                    t.push_sym(i, j, -w);
+                    diag[i] += w;
+                    diag[j] += w;
+                }
+            }
+            for (i, d) in diag.iter().enumerate() {
+                t.push(i, i, *d);
+            }
+            let a = t.to_csr();
+            let factor = |k: KernelBackend| {
+                LdlFactor::factor_with(&a, &FactorOptions::default().with_kernels(k)).unwrap()
+            };
+            let fs = factor(KernelBackend::Scalar);
+            let fb = factor(KernelBackend::Blocked);
+            let (cp_s, ri_s, va_s, di_s) = fs.factor_parts();
+            let (cp_b, ri_b, va_b, di_b) = fb.factor_parts();
+            prop_assert_eq!(cp_s, cp_b);
+            prop_assert_eq!(ri_s, ri_b);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(va_s), bits(va_b));
+            prop_assert_eq!(bits(di_s), bits(di_b));
+            let xs = fs.solve_many(&rhs);
+            let xb = fb.solve_many(&rhs);
+            for (u, v) in xs.iter().zip(&xb) {
+                prop_assert_eq!(bits(u), bits(v));
             }
         }
     }

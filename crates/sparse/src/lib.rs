@@ -58,6 +58,7 @@ pub mod ic0;
 pub mod kernels;
 pub mod ldl;
 pub mod ordering;
+pub mod panel;
 pub mod smw;
 pub(crate) mod supernodal;
 
@@ -69,4 +70,5 @@ pub use error::SparseError;
 pub use ic0::Ic0;
 pub use ldl::{FactorOptions, LdlFactor, Ordering};
 pub use ordering::{amd, reverse_cuthill_mckee, Permutation};
+pub use panel::{KernelBackend, PanelKernels};
 pub use smw::IncrementalSolver;

@@ -555,7 +555,7 @@ mod tests {
                 &FactorOptions {
                     ordering,
                     supernodal: false,
-                    threads: 1,
+                    ..FactorOptions::default()
                 },
             )
             .unwrap()

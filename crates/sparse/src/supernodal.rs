@@ -22,11 +22,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
-
-/// Cap on supernode width. Wider panels amortize better but waste work on
-/// patterns that only almost match; 48 columns keeps the dense diagonal block
-/// (48×48 f64 ≈ 18 KiB) comfortably in L1/L2.
-const MAX_WIDTH: usize = 48;
+use crate::panel::PanelKernels;
 
 /// Elimination-tree and supernode structure of a permuted matrix, shared by
 /// the scalar and supernodal numeric phases.
@@ -57,8 +53,10 @@ impl Symbolic {
 /// Computes the elimination tree, column counts, and (optionally) the
 /// supernode partition with per-supernode row patterns for `pa`, the already
 /// permuted matrix. `pa` must be square; values are ignored except for their
-/// pattern.
-pub(crate) fn analyze(pa: &CsrMatrix, want_supernodes: bool) -> Symbolic {
+/// pattern. `max_width` caps supernode width (see
+/// [`crate::ldl::FactorOptions::max_supernode_width`]).
+pub(crate) fn analyze(pa: &CsrMatrix, want_supernodes: bool, max_width: usize) -> Symbolic {
+    let max_width = max_width.max(1);
     let n = pa.rows();
     let none = usize::MAX;
 
@@ -106,7 +104,7 @@ pub(crate) fn analyze(pa: &CsrMatrix, want_supernodes: bool) -> Symbolic {
     let mut sn_ptr = vec![0usize];
     for j in 1..n {
         let start = *sn_ptr.last().unwrap();
-        let mergeable = parent[j - 1] == j && lnz[j - 1] == lnz[j] + 1 && j - start < MAX_WIDTH;
+        let mergeable = parent[j - 1] == j && lnz[j - 1] == lnz[j] + 1 && j - start < max_width;
         if !mergeable {
             sn_ptr.push(j);
         }
@@ -179,7 +177,15 @@ pub(crate) type NumericFactor = (Vec<u32>, Vec<f64>, Vec<f64>);
 /// Blocked left-looking supernodal numeric factorization of `pa` under the
 /// symbolic structure `sym`. Returns `(row_idx, values, diag)` laid out in the
 /// scalar path's CSC format (rows sorted ascending within each column).
-pub(crate) fn factor_numeric(pa: &CsrMatrix, sym: &Symbolic) -> Result<NumericFactor, SparseError> {
+///
+/// All dense panel arithmetic runs through `kernels`; every backend produces
+/// the same factor bytes (see [`crate::panel`]), so the choice is pure wall
+/// time.
+pub(crate) fn factor_numeric<K: PanelKernels + ?Sized>(
+    pa: &CsrMatrix,
+    sym: &Symbolic,
+    kernels: &K,
+) -> Result<NumericFactor, SparseError> {
     let n = sym.n();
     let nsn = sym.supernode_count();
     let nnz = sym.col_ptr[n];
@@ -198,9 +204,11 @@ pub(crate) fn factor_numeric(pa: &CsrMatrix, sym: &Symbolic) -> Result<NumericFa
     let mut cursor = vec![0usize; nsn];
 
     // Scratch reused across supernodes: the frontal panel F (column-major,
-    // m × w), a packed update buffer, and the global row -> panel-slot map.
+    // m × w), a packed update buffer, the descendant tail list handed to the
+    // rank-update kernel, and the global row -> panel-slot map.
     let mut front: Vec<f64> = Vec::new();
     let mut update: Vec<f64> = Vec::new();
+    let mut tails: Vec<(usize, f64)> = Vec::new();
     let mut slot = vec![0usize; n];
 
     for s in 0..nsn {
@@ -251,22 +259,14 @@ pub(crate) fn factor_numeric(pa: &CsrMatrix, sym: &Symbolic) -> Result<NumericFa
             let len = d_rows.len() - p0; // full update height
             update.clear();
             update.resize(act * len, 0.0);
+            tails.clear();
             for k in d_first..=d_last {
                 // The row tail of column k of d sits at the end of its CSC
                 // column, after the within-supernode interior entries.
                 let base = sym.col_ptr[k] + (d_last - k);
-                let tail = &values[base + p0..base + d_rows.len()];
-                let dk = diag[k];
-                for q in 0..act {
-                    let lqk = tail[q] * dk;
-                    if lqk != 0.0 {
-                        let ucol = &mut update[q * len..(q + 1) * len];
-                        for t in q..len {
-                            ucol[t] += tail[t] * lqk;
-                        }
-                    }
-                }
+                tails.push((base + p0, diag[k]));
             }
+            kernels.rank_update(&mut update, len, act, &values, &tails);
             for q in 0..act {
                 let col = slot[d_rows[p0 + q] as usize] * m;
                 let ucol = &update[q * len..(q + 1) * len];
@@ -283,33 +283,15 @@ pub(crate) fn factor_numeric(pa: &CsrMatrix, sym: &Symbolic) -> Result<NumericFa
             d = dn;
         }
 
-        // Dense right-looking LDLᵀ of the panel: factor the w × w diagonal
-        // block and apply the triangular solve to the rectangular part in the
-        // same sweep.
-        for q in 0..w {
-            let colq = q * m;
-            let dq = front[colq + q];
-            if dq <= 0.0 || !dq.is_finite() {
-                return Err(SparseError::NotPositiveDefinite {
-                    column: first + q,
-                    pivot: dq,
-                });
-            }
-            diag[first + q] = dq;
-            for t in (q + 1)..m {
-                front[colq + t] /= dq;
-            }
-            for u in (q + 1)..w {
-                let luq = front[colq + u];
-                if luq != 0.0 {
-                    let alpha = luq * dq;
-                    let colu = u * m;
-                    for t in u..m {
-                        front[colu + t] -= front[colq + t] * alpha;
-                    }
-                }
-            }
-        }
+        // Dense LDLᵀ of the w × w diagonal block, then the triangular solve
+        // of the rectangular part against it.
+        kernels
+            .panel_ldl(&mut front, m, w, &mut diag[first..=last])
+            .map_err(|(q, pivot)| SparseError::NotPositiveDefinite {
+                column: first + q,
+                pivot,
+            })?;
+        kernels.panel_trsolve(&mut front, m, w, &diag[first..=last]);
 
         // Store the panel into the shared CSC layout: interior rows first
         // (ascending), then the sorted row tail.
