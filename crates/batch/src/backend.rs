@@ -240,6 +240,7 @@ impl LocalBackend {
                     checkpoint_every: inner.checkpoint_every,
                     cache_dir: inner.cache_dir.as_deref(),
                     max_netlist_bytes: 8 * 1024 * 1024,
+                    max_netlist_lines: 400_000,
                     phases: None,
                 };
                 let outcome = run_job(&spec, ctx, &env);

@@ -1,8 +1,8 @@
 //! Fill-in and wall-time ablation of the direct solver's orderings and
-//! numeric engines: natural vs RCM vs AMD (scalar up-looking) vs
-//! AMD + supernodes, on the two matrix families the workspace actually
-//! factors — the fig. 7 FEA stiffness matrix (paper 4x4 array) and a
-//! large synthetic power-grid Laplacian.
+//! numeric engines: natural vs RCM vs AMD vs nested dissection (scalar
+//! up-looking) vs AMD + supernodes, on the two matrix families the
+//! workspace actually factors — the fig. 7 FEA stiffness matrix (paper
+//! 4x4 array) and a large synthetic power-grid Laplacian.
 //!
 //! Results land machine-readably in `BENCH_sparse.json`; each `factor`
 //! benchmark id embeds the factor's fill (`fill_nnz=`) so the CI smoke
@@ -57,7 +57,7 @@ fn fea_matrix(small: bool) -> CsrMatrix {
     assemble(&mesh, &BoundaryConditions::confined_stack(), -220.0).stiffness
 }
 
-fn configs() -> [(&'static str, FactorOptions); 4] {
+fn configs() -> [(&'static str, FactorOptions); 5] {
     let scalar = |ordering| FactorOptions {
         ordering,
         supernodal: false,
@@ -68,6 +68,7 @@ fn configs() -> [(&'static str, FactorOptions); 4] {
         ("natural", scalar(Ordering::Natural)),
         ("rcm", scalar(Ordering::Rcm)),
         ("amd", scalar(Ordering::Amd)),
+        ("nd", scalar(Ordering::Nd)),
         ("amd_supernodal", FactorOptions::default()),
     ]
 }

@@ -1,0 +1,76 @@
+//! Scaling benchmark for the steady-state EM screening prefilter.
+//!
+//! Two ids per profile: `screen/<profile>/sites=<m>` times the screening
+//! pass alone (tree decomposition, per-branch steady-state stress,
+//! ranking) on a grid whose nominal solve is already done — this is the
+//! part that must stay linear in grid size — and
+//! `end_to_end/<profile>/nodes=<n>` times the whole pipeline from deck
+//! generation through the ranked report, which is what `emgrid screen`
+//! costs a user.
+//!
+//! Results land in `BENCH_screen.json` (same record shape as
+//! `BENCH_sparse.json`); the CI `screen-smoke` job regenerates it with
+//! `EMGRID_BENCH_SMALL=1` on the small profiles and shape-checks the
+//! records. The committed file is a full-size run: the screening pass on
+//! the chip-scale `pg1m` profile (786k via arrays over 1.05M nodes) next
+//! to `pg100k`, so the near-linear scaling is on the record.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emgrid::em::Technology;
+use emgrid::pg::PowerGrid;
+use emgrid::screen::{screen_grid, ScreenOptions};
+use emgrid::spice::GridSpec;
+use std::hint::black_box;
+
+fn bench_screen(c: &mut Criterion) {
+    c.json_output("BENCH_screen.json");
+    let small = std::env::var("EMGRID_BENCH_SMALL").is_ok_and(|v| v == "1");
+    // In small mode the multi-layer pg100k profile still finishes in
+    // seconds; pg1m is reserved for the full-size committed artifact.
+    let profiles: &[&str] = if small {
+        &["pg1", "pg100k"]
+    } else {
+        &["pg100k", "pg1m"]
+    };
+    let tech = Technology::default();
+    let mut group = c.benchmark_group("screen_scale");
+    group.sample_size(if small { 3 } else { 5 });
+    for name in profiles {
+        let spec = GridSpec::profile(name).expect("bench profile exists");
+        let grid = PowerGrid::from_netlist(spec.generate()).expect("profile builds");
+        let sites = grid.via_sites().len();
+        // The screening pass alone: default options reuse the grid's
+        // nominal solution, so this isolates trees + stress + ranking.
+        group.bench_with_input(
+            BenchmarkId::new(format!("screen/{name}"), format!("sites={sites}")),
+            &grid,
+            |bench, grid| {
+                bench.iter(|| {
+                    black_box(
+                        screen_grid(black_box(grid), &tech, &ScreenOptions::default()).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    // End-to-end on the first (cheaper) profile only: deck generation,
+    // grid construction with its auto-selected nominal solve, then the
+    // screen. This is the `emgrid screen --profile <p>` wall time.
+    let name = profiles[0];
+    let spec = GridSpec::profile(name).unwrap();
+    let nodes = spec.generate().node_count();
+    group.bench_with_input(
+        BenchmarkId::new(format!("end_to_end/{name}"), format!("nodes={nodes}")),
+        &spec,
+        |bench, spec| {
+            bench.iter(|| {
+                let grid = PowerGrid::from_netlist(spec.generate()).unwrap();
+                black_box(screen_grid(&grid, &tech, &ScreenOptions::default()).unwrap())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_screen);
+criterion_main!(benches);

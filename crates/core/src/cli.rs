@@ -14,8 +14,9 @@ use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
 use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::obs;
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
+use emgrid_screen::{screen_grid, ScreenOptions};
 use emgrid_serve::{ServeConfig, Server};
-use emgrid_sparse::{FactorOptions, KernelBackend, Ordering};
+use emgrid_sparse::{FactorOptions, KernelBackend, Method, Ordering};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{
@@ -43,7 +44,7 @@ USAGE:
 
 COMMANDS:
     generate      emit a synthetic IBM-style benchmark deck to stdout
-                    --profile pg1|pg2|pg5 (default pg1)
+                    --profile pg1|pg2|pg5|pg100k|pg1m (default pg1)
     lint          check a SPICE deck for structural problems
                     <deck.sp>
     irdrop        nominal IR-drop report of a deck
@@ -59,14 +60,23 @@ COMMANDS:
                     --grid-trials <n> (default 200)
                     [--repair-vias <ohms>] [--threads <n>]
                     [--target-ci <half-width>]
-                    [--ordering natural|rcm|amd]
+                    [--ordering natural|rcm|amd|nd]
                     [--kernels auto|scalar|blocked]
+    screen        linear-time steady-state EM screening: rank every via
+                  array of a deck by steady-state stress, no Monte Carlo
+                    <deck.sp> | --profile pg1|pg2|pg5|pg100k|pg1m
+                    [--top-k <n>] [--stress-threshold <Pa>]
+                    [--method auto|direct|cg] (default auto: direct small,
+                                               IC(0)-CG chip-scale)
+                    [--ordering natural|rcm|amd|nd]
+                    [--kernels auto|scalar|blocked]
+                    [--repair-vias <ohms>] [--json]
 
     fea           finite-element stress characterization of one primitive
                     --array 1x1|4x4|8x8 (default 4x4)
                     --pattern plus|tee|ell (default plus)
                     [--resolution <um>] [--fea-threads <n>] [--no-cache]
-                    [--cache-dir <dir>] [--ordering natural|rcm|amd]
+                    [--cache-dir <dir>] [--ordering natural|rcm|amd|nd]
                     [--kernels auto|scalar|blocked]
 
     signoff       traditional current-density signoff (Black's law)
@@ -84,6 +94,8 @@ COMMANDS:
                     [--checkpoint-every <trials>] (default 64; 0 disables)
                     [--state-dir <dir>] (default results/jobs)
                     [--cache-dir <dir>] [--max-body-bytes <n>]
+                    [--max-netlist-lines <n>] (default 400000; raise for
+                                               chip-scale inline decks)
                     [--max-connections <n>] (default 256)
                     [--debug-panic-route] (CI only: POST /debug/panic panics
                                            the connection thread)
@@ -98,9 +110,16 @@ results are bit-identical for any thread count) and --target-ci (stop as
 soon as the 95% CI half-width on mean ln TTF reaches the target instead
 of exhausting the trial budget).
 
-The analyze and fea commands read the sparse solver's fill-reducing
-ordering from --ordering first, the EMGRID_ORDERING environment variable
-second, and default to amd. The ordering changes factorization wall time
+The screen command solves one operating point, decomposes the grid into
+interconnect trees, and prints every via array ranked by its steady-state
+EM stress (the Korhonen long-time limit) — seconds even at a million
+nodes, so it runs before (and gates) the expensive two-level Monte Carlo.
+--top-k / --stress-threshold select the subset; --json emits the same
+deterministic document the serve/sweep `screening` block records.
+
+The analyze, screen and fea commands read the sparse solver's
+fill-reducing ordering from --ordering first, the EMGRID_ORDERING
+environment variable second, and default to amd. The ordering changes factorization wall time
 only, never which statistics come out. They likewise read the dense-panel
 microkernel backend from --kernels first, EMGRID_KERNELS second, and
 default to auto (which picks the register-blocked kernels); every backend
@@ -155,6 +174,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "irdrop" => cmd_irdrop(rest),
         "characterize" => cmd_characterize(rest),
         "analyze" => cmd_analyze(rest),
+        "screen" => cmd_screen(rest),
         "fea" => cmd_fea(rest),
         "signoff" => cmd_signoff(rest),
         "sweep" => cmd_sweep(rest),
@@ -287,7 +307,7 @@ fn parse_ordering(args: &[String]) -> Result<(Ordering, &'static str), CliError>
             .map(|o| (o, "--ordering"))
             .ok_or_else(|| {
                 CliError(format!(
-                    "unknown ordering `{v}` for --ordering (expected natural, rcm or amd)"
+                    "unknown ordering `{v}` for --ordering (expected natural, rcm, amd or nd)"
                 ))
             });
     }
@@ -296,7 +316,7 @@ fn parse_ordering(args: &[String]) -> Result<(Ordering, &'static str), CliError>
             .map(|o| (o, "EMGRID_ORDERING"))
             .ok_or_else(|| {
                 CliError(format!(
-                    "unknown ordering `{v}` in EMGRID_ORDERING (expected natural, rcm or amd)"
+                    "unknown ordering `{v}` in EMGRID_ORDERING (expected natural, rcm, amd or nd)"
                 ))
             });
     }
@@ -363,12 +383,13 @@ fn load_deck(args: &[String]) -> Result<emgrid_spice::Netlist, CliError> {
 }
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
-    let spec = match option_value(args, "--profile").unwrap_or("pg1") {
-        "pg1" => GridSpec::pg1(),
-        "pg2" => GridSpec::pg2(),
-        "pg5" => GridSpec::pg5(),
-        other => return Err(CliError(format!("unknown profile `{other}`"))),
-    };
+    let name = option_value(args, "--profile").unwrap_or("pg1");
+    let spec = GridSpec::profile(name).ok_or_else(|| {
+        CliError(format!(
+            "unknown profile `{name}` (expected {})",
+            GridSpec::PROFILES.join(", ")
+        ))
+    })?;
     Ok(write_string(&spec.generate()))
 }
 
@@ -508,6 +529,82 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     }
     let _ = writeln!(out, "{}", format_report(result.report()));
     Ok(out)
+}
+
+/// Operating-point solve engine: `--method` flag, defaulting to `auto`
+/// (direct below the size cutover, IC(0)-CG above).
+fn parse_method(args: &[String]) -> Result<Method, CliError> {
+    match option_value(args, "--method") {
+        None => Ok(Method::default()),
+        Some(v) => Method::parse(v).ok_or_else(|| {
+            CliError(format!(
+                "unknown method `{v}` for --method (expected auto, direct or cg)"
+            ))
+        }),
+    }
+}
+
+fn cmd_screen(args: &[String]) -> Result<String, CliError> {
+    // The deck comes from either a benchmark profile (generated in memory,
+    // no 65 MB chip-scale file round-trip) or a positional deck path.
+    let netlist = match option_value(args, "--profile") {
+        Some(name) => {
+            let spec = GridSpec::profile(name).ok_or_else(|| {
+                CliError(format!(
+                    "unknown profile `{name}` (expected {})",
+                    GridSpec::PROFILES.join(", ")
+                ))
+            })?;
+            spec.generate()
+        }
+        None => load_deck(args)?,
+    };
+    let (ordering, _) = parse_ordering(args)?;
+    let (kernels, _) = parse_kernels(args)?;
+    let method = parse_method(args)?;
+    let top_k = match option_value(args, "--top-k") {
+        None => None,
+        Some(v) => {
+            let k: usize = v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for --top-k")))?;
+            if k == 0 {
+                return Err(CliError("--top-k must be at least 1".to_owned()));
+            }
+            Some(k)
+        }
+    };
+    let stress_threshold = match option_value(args, "--stress-threshold") {
+        None => None,
+        Some(v) => {
+            let s: f64 = v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for --stress-threshold")))?;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(CliError("--stress-threshold must be positive".to_owned()));
+            }
+            Some(s)
+        }
+    };
+    let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
+    let options = ScreenOptions {
+        method,
+        factor: FactorOptions::default()
+            .with_ordering(ordering)
+            .with_kernels(kernels),
+        top_k,
+        stress_threshold,
+        ..ScreenOptions::default()
+    };
+    let report = screen_grid(&grid, &Technology::default(), &options)
+        .map_err(|e| CliError(e.to_string()))?;
+    if args.iter().any(|a| a == "--json") {
+        let mut out = report.to_json();
+        out.push('\n');
+        Ok(out)
+    } else {
+        Ok(report.render())
+    }
 }
 
 fn cmd_fea(args: &[String]) -> Result<String, CliError> {
@@ -664,6 +761,12 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
     if max_connections == 0 {
         return Err(CliError("--max-connections must be at least 1".to_owned()));
     }
+    let max_netlist_lines = parse_usize(args, "--max-netlist-lines", defaults.max_netlist_lines)?;
+    if max_netlist_lines == 0 {
+        return Err(CliError(
+            "--max-netlist-lines must be at least 1".to_owned(),
+        ));
+    }
     Ok(ServeConfig {
         addr: option_value(args, "--addr")
             .unwrap_or("127.0.0.1:8080")
@@ -676,6 +779,7 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
             .unwrap_or(defaults.state_dir),
         cache_dir: option_value(args, "--cache-dir").map(Into::into),
         max_body_bytes: parse_usize(args, "--max-body-bytes", defaults.max_body_bytes)?,
+        max_netlist_lines,
         max_connections,
         request_deadline: defaults.request_deadline,
         debug_panic_route: args.iter().any(|a| a == "--debug-panic-route"),
@@ -821,7 +925,7 @@ mod tests {
         let cfg = serve_config(&argv(
             "--addr 127.0.0.1:0 --workers 3 --queue-depth 9 --checkpoint-every 5 \
              --state-dir /tmp/emgrid-jobs --cache-dir /tmp/emgrid-cache --max-body-bytes 4096 \
-             --max-connections 17 --debug-panic-route",
+             --max-netlist-lines 3000000 --max-connections 17 --debug-panic-route",
         ))
         .unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:0");
@@ -835,16 +939,19 @@ mod tests {
             Some(std::path::Path::new("/tmp/emgrid-cache"))
         );
         assert_eq!(cfg.max_body_bytes, 4096);
+        assert_eq!(cfg.max_netlist_lines, 3_000_000);
         assert_eq!(cfg.max_connections, 17);
         assert!(cfg.debug_panic_route);
 
         let defaults = serve_config(&[]).unwrap();
         assert_eq!(defaults.addr, "127.0.0.1:8080");
+        assert_eq!(defaults.max_netlist_lines, 400_000);
         assert!(defaults.cache_dir.is_none());
         assert!(!defaults.debug_panic_route);
         assert!(serve_config(&argv("--workers 0")).is_err());
         assert!(serve_config(&argv("--queue-depth 0")).is_err());
         assert!(serve_config(&argv("--max-connections 0")).is_err());
+        assert!(serve_config(&argv("--max-netlist-lines 0")).is_err());
     }
 
     #[test]
@@ -934,6 +1041,41 @@ mod tests {
         .unwrap();
         assert!(out.contains("system TTF median"), "{out}");
         assert!(out.contains("most critical sites"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn screen_ranks_a_profile_without_monte_carlo() {
+        let out = run(&argv("screen --profile pg1 --top-k 8")).unwrap();
+        assert!(out.contains("via arrays"), "{out}");
+        assert!(out.contains("stress"), "{out}");
+
+        // The JSON document is deterministic run to run.
+        let a = run(&argv("screen --profile pg1 --top-k 8 --json")).unwrap();
+        let b = run(&argv("screen --profile pg1 --top-k 8 --json")).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"kind\":\"screen\""), "{a}");
+        assert!(a.contains("\"selected\":8"), "{a}");
+
+        // Both engines rank; an explicit method is honoured.
+        let cg = run(&argv("screen --profile pg1 --top-k 8 --method cg --json")).unwrap();
+        assert!(cg.contains("\"selected\":8"), "{cg}");
+
+        assert!(run(&argv("screen --profile nope")).is_err());
+        assert!(run(&argv("screen --profile pg1 --top-k 0")).is_err());
+        assert!(run(&argv("screen --profile pg1 --stress-threshold -4")).is_err());
+        assert!(run(&argv("screen --profile pg1 --method simplex")).is_err());
+        assert!(run(&argv("screen")).is_err(), "missing deck path");
+    }
+
+    #[test]
+    fn screen_reads_a_deck_file_too() {
+        let deck = write_string(&GridSpec::custom("cli-screen", 8, 8).generate());
+        let path = std::env::temp_dir().join("emgrid_cli_test_screen.sp");
+        std::fs::write(&path, deck).unwrap();
+        let path = path.to_string_lossy().into_owned();
+        let out = run(&["screen".into(), path.clone(), "--json".into()]).unwrap();
+        assert!(out.contains("\"kind\":\"screen\""), "{out}");
         std::fs::remove_file(path).ok();
     }
 

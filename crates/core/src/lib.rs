@@ -14,6 +14,7 @@
 //! | [`via`] | via-array redundancy, stress tables, level-1 Monte Carlo |
 //! | [`spice`] | SPICE netlists, MNA DC solver, benchmark generator |
 //! | [`pg`] | power-grid IR-drop reliability, level-2 Monte Carlo |
+//! | [`screen`] | linear-time steady-state EM screening (prefilter before MC) |
 //!
 //! The typical flow mirrors the paper:
 //!
@@ -47,6 +48,7 @@ pub use emgrid_em as em;
 pub use emgrid_fea as fea;
 pub use emgrid_pg as pg;
 pub use emgrid_runtime as runtime;
+pub use emgrid_screen as screen;
 pub use emgrid_sparse as sparse;
 pub use emgrid_spice as spice;
 pub use emgrid_stats as stats;

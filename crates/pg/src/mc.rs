@@ -181,6 +181,10 @@ pub struct PowerGridMc {
     /// characterization reference (guards the 1/j² rescale against
     /// near-zero via currents).
     current_floor_fraction: f64,
+    /// Optional via-site subset (indexed like [`PowerGrid::via_sites`]):
+    /// `None` simulates every site; otherwise only flagged sites sample
+    /// lifetimes and may fail.
+    active: Option<Vec<bool>>,
 }
 
 impl PowerGridMc {
@@ -195,7 +199,32 @@ impl PowerGridMc {
             solver: SolverStrategy::default(),
             factor: FactorOptions::default(),
             current_floor_fraction: 1e-3,
+            active: None,
         }
+    }
+
+    /// Restricts the Monte Carlo to a subset of via sites — the
+    /// filter-then-simulate contract with the screening prefilter. Only the
+    /// listed sites sample lifetimes and become failure candidates; the
+    /// rest are treated as immortal (their conductance never changes).
+    /// Passing every site index reproduces the unfiltered run bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of range.
+    pub fn with_active_sites(mut self, indices: &[usize]) -> Self {
+        let m = self.grid.via_sites().len();
+        assert!(
+            !indices.is_empty(),
+            "active-site filter needs at least one site"
+        );
+        let mut active = vec![false; m];
+        for &k in indices {
+            assert!(k < m, "active site index {k} out of range ({m} sites)");
+            active[k] = true;
+        }
+        self.active = Some(active);
+        self
     }
 
     /// Sets the system failure criterion (default: 10% IR drop).
@@ -500,8 +529,20 @@ impl PowerGridMc {
     ) -> Result<(f64, Vec<usize>), PgError> {
         let sites = self.grid.via_sites();
         let m = sites.len();
+        let is_active = |k: usize| self.active.as_ref().is_none_or(|a| a[k]);
         let mut j: Vec<f64> = nominal_j.to_vec();
-        let mut remaining: Vec<f64> = (0..m).map(|k| site_rels[k].sample_ttf(j[k], rng)).collect();
+        // Inactive (screened-out) sites draw no lifetime: they are immortal
+        // and consume no randomness, so a run over the selected subset is a
+        // function of the subset alone.
+        let mut remaining: Vec<f64> = (0..m)
+            .map(|k| {
+                if is_active(k) {
+                    site_rels[k].sample_ttf(j[k], rng)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
 
         // Weakest-link system criterion: no electrical updates needed.
         if matches!(self.system_criterion, SystemCriterion::WeakestLink) {
@@ -509,15 +550,16 @@ impl PowerGridMc {
                 .iter()
                 .copied()
                 .enumerate()
+                .filter(|&(k, _)| is_active(k))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"))
-                .expect("at least one site");
+                .expect("at least one active site");
             return Ok((ttf, vec![victim]));
         }
         let SystemCriterion::IrDropFraction(threshold) = self.system_criterion else {
             unreachable!("weakest-link handled above");
         };
 
-        let mut alive = vec![true; m];
+        let mut alive: Vec<bool> = (0..m).map(is_active).collect();
         let mut rhs = base_rhs.to_vec();
         let mut solver = base_solver.clone();
         let mut failed_sites: Vec<usize> = Vec::new();
@@ -976,6 +1018,62 @@ mod tests {
         assert!(!resumed.report().cancelled);
         assert_eq!(resumed.ttf_seconds(), whole.ttf_seconds());
         assert_eq!(resumed.site_failure_counts(), whole.site_failure_counts());
+    }
+
+    #[test]
+    fn full_site_filter_matches_the_unfiltered_run() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let grid = small_grid();
+        let every: Vec<usize> = (0..grid.via_sites().len()).collect();
+        let unfiltered = PowerGridMc::new(small_grid(), rel).run(12, 61).unwrap();
+        let filtered = PowerGridMc::new(grid, rel)
+            .with_active_sites(&every)
+            .run(12, 61)
+            .unwrap();
+        assert_eq!(unfiltered.ttf_seconds(), filtered.ttf_seconds());
+        assert_eq!(
+            unfiltered.site_failure_counts(),
+            filtered.site_failure_counts()
+        );
+    }
+
+    #[test]
+    fn site_filter_confines_failures_to_the_subset() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let subset = [3usize, 17, 40, 41, 55];
+        let r = PowerGridMc::new(small_grid(), rel)
+            .with_active_sites(&subset)
+            .run(20, 63)
+            .unwrap();
+        for (k, &count) in r.site_failure_counts().iter().enumerate() {
+            assert!(
+                count == 0 || subset.contains(&k),
+                "screened-out site {k} failed {count} times"
+            );
+        }
+        assert!(r.ttf_seconds().iter().all(|&t| t.is_finite() && t > 0.0));
+        // With only five candidate arrays the system can't take more
+        // failures than that to breach (or exhaust the subset).
+        assert!(r.failures_per_trial().iter().all(|&f| f <= subset.len()));
+    }
+
+    #[test]
+    fn site_filter_applies_to_weakest_link_too() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let subset = [10usize, 30];
+        let r = PowerGridMc::new(small_grid(), rel)
+            .with_active_sites(&subset)
+            .with_system_criterion(SystemCriterion::WeakestLink)
+            .run(15, 67)
+            .unwrap();
+        for (k, &count) in r.site_failure_counts().iter().enumerate() {
+            assert!(
+                count == 0 || subset.contains(&k),
+                "victim {k} not in subset"
+            );
+        }
+        let total: usize = r.site_failure_counts().iter().sum();
+        assert_eq!(total, 15);
     }
 
     #[test]

@@ -119,7 +119,11 @@ impl PowerGrid {
         if !vdd.is_finite() || vdd <= 0.0 {
             return Err(PgError::NoPads);
         }
-        let nominal = dc.solve()?;
+        // Auto-select the nominal solve engine by size: below the
+        // crossover this is the usual (bit-identical) direct factor;
+        // chip-scale grids take IC(0)-CG so construction stays linear
+        // instead of paying a million-unknown factor's fill.
+        let nominal = dc.solve_auto()?;
         Ok(PowerGrid {
             netlist,
             dc,

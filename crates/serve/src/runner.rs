@@ -19,6 +19,7 @@ use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::CharacterizationModel;
 use emgrid_pg::{GridCheckpoint, GridSession, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::{JobCtx, JobId, JobOutcome};
+use emgrid_screen::{screen_grid, ScreenOptions};
 use emgrid_spice::ingest::{ingest, IngestLimits, IngestOptions};
 use emgrid_spice::GridSpec;
 use emgrid_via::{
@@ -35,7 +36,8 @@ use crate::store::JobStore;
 /// evicted phase data is merely absent from old status docs.
 const PHASE_RETENTION: usize = 1024;
 
-/// Per-job phase wall times (`mc`, `ingest`, `level1`, `level2`, `fea`),
+/// Per-job phase wall times (`mc`, `ingest`, `level1`, `screen`,
+/// `level2`, `fea`),
 /// surfaced in `GET /v1/jobs/:id` status docs — never in result docs,
 /// which must stay byte-identical whatever the timings were.
 ///
@@ -87,6 +89,10 @@ pub struct RunEnv<'a> {
     /// endpoint screened with — a deck accepted at the door must never be
     /// rejected as "too large" once it reaches a worker.
     pub max_netlist_bytes: usize,
+    /// Line cap for netlist re-ingest, same door/worker symmetry as
+    /// [`RunEnv::max_netlist_bytes`] — chip-scale decks run to millions of
+    /// lines, far past the ingest default.
+    pub max_netlist_lines: usize,
     /// Phase-duration sink for status docs (`None` = don't record).
     pub phases: Option<&'a PhaseLog>,
 }
@@ -189,18 +195,14 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
     let ingest_start = Instant::now();
     let (netlist, deck_label) = match &job.deck {
         DeckSource::Benchmark(name) => {
-            let spec = match name.as_str() {
-                "pg2" => GridSpec::pg2(),
-                "pg5" => GridSpec::pg5(),
-                _ => GridSpec::pg1(),
-            };
+            let spec = GridSpec::profile(name).unwrap_or_else(GridSpec::pg1);
             (spec.generate(), name.clone())
         }
         DeckSource::Netlist(text) => {
             let options = IngestOptions {
                 limits: IngestLimits {
                     max_bytes: env.max_netlist_bytes,
-                    ..IngestLimits::default()
+                    max_lines: env.max_netlist_lines,
                 },
                 repair_vias: job.repair_vias,
             };
@@ -240,9 +242,41 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
         Err(e) => return JobOutcome::Failed(format!("grid construction failed: {e}")),
     };
     let sites = grid.via_sites().len();
-    let grid_mc = PowerGridMc::new(grid, reliability)
+
+    // Optional prefilter: steady-state screening ranks every via array in
+    // one linear-time pass, and the grid Monte Carlo then simulates only
+    // the selected subset.
+    let screen = match &job.screening {
+        Some(s) => {
+            let screen_start = Instant::now();
+            let options = ScreenOptions {
+                method: job.method,
+                factor: job.factor,
+                top_k: s.top_k,
+                stress_threshold: s.stress_threshold,
+                ..ScreenOptions::default()
+            };
+            let report = match screen_grid(&grid, &Technology::default(), &options) {
+                Ok(report) => report,
+                Err(e) => return JobOutcome::Failed(format!("screening failed: {e}")),
+            };
+            env.record_phase(ctx.id, "screen", screen_start);
+            if report.selected_scores().is_empty() {
+                return JobOutcome::Failed(
+                    "screening selected no via arrays: stress_threshold excludes every site".into(),
+                );
+            }
+            Some(report)
+        }
+        None => None,
+    };
+
+    let mut grid_mc = PowerGridMc::new(grid, reliability)
         .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
         .with_factor_options(job.factor);
+    if let Some(report) = &screen {
+        grid_mc = grid_mc.with_active_sites(&report.selected_sites());
+    }
     let resume = env
         .store
         .read_checkpoint(ctx.id)
@@ -278,7 +312,7 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
             .map(|(site, count)| Json::Arr(vec![Json::n(site as f64), Json::n(count as f64)]))
             .collect(),
     );
-    let doc = Json::Obj(vec![
+    let mut doc = vec![
         ("kind".into(), Json::s("analyze")),
         ("deck".into(), Json::s(deck_label)),
         ("array".into(), Json::s(&mc.array)),
@@ -288,6 +322,42 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
         ("grid_trials".into(), Json::n(job.grid_trials as f64)),
         ("seed".into(), Json::n(mc.seed as f64)),
         ("sites".into(), Json::n(sites as f64)),
+    ];
+    // Screened jobs record both the screen scores and the MC results in
+    // one document; unscreened jobs keep their historical bytes.
+    if let Some(report) = &screen {
+        let scores = Json::Arr(
+            report
+                .selected_scores()
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("site".into(), Json::n(s.site as f64)),
+                        ("name".into(), Json::s(&s.name)),
+                        ("stress_pa".into(), Json::n(s.stress_pa)),
+                        ("criticality".into(), Json::n(s.criticality)),
+                        ("current_a".into(), Json::n(s.current_a)),
+                    ])
+                })
+                .collect(),
+        );
+        doc.push((
+            "screening".into(),
+            Json::Obj(vec![
+                ("trees".into(), Json::n(report.trees as f64)),
+                (
+                    "critical_stress_pa".into(),
+                    Json::n(report.critical_stress_pa),
+                ),
+                (
+                    "selected".into(),
+                    Json::n(report.selected_scores().len() as f64),
+                ),
+                ("scores".into(), scores),
+            ]),
+        ));
+    }
+    doc.extend([
         (
             "grid_trials_run".into(),
             Json::n(result.report().trials_run as f64),
@@ -297,7 +367,7 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
         ("mean_failures".into(), Json::n(result.mean_failures())),
         ("critical_sites".into(), critical),
     ]);
-    JobOutcome::Done(doc.to_string())
+    JobOutcome::Done(Json::Obj(doc).to_string())
 }
 
 fn run_fea(job: &ResolvedFea, id: JobId, env: &RunEnv<'_>) -> JobOutcome<String> {
@@ -357,7 +427,7 @@ fn run_fea(job: &ResolvedFea, id: JobId, env: &RunEnv<'_>) -> JobOutcome<String>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{McParams, SolverSpec};
+    use crate::spec::{McParams, ScreeningSpec, SolverSpec};
     use emgrid_runtime::JobEngine;
     use std::time::Duration;
 
@@ -385,6 +455,7 @@ mod tests {
                     checkpoint_every,
                     cache_dir: None,
                     max_netlist_bytes: IngestLimits::default().max_bytes,
+                    max_netlist_lines: IngestLimits::default().max_lines,
                     phases: None,
                 };
                 run_job(&spec, ctx, &env)
@@ -445,6 +516,7 @@ mod tests {
             deck: DeckSource::Netlist(deck.clone()),
             grid_trials,
             repair_vias: None,
+            screening: None,
             solver: SolverSpec::default(),
         };
 
@@ -500,6 +572,7 @@ mod tests {
                     checkpoint_every: 0,
                     cache_dir: None,
                     max_netlist_bytes: IngestLimits::default().max_bytes,
+                    max_netlist_lines: IngestLimits::default().max_lines,
                     phases: None,
                 };
                 run_job(&spec, ctx, &env)
@@ -509,6 +582,62 @@ mod tests {
         let snap = engine.snapshot(id).unwrap();
         assert!(snap.result.is_none(), "{snap:?}");
         assert!(snap.error.is_none(), "{snap:?}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn screened_analyze_records_scores_and_stays_byte_stable() {
+        let store = temp_store("screened");
+        let make = |screening: Option<ScreeningSpec>| JobSpec::Analyze {
+            mc: McParams {
+                array: "4x4".into(),
+                pattern: "plus".into(),
+                criterion: "rinf".into(),
+                trials: 48,
+                seed: 7,
+                threads: 2,
+                target_ci: None,
+                current_density: None,
+            },
+            deck: DeckSource::Benchmark("pg1".into()),
+            grid_trials: 10,
+            repair_vias: None,
+            screening,
+            solver: SolverSpec::default(),
+        };
+        let top6 = ScreeningSpec {
+            top_k: Some(6),
+            stress_threshold: None,
+        };
+        let (_, first) = run_to_outcome(make(Some(top6)), &store, 0);
+        let JobOutcome::Done(first) = first else {
+            panic!("screened job failed: {first:?}")
+        };
+        assert!(first.contains("\"screening\":{\"trees\":"), "{first}");
+        assert!(first.contains("\"selected\":6"), "{first}");
+        assert!(first.contains("\"stress_pa\":"), "{first}");
+        assert!(first.contains("\"ttf_median_years\":"), "{first}");
+
+        let (_, second) = run_to_outcome(make(Some(top6)), &store, 0);
+        let JobOutcome::Done(second) = second else {
+            panic!("rerun failed: {second:?}")
+        };
+        assert_eq!(first, second, "screened result document is not byte-stable");
+
+        // A threshold no array can reach fails structurally instead of
+        // running a Monte Carlo with nothing allowed to fail.
+        let impossible = ScreeningSpec {
+            top_k: None,
+            stress_threshold: Some(1e30),
+        };
+        let (_, outcome) = run_to_outcome(make(Some(impossible)), &store, 0);
+        let JobOutcome::Failed(message) = outcome else {
+            panic!("expected failure, got {outcome:?}")
+        };
+        assert!(
+            message.contains("screening selected no via arrays"),
+            "{message}"
+        );
         let _ = std::fs::remove_dir_all(store.root());
     }
 
@@ -529,6 +658,7 @@ mod tests {
             deck: DeckSource::Netlist("R1 a b\n".into()),
             grid_trials: 5,
             repair_vias: None,
+            screening: None,
             solver: SolverSpec::default(),
         };
         let (_, outcome) = run_to_outcome(spec, &store, 0);

@@ -59,6 +59,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Largest accepted request body, bytes.
     pub max_body_bytes: usize,
+    /// Largest accepted inline netlist, lines. The ingest default caps a
+    /// deck at 400k lines — far below a chip-scale benchgen grid, whose
+    /// decks run to millions of cards — so screening-scale deployments
+    /// raise this (`--max-netlist-lines`) instead of getting the deck
+    /// rejected at the door.
+    pub max_netlist_lines: usize,
     /// Concurrent connection threads; connections beyond the cap are shed
     /// with an immediate `503` instead of spawning.
     pub max_connections: usize,
@@ -82,6 +88,7 @@ impl Default for ServeConfig {
             state_dir: PathBuf::from("results").join("jobs"),
             cache_dir: None,
             max_body_bytes: 8 * 1024 * 1024,
+            max_netlist_lines: IngestLimits::default().max_lines,
             max_connections: 256,
             request_deadline: Duration::from_secs(30),
             debug_panic_route: false,
@@ -97,6 +104,7 @@ struct Shared {
     checkpoint_every: usize,
     cache_dir: Option<PathBuf>,
     max_body: usize,
+    max_netlist_lines: usize,
     max_connections: usize,
     request_deadline: Duration,
     debug_panic_route: bool,
@@ -161,6 +169,7 @@ impl Server {
             checkpoint_every: config.checkpoint_every,
             cache_dir: config.cache_dir,
             max_body: config.max_body_bytes,
+            max_netlist_lines: config.max_netlist_lines,
             max_connections: config.max_connections.max(1),
             request_deadline: config.request_deadline,
             debug_panic_route: config.debug_panic_route,
@@ -390,6 +399,7 @@ fn enqueue(shared: &Arc<Shared>, id: JobId, spec: JobSpec) -> Result<(), SubmitE
             checkpoint_every: job_shared.checkpoint_every,
             cache_dir: job_shared.cache_dir.as_deref(),
             max_netlist_bytes: job_shared.max_body,
+            max_netlist_lines: job_shared.max_netlist_lines,
             phases: Some(&job_shared.phases),
         };
         let outcome = run_job(&spec, ctx, &env);
@@ -637,7 +647,7 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
         let options = IngestOptions {
             limits: IngestLimits {
                 max_bytes: shared.max_body,
-                ..IngestLimits::default()
+                max_lines: shared.max_netlist_lines,
             },
             repair_vias: *repair_vias,
         };

@@ -22,7 +22,7 @@ use std::fmt;
 
 use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
 use emgrid_runtime::{EarlyStop, RuntimeConfig};
-use emgrid_sparse::{FactorOptions, KernelBackend, Ordering};
+use emgrid_sparse::{FactorOptions, KernelBackend, Method, Ordering};
 use emgrid_via::{FailureCriterion, ViaArrayConfig};
 
 use crate::json::Json;
@@ -110,10 +110,37 @@ pub struct McParams {
 /// Where an `analyze` job's power grid comes from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeckSource {
-    /// A built-in synthetic benchmark: `pg1`, `pg2` or `pg5`.
+    /// A built-in synthetic benchmark profile (see
+    /// [`emgrid_spice::GridSpec::PROFILES`]): `pg1` through `pg1m`.
     Benchmark(String),
     /// An uploaded SPICE deck (screened by [`emgrid_spice::ingest`]).
     Netlist(String),
+}
+
+/// The `screening` block of an `analyze` spec: run the linear-time
+/// steady-state EM prefilter first and hand the Monte Carlo only the
+/// selected via arrays (filter-then-simulate). An empty block screens and
+/// records scores without narrowing the working set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScreeningSpec {
+    /// Simulate only the `k` highest-stress via arrays.
+    pub top_k: Option<usize>,
+    /// Simulate only arrays whose steady-state stress reaches this many
+    /// Pa; combined with `top_k`, both must hold.
+    pub stress_threshold: Option<f64>,
+}
+
+impl ScreeningSpec {
+    fn to_json(self) -> Json {
+        let mut pairs = Vec::new();
+        if let Some(k) = self.top_k {
+            pairs.push(("top_k".to_owned(), Json::n(k as f64)));
+        }
+        if let Some(s) = self.stress_threshold {
+            pairs.push(("stress_threshold".to_owned(), Json::n(s)));
+        }
+        Json::Obj(pairs)
+    }
 }
 
 /// The `solver` block of an `analyze` spec: which sparse factorization
@@ -121,13 +148,17 @@ pub enum DeckSource {
 /// wall time, never the statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverSpec {
-    /// Fill-reducing ordering: `natural`, `rcm` or `amd`.
+    /// Fill-reducing ordering: `natural`, `rcm`, `amd` or `nd`.
     pub ordering: Ordering,
     /// Whether the blocked supernodal numeric engine is used.
     pub supernodal: bool,
     /// Dense-panel microkernel backend: `auto`, `scalar` or `blocked`.
     /// Bit-identical results by contract, so this is purely a speed knob.
     pub kernels: KernelBackend,
+    /// Linear-solve engine for whole-grid operating-point solves (the
+    /// screening pass): `auto`, `direct` or `cg`. `auto` picks by problem
+    /// size at run time.
+    pub method: Method,
 }
 
 impl Default for SolverSpec {
@@ -136,6 +167,7 @@ impl Default for SolverSpec {
             ordering: Ordering::Amd,
             supernodal: true,
             kernels: KernelBackend::Auto,
+            method: Method::Auto,
         }
     }
 }
@@ -165,6 +197,11 @@ impl SolverSpec {
         if self.kernels != KernelBackend::Auto {
             pairs.push(("kernels".into(), Json::s(self.kernels.label())));
         }
+        // Same rule for the solve method: `auto` resolves by problem size
+        // at run time and stays implicit in canonical documents.
+        if self.method != Method::Auto {
+            pairs.push(("method".into(), Json::s(self.method.label())));
+        }
         Json::Obj(pairs)
     }
 }
@@ -184,6 +221,8 @@ pub enum JobSpec {
         grid_trials: usize,
         /// Retrofit resistance for shorted vias, Ω (the paper's §5.2).
         repair_vias: Option<f64>,
+        /// Optional steady-state EM screening prefilter.
+        screening: Option<ScreeningSpec>,
         /// Sparse-solver selection for the grid solves.
         solver: SolverSpec,
     },
@@ -247,8 +286,12 @@ pub struct ResolvedAnalyze {
     pub grid_trials: usize,
     /// Retrofit resistance for shorted vias, Ω.
     pub repair_vias: Option<f64>,
+    /// Screening prefilter parameters, if the spec asked for one.
+    pub screening: Option<ScreeningSpec>,
     /// Factorization options for the grid solves.
     pub factor: FactorOptions,
+    /// Operating-point solve engine for the screening pass.
+    pub method: Method,
 }
 
 /// An `fea` spec resolved to runnable configuration.
@@ -312,7 +355,7 @@ impl JobSpec {
                 Ok(JobSpec::Characterize(mc_params(doc)?))
             }
             "analyze" => {
-                const ANALYZE_KEYS: [&str; 14] = [
+                const ANALYZE_KEYS: [&str; 15] = [
                     "kind",
                     "array",
                     "pattern",
@@ -326,6 +369,7 @@ impl JobSpec {
                     "benchmark",
                     "netlist",
                     "repair_vias",
+                    "screening",
                     "solver",
                 ];
                 reject_unknown_keys(doc, &ANALYZE_KEYS)?;
@@ -342,10 +386,12 @@ impl JobSpec {
                         ))
                     }
                     (Some(b), None) => {
-                        if !matches!(b, "pg1" | "pg2" | "pg5") {
+                        if emgrid_spice::GridSpec::profile(b).is_none() {
                             return Err(SpecError::field(
                                 "benchmark",
-                                format!("unknown benchmark `{b}` (expected pg1, pg2 or pg5)"),
+                                format!(
+                                    "unknown benchmark `{b}` (expected pg1, pg2, pg5, pg100k or pg1m)"
+                                ),
                             ));
                         }
                         DeckSource::Benchmark(b.to_owned())
@@ -354,12 +400,14 @@ impl JobSpec {
                 };
                 let grid_trials = get_usize(doc, "grid_trials", 200, 1, MAX_TRIALS)?;
                 let repair_vias = get_pos_f64(doc, "repair_vias")?;
+                let screening = get_screening(doc)?;
                 let solver = get_solver(doc)?;
                 Ok(JobSpec::Analyze {
                     mc,
                     deck,
                     grid_trials,
                     repair_vias,
+                    screening,
                     solver,
                 })
             }
@@ -426,6 +474,7 @@ impl JobSpec {
                 deck,
                 grid_trials,
                 repair_vias,
+                screening,
                 solver,
             } => {
                 let mut pairs = vec![("kind".to_owned(), Json::s("analyze"))];
@@ -437,6 +486,11 @@ impl JobSpec {
                 }
                 if let Some(r) = repair_vias {
                     pairs.push(("repair_vias".into(), Json::n(*r)));
+                }
+                // Screening is opt-in; canonical documents from before the
+                // prefilter existed must keep their bytes.
+                if let Some(s) = screening {
+                    pairs.push(("screening".into(), s.to_json()));
                 }
                 pairs.push(("solver".into(), solver.to_json()));
                 Json::Obj(pairs)
@@ -486,13 +540,16 @@ impl JobSpec {
                 deck,
                 grid_trials,
                 repair_vias,
+                screening,
                 solver,
             } => Ok(ResolvedJob::Analyze(ResolvedAnalyze {
                 mc: resolve_mc(mc)?,
                 deck: deck.clone(),
                 grid_trials: *grid_trials,
                 repair_vias: *repair_vias,
+                screening: *screening,
                 factor: solver.factor_options(),
+                method: solver.method,
             })),
             JobSpec::Fea {
                 array,
@@ -674,6 +731,7 @@ fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
                 })?
             }
             "kernels" => solver.kernels = parse_kernels(value)?,
+            "method" => solver.method = parse_method(value)?,
             other => {
                 return Err(SpecError::field(
                     format!("solver.{other}"),
@@ -683,6 +741,63 @@ fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
         }
     }
     Ok(solver)
+}
+
+/// Parses the optional `screening` block of an `analyze` spec.
+fn get_screening(doc: &Json) -> Result<Option<ScreeningSpec>, SpecError> {
+    let Some(block) = doc.get("screening") else {
+        return Ok(None);
+    };
+    let Json::Obj(pairs) = block else {
+        return Err(SpecError::field(
+            "screening",
+            "`screening` must be an object",
+        ));
+    };
+    let mut screening = ScreeningSpec::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "top_k" => {
+                let k = value.as_u64().ok_or_else(|| {
+                    SpecError::field(
+                        "screening.top_k",
+                        "`screening.top_k` must be a positive integer",
+                    )
+                })?;
+                if k == 0 {
+                    return Err(SpecError::field(
+                        "screening.top_k",
+                        "`screening.top_k` must be at least 1",
+                    ));
+                }
+                screening.top_k = Some(usize::try_from(k).map_err(|_| {
+                    SpecError::field("screening.top_k", "`screening.top_k` too large")
+                })?);
+            }
+            "stress_threshold" => {
+                let s = value.as_f64().ok_or_else(|| {
+                    SpecError::field(
+                        "screening.stress_threshold",
+                        "`screening.stress_threshold` must be a number (Pa)",
+                    )
+                })?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(SpecError::field(
+                        "screening.stress_threshold",
+                        "`screening.stress_threshold` must be positive",
+                    ));
+                }
+                screening.stress_threshold = Some(s);
+            }
+            other => {
+                return Err(SpecError::field(
+                    format!("screening.{other}"),
+                    format!("unknown key `screening.{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(Some(screening))
 }
 
 /// Parses the `solver` block of an `fea` spec: `ordering` plus the
@@ -722,7 +837,19 @@ fn parse_ordering(value: &Json) -> Result<Ordering, SpecError> {
     Ordering::parse(s).ok_or_else(|| {
         SpecError::field(
             "solver.ordering",
-            format!("unknown ordering `{s}` (expected natural, rcm or amd)"),
+            format!("unknown ordering `{s}` (expected natural, rcm, amd or nd)"),
+        )
+    })
+}
+
+fn parse_method(value: &Json) -> Result<Method, SpecError> {
+    let s = value
+        .as_str()
+        .ok_or_else(|| SpecError::field("solver.method", "`solver.method` must be a string"))?;
+    Method::parse(s).ok_or_else(|| {
+        SpecError::field(
+            "solver.method",
+            format!("unknown method `{s}` (expected auto, direct or cg)"),
         )
     })
 }
@@ -901,6 +1028,110 @@ mod tests {
         assert_eq!(e.field.as_deref(), Some("solver"));
         // `characterize` has no grid solves to steer; the key is unknown.
         assert!(spec(r#"{"kind":"characterize","solver":{"ordering":"amd"}}"#).is_err());
+    }
+
+    #[test]
+    fn screening_block_round_trips_and_validates() {
+        let s = spec(
+            r#"{"kind":"analyze","benchmark":"pg5","screening":{"top_k":100,"stress_threshold":50000000}}"#,
+        )
+        .unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(
+            a.screening,
+            Some(ScreeningSpec {
+                top_k: Some(100),
+                stress_threshold: Some(5e7),
+            })
+        );
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"analyze","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1,"grid_trials":200,"benchmark":"pg5","screening":{"top_k":100,"stress_threshold":50000000},"solver":{"ordering":"amd","supernodal":true}}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+
+        // An empty block is valid: screen and record, select everything.
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1","screening":{}}"#).unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.screening, Some(ScreeningSpec::default()));
+        assert!(s.to_json().to_string().contains(r#""screening":{}"#));
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+
+        // Absent: canonical form omits the key entirely.
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1"}"#).unwrap();
+        assert!(!s.to_json().to_string().contains("screening"));
+
+        for (bad, field) in [
+            (
+                r#"{"kind":"analyze","benchmark":"pg1","screening":7}"#,
+                "screening",
+            ),
+            (
+                r#"{"kind":"analyze","benchmark":"pg1","screening":{"top_k":0}}"#,
+                "screening.top_k",
+            ),
+            (
+                r#"{"kind":"analyze","benchmark":"pg1","screening":{"top_k":2.5}}"#,
+                "screening.top_k",
+            ),
+            (
+                r#"{"kind":"analyze","benchmark":"pg1","screening":{"stress_threshold":-1}}"#,
+                "screening.stress_threshold",
+            ),
+            (
+                r#"{"kind":"analyze","benchmark":"pg1","screening":{"mode":"fast"}}"#,
+                "screening.mode",
+            ),
+            (r#"{"kind":"characterize","screening":{}}"#, "screening"),
+        ] {
+            let e = spec(bad).unwrap_err();
+            assert_eq!(e.field.as_deref(), Some(field), "{bad}");
+        }
+    }
+
+    #[test]
+    fn solver_method_round_trips_and_stays_implicit_when_auto() {
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"method":"cg"}}"#).unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.method, Method::Cg);
+        assert!(s.to_json().to_string().contains(r#""method":"cg""#));
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+
+        // `auto` is the default and never materialized.
+        let s = spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"method":"auto"}}"#).unwrap();
+        assert!(!s.to_json().to_string().contains("method"));
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.method, Method::Auto);
+
+        let e =
+            spec(r#"{"kind":"analyze","benchmark":"pg1","solver":{"method":"gpu"}}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("solver.method"));
+    }
+
+    #[test]
+    fn nd_ordering_and_chip_scale_benchmarks_are_accepted() {
+        let s = spec(
+            r#"{"kind":"analyze","benchmark":"pg1m","screening":{"top_k":64},"solver":{"ordering":"nd"}}"#,
+        )
+        .unwrap();
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(a.factor.ordering, Ordering::Nd);
+        assert_eq!(a.deck, DeckSource::Benchmark("pg1m".into()));
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        assert!(spec(r#"{"kind":"analyze","benchmark":"pg100k"}"#).is_ok());
+        assert!(spec(r#"{"kind":"fea","solver":{"ordering":"nd"}}"#).is_ok());
+        let e = spec(r#"{"kind":"analyze","benchmark":"pg9"}"#).unwrap_err();
+        assert!(e.message.contains("pg100k"), "{}", e.message);
     }
 
     #[test]

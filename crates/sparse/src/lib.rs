@@ -57,6 +57,7 @@ pub mod error;
 pub mod ic0;
 pub mod kernels;
 pub mod ldl;
+pub mod method;
 pub mod ordering;
 pub mod panel;
 pub mod smw;
@@ -69,6 +70,7 @@ pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use ic0::Ic0;
 pub use ldl::{FactorOptions, LdlFactor, Ordering};
-pub use ordering::{amd, reverse_cuthill_mckee, Permutation};
+pub use method::{solve_spd, Method};
+pub use ordering::{amd, nested_dissection, reverse_cuthill_mckee, Permutation};
 pub use panel::{KernelBackend, PanelKernels};
 pub use smw::IncrementalSolver;

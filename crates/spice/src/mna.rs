@@ -223,6 +223,30 @@ impl DcAnalysis {
         self.solve_with(&FactorOptions::default())
     }
 
+    /// [`DcAnalysis::solve`] with the engine picked by problem size:
+    /// direct factorization below the auto crossover, IC(0)-CG above it —
+    /// a chip-scale grid's operating point stays `O(nnz)` in time and
+    /// memory instead of paying a million-unknown factor's fill.
+    ///
+    /// Below the crossover this is bit-identical to [`DcAnalysis::solve`]
+    /// (same factorization, same options); above it the CG solution is
+    /// deterministic for any thread count or kernel backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MnaError::Singular`] when a node floats (no path to any
+    /// pad).
+    pub fn solve_auto(&self) -> Result<DcSolution, MnaError> {
+        let x = emgrid_sparse::solve_spd(
+            &self.matrix,
+            &self.rhs,
+            emgrid_sparse::Method::Auto,
+            &FactorOptions::default(),
+            &emgrid_sparse::CgOptions::default(),
+        )?;
+        Ok(self.solution_from_unknowns(&x))
+    }
+
     /// [`DcSystem::solve`] with explicit factorization options.
     ///
     /// # Errors
