@@ -1,20 +1,34 @@
-//! End-to-end throughput of the analysis daemon: every iteration is a real
-//! HTTP exchange against an in-process [`Server`] on a loopback socket, so
-//! the numbers include request parsing, queueing, job execution, state-dir
-//! persistence and result serving — the full path an operator's client
-//! sees, not just the Monte Carlo kernel.
+//! Daemon serving benchmarks: a small closed-loop group (full end-to-end
+//! exchanges, job execution included) and an **open-loop load harness**
+//! that holds hundreds-to-thousands of concurrent keep-alive connections
+//! against the poll event loop and reports latency percentiles.
+//!
+//! Open-loop means request send times are *scheduled*, not gated on the
+//! previous response: when a response is late the next request's latency
+//! is measured from when it was supposed to be sent, so server-side
+//! queueing shows up in the percentiles instead of being silently
+//! absorbed by a slow client (the coordinated-omission trap).
+//!
+//! The client side runs in this process on the same `poll(2)` wrapper the
+//! server uses (`emgrid_serve::poll`), so the harness needs no external
+//! load generator. Results land in `BENCH_serve.json` as
+//! `open_loop/healthz/conns=<N>/p{50,90,99}` records. CI runs the same
+//! harness shrunk via `EMGRID_BENCH_SMALL=1` and shape-checks the JSON.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use emgrid_serve::poll::{poll_fds, PollFd, POLLIN, POLLOUT};
 use emgrid_serve::{ServeConfig, Server};
 use std::hint::black_box;
 
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes()).unwrap();
@@ -50,7 +64,242 @@ fn run_job(addr: SocketAddr, spec: &str) -> String {
     }
 }
 
+/// One keep-alive load connection in the open-loop client.
+struct LoadConn {
+    stream: TcpStream,
+    /// Requests not yet sent, as their scheduled send instants (front is
+    /// next). The schedule is fixed up front — that is what makes the
+    /// loop "open".
+    schedule: Vec<Instant>,
+    next: usize,
+    /// Scheduled instant of the in-flight request, if any.
+    in_flight: Option<Instant>,
+    out: Vec<u8>,
+    out_pos: usize,
+    inbuf: Vec<u8>,
+}
+
+const HEALTHZ: &[u8] = b"GET /healthz HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n";
+
+impl LoadConn {
+    fn done(&self) -> bool {
+        self.next >= self.schedule.len() && self.in_flight.is_none()
+    }
+
+    /// Starts the next scheduled request if the connection is idle and
+    /// its send time has arrived. Latency is measured from the scheduled
+    /// instant even when the actual send is late.
+    fn maybe_start(&mut self, now: Instant) {
+        if self.in_flight.is_some() || self.next >= self.schedule.len() {
+            return;
+        }
+        let due = self.schedule[self.next];
+        if now < due {
+            return;
+        }
+        self.next += 1;
+        self.in_flight = Some(due);
+        self.out.clear();
+        self.out.extend_from_slice(HEALTHZ);
+        self.out_pos = 0;
+    }
+
+    fn writing(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Returns `Some(latency)` when a full response has been consumed.
+    fn try_finish(&mut self, now: Instant) -> Option<Duration> {
+        let head_end = self
+            .inbuf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + 4)?;
+        let head = std::str::from_utf8(&self.inbuf[..head_end]).ok()?;
+        assert!(head.starts_with("HTTP/1.1 200"), "unexpected: {head}");
+        let declared: usize = head
+            .lines()
+            .find_map(|l| {
+                let lower = l.to_ascii_lowercase();
+                lower
+                    .strip_prefix("content-length:")
+                    .map(|v| v.trim().to_owned())
+            })
+            .and_then(|v| v.parse().ok())
+            .expect("content-length in bench response");
+        if self.inbuf.len() < head_end + declared {
+            return None;
+        }
+        self.inbuf.drain(..head_end + declared);
+        let scheduled = self.in_flight.take().expect("response without a request");
+        Some(now.saturating_duration_since(scheduled))
+    }
+}
+
+/// Drives `conns` keep-alive connections, each sending `per_conn`
+/// healthz requests spaced `interval` apart, and returns every measured
+/// latency in nanoseconds.
+fn open_loop_run(addr: SocketAddr, conns: usize, per_conn: usize, interval: Duration) -> Vec<u128> {
+    let mut clients: Vec<LoadConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let stream = TcpStream::connect(addr).expect("bench connect");
+        stream.set_nonblocking(true).expect("nonblocking client");
+        stream.set_nodelay(true).ok();
+        clients.push(LoadConn {
+            stream,
+            schedule: Vec::new(),
+            next: 0,
+            in_flight: None,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+        });
+        // Let the accept loop keep pace with the connect burst (the
+        // listener backlog is finite and the whole bench is one core).
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Fix the schedule only after every connection is up, staggering
+    // connection start offsets so sends are spread across the interval.
+    let start = Instant::now() + Duration::from_millis(20);
+    for (i, client) in clients.iter_mut().enumerate() {
+        let offset = interval.mul_f64(i as f64 / conns as f64);
+        client.schedule = (0..per_conn)
+            .map(|k| start + offset + interval * k as u32)
+            .collect();
+    }
+
+    let mut latencies: Vec<u128> = Vec::with_capacity(conns * per_conn);
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    let overall_deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let now = Instant::now();
+        assert!(now < overall_deadline, "open-loop run wedged");
+        let mut next_due: Option<Instant> = None;
+        pollfds.clear();
+        owners.clear();
+        let mut all_done = true;
+        for (i, client) in clients.iter_mut().enumerate() {
+            client.maybe_start(now);
+            if client.done() {
+                continue;
+            }
+            all_done = false;
+            if client.writing() {
+                pollfds.push(PollFd::new(client.stream.as_raw_fd(), POLLOUT));
+                owners.push(i);
+            } else if client.in_flight.is_some() {
+                pollfds.push(PollFd::new(client.stream.as_raw_fd(), POLLIN));
+                owners.push(i);
+            } else if let Some(due) = client.schedule.get(client.next) {
+                next_due = Some(next_due.map_or(*due, |d| d.min(*due)));
+            }
+        }
+        if all_done {
+            break;
+        }
+        let timeout = next_due
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(100));
+        let _ = poll_fds(&mut pollfds, Some(timeout));
+        let now = Instant::now();
+        for (fd, &i) in pollfds.iter().zip(&owners) {
+            if fd.revents() == 0 {
+                continue;
+            }
+            let client = &mut clients[i];
+            if client.writing() {
+                loop {
+                    match client.stream.write(&client.out[client.out_pos..]) {
+                        Ok(n) => {
+                            client.out_pos += n;
+                            if !client.writing() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("bench write: {e}"),
+                    }
+                }
+            } else {
+                let mut chunk = [0u8; 4096];
+                loop {
+                    match client.stream.read(&mut chunk) {
+                        Ok(0) => panic!("server closed a keep-alive bench connection"),
+                        Ok(n) => client.inbuf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("bench read: {e}"),
+                    }
+                }
+                if let Some(latency) = client.try_finish(now) {
+                    latencies.push(latency.as_nanos());
+                }
+            }
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    let small = std::env::var("EMGRID_BENCH_SMALL").is_ok_and(|v| v == "1");
+    let scales: &[usize] = if small { &[128] } else { &[1000, 4000] };
+    // Per-connection request pacing: the aggregate offered load stays
+    // ~2k req/s at every scale so percentile shifts reflect *connection
+    // count*, not a changing request rate.
+    for &conns in scales {
+        let per_conn = if small { 8 } else { 5 };
+        let interval = Duration::from_millis((conns / 2).max(50) as u64);
+
+        let state_dir =
+            std::env::temp_dir().join(format!("emgrid-bench-load-{conns}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            state_dir: state_dir.clone(),
+            max_connections: conns + 64,
+            // Every bench client shares 127.0.0.1: the per-IP fairness
+            // cap would serialize them and measure the cap, not the loop.
+            max_in_flight_per_client: 0,
+            ..ServeConfig::default()
+        })
+        .expect("start daemon");
+        let addr = server.local_addr();
+
+        let mut latencies = open_loop_run(addr, conns, per_conn, interval);
+        latencies.sort_unstable();
+        assert!(!latencies.is_empty());
+        let samples = latencies.len();
+        let mean: u128 = latencies.iter().sum::<u128>() / samples as u128;
+        for (tag, p) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            let v = percentile(&latencies, p);
+            c.record_custom(
+                "open_loop",
+                &format!("healthz/conns={conns}/{tag}"),
+                v,
+                v,
+                mean,
+                samples,
+            );
+        }
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+}
+
 fn bench_serve(c: &mut Criterion) {
+    c.json_output("BENCH_serve.json");
+    let small = std::env::var("EMGRID_BENCH_SMALL").is_ok_and(|v| v == "1");
     let state_dir = std::env::temp_dir().join(format!("emgrid-bench-serve-{}", std::process::id()));
     let cache_dir = std::env::temp_dir().join(format!("emgrid-bench-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&state_dir);
@@ -66,6 +315,7 @@ fn bench_serve(c: &mut Criterion) {
     let addr = server.local_addr();
 
     let mut group = c.benchmark_group("serve");
+    group.sample_size(if small { 5 } else { 20 });
     group.bench_function("healthz_roundtrip", |b| {
         b.iter(|| black_box(request(addr, "GET", "/healthz", "")))
     });
@@ -94,5 +344,5 @@ fn bench_serve(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(cache_dir);
 }
 
-criterion_group!(benches, bench_serve);
+criterion_group!(benches, bench_serve, bench_open_loop);
 criterion_main!(benches);

@@ -97,6 +97,12 @@ COMMANDS:
                     [--max-netlist-lines <n>] (default 400000; raise for
                                                chip-scale inline decks)
                     [--max-connections <n>] (default 256)
+                    [--io threads|poll] (default poll: readiness event loop
+                                         with keep-alive + admission control;
+                                         threads = legacy 1 thread/connection)
+                    [--dispatchers <n>] (default 2; poll-backend handler
+                                         threads, thread 0 interactive-only)
+                    [--max-in-flight-per-client <n>] (default 64; 0 = off)
                     [--debug-panic-route] (CI only: POST /debug/panic panics
                                            the connection thread)
     help          print this message
@@ -783,6 +789,25 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, CliError> {
         max_connections,
         request_deadline: defaults.request_deadline,
         debug_panic_route: args.iter().any(|a| a == "--debug-panic-route"),
+        io: match option_value(args, "--io") {
+            None => defaults.io,
+            Some(value) => value
+                .parse()
+                .map_err(|e: String| CliError(format!("--io: {e}")))?,
+        },
+        dispatchers: {
+            let dispatchers = parse_usize(args, "--dispatchers", defaults.dispatchers)?;
+            if dispatchers == 0 {
+                return Err(CliError("--dispatchers must be at least 1".to_owned()));
+            }
+            dispatchers
+        },
+        max_in_flight_per_client: parse_usize(
+            args,
+            "--max-in-flight-per-client",
+            defaults.max_in_flight_per_client,
+        )?,
+        shutdown_grace: defaults.shutdown_grace,
     })
 }
 
@@ -925,7 +950,8 @@ mod tests {
         let cfg = serve_config(&argv(
             "--addr 127.0.0.1:0 --workers 3 --queue-depth 9 --checkpoint-every 5 \
              --state-dir /tmp/emgrid-jobs --cache-dir /tmp/emgrid-cache --max-body-bytes 4096 \
-             --max-netlist-lines 3000000 --max-connections 17 --debug-panic-route",
+             --max-netlist-lines 3000000 --max-connections 17 --debug-panic-route \
+             --io threads --dispatchers 3 --max-in-flight-per-client 8",
         ))
         .unwrap();
         assert_eq!(cfg.addr, "127.0.0.1:0");
@@ -942,16 +968,28 @@ mod tests {
         assert_eq!(cfg.max_netlist_lines, 3_000_000);
         assert_eq!(cfg.max_connections, 17);
         assert!(cfg.debug_panic_route);
+        assert_eq!(cfg.io, emgrid_serve::IoBackend::Threads);
+        assert_eq!(cfg.dispatchers, 3);
+        assert_eq!(cfg.max_in_flight_per_client, 8);
 
         let defaults = serve_config(&[]).unwrap();
         assert_eq!(defaults.addr, "127.0.0.1:8080");
         assert_eq!(defaults.max_netlist_lines, 400_000);
         assert!(defaults.cache_dir.is_none());
         assert!(!defaults.debug_panic_route);
+        // On Unix the readiness event loop is the default backend.
+        #[cfg(unix)]
+        assert_eq!(defaults.io, emgrid_serve::IoBackend::Poll);
+        assert_eq!(
+            serve_config(&argv("--io poll")).unwrap().io,
+            emgrid_serve::IoBackend::Poll
+        );
+        assert!(serve_config(&argv("--io epoll")).is_err());
         assert!(serve_config(&argv("--workers 0")).is_err());
         assert!(serve_config(&argv("--queue-depth 0")).is_err());
         assert!(serve_config(&argv("--max-connections 0")).is_err());
         assert!(serve_config(&argv("--max-netlist-lines 0")).is_err());
+        assert!(serve_config(&argv("--dispatchers 0")).is_err());
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl Daemon {
     fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(&self.addr).expect("connect to daemon");
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
         stream.write_all(head.as_bytes()).unwrap();

@@ -71,6 +71,34 @@ impl Criterion {
         &self.records
     }
 
+    /// Records an externally-measured result (shim extension). Load
+    /// harnesses that measure latency distributions themselves — rather
+    /// than timing a closure with [`Bencher::iter`] — report through this
+    /// so their percentiles land in the same JSON stream as ordinary
+    /// benchmarks. The record is printed and flushed like any other.
+    pub fn record_custom(
+        &mut self,
+        group: &str,
+        id: &str,
+        min_ns: u128,
+        median_ns: u128,
+        mean_ns: u128,
+        samples: usize,
+    ) {
+        println!(
+            "  {group}/{id}: min {min_ns}ns  median {median_ns}ns  mean {mean_ns}ns  ({samples} samples)"
+        );
+        self.records.push(BenchRecord {
+            group: group.to_owned(),
+            id: id.to_owned(),
+            min_ns,
+            median_ns,
+            mean_ns,
+            samples,
+        });
+        self.flush_json();
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let group = name.into();
@@ -340,6 +368,20 @@ mod tests {
         assert_eq!(c.records()[0].id, "count");
         assert_eq!(c.records()[1].id, "with_input/7");
         assert_eq!(c.records()[0].samples, 3);
+    }
+
+    #[test]
+    fn custom_records_join_the_stream() {
+        let mut c = Criterion::default();
+        c.record_custom("open_loop", "healthz/conns=8/p99", 10, 20, 30, 100);
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.group, "open_loop");
+        assert_eq!(r.id, "healthz/conns=8/p99");
+        assert_eq!(
+            (r.min_ns, r.median_ns, r.mean_ns, r.samples),
+            (10, 20, 30, 100)
+        );
     }
 
     #[test]

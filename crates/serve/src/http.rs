@@ -3,10 +3,21 @@
 //! `std::net` gives us TCP; this module adds just enough HTTP on top for
 //! the daemon's JSON API: request-line + header parsing with hard caps,
 //! `Content-Length` bodies bounded by the server's configured maximum,
-//! and response serialization. Every response carries
-//! `Connection: close` — the daemon optimizes for operational simplicity
-//! and auditability, not connection reuse (a job submission is orders of
-//! magnitude more expensive than a TCP handshake).
+//! and response serialization.
+//!
+//! Parsing is incremental: a [`RequestBuffer`] accumulates bytes as they
+//! arrive (from a blocking reader or the nonblocking event loop alike) and
+//! [`RequestBuffer::try_parse`] peels complete requests off the front,
+//! preserving any leftover bytes for the next request on the same
+//! connection — the foundation of HTTP/1.1 keep-alive and pipelining.
+//! The header-terminator scan resumes where the previous chunk left off,
+//! so a head trickled in byte-wise costs O(n), not O(n²).
+//!
+//! Responses carry an explicit [`Response::close`] flag: protocol-level
+//! failures (malformed framing, timeouts, oversized bodies, shed
+//! connections) always close because request framing can no longer be
+//! trusted, while routed responses — errors included — keep the connection
+//! open when the client asked for keep-alive.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -29,6 +40,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` was given).
     pub body: Vec<u8>,
+    /// Whether the client asked to reuse the connection: HTTP/1.1 defaults
+    /// to keep-alive unless `Connection: close` was sent; HTTP/1.0 defaults
+    /// to close unless `Connection: keep-alive` was sent.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -61,6 +76,10 @@ pub enum HttpError {
     },
     /// The client did not deliver the full request before the deadline.
     Timeout,
+    /// The client closed the connection cleanly between requests (no
+    /// buffered bytes) — the normal end of a keep-alive connection, not a
+    /// protocol error.
+    Closed,
     /// The socket failed mid-read.
     Io(io::Error),
 }
@@ -73,6 +92,7 @@ impl fmt::Display for HttpError {
                 write!(f, "body too large: {declared} bytes (limit {limit})")
             }
             HttpError::Timeout => f.write_str("request read deadline exceeded"),
+            HttpError::Closed => f.write_str("connection closed between requests"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -81,6 +101,151 @@ impl fmt::Display for HttpError {
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
         HttpError::Io(e)
+    }
+}
+
+/// Finds the `\r\n\r\n` head terminator at or after `from`.
+fn find_terminator(bytes: &[u8], from: usize) -> Option<usize> {
+    bytes
+        .get(from..)?
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| pos + from)
+}
+
+/// Accumulated inbound bytes for one connection, with incremental request
+/// parsing. Bytes beyond the first complete request stay buffered — they
+/// are the start of the next pipelined request, not garbage to truncate.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+    /// Resume point for the head-terminator scan: every position before
+    /// this index is known not to start `\r\n\r\n`. Without it, each
+    /// arriving chunk would rescan the whole accumulated head
+    /// (`windows(4).position` from zero) — O(n²) on a 16 KiB header
+    /// trickled byte-wise.
+    scanned: usize,
+    /// Cached terminator position once found, so chunks that merely grow
+    /// the body do not re-scan (or re-parse) the head.
+    head_end: Option<usize>,
+}
+
+impl RequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether any unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Buffered, unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// Returns `Ok(None)` when more bytes are needed. On success the
+    /// consumed bytes are drained and any leftover (the next pipelined
+    /// request) is preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::BadRequest`] on malformed framing,
+    /// [`HttpError::BodyTooLarge`] when the declared `Content-Length`
+    /// exceeds `max_body`. After an error the buffer contents are
+    /// unspecified and the connection must be closed.
+    pub fn try_parse(&mut self, max_body: usize) -> Result<Option<Request>, HttpError> {
+        let split = match self.head_end {
+            Some(pos) => pos,
+            None => match find_terminator(&self.buf, self.scanned) {
+                Some(pos) => {
+                    if pos > MAX_HEAD_BYTES {
+                        return Err(HttpError::BadRequest("headers too large".into()));
+                    }
+                    self.head_end = Some(pos);
+                    pos
+                }
+                None => {
+                    // The terminator may straddle the next chunk boundary,
+                    // so the last three bytes stay unscanned.
+                    self.scanned = self.buf.len().saturating_sub(3);
+                    if self.buf.len() > MAX_HEAD_BYTES {
+                        return Err(HttpError::BadRequest("headers too large".into()));
+                    }
+                    return Ok(None);
+                }
+            },
+        };
+        let head_text = std::str::from_utf8(&self.buf[..split])
+            .map_err(|_| HttpError::BadRequest("headers are not UTF-8".into()))?;
+        let mut lines = head_text.split("\r\n");
+        let request_line = lines
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::BadRequest("malformed request line".into()));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported version `{version}`"
+            )));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let mut request = Request {
+            method: method.to_ascii_uppercase(),
+            target: target.to_owned(),
+            headers,
+            body: Vec::new(),
+            keep_alive: false,
+        };
+        request.keep_alive = match request.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => version != "HTTP/1.0",
+        };
+        let declared: usize = match request.header("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        };
+        if declared > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let body_start = split + 4;
+        let total = body_start + declared;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        request.body = self.buf[body_start..total].to_vec();
+        // Leftover bytes are the next pipelined request — keep them.
+        self.buf.drain(..total);
+        self.scanned = 0;
+        self.head_end = None;
+        Ok(Some(request))
     }
 }
 
@@ -112,100 +277,57 @@ fn bounded_read(
     }
 }
 
-/// Reads one request from the stream; the whole request (headers and body)
-/// must arrive before `deadline`.
+/// Reads one request from the stream into `buffer`; the whole request
+/// (headers and body) must arrive before `deadline`. Bytes beyond the
+/// request stay in `buffer` for the next call — pipelined requests are
+/// preserved, not truncated. This is the blocking (thread-per-connection)
+/// reader; the event loop drives [`RequestBuffer`] directly.
 ///
 /// # Errors
 ///
 /// [`HttpError::BadRequest`] on malformed framing, [`HttpError::BodyTooLarge`]
 /// when `Content-Length` exceeds `max_body`, [`HttpError::Timeout`] when the
-/// deadline passes mid-request, [`HttpError::Io`] on socket failures
-/// (including clients that disappear mid-request).
+/// deadline passes mid-request, [`HttpError::Closed`] when the client hangs
+/// up cleanly between requests, [`HttpError::Io`] on socket failures.
+pub fn read_request_buffered(
+    stream: &mut TcpStream,
+    buffer: &mut RequestBuffer,
+    max_body: usize,
+    deadline: Instant,
+) -> Result<Request, HttpError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(request) = buffer.try_parse(max_body)? {
+            return Ok(request);
+        }
+        let n = bounded_read(stream, &mut chunk, deadline)?;
+        if n == 0 {
+            return if buffer.is_empty() {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::BadRequest(
+                    "connection closed mid-request".into(),
+                ))
+            };
+        }
+        buffer.extend(&chunk[..n]);
+    }
+}
+
+/// Reads one request with a fresh buffer (any pipelined leftover is
+/// discarded). Kept for single-shot callers and tests; connection loops
+/// use [`read_request_buffered`] so leftover bytes survive.
+///
+/// # Errors
+///
+/// As [`read_request_buffered`].
 pub fn read_request(
     stream: &mut TcpStream,
     max_body: usize,
     deadline: Instant,
 ) -> Result<Request, HttpError> {
-    // Accumulate until the blank line; byte-at-a-time would be slow, so
-    // read in chunks and search for the terminator.
-    let mut head = Vec::new();
-    let mut buf = [0u8; 1024];
-    let split = loop {
-        if let Some(pos) = find_terminator(&head) {
-            break pos;
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::BadRequest("headers too large".into()));
-        }
-        let n = bounded_read(stream, &mut buf, deadline)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest(
-                "connection closed mid-headers".into(),
-            ));
-        }
-        head.extend_from_slice(&buf[..n]);
-    };
-    let (head_bytes, rest) = head.split_at(split);
-    let rest = &rest[4..]; // skip \r\n\r\n
-    let head_text = std::str::from_utf8(head_bytes)
-        .map_err(|_| HttpError::BadRequest("headers are not UTF-8".into()))?;
-    let mut lines = head_text.split("\r\n");
-    let request_line = lines
-        .next()
-        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(HttpError::BadRequest("malformed request line".into()));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest(format!(
-            "unsupported version `{version}`"
-        )));
-    }
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::BadRequest(format!("malformed header `{line}`")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
-    let mut request = Request {
-        method: method.to_ascii_uppercase(),
-        target: target.to_owned(),
-        headers,
-        body: Vec::new(),
-    };
-    let declared: usize = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse()
-            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
-    };
-    if declared > max_body {
-        return Err(HttpError::BodyTooLarge {
-            declared,
-            limit: max_body,
-        });
-    }
-    let mut body = rest.to_vec();
-    while body.len() < declared {
-        let n = bounded_read(stream, &mut buf, deadline)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&buf[..n]);
-    }
-    body.truncate(declared);
-    request.body = body;
-    Ok(request)
-}
-
-fn find_terminator(bytes: &[u8]) -> Option<usize> {
-    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+    let mut buffer = RequestBuffer::new();
+    read_request_buffered(stream, &mut buffer, max_body, deadline)
 }
 
 /// An HTTP response ready to serialize.
@@ -217,6 +339,11 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Whether to announce `Connection: close` and drop the connection
+    /// after writing. Constructors default to `true`; the serving layer
+    /// flips it for routed responses on keep-alive connections. Protocol
+    /// errors (bad framing, timeouts, sheds) always keep it `true`.
+    pub close: bool,
 }
 
 impl Response {
@@ -226,6 +353,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: value.to_string().into_bytes(),
+            close: true,
         }
     }
 
@@ -235,6 +363,7 @@ impl Response {
             status,
             content_type: "application/json",
             body,
+            close: true,
         }
     }
 
@@ -244,6 +373,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            close: true,
         }
     }
 
@@ -252,22 +382,33 @@ impl Response {
         Response::json(status, &Json::Obj(vec![("error".into(), Json::s(message))]))
     }
 
-    /// Serializes the response (always `Connection: close`).
+    /// Serializes head + body into one buffer (what the event loop queues
+    /// on a connection's write side).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = reason_phrase(self.status);
+        let connection = if self.close { "close" } else { "keep-alive" };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            connection,
+        );
+        let mut out = Vec::with_capacity(head.len() + self.body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serializes the response to the stream, honoring [`Response::close`]
+    /// in the `Connection` header.
     ///
     /// # Errors
     ///
     /// Propagates socket write failures.
     pub fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
-        let reason = reason_phrase(self.status);
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            reason,
-            self.content_type,
-            self.body.len()
-        );
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        stream.write_all(&self.to_bytes())?;
         stream.flush()
     }
 }
@@ -323,6 +464,7 @@ mod tests {
         assert_eq!(req.path(), "/v1/jobs");
         assert_eq!(req.header("HOST"), Some("h"));
         assert_eq!(req.body, b"{\"a\":1}\r\n");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -349,6 +491,88 @@ mod tests {
         assert!(matches!(
             read_from_bytes(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n", 1024),
             Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn connection_intent_follows_version_and_header() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+        ];
+        for (raw, expect) in cases {
+            let req = read_from_bytes(raw, 1024).unwrap();
+            assert_eq!(req.keep_alive, *expect, "{:?}", std::str::from_utf8(raw));
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_are_preserved_not_truncated() {
+        // Regression: the old reader read `Content-Length` worth of body and
+        // then `body.truncate(declared)` silently discarded any bytes of the
+        // next pipelined request that had arrived in the same chunk.
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\nHost: h\r\n\r\n",
+        );
+        let first = buffer.try_parse(1024).unwrap().expect("first request");
+        assert_eq!((first.method.as_str(), first.path()), ("POST", "/a"));
+        assert_eq!(first.body, b"abc");
+        let second = buffer.try_parse(1024).unwrap().expect("second request");
+        assert_eq!((second.method.as_str(), second.path()), ("GET", "/b"));
+        assert!(buffer.is_empty());
+        assert!(buffer.try_parse(1024).unwrap().is_none());
+    }
+
+    /// Satellite regression: the head-terminator scan must resume where the
+    /// previous chunk stopped. A large header arriving byte-by-byte (the
+    /// worst case for the old full-rescan) parses correctly, including a
+    /// terminator straddling chunk boundaries.
+    #[test]
+    fn byte_wise_chunked_arrival_parses_with_a_resumed_scan() {
+        let mut head = String::from("POST /big HTTP/1.1\r\nContent-Length: 4\r\n");
+        while head.len() < 12 * 1024 {
+            head.push_str("X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        head.push_str("\r\nbody");
+        let raw = head.as_bytes();
+        let mut buffer = RequestBuffer::new();
+        let mut parsed = None;
+        for (i, byte) in raw.iter().enumerate() {
+            buffer.extend(std::slice::from_ref(byte));
+            if let Some(req) = buffer.try_parse(1024).unwrap() {
+                assert_eq!(i, raw.len() - 1, "parsed before the body finished");
+                parsed = Some(req);
+            }
+        }
+        let req = parsed.expect("request completed");
+        assert_eq!(req.path(), "/big");
+        assert_eq!(req.body, b"body");
+
+        // Terminator split across two extends at every offset within it.
+        for cut in 1..4 {
+            let raw = b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+            let split = raw.len() - cut;
+            let mut buffer = RequestBuffer::new();
+            buffer.extend(&raw[..split]);
+            assert!(buffer.try_parse(1024).unwrap().is_none());
+            buffer.extend(&raw[split..]);
+            let req = buffer.try_parse(1024).unwrap().expect("straddled parse");
+            assert_eq!(req.path(), "/x");
+        }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_incrementally() {
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(b"GET / HTTP/1.1\r\n");
+        let pad = vec![b'a'; MAX_HEAD_BYTES + 8];
+        buffer.extend(&pad);
+        assert!(matches!(
+            buffer.try_parse(1024),
+            Err(HttpError::BadRequest(m)) if m.contains("headers too large")
         ));
     }
 
@@ -392,5 +616,14 @@ mod tests {
         assert!(text.contains("Content-Length: 11\r\n"), "{text}");
         assert!(text.contains("Connection: close"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_responses_announce_it() {
+        let mut response = Response::text(200, "ok");
+        response.close = false;
+        let bytes = response.to_bytes();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 }

@@ -21,15 +21,18 @@
 //! `kill -9` requeues and resumes unfinished jobs on restart without
 //! re-running committed trials.
 
+#[cfg(unix)]
+pub(crate) mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod poll;
 pub mod runner;
 pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use server::{JobsApi, JobsApiError, RouteHook, ServeConfig, Server};
+pub use server::{IoBackend, JobsApi, JobsApiError, RouteHook, ServeConfig, Server};
 pub use spec::{
     DeckSource, JobSpec, McParams, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc,
     SolverSpec, SpecError,

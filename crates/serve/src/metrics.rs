@@ -10,11 +10,15 @@
 //! every layer.
 //!
 //! Two response-side families exist deliberately:
-//! `emgrid_http_requests_total` counts connections that reached the
-//! request reader, while `emgrid_http_responses_total{status_class}`
-//! counts every response *written* — including accept-loop 503 sheds and
-//! early 400/408/413 errors that never reach routing. Abuse that used to
-//! be invisible shows up in the second family.
+//! `emgrid_http_requests_total` counts requests — one per parsed request
+//! on a (possibly keep-alive) connection, plus one per early protocol
+//! error (400/408/413) and one per accept-path shed — while
+//! `emgrid_http_responses_total{status_class}` counts every response
+//! *written*, sheds and early errors included. Because every counted
+//! response was first counted as a request (panicked handlers count a
+//! request but write nothing), `requests_total ≥ responses_total` holds
+//! at every scrape; a shed storm can no longer push responses above
+//! requests.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -33,8 +37,11 @@ const STATUS_CLASSES: &[&str] = &["2xx", "3xx", "4xx", "5xx"];
 /// Monotonic counters, latency histograms, plus scrape-time gauges.
 #[derive(Debug)]
 pub struct Metrics {
-    /// HTTP requests that reached the request reader (any route).
+    /// HTTP requests: parsed requests, early protocol errors, and sheds.
     pub http_requests: AtomicU64,
+    /// Requests served on a reused (keep-alive) connection — the second
+    /// and later requests on each connection.
+    pub keepalive_reuses: AtomicU64,
     /// Connection threads that panicked; their slot is reclaimed by the
     /// accept loop's drop guard.
     pub connection_panics: AtomicU64,
@@ -64,6 +71,7 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics {
             http_requests: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
             connection_panics: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_done: AtomicU64::new(0),
@@ -123,8 +131,13 @@ impl Metrics {
         };
         counter(
             "emgrid_http_requests_total",
-            "HTTP requests handled.",
+            "HTTP requests handled (parsed requests, early errors, and sheds).",
             self.http_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "emgrid_http_keepalive_reuses_total",
+            "Requests served on a reused keep-alive connection.",
+            self.keepalive_reuses.load(Ordering::Relaxed),
         );
         counter(
             "emgrid_http_connection_panics_total",

@@ -30,7 +30,7 @@ use std::time::{Duration, Instant};
 use emgrid_runtime::{JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
 use emgrid_spice::ingest::{ingest, IngestError, IngestLimits, IngestOptions};
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{read_request_buffered, HttpError, Request, RequestBuffer, Response};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::runner::{run_job, PhaseLog, RunEnv};
@@ -41,6 +41,40 @@ use crate::store::{DiskJob, JobStore};
 /// (see [`Server::set_route_hook`]). Returning `None` falls through to
 /// the daemon's `404`.
 pub type RouteHook = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// Which connection I/O layer drives the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoBackend {
+    /// Thread-per-connection with blocking reads — the legacy backend,
+    /// kept during the transition and for non-Unix targets.
+    Threads,
+    /// A single `poll(2)` readiness event loop plus a dispatcher pool
+    /// (see [`crate::event_loop`]): nonblocking accepts/reads/writes,
+    /// keep-alive + pipelining, and admission control.
+    Poll,
+}
+
+impl Default for IoBackend {
+    fn default() -> Self {
+        if cfg!(unix) {
+            IoBackend::Poll
+        } else {
+            IoBackend::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" => Ok(IoBackend::Threads),
+            "poll" => Ok(IoBackend::Poll),
+            other => Err(format!("unknown io backend `{other}` (threads|poll)")),
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -76,6 +110,19 @@ pub struct ServeConfig {
     /// `--debug-panic-route` serve flag) to prove that panicking connection
     /// threads cannot leak `active_connections` slots. Off by default.
     pub debug_panic_route: bool,
+    /// Which I/O layer drives connections (`--io {threads,poll}`).
+    pub io: IoBackend,
+    /// Dispatcher threads for the poll backend (min 2; thread 0 is
+    /// reserved for interactive routes).
+    pub dispatchers: usize,
+    /// Per-peer-IP in-flight request cap for the poll backend (0 =
+    /// unlimited). Requests over the cap are deferred, not rejected, so
+    /// one aggressive client cannot occupy every dispatcher.
+    pub max_in_flight_per_client: usize,
+    /// Total budget graceful shutdown spends waiting for outstanding jobs
+    /// — shared across all of them, not per job, so N stuck jobs cost one
+    /// grace period rather than N.
+    pub shutdown_grace: Duration,
 }
 
 impl Default for ServeConfig {
@@ -92,32 +139,37 @@ impl Default for ServeConfig {
             max_connections: 256,
             request_deadline: Duration::from_secs(30),
             debug_panic_route: false,
+            io: IoBackend::default(),
+            dispatchers: 2,
+            max_in_flight_per_client: 64,
+            shutdown_grace: Duration::from_secs(600),
         }
     }
 }
 
-struct Shared {
-    engine: JobEngine<String>,
-    store: JobStore,
-    metrics: Metrics,
-    phases: PhaseLog,
-    checkpoint_every: usize,
-    cache_dir: Option<PathBuf>,
-    max_body: usize,
-    max_netlist_lines: usize,
-    max_connections: usize,
-    request_deadline: Duration,
-    debug_panic_route: bool,
-    next_id: AtomicU64,
-    shutting_down: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) engine: JobEngine<String>,
+    pub(crate) store: JobStore,
+    pub(crate) metrics: Metrics,
+    pub(crate) phases: PhaseLog,
+    pub(crate) checkpoint_every: usize,
+    pub(crate) cache_dir: Option<PathBuf>,
+    pub(crate) max_body: usize,
+    pub(crate) max_netlist_lines: usize,
+    pub(crate) max_connections: usize,
+    pub(crate) request_deadline: Duration,
+    pub(crate) debug_panic_route: bool,
+    pub(crate) next_id: AtomicU64,
+    pub(crate) shutting_down: AtomicBool,
     /// Extension routes (e.g. `/v1/sweeps` from `emgrid-batch`), consulted
     /// only after every built-in route has declined the request.
-    route_hook: RwLock<Option<RouteHook>>,
-    /// Connection threads currently alive, for load shedding.
-    active_connections: Arc<AtomicUsize>,
+    pub(crate) route_hook: RwLock<Option<RouteHook>>,
+    /// Live connections (threads alive on the threads backend; open
+    /// event-loop connections on the poll backend), for load shedding.
+    pub(crate) active_connections: Arc<AtomicUsize>,
     /// Ids submitted or requeued by this process that may still be live,
     /// for shutdown (terminal ids are pruned as new work arrives).
-    known: Mutex<Vec<JobId>>,
+    pub(crate) known: Mutex<Vec<JobId>>,
 }
 
 /// A running daemon instance.
@@ -125,6 +177,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    shutdown_grace: Duration,
 }
 
 impl Server {
@@ -192,14 +245,34 @@ impl Server {
         }
 
         let accept_shared = Arc::clone(&shared);
+        #[cfg(unix)]
+        let io = config.io;
+        #[cfg(not(unix))]
+        let io = IoBackend::Threads;
+        let dispatchers = config.dispatchers;
+        let max_in_flight_per_client = config.max_in_flight_per_client;
         let accept = std::thread::Builder::new()
             .name("emgrid-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
+            .spawn(move || match io {
+                IoBackend::Threads => accept_loop(listener, accept_shared),
+                #[cfg(unix)]
+                IoBackend::Poll => crate::event_loop::run(
+                    listener,
+                    accept_shared,
+                    crate::event_loop::EventLoopOptions {
+                        dispatchers,
+                        max_in_flight_per_client,
+                    },
+                ),
+                #[cfg(not(unix))]
+                IoBackend::Poll => unreachable!("poll backend is unix-only"),
+            })
             .expect("spawn accept thread");
         Ok(Server {
             shared,
             addr,
             accept: Some(accept),
+            shutdown_grace: config.shutdown_grace,
         })
     }
 
@@ -275,13 +348,21 @@ impl Server {
                 self.shared.engine.cancel(*id);
             }
         }
-        for id in ids {
-            let _ = self
-                .shared
-                .engine
-                .wait_terminal(id, Duration::from_secs(600));
-        }
+        wait_all_terminal(&self.shared.engine, &ids, self.shutdown_grace);
         self.shared.engine.begin_shutdown();
+    }
+}
+
+/// Waits for every id to reach a terminal state under ONE shared grace
+/// deadline. The old per-job `wait_terminal(id, 600s)` loop meant N stuck
+/// jobs stalled shutdown for N×600s; here the budget is global, and once
+/// it is spent the remaining ids still get a zero-timeout status check
+/// (already-terminal jobs never block).
+fn wait_all_terminal(engine: &JobEngine<String>, ids: &[JobId], grace: Duration) {
+    let deadline = Instant::now() + grace;
+    for id in ids {
+        let left = deadline.saturating_duration_since(Instant::now());
+        let _ = engine.wait_terminal(*id, left);
     }
 }
 
@@ -472,10 +553,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 let active = &shared.active_connections;
                 if active.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
                     active.fetch_sub(1, Ordering::SeqCst);
-                    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                    // The shed is both a request and a response for
+                    // accounting, and the write is a single nonblocking
+                    // best-effort attempt: a client that never reads its
+                    // socket must not be able to stall the accept thread
+                    // (the old 1s blocking write let a handful of slow
+                    // clients freeze *all* accepts).
+                    Metrics::inc(&shared.metrics.http_requests);
                     let response = Response::error(503, "too many connections");
                     shared.metrics.count_response(response.status);
-                    let _ = response.write_to(&mut stream);
+                    if stream.set_nonblocking(true).is_ok() {
+                        use std::io::{Read as _, Write as _};
+                        let _ = stream.write(&response.to_bytes());
+                        // Best-effort RST avoidance: FIN our side, then
+                        // discard whatever request bytes already arrived
+                        // so the close is clean and the 503 survives.
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        let mut scratch = [0u8; 4096];
+                        while matches!(stream.read(&mut scratch), Ok(1..)) {}
+                    }
                     continue;
                 }
                 let slot = ConnectionSlot {
@@ -501,7 +597,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// The latency-histogram label for a parsed request.
-fn route_label(request: &Request) -> &'static str {
+pub(crate) fn route_label(request: &Request) -> &'static str {
     let segments: Vec<&str> = request
         .path()
         .split('/')
@@ -528,44 +624,79 @@ fn send(stream: &mut TcpStream, response: &Response, metrics: &Metrics) {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
-    let started = Instant::now();
-    let deadline = started + shared.request_deadline;
     // A client that stops reading must not pin the thread on writes either.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    Metrics::inc(&shared.metrics.http_requests);
-    let (label, response) = match read_request(&mut stream, shared.max_body, deadline) {
-        Ok(request) => (route_label(&request), route(&request, &shared)),
-        Err(HttpError::BodyTooLarge { declared, limit }) => {
-            let response = Response::error(
-                413,
-                format!("body too large: {declared} bytes (limit {limit})"),
-            );
-            send(&mut stream, &response, &shared.metrics);
-            // Drain (bounded) what the client already sent so the close is
-            // a FIN, not an RST that could destroy the 413 in flight.
-            let mut sink = [0u8; 4096];
-            let mut left = declared.min(1 << 20);
-            while left > 0 && Instant::now() < deadline {
-                match std::io::Read::read(&mut stream, &mut sink) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => left = left.saturating_sub(n),
+    let mut buffer = RequestBuffer::new();
+    let mut served = 0u64;
+    // The keep-alive loop: each iteration reads and serves one request,
+    // with leftover pipelined bytes carried across iterations in `buffer`.
+    loop {
+        let started = Instant::now();
+        let deadline = started + shared.request_deadline;
+        let (label, response) =
+            match read_request_buffered(&mut stream, &mut buffer, shared.max_body, deadline) {
+                Ok(request) => {
+                    Metrics::inc(&shared.metrics.http_requests);
+                    if served > 0 {
+                        Metrics::inc(&shared.metrics.keepalive_reuses);
+                    }
+                    let mut response = route(&request, &shared);
+                    // Routed responses — errors included — honor the client's
+                    // keep-alive intent; only protocol-level failures below
+                    // force a close.
+                    response.close = !request.keep_alive;
+                    (route_label(&request), response)
                 }
-            }
-            shared.metrics.observe_route("other", started.elapsed());
+                Err(HttpError::BodyTooLarge { declared, limit }) => {
+                    Metrics::inc(&shared.metrics.http_requests);
+                    let response = Response::error(
+                        413,
+                        format!("body too large: {declared} bytes (limit {limit})"),
+                    );
+                    send(&mut stream, &response, &shared.metrics);
+                    // Drain (bounded) what the client already sent so the close
+                    // is a FIN, not an RST that could destroy the 413 in flight.
+                    let mut sink = [0u8; 4096];
+                    let mut left = declared.min(1 << 20);
+                    while left > 0 && Instant::now() < deadline {
+                        match std::io::Read::read(&mut stream, &mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => left = left.saturating_sub(n),
+                        }
+                    }
+                    shared.metrics.observe_route("other", started.elapsed());
+                    return;
+                }
+                Err(HttpError::Timeout) => {
+                    // An idle keep-alive connection that already served a
+                    // request just went quiet — the normal end of its life,
+                    // not a client error worth a 408.
+                    if served > 0 && buffer.is_empty() {
+                        return;
+                    }
+                    Metrics::inc(&shared.metrics.http_requests);
+                    (
+                        "other",
+                        Response::error(408, "request read deadline exceeded"),
+                    )
+                }
+                Err(HttpError::BadRequest(message)) => {
+                    Metrics::inc(&shared.metrics.http_requests);
+                    ("other", Response::error(400, message))
+                }
+                Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+            };
+        let close = response.close;
+        send(&mut stream, &response, &shared.metrics);
+        shared.metrics.observe_route(label, started.elapsed());
+        if close {
             return;
         }
-        Err(HttpError::Timeout) => (
-            "other",
-            Response::error(408, "request read deadline exceeded"),
-        ),
-        Err(HttpError::BadRequest(message)) => ("other", Response::error(400, message)),
-        Err(HttpError::Io(_)) => return,
-    };
-    send(&mut stream, &response, &shared.metrics);
-    shared.metrics.observe_route(label, started.elapsed());
+        served += 1;
+    }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     let segments: Vec<&str> = request
         .path()
         .split('/')
@@ -807,7 +938,7 @@ mod tests {
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         let body = r#"{"kind":"characterize","array":"1x1","trials":8,"seed":1}"#;
         let request = format!(
-            "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         stream.write_all(request.as_bytes()).unwrap();
@@ -818,5 +949,42 @@ mod tests {
         // Shutdown reads the same lock and must drain the job, not panic.
         server.shutdown();
         let _ = std::fs::remove_dir_all(state_dir);
+    }
+
+    /// Satellite regression: graceful shutdown used to call
+    /// `wait_terminal(id, 600s)` once *per* job, so N stuck jobs stalled
+    /// shutdown for N×600s. The grace budget must be shared: with one
+    /// worker pinned by a slow job and several more queued behind it, the
+    /// total wait is bounded by one grace period — not jobs × grace.
+    #[test]
+    fn shutdown_grace_is_shared_across_jobs_not_per_job() {
+        use emgrid_runtime::JobEngine;
+
+        let engine: JobEngine<String> = JobEngine::new(1, 16);
+        let mut ids = Vec::new();
+        for i in 0..5u64 {
+            let id = engine
+                .submit(move |ctx| {
+                    // Ignore cancellation: these jobs model "stuck" work
+                    // that outlives any reasonable shutdown patience.
+                    let _ = ctx;
+                    std::thread::sleep(Duration::from_millis(400));
+                    JobOutcome::Done(format!("slow-{i}"))
+                })
+                .unwrap();
+            ids.push(id);
+        }
+
+        let grace = Duration::from_millis(150);
+        let start = Instant::now();
+        wait_all_terminal(&engine, &ids, grace);
+        let elapsed = start.elapsed();
+        // Per-job waiting would cost ~5 × grace (and with the old 600s
+        // constant, ~50 minutes). A single shared deadline returns within
+        // one grace period plus the zero-timeout status checks.
+        assert!(
+            elapsed < grace * 3,
+            "shared grace deadline exceeded: waited {elapsed:?} for 5 jobs with grace {grace:?}"
+        );
     }
 }

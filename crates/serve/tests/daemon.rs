@@ -32,8 +32,11 @@ fn config(tag: &str) -> ServeConfig {
 /// One HTTP exchange; returns `(status, body)`.
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    // `Connection: close` so `read_to_string` sees EOF — the daemon keeps
+    // HTTP/1.1 connections alive by default; keep-alive behavior has its
+    // own test suite (tests/keepalive.rs).
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     // The server may answer (and close) before the body is fully written —
