@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 use emgrid_batch::backend::{JobBackend, JobPoll, SubmitRejected};
 use emgrid_batch::{LocalBackend, SubmissionState, SweepEngine};
 use emgrid_runtime::JobId;
-use emgrid_serve::JobSpec;
+use emgrid_serve::{JobBody, JobSpec};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -101,7 +101,7 @@ struct Sabotage {
 
 impl Sabotage {
     fn sabotaged(&self, spec: &JobSpec) -> bool {
-        matches!(spec, JobSpec::Characterize(mc) if mc.seed == self.marker_seed)
+        matches!(&spec.body, JobBody::Characterize(mc) if mc.seed == self.marker_seed)
     }
 }
 

@@ -11,7 +11,7 @@ use emgrid_em::black::BlackModel;
 use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
 use emgrid_pg::signoff::{current_density_signoff, WireGeometry};
-use emgrid_pg::{IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_pg::{GridVariation, IrDropReport, PowerGrid, PowerGridMc, SystemCriterion};
 use emgrid_runtime::obs;
 use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
 use emgrid_screen::{screen_grid, ScreenOptions};
@@ -20,7 +20,8 @@ use emgrid_sparse::{FactorOptions, KernelBackend, Method, Ordering};
 use emgrid_spice::writer::write_string;
 use emgrid_spice::{lint, parse, repair_shorted_vias, GridSpec};
 use emgrid_via::{
-    FailureCriterion, FeaOptions, LayerPair, StressCache, StressTable, ViaArrayConfig, ViaArrayMc,
+    FailureCriterion, FeaOptions, LayerPair, StressCache, StressTable, Variation, ViaArrayConfig,
+    ViaArrayMc,
 };
 
 /// A CLI failure: the message to print to stderr.
@@ -55,6 +56,8 @@ COMMANDS:
                     --criterion wl|r2x|rinf (default rinf)
                     --trials <n> (default 2000)  --seed <n> (default 1)
                     [--threads <n>] [--target-ci <half-width>]
+                    [--edge-current-factor <f>] [--temperature-sigma <degC>]
+                    [--linewidth-sigma <f>] [--variance-analysis]
     analyze       system TTF of a deck (two-level Monte Carlo)
                     <deck.sp> [same options as characterize]
                     --grid-trials <n> (default 200)
@@ -62,6 +65,8 @@ COMMANDS:
                     [--target-ci <half-width>]
                     [--ordering natural|rcm|amd|nd]
                     [--kernels auto|scalar|blocked]
+                    [--edge-current-factor <f>] [--temperature-sigma <degC>]
+                    [--linewidth-sigma <f>]
     screen        linear-time steady-state EM screening: rank every via
                   array of a deck by steady-state stress, no Monte Carlo
                     <deck.sp> | --profile pg1|pg2|pg5|pg100k|pg1m
@@ -87,6 +92,11 @@ COMMANDS:
                     [--workers <n>] (default 2)
                     [--checkpoint-every <trials>] (default 64; 0 disables)
                     [--max-in-flight <n>] (default 2*workers)
+    validate      check a job or sweep spec offline, no daemon required
+                    <spec.json> (a spec with a `kind` key is validated as
+                                 a job spec, anything else as a sweep spec)
+                  prints the canonical JSON to stdout on success; on
+                  failure prints the offending field and exits nonzero
     serve         run the analysis daemon (JSON over HTTP)
                     [--addr <ip:port>] (default 127.0.0.1:8080; port 0 = ephemeral)
                     [--workers <n>] (default 2)
@@ -115,6 +125,15 @@ Monte Carlo commands take --threads (work-stealing across n OS threads;
 results are bit-identical for any thread count) and --target-ci (stop as
 soon as the 95% CI half-width on mean ln TTF reaches the target instead
 of exhausting the trial budget).
+
+The characterize and analyze commands model on-die variation:
+--edge-current-factor weights edge/corner vias with `1 + f*sides` of the
+array current, --temperature-sigma and --linewidth-sigma sample
+spatially correlated per-via temperature and linewidth fields each trial
+(from per-trial RNG sub-streams, so results stay bit-identical for any
+thread count). characterize additionally takes --variance-analysis: it
+replays the same trials with the fields frozen and reports how much of
+the ln-TTF variance the correlated fields add on top of void nucleation.
 
 The screen command solves one operating point, decomposes the grid into
 interconnect trees, and prints every via array ranked by its steady-state
@@ -154,6 +173,12 @@ report under <state-dir>/sweeps/<id>/report.json. Progress is tracked in
 an on-disk manifest: re-running the same spec after an interruption (or
 `kill -9`) resumes from the completed jobs instead of starting over, and
 the final report is byte-identical to an uninterrupted run's.
+
+The validate command runs the same strict spec checks the daemon and the
+sweep engine apply — unknown keys, bounds, schema versions, full axis
+expansion — without touching a state directory, and prints the canonical
+(persisted) form of the spec. Job and sweep specs both take an optional
+`\"schema\": 1` version pin; unknown versions are rejected up front.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name).
@@ -184,6 +209,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fea" => cmd_fea(rest),
         "signoff" => cmd_signoff(rest),
         "sweep" => cmd_sweep(rest),
+        "validate" => cmd_validate(rest),
         "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError(format!("unknown command `{other}`\n\n{USAGE}"))),
@@ -363,6 +389,43 @@ fn parse_criterion(args: &[String]) -> Result<FailureCriterion, CliError> {
     }
 }
 
+/// One bounded, non-negative variation flag. The bounds mirror the serve
+/// spec layer's, so a flag combination that works here also works as a
+/// `variation` block in a job spec.
+fn variation_flag(args: &[String], name: &str, max: f64) -> Result<Option<f64>, CliError> {
+    match option_value(args, name) {
+        None => Ok(None),
+        Some(v) => {
+            let x: f64 = v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value `{v}` for {name}")))?;
+            if !x.is_finite() || x < 0.0 || x > max {
+                return Err(CliError(format!("{name} must be in [0, {max}]")));
+            }
+            Ok(Some(x))
+        }
+    }
+}
+
+/// Parses the on-die variation flags shared by the Monte Carlo commands.
+/// `None` when no variation flag appears at all, so unvaried runs keep the
+/// legacy single-stream RNG draws (and their exact historical bytes);
+/// passing any flag — even at zero — opts into the sub-stream draws.
+fn parse_variation(args: &[String]) -> Result<Option<Variation>, CliError> {
+    let edge = variation_flag(args, "--edge-current-factor", 10.0)?;
+    let temperature = variation_flag(args, "--temperature-sigma", 100.0)?;
+    let linewidth = variation_flag(args, "--linewidth-sigma", 0.5)?;
+    let variance = args.iter().any(|a| a == "--variance-analysis");
+    if edge.is_none() && temperature.is_none() && linewidth.is_none() && !variance {
+        return Ok(None);
+    }
+    Ok(Some(Variation {
+        edge_current_factor: edge.unwrap_or(0.0),
+        temperature_sigma_c: temperature.unwrap_or(0.0),
+        linewidth_sigma: linewidth.unwrap_or(0.0),
+    }))
+}
+
 fn load_deck(args: &[String]) -> Result<emgrid_spice::Netlist, CliError> {
     // First positional argument: skip `--option value` pairs.
     let mut path = None;
@@ -451,8 +514,18 @@ fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
     let trials = parse_usize(args, "--trials", 2000)?;
     let seed = parse_u64(args, "--seed", 1)?;
     let runtime = parse_runtime(args)?;
-    let result = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
-        .characterize_with(trials, seed, &runtime);
+    let variation = parse_variation(args)?;
+    let variance_analysis = args.iter().any(|a| a == "--variance-analysis");
+    let mut model = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10);
+    if let Some(v) = variation {
+        model = model.with_variation(v);
+    }
+    let (result, variance) = if variance_analysis {
+        let (result, decomposition) = model.characterize_with_variance(trials, seed, &runtime);
+        (result, Some(decomposition))
+    } else {
+        (model.characterize_with(trials, seed, &runtime), None)
+    };
     let ecdf = result.ecdf(criterion);
     let fit = result
         .fit_lognormal(criterion)
@@ -466,6 +539,13 @@ fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
         "array {label} ({} pattern), criterion {criterion}, {trials} trials",
         config.pattern
     );
+    if let Some(v) = variation {
+        let _ = writeln!(
+            out,
+            "variation      : edge factor {}, sigma_T {} degC, sigma_w {}",
+            v.edge_current_factor, v.temperature_sigma_c, v.linewidth_sigma
+        );
+    }
     let _ = writeln!(
         out,
         "TTF median     : {:.2} years",
@@ -483,6 +563,13 @@ fn cmd_characterize(args: &[String]) -> Result<String, CliError> {
         fit.sigma(),
         ks
     );
+    if let Some(d) = variance {
+        let _ = writeln!(
+            out,
+            "ln-TTF variance: total {:.4} (void {:.4} + environment {:.4})",
+            d.total, d.void, d.environment
+        );
+    }
     let _ = writeln!(out, "{}", format_report(result.report()));
     Ok(out)
 }
@@ -497,19 +584,30 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let runtime = parse_runtime(args)?;
     let (ordering, _) = parse_ordering(args)?;
     let (kernels, _) = parse_kernels(args)?;
-    let reliability = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10)
+    let variation = parse_variation(args)?;
+    let mut level1 = ViaArrayMc::from_reference_table(&config, Technology::default(), 1e10);
+    if let Some(v) = variation {
+        level1 = level1.with_variation(v);
+    }
+    let reliability = level1
         .characterize_with(trials, seed, &runtime)
         .reliability(criterion)
         .map_err(|e| CliError(e.to_string()))?;
     let grid = PowerGrid::from_netlist(netlist).map_err(|e| CliError(e.to_string()))?;
     let sites = grid.via_sites().len();
-    let mc = PowerGridMc::new(grid, reliability)
+    let mut mc = PowerGridMc::new(grid, reliability)
         .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
         .with_factor_options(
             FactorOptions::default()
                 .with_ordering(ordering)
                 .with_kernels(kernels),
         );
+    if let Some(v) = variation {
+        mc = mc.with_variation(GridVariation {
+            ttf_ln_sigma: v.grid_ttf_ln_sigma(&Technology::default()),
+            linewidth_sigma: v.linewidth_sigma,
+        });
+    }
     let result = mc
         .run_with(grid_trials, seed ^ 0xc11, &runtime)
         .map_err(|e| CliError(e.to_string()))?;
@@ -518,6 +616,13 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         out,
         "{sites} via arrays as {label}/{criterion}; {grid_trials} grid trials"
     );
+    if let Some(v) = variation {
+        let _ = writeln!(
+            out,
+            "variation      : edge factor {}, sigma_T {} degC, sigma_w {}",
+            v.edge_current_factor, v.temperature_sigma_c, v.linewidth_sigma
+        );
+    }
     let _ = writeln!(
         out,
         "system TTF median   : {:.2} years",
@@ -886,6 +991,52 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Validates one job or sweep spec offline and prints the canonical
+/// (persisted) document to stdout — the same strict checks the HTTP API
+/// and the sweep engine apply, including full axis expansion, with the
+/// same field attribution, but with no daemon and no state directory.
+fn cmd_validate(args: &[String]) -> Result<String, CliError> {
+    use emgrid_scenarios::SweepSpec;
+    use emgrid_serve::json::{self, Json};
+    use emgrid_serve::{JobSpec, SpecError};
+
+    // First positional argument: the spec path.
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            path = Some(&args[i]);
+            break;
+        }
+    }
+    let path = path.ok_or_else(|| CliError("missing spec path".to_owned()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let doc =
+        json::parse(&text).map_err(|e| CliError(format!("`{path}` is not valid JSON: {e}")))?;
+    let spec_err = |kind: &str, e: SpecError| {
+        CliError(match &e.field {
+            Some(field) => format!("invalid {kind} spec at `{field}`: {e}"),
+            None => format!("invalid {kind} spec: {e}"),
+        })
+    };
+    // A `kind` key marks a job spec; everything else is tried as a sweep.
+    let is_job = matches!(&doc, Json::Obj(pairs) if pairs.iter().any(|(k, _)| k == "kind"));
+    let mut canonical = if is_job {
+        let spec = JobSpec::from_json(&doc).map_err(|e| spec_err("job", e))?;
+        spec.resolve().map_err(|e| spec_err("job", e))?;
+        spec.to_json().to_string()
+    } else {
+        let spec = SweepSpec::from_json(&doc).map_err(|e| spec_err("sweep", e))?;
+        spec.expand().map_err(|e| spec_err("sweep", e))?;
+        spec.canonical_string()
+    };
+    canonical.push('\n');
+    Ok(canonical)
+}
+
 /// Runs the daemon in the foreground until the process is killed. Prints
 /// the bound address before blocking so scripts can discover an ephemeral
 /// port (`--addr 127.0.0.1:0`).
@@ -1079,6 +1230,26 @@ mod tests {
         .unwrap();
         assert!(out.contains("system TTF median"), "{out}");
         assert!(out.contains("most critical sites"));
+
+        // Variation flags thread through both Monte Carlo levels.
+        let varied = run(&[
+            "analyze".into(),
+            path.clone(),
+            "--trials".into(),
+            "150".into(),
+            "--grid-trials".into(),
+            "10".into(),
+            "--edge-current-factor".into(),
+            "0.5".into(),
+            "--temperature-sigma".into(),
+            "8".into(),
+        ])
+        .unwrap();
+        assert!(
+            varied.contains("variation      : edge factor 0.5, sigma_T 8 degC, sigma_w 0"),
+            "{varied}"
+        );
+        assert!(varied.contains("system TTF median"), "{varied}");
         std::fs::remove_file(path).ok();
     }
 
@@ -1168,6 +1339,115 @@ mod tests {
         assert!(run(&argv("sweep")).is_err(), "missing spec path");
         assert!(run(&argv("sweep nope.json --workers 0")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_canonicalizes_job_and_sweep_specs() {
+        let dir = std::env::temp_dir().join(format!("emgrid-cli-validate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Job spec (has `kind`): defaults materialize, `schema` renders first.
+        let job = dir.join("job.json");
+        std::fs::write(&job, r#"{"schema": 1, "kind": "characterize"}"#).unwrap();
+        let out = run(&["validate".into(), job.to_string_lossy().into_owned()]).unwrap();
+        assert_eq!(
+            out,
+            "{\"schema\":1,\"kind\":\"characterize\",\"array\":\"4x4\",\"pattern\":\"plus\",\
+             \"criterion\":\"rinf\",\"trials\":2000,\"seed\":1,\"threads\":1}\n"
+        );
+
+        // Sweep spec (no `kind`): validated through full axis expansion,
+        // dotted variation axes included.
+        let sweep = dir.join("sweep.json");
+        std::fs::write(
+            &sweep,
+            r#"{
+                "name": "v",
+                "job": {"kind": "characterize", "trials": 8},
+                "axes": {"variation.edge_current_factor": [0, 0.5]}
+            }"#,
+        )
+        .unwrap();
+        let out = run(&["validate".into(), sweep.to_string_lossy().into_owned()]).unwrap();
+        assert!(out.starts_with("{\"name\":\"v\""), "{out}");
+        assert!(out.contains("variation.edge_current_factor"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let dir =
+            std::env::temp_dir().join(format!("emgrid-cli-validate-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let bad_job = dir.join("bad-job.json");
+        std::fs::write(&bad_job, r#"{"kind": "characterize", "schema": 7}"#).unwrap();
+        let err = run(&["validate".into(), bad_job.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.0.contains("`schema`"), "{}", err.0);
+        assert!(err.0.contains("unsupported spec schema 7"), "{}", err.0);
+
+        let bad_sweep = dir.join("bad-sweep.json");
+        std::fs::write(
+            &bad_sweep,
+            r#"{"name": "b", "job": {"kind": "characterize", "trials": 8},
+                "axes": {"array": ["1x1", "9x9"]}}"#,
+        )
+        .unwrap();
+        let err = run(&["validate".into(), bad_sweep.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.0.contains("`axes.array[1]`"), "{}", err.0);
+
+        let not_json = dir.join("not.json");
+        std::fs::write(&not_json, "nope").unwrap();
+        let err = run(&["validate".into(), not_json.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(err.0.contains("not valid JSON"), "{}", err.0);
+
+        assert!(run(&argv("validate")).is_err(), "missing spec path");
+        assert!(run(&argv("validate /nonexistent/spec.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn characterize_variation_flags_report_fields_and_variance() {
+        let base = "characterize --array 4x4 --trials 64 --seed 9";
+        let nominal = run(&argv(base)).unwrap();
+        let varied = run(&argv(&format!(
+            "{base} --edge-current-factor 0.5 --temperature-sigma 8 \
+             --linewidth-sigma 0.1 --variance-analysis"
+        )))
+        .unwrap();
+        assert!(
+            varied.contains("variation      : edge factor 0.5, sigma_T 8 degC, sigma_w 0.1"),
+            "{varied}"
+        );
+        assert!(varied.contains("ln-TTF variance: total "), "{varied}");
+        assert!(!nominal.contains("variation"), "{nominal}");
+        assert_ne!(nominal, varied);
+    }
+
+    #[test]
+    fn variation_flags_are_bounded() {
+        assert!(run(&argv("characterize --edge-current-factor -1")).is_err());
+        assert!(run(&argv("characterize --edge-current-factor lots")).is_err());
+        assert!(run(&argv("characterize --temperature-sigma 1000")).is_err());
+        assert!(run(&argv("characterize --linewidth-sigma 0.9")).is_err());
+    }
+
+    #[test]
+    fn varied_characterize_is_thread_count_invariant() {
+        let base = "characterize --trials 96 --seed 7 --edge-current-factor 0.4 \
+                    --temperature-sigma 6 --linewidth-sigma 0.05 --threads";
+        let one = run(&argv(&format!("{base} 1"))).unwrap();
+        let four = run(&argv(&format!("{base} 4"))).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("execution"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&four));
     }
 
     #[test]

@@ -73,15 +73,15 @@ pub mod prelude {
     pub use emgrid_fea::geometry::{CharacterizationModel, IntersectionPattern, ViaArrayGeometry};
     pub use emgrid_fea::model::ThermalStressAnalysis;
     pub use emgrid_pg::{
-        IrDropReport, McResult, PowerGrid, PowerGridMc, SiteAssignment, SolverStrategy,
-        SystemCriterion, Table2Row, TtfCurve,
+        GridVariation, IrDropReport, McResult, PowerGrid, PowerGridMc, SiteAssignment,
+        SolverStrategy, SystemCriterion, Table2Row, TtfCurve,
     };
     pub use emgrid_runtime::{EarlyStop, RunReport, RuntimeConfig};
     pub use emgrid_spice::{parse, GridSpec};
     pub use emgrid_stats::{Ecdf, LogNormal, OnlineStats};
     pub use emgrid_via::{
         CurrentModel, FailureCriterion, FeaOptions, FeaReport, StressCache, StressTable,
-        ViaArrayConfig, ViaArrayMc, ViaArrayReliability,
+        VarianceDecomposition, Variation, ViaArrayConfig, ViaArrayMc, ViaArrayReliability,
     };
 }
 

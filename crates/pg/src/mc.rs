@@ -17,6 +17,9 @@ use emgrid_runtime::{
 use emgrid_sparse::{FactorOptions, IncrementalSolver, LdlFactor, TripletMatrix};
 use emgrid_stats::Ecdf;
 use emgrid_stats::Rng;
+use emgrid_via::variation::{
+    random_walk_field, CHANNEL_FIELD, CHANNEL_GEOMETRY, CHANNEL_VOID, MIN_RELATIVE_WIDTH,
+};
 use emgrid_via::ViaArrayReliability;
 
 use crate::checkpoint::GridCheckpoint;
@@ -79,6 +82,65 @@ pub enum SiteAssignment {
         /// Upgraded configuration for hot sites.
         high: ViaArrayReliability,
     },
+}
+
+/// Site-level on-die variation for the grid Monte Carlo.
+///
+/// Sampled once per trial as spatially correlated random-walk fields over
+/// the via-site index (nearby sites share their walk prefix — the
+/// 1712.05562 on-die variation shape), from sub-streams independent of the
+/// lifetime draws. The grid level works with fitted lifetime
+/// distributions, so the temperature field enters as a ln-TTF sigma
+/// (first order: `E_a/(k_B·T²)·σ_T`, see
+/// [`emgrid_via::Variation::grid_ttf_ln_sigma`]) rather than through the
+/// Arrhenius law directly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GridVariation {
+    /// Per-site ln-TTF standard deviation contributed by the correlated
+    /// temperature field; `0` disables it.
+    pub ttf_ln_sigma: f64,
+    /// Relative standard deviation of the correlated per-site linewidth
+    /// multiplier (a narrower site sees a higher current density); `0`
+    /// disables it.
+    pub linewidth_sigma: f64,
+}
+
+/// One trial's sampled per-site fields.
+struct SiteFields {
+    /// Multiplier on each site's drawn lifetime (hotter → below one).
+    life_scale: Vec<f64>,
+    /// Multiplier on each site's current density (narrower → above one).
+    inv_width: Vec<f64>,
+}
+
+impl SiteFields {
+    fn sample(
+        var: &GridVariation,
+        sites: usize,
+        field_rng: &mut (impl Rng + ?Sized),
+        geom_rng: &mut (impl Rng + ?Sized),
+    ) -> SiteFields {
+        let life_scale = if var.ttf_ln_sigma > 0.0 {
+            random_walk_field(sites, field_rng)
+                .iter()
+                .map(|&f| (-var.ttf_ln_sigma * f).exp())
+                .collect()
+        } else {
+            vec![1.0; sites]
+        };
+        let inv_width = if var.linewidth_sigma > 0.0 {
+            random_walk_field(sites, geom_rng)
+                .iter()
+                .map(|&f| 1.0 / (1.0 + var.linewidth_sigma * f).max(MIN_RELATIVE_WIDTH))
+                .collect()
+        } else {
+            vec![1.0; sites]
+        };
+        SiteFields {
+            life_scale,
+            inv_width,
+        }
+    }
 }
 
 /// Checkpoint/resume/cancellation controls for one
@@ -185,6 +247,9 @@ pub struct PowerGridMc {
     /// `None` simulates every site; otherwise only flagged sites sample
     /// lifetimes and may fail.
     active: Option<Vec<bool>>,
+    /// Optional site-level on-die variation: `None` keeps the legacy
+    /// single-stream trials bit-identical with pre-variation builds.
+    variation: Option<GridVariation>,
 }
 
 impl PowerGridMc {
@@ -200,6 +265,7 @@ impl PowerGridMc {
             factor: FactorOptions::default(),
             current_floor_fraction: 1e-3,
             active: None,
+            variation: None,
         }
     }
 
@@ -251,6 +317,19 @@ impl PowerGridMc {
     pub fn with_assignment(mut self, assignment: SiteAssignment) -> Self {
         self.assignment = assignment;
         self
+    }
+
+    /// Enables site-level on-die variation: trials draw lifetime,
+    /// temperature-field, and linewidth-field samples from independent
+    /// derived sub-streams (default: nominal model).
+    pub fn with_variation(mut self, variation: GridVariation) -> Self {
+        self.variation = Some(variation);
+        self
+    }
+
+    /// The configured variation, if any.
+    pub fn variation(&self) -> Option<&GridVariation> {
+        self.variation.as_ref()
     }
 
     /// The grid under analysis.
@@ -409,10 +488,7 @@ impl PowerGridMc {
             trials,
             runtime,
             trial_session,
-            |t| {
-                let mut rng = emgrid_stats::stream_rng(seed, t as u64);
-                self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
-            },
+            |t| self.run_one_trial(seed, t, &base_solver, &base_rhs, &nominal_j, &site_rels),
             |(ttf, _): &(f64, Vec<usize>)| ttf.max(f64::MIN_POSITIVE).ln(),
         )?;
 
@@ -476,8 +552,7 @@ impl PowerGridMc {
         let run_range = |range: std::ops::Range<usize>| -> Result<Vec<TrialOutcome>, PgError> {
             range
                 .map(|t| {
-                    let mut rng = emgrid_stats::stream_rng(seed, t as u64);
-                    self.one_trial(&mut rng, &base_solver, &base_rhs, &nominal_j, &site_rels)
+                    self.run_one_trial(seed, t, &base_solver, &base_rhs, &nominal_j, &site_rels)
                 })
                 .collect()
         };
@@ -519,6 +594,46 @@ impl PowerGridMc {
         })
     }
 
+    /// Dispatches one trial on its `(seed, trial)` randomness: the legacy
+    /// single stream for the nominal model, or three derived sub-streams
+    /// (lifetimes / temperature field / linewidth field) under variation.
+    fn run_one_trial(
+        &self,
+        seed: u64,
+        t: usize,
+        base_solver: &IncrementalSolver,
+        base_rhs: &[f64],
+        nominal_j: &[f64],
+        site_rels: &[ViaArrayReliability],
+    ) -> Result<(f64, Vec<usize>), PgError> {
+        match &self.variation {
+            None => {
+                let mut rng = emgrid_stats::stream_rng(seed, t as u64);
+                self.one_trial(&mut rng, base_solver, base_rhs, nominal_j, site_rels, None)
+            }
+            Some(var) => {
+                let s = t as u64;
+                let mut void_rng = emgrid_stats::substream_rng(seed, s, CHANNEL_VOID);
+                let mut field_rng = emgrid_stats::substream_rng(seed, s, CHANNEL_FIELD);
+                let mut geom_rng = emgrid_stats::substream_rng(seed, s, CHANNEL_GEOMETRY);
+                let fields = SiteFields::sample(
+                    var,
+                    self.grid.via_sites().len(),
+                    &mut field_rng,
+                    &mut geom_rng,
+                );
+                self.one_trial(
+                    &mut void_rng,
+                    base_solver,
+                    base_rhs,
+                    nominal_j,
+                    site_rels,
+                    Some(&fields),
+                )
+            }
+        }
+    }
+
     fn one_trial(
         &self,
         rng: &mut (impl Rng + ?Sized),
@@ -526,18 +641,28 @@ impl PowerGridMc {
         base_rhs: &[f64],
         nominal_j: &[f64],
         site_rels: &[ViaArrayReliability],
+        fields: Option<&SiteFields>,
     ) -> Result<(f64, Vec<usize>), PgError> {
         let sites = self.grid.via_sites();
         let m = sites.len();
         let is_active = |k: usize| self.active.as_ref().is_none_or(|a| a[k]);
         let mut j: Vec<f64> = nominal_j.to_vec();
+        if let Some(f) = fields {
+            for (jk, w) in j.iter_mut().zip(&f.inv_width) {
+                *jk *= w;
+            }
+        }
         // Inactive (screened-out) sites draw no lifetime: they are immortal
         // and consume no randomness, so a run over the selected subset is a
         // function of the subset alone.
         let mut remaining: Vec<f64> = (0..m)
             .map(|k| {
                 if is_active(k) {
-                    site_rels[k].sample_ttf(j[k], rng)
+                    let ttf = site_rels[k].sample_ttf(j[k], rng);
+                    match fields {
+                        Some(f) => ttf * f.life_scale[k],
+                        None => ttf,
+                    }
                 } else {
                     f64::INFINITY
                 }
@@ -659,7 +784,10 @@ impl PowerGridMc {
                 if alive[k] {
                     let rel = &site_rels[k];
                     let j_floor = rel.reference_current_density * self.current_floor_fraction;
-                    let j_new = (currents[k] / rel.config.effective_area_m2()).max(j_floor);
+                    let mut j_new = (currents[k] / rel.config.effective_area_m2()).max(j_floor);
+                    if let Some(f) = fields {
+                        j_new *= f.inv_width[k];
+                    }
                     remaining[k] = rescale_remaining_life(remaining[k], j[k], j_new);
                     j[k] = j_new;
                 }
@@ -1074,6 +1202,74 @@ mod tests {
         }
         let total: usize = r.site_failure_counts().iter().sum();
         assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn grid_variation_is_thread_count_invariant() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let var = GridVariation {
+            ttf_ln_sigma: 0.3,
+            linewidth_sigma: 0.05,
+        };
+        let seq = PowerGridMc::new(small_grid(), rel)
+            .with_variation(var)
+            .run(16, 71)
+            .unwrap();
+        let par = PowerGridMc::new(small_grid(), rel)
+            .with_variation(var)
+            .run_threaded(16, 71, 4)
+            .unwrap();
+        assert_eq!(seq.ttf_seconds(), par.ttf_seconds());
+        assert_eq!(seq.site_failure_counts(), par.site_failure_counts());
+        let chunked = PowerGridMc::new(small_grid(), rel)
+            .with_variation(var)
+            .run_static_chunked(16, 71, 4)
+            .unwrap();
+        assert_eq!(seq.ttf_seconds(), chunked.ttf_seconds());
+    }
+
+    #[test]
+    fn grid_variation_widens_the_ttf_spread() {
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let ln_var = |r: &McResult| {
+            let ln: Vec<f64> = r.ttf_seconds().iter().map(|t| t.ln()).collect();
+            let mean = ln.iter().sum::<f64>() / ln.len() as f64;
+            ln.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (ln.len() - 1) as f64
+        };
+        let nominal = PowerGridMc::new(small_grid(), rel)
+            .with_variation(GridVariation::default())
+            .run(60, 73)
+            .unwrap();
+        let varied = PowerGridMc::new(small_grid(), rel)
+            .with_variation(GridVariation {
+                ttf_ln_sigma: 0.5,
+                linewidth_sigma: 0.1,
+            })
+            .run(60, 73)
+            .unwrap();
+        assert!(
+            ln_var(&varied) > ln_var(&nominal),
+            "varied {} vs nominal {}",
+            ln_var(&varied),
+            ln_var(&nominal)
+        );
+    }
+
+    #[test]
+    fn inactive_variation_draws_match_across_field_settings() {
+        // The lifetime draws come from their own sub-stream: turning the
+        // fields off reproduces the all-zero variation run exactly, even
+        // though both differ from the legacy single-stream run.
+        let rel = reliability(FailureCriterion::OpenCircuit);
+        let a = PowerGridMc::new(small_grid(), rel)
+            .with_variation(GridVariation::default())
+            .run(12, 79)
+            .unwrap();
+        let b = PowerGridMc::new(small_grid(), rel)
+            .with_variation(GridVariation::default())
+            .run(12, 79)
+            .unwrap();
+        assert_eq!(a.ttf_seconds(), b.ttf_seconds());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub mod obs;
 pub mod par;
 pub use jobs::{CancelToken, JobCtx, JobEngine, JobId, JobOutcome, JobStatus, SubmitError};
 pub use par::{parallel_chunks_mut, parallel_fill, parallel_map_chunks, parallel_reduce};
+// The stream-derivation scheme the scheduler's determinism contract rests
+// on, re-exported so trial bodies can split one trial's randomness into
+// named, independent sub-streams (geometry / field / void draws) without
+// depending on `emgrid-stats` directly.
+pub use emgrid_stats::{stream_rng, substream_rng};
 
 /// Early-termination policy: stop once the two-sided confidence interval on
 /// the mean of the streamed observable is narrow enough.

@@ -47,7 +47,7 @@ impl SweepSpec {
             let mut axis_values = Vec::with_capacity(self.axes.len());
             for (pos, (axis, values)) in self.axes.iter().enumerate() {
                 let value = values[odometer[pos]].clone();
-                pairs.push((axis.clone(), value.clone()));
+                merge_axis(&mut pairs, axis, value.clone());
                 axis_values.push((axis.clone(), value));
             }
             let doc = Json::Obj(pairs);
@@ -95,6 +95,23 @@ impl SweepSpec {
         }
         e
     }
+}
+
+/// Sets one axis coordinate in the composed document. A dotted axis name
+/// (`variation.edge_current_factor`) addresses a key inside a nested
+/// template object, creating the object when the template omitted it.
+fn merge_axis(pairs: &mut Vec<(String, Json)>, axis: &str, value: Json) {
+    let Some((head, rest)) = axis.split_once('.') else {
+        pairs.push((axis.to_owned(), value));
+        return;
+    };
+    if let Some((_, Json::Obj(inner))) = pairs.iter_mut().find(|(k, _)| k == head) {
+        merge_axis(inner, rest, value);
+        return;
+    }
+    let mut inner = Vec::new();
+    merge_axis(&mut inner, rest, value);
+    pairs.push((head.to_owned(), Json::Obj(inner)));
 }
 
 #[cfg(test)]
@@ -145,9 +162,44 @@ mod tests {
         assert_eq!(jobs[0].key, "current_density=5000000000");
         assert_eq!(jobs[1].key, "current_density=20000000000");
         assert!(matches!(
-            &jobs[1].spec,
-            JobSpec::Characterize(mc) if mc.current_density == Some(2e10)
+            &jobs[1].spec.body,
+            emgrid_serve::JobBody::Characterize(mc) if mc.current_density == Some(2e10)
         ));
+    }
+
+    #[test]
+    fn dotted_axes_merge_into_the_nested_variation_block() {
+        let jobs = expand(
+            r#"{
+            "name": "variation-sweep",
+            "job": {"kind": "characterize", "trials": 8,
+                    "variation": {"temperature_sigma_c": 5}},
+            "axes": {"variation.edge_current_factor": [0.0, 0.5]}
+        }"#,
+        );
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].key, "variation.edge_current_factor=0.5");
+        let emgrid_serve::JobBody::Characterize(mc) = &jobs[1].spec.body else {
+            panic!("wrong kind")
+        };
+        let v = mc.variation.expect("variation block lost in merge");
+        assert_eq!(v.edge_current_factor, 0.5);
+        assert_eq!(v.temperature_sigma_c, 5.0);
+
+        // A bad dotted value is re-attributed to its axis and index.
+        let spec = SweepSpec::parse(
+            r#"{
+            "name": "bad",
+            "job": {"kind": "characterize", "trials": 8},
+            "axes": {"variation.edge_current_factor": [0.5, -1]}
+        }"#,
+        )
+        .unwrap();
+        let e = spec.expand().unwrap_err();
+        assert_eq!(
+            e.field.as_deref(),
+            Some("axes.variation.edge_current_factor[1]")
+        );
     }
 
     #[test]

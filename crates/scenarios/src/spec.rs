@@ -20,6 +20,11 @@ const MAX_LABEL: usize = 64;
 /// of a curve, so sorting it would change what the sweep means.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
+    /// `Some(version)` when the document pinned its schema with a
+    /// top-level `"schema"` key; `None` means implicitly version 1 and
+    /// keeps pre-versioning canonical bytes (and so FNV-derived sweep
+    /// ids) unchanged.
+    pub(crate) schema: Option<u64>,
     pub(crate) name: String,
     pub(crate) template: Vec<(String, Json)>,
     /// Sorted by axis name; each axis holds at least one scalar value.
@@ -47,13 +52,33 @@ impl SweepSpec {
             return Err(SpecError::document("sweep spec must be a JSON object"));
         };
         for (key, _) in pairs {
-            if !matches!(key.as_str(), "name" | "job" | "axes") {
+            if !matches!(key.as_str(), "schema" | "name" | "job" | "axes") {
                 return Err(SpecError::field(
                     key.clone(),
-                    format!("unknown sweep key `{key}` (expected name, job, axes)"),
+                    format!("unknown sweep key `{key}` (expected schema, name, job, axes)"),
                 ));
             }
         }
+
+        // Same contract as job specs: absent means implicit version 1.
+        let schema = match doc.get("schema") {
+            None => None,
+            Some(v) => {
+                let n = v.as_u64().ok_or_else(|| {
+                    SpecError::field("schema", "`schema` must be a non-negative integer")
+                })?;
+                if n != emgrid_serve::SCHEMA_VERSION {
+                    return Err(SpecError::field(
+                        "schema",
+                        format!(
+                            "unsupported spec schema {n} (supported: {})",
+                            emgrid_serve::SCHEMA_VERSION
+                        ),
+                    ));
+                }
+                Some(n)
+            }
+        };
 
         let name = doc
             .get("name")
@@ -86,7 +111,7 @@ impl SweepSpec {
             if axes.iter().any(|(a, _)| a == axis) {
                 return Err(SpecError::field(field, "duplicate axis"));
             }
-            if template.iter().any(|(k, _)| k == axis) {
+            if template_sets(template, axis) {
                 return Err(SpecError::field(
                     field,
                     "axis shadows a key already set in the job template",
@@ -121,6 +146,7 @@ impl SweepSpec {
         axes.sort_by(|a, b| a.0.cmp(&b.0));
 
         let spec = SweepSpec {
+            schema,
             name: name.to_owned(),
             template: template.clone(),
             axes,
@@ -157,13 +183,22 @@ impl SweepSpec {
         total
     }
 
-    /// The canonical document: fixed key order, axes sorted by name.
+    /// The canonical document: fixed key order, axes sorted by name. An
+    /// explicit schema version renders first; an implicit one stays
+    /// implicit, so pre-versioning sweep ids don't shift.
     pub fn canonical_json(&self) -> Json {
-        Json::Obj(vec![
-            ("name".into(), Json::s(&self.name)),
-            ("job".into(), Json::Obj(self.template.clone())),
+        let mut pairs = Vec::new();
+        if self.schema.is_some() {
+            pairs.push((
+                "schema".to_owned(),
+                Json::n(emgrid_serve::SCHEMA_VERSION as f64),
+            ));
+        }
+        pairs.extend([
+            ("name".to_owned(), Json::s(&self.name)),
+            ("job".to_owned(), Json::Obj(self.template.clone())),
             (
-                "axes".into(),
+                "axes".to_owned(),
                 Json::Obj(
                     self.axes
                         .iter()
@@ -171,7 +206,8 @@ impl SweepSpec {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::Obj(pairs)
     }
 
     /// The canonical text form — what the sweep id hashes and what the
@@ -202,6 +238,18 @@ pub(crate) fn render_value(value: &Json) -> Option<String> {
         Json::Str(s) => Some(s.clone()),
         Json::Num(_) | Json::Bool(_) => Some(value.to_string()),
         Json::Null | Json::Arr(_) | Json::Obj(_) => None,
+    }
+}
+
+/// Whether the template already sets the (possibly dotted) axis path: a
+/// dotted axis like `variation.edge_current_factor` shadows only when the
+/// template's nested `variation` object sets `edge_current_factor`.
+fn template_sets(template: &[(String, Json)], axis: &str) -> bool {
+    match axis.split_once('.') {
+        None => template.iter().any(|(k, _)| k == axis),
+        Some((head, rest)) => template
+            .iter()
+            .any(|(k, v)| k == head && matches!(v, Json::Obj(inner) if template_sets(inner, rest))),
     }
 }
 
@@ -364,6 +412,40 @@ mod tests {
                 .as_deref(),
             Some("axes.trials")
         );
+    }
+
+    #[test]
+    fn schema_version_is_accepted_and_keeps_unversioned_ids_stable() {
+        let implicit = spec(FIG8_FRAGMENT);
+        assert!(!implicit.canonical_string().contains("schema"));
+
+        let pinned = spec(&FIG8_FRAGMENT.replacen('{', r#"{"schema": 1,"#, 1));
+        assert!(pinned.canonical_string().starts_with(r#"{"schema":1,"#));
+        // Pinning the version is a different document (different id), but
+        // the same sweep otherwise.
+        assert_ne!(pinned.id(), implicit.id());
+        assert_eq!(pinned.axes(), implicit.axes());
+        let again = SweepSpec::parse(&pinned.canonical_string()).unwrap();
+        assert_eq!(pinned, again);
+
+        let e = err(&FIG8_FRAGMENT.replacen('{', r#"{"schema": 3,"#, 1));
+        assert_eq!(e.field.as_deref(), Some("schema"));
+        assert!(e.message.contains("supported: 1"), "{}", e.message);
+    }
+
+    #[test]
+    fn dotted_axes_shadow_only_matching_nested_template_keys() {
+        // Template sets variation.linewidth_sigma; sweeping a *different*
+        // nested key is fine, the same key is a shadow.
+        let base = r#"{
+            "name": "var",
+            "job": {"kind": "characterize", "trials": 8,
+                    "variation": {"linewidth_sigma": 0.1}},
+            "axes": {"AXIS": [0.0, 0.5]}
+        }"#;
+        assert!(SweepSpec::parse(&base.replace("AXIS", "variation.edge_current_factor")).is_ok());
+        let e = err(&base.replace("AXIS", "variation.linewidth_sigma"));
+        assert_eq!(e.field.as_deref(), Some("axes.variation.linewidth_sigma"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! expanded job list.
 
 use emgrid_scenarios::SweepSpec;
-use emgrid_serve::JobSpec;
+use emgrid_serve::JobBody;
 use proptest::prelude::*;
 use proptest::TestRng;
 
@@ -99,7 +99,7 @@ proptest! {
         prop_assert_eq!(keys.len(), jobs.len());
         for job in &jobs {
             prop_assert!(job.spec.resolve().is_ok());
-            prop_assert!(matches!(job.spec, JobSpec::Characterize(_)));
+            prop_assert!(matches!(job.spec.body, JobBody::Characterize(_)));
         }
     }
 }

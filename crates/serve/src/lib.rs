@@ -34,7 +34,7 @@ pub mod store;
 
 pub use server::{IoBackend, JobsApi, JobsApiError, RouteHook, ServeConfig, Server};
 pub use spec::{
-    DeckSource, JobSpec, McParams, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc,
-    SolverSpec, SpecError,
+    DeckSource, JobBody, JobSpec, McParams, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc,
+    SolverSpec, SpecError, VariationSpec, SCHEMA_VERSION,
 };
 pub use store::{DiskJob, JobStore};

@@ -17,18 +17,23 @@ use std::time::Instant;
 
 use emgrid_em::{Technology, SECONDS_PER_YEAR};
 use emgrid_fea::geometry::CharacterizationModel;
-use emgrid_pg::{GridCheckpoint, GridSession, PowerGrid, PowerGridMc, SystemCriterion};
+use emgrid_pg::{
+    GridCheckpoint, GridSession, GridVariation, PowerGrid, PowerGridMc, SystemCriterion,
+};
 use emgrid_runtime::{JobCtx, JobId, JobOutcome};
 use emgrid_screen::{screen_grid, ScreenOptions};
 use emgrid_spice::ingest::{ingest, IngestLimits, IngestOptions};
 use emgrid_spice::GridSpec;
 use emgrid_via::{
-    FeaOptions, LayerPair, StressCache, StressTable, ViaArrayMc, ViaCheckpoint, ViaSession,
+    CharacterizationResult, FailureCriterion, FeaOptions, LayerPair, StressCache, StressTable,
+    VarianceDecomposition, ViaArrayMc, ViaCheckpoint, ViaSession,
 };
 
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::spec::{DeckSource, JobSpec, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc};
+use crate::spec::{
+    DeckSource, JobSpec, ResolvedAnalyze, ResolvedFea, ResolvedJob, ResolvedMc, VariationSpec,
+};
 use crate::store::JobStore;
 
 /// Jobs whose phase timings stay queryable after the map would otherwise
@@ -122,8 +127,11 @@ pub fn run_job(spec: &JobSpec, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<Str
 }
 
 fn run_characterize(mc: &ResolvedMc, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
-    let model =
+    let mut model =
         ViaArrayMc::from_reference_table(&mc.config, Technology::default(), mc.current_density);
+    if let Some(v) = &mc.variation {
+        model = model.with_variation(v.to_via());
+    }
 
     let resume = env
         .store
@@ -160,7 +168,7 @@ fn run_characterize(mc: &ResolvedMc, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutco
         Ok(ks) => ks,
         Err(e) => return JobOutcome::Failed(format!("fit quality failed: {e}")),
     };
-    let doc = Json::Obj(vec![
+    let mut doc = vec![
         ("kind".into(), Json::s("characterize")),
         ("array".into(), Json::s(&mc.array)),
         ("pattern".into(), Json::s(&mc.pattern)),
@@ -185,8 +193,83 @@ fn run_characterize(mc: &ResolvedMc, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutco
         ),
         ("lognormal_sigma".into(), Json::n(fit.sigma())),
         ("ks".into(), Json::n(ks)),
-    ]);
-    JobOutcome::Done(doc.to_string())
+    ];
+    // Variation is opt-in; unvaried result documents keep their
+    // historical bytes.
+    if let Some(v) = &mc.variation {
+        let variance = if v.variance_analysis {
+            match frozen_variance(&model, v, mc, ctx, &result) {
+                Some(d) => Some(d),
+                None => return JobOutcome::Cancelled,
+            }
+        } else {
+            None
+        };
+        doc.push(("variation".into(), variation_doc(v, variance.as_ref())));
+    }
+    JobOutcome::Done(Json::Obj(doc).to_string())
+}
+
+/// The result-document `variation` block: the knobs that shaped the run,
+/// plus the variance decomposition when the spec asked for one.
+fn variation_doc(v: &VariationSpec, variance: Option<&VarianceDecomposition>) -> Json {
+    let mut pairs = vec![
+        ("edge_current_factor".into(), Json::n(v.edge_current_factor)),
+        ("temperature_sigma_c".into(), Json::n(v.temperature_sigma_c)),
+        ("linewidth_sigma".into(), Json::n(v.linewidth_sigma)),
+    ];
+    if let Some(d) = variance {
+        pairs.push((
+            "variance".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::n(d.total)),
+                ("void".into(), Json::n(d.void)),
+                ("environment".into(), Json::n(d.environment)),
+            ]),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Runs the frozen-fields companion Monte Carlo (same seed; the void
+/// sub-stream is shared trial for trial) and decomposes the open-circuit
+/// `ln TTF` variance over the common committed prefix. `None` means the
+/// companion run was cancelled.
+fn frozen_variance(
+    model: &ViaArrayMc,
+    spec: &VariationSpec,
+    mc: &ResolvedMc,
+    ctx: &JobCtx,
+    varied: &CharacterizationResult,
+) -> Option<VarianceDecomposition> {
+    let frozen_model = model.clone().with_variation(spec.to_via().frozen_fields());
+    let session = ViaSession {
+        cancel: Some(&ctx.cancel),
+        ..ViaSession::default()
+    };
+    let frozen = frozen_model.characterize_session(mc.trials, mc.seed, &mc.runtime, session)?;
+    if frozen.report().cancelled {
+        return None;
+    }
+    let ln = |xs: Vec<f64>| -> Vec<f64> {
+        xs.into_iter()
+            .map(|x| x.max(f64::MIN_POSITIVE).ln())
+            .collect()
+    };
+    let lv = ln(varied.ttf_samples(FailureCriterion::OpenCircuit));
+    let lf = ln(frozen.ttf_samples(FailureCriterion::OpenCircuit));
+    let common = lv.len().min(lf.len());
+    if common < 2 {
+        return Some(VarianceDecomposition {
+            total: 0.0,
+            void: 0.0,
+            environment: 0.0,
+        });
+    }
+    Some(VarianceDecomposition::from_ln_samples(
+        &lv[..common],
+        &lf[..common],
+    ))
 }
 
 fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutcome<String> {
@@ -216,8 +299,11 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
 
     // Level 1: via-array characterization (deterministic, re-run in full on
     // resume — only the level-2 grid loop is checkpointed).
-    let model =
+    let mut model =
         ViaArrayMc::from_reference_table(&mc.config, Technology::default(), mc.current_density);
+    if let Some(v) = &mc.variation {
+        model = model.with_variation(v.to_via());
+    }
     let level1 = ViaSession {
         cancel: Some(&ctx.cancel),
         ..ViaSession::default()
@@ -274,6 +360,14 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
     let mut grid_mc = PowerGridMc::new(grid, reliability)
         .with_system_criterion(SystemCriterion::IrDropFraction(0.10))
         .with_factor_options(job.factor);
+    if let Some(v) = &mc.variation {
+        // Temperature enters the grid level as a first-order ln-TTF sigma
+        // (Ea/(kB·T²)·σ_T); linewidth scales per-site current directly.
+        grid_mc = grid_mc.with_variation(GridVariation {
+            ttf_ln_sigma: v.to_via().grid_ttf_ln_sigma(&Technology::default()),
+            linewidth_sigma: v.linewidth_sigma,
+        });
+    }
     if let Some(report) = &screen {
         grid_mc = grid_mc.with_active_sites(&report.selected_sites());
     }
@@ -323,6 +417,19 @@ fn run_analyze(job: &ResolvedAnalyze, ctx: &JobCtx, env: &RunEnv<'_>) -> JobOutc
         ("seed".into(), Json::n(mc.seed as f64)),
         ("sites".into(), Json::n(sites as f64)),
     ];
+    // Variation rides in its own block, like screening below; unvaried
+    // documents keep their historical bytes.
+    if let Some(v) = &mc.variation {
+        let variance = if v.variance_analysis {
+            match frozen_variance(&model, v, mc, ctx, &characterization) {
+                Some(d) => Some(d),
+                None => return JobOutcome::Cancelled,
+            }
+        } else {
+            None
+        };
+        doc.push(("variation".into(), variation_doc(v, variance.as_ref())));
+    }
     // Screened jobs record both the screen scores and the MC results in
     // one document; unscreened jobs keep their historical bytes.
     if let Some(report) = &screen {
@@ -427,7 +534,7 @@ fn run_fea(job: &ResolvedFea, id: JobId, env: &RunEnv<'_>) -> JobOutcome<String>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{McParams, ScreeningSpec, SolverSpec};
+    use crate::spec::{JobBody, McParams, ScreeningSpec, SolverSpec};
     use emgrid_runtime::JobEngine;
     use std::time::Duration;
 
@@ -472,7 +579,7 @@ mod tests {
     }
 
     fn characterize_spec(trials: usize, seed: u64, threads: usize) -> JobSpec {
-        JobSpec::Characterize(McParams {
+        JobSpec::from(JobBody::Characterize(McParams {
             array: "4x4".into(),
             pattern: "plus".into(),
             criterion: "rinf".into(),
@@ -481,7 +588,8 @@ mod tests {
             threads,
             target_ci: None,
             current_density: None,
-        })
+            variation: None,
+        }))
     }
 
     #[test]
@@ -499,25 +607,59 @@ mod tests {
     }
 
     #[test]
+    fn varied_characterize_reports_variance_and_stays_thread_invariant() {
+        let store = temp_store("varied");
+        let make = |threads: usize| {
+            let mut spec = characterize_spec(64, 21, threads);
+            let JobBody::Characterize(mc) = &mut spec.body else {
+                unreachable!()
+            };
+            mc.variation = Some(crate::spec::VariationSpec {
+                edge_current_factor: 0.4,
+                temperature_sigma_c: 6.0,
+                linewidth_sigma: 0.05,
+                variance_analysis: true,
+            });
+            spec
+        };
+        let (_, one) = run_to_outcome(make(1), &store, 0);
+        let (_, four) = run_to_outcome(make(4), &store, 0);
+        let (JobOutcome::Done(a), JobOutcome::Done(b)) = (&one, &four) else {
+            panic!("jobs failed: {one:?} / {four:?}");
+        };
+        assert_eq!(a, b, "thread count leaked into the varied result");
+        assert!(
+            a.contains("\"variation\":{\"edge_current_factor\":0.4"),
+            "{a}"
+        );
+        assert!(a.contains("\"variance\":{\"total\":"), "{a}");
+        assert!(a.contains("\"environment\":"), "{a}");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn analyze_checkpoint_resume_reproduces_the_uninterrupted_result() {
         let deck =
             emgrid_spice::writer::write_string(&GridSpec::custom("runner-test", 8, 8).generate());
-        let make_spec = |grid_trials: usize| JobSpec::Analyze {
-            mc: McParams {
-                array: "4x4".into(),
-                pattern: "plus".into(),
-                criterion: "rinf".into(),
-                trials: 120,
-                seed: 9,
-                threads: 2,
-                target_ci: None,
-                current_density: None,
-            },
-            deck: DeckSource::Netlist(deck.clone()),
-            grid_trials,
-            repair_vias: None,
-            screening: None,
-            solver: SolverSpec::default(),
+        let make_spec = |grid_trials: usize| {
+            JobSpec::from(JobBody::Analyze {
+                mc: McParams {
+                    array: "4x4".into(),
+                    pattern: "plus".into(),
+                    criterion: "rinf".into(),
+                    trials: 120,
+                    seed: 9,
+                    threads: 2,
+                    target_ci: None,
+                    current_density: None,
+                    variation: None,
+                },
+                deck: DeckSource::Netlist(deck.clone()),
+                grid_trials,
+                repair_vias: None,
+                screening: None,
+                solver: SolverSpec::default(),
+            })
         };
 
         // Reference: 40 grid trials straight through, no checkpointing.
@@ -588,22 +730,25 @@ mod tests {
     #[test]
     fn screened_analyze_records_scores_and_stays_byte_stable() {
         let store = temp_store("screened");
-        let make = |screening: Option<ScreeningSpec>| JobSpec::Analyze {
-            mc: McParams {
-                array: "4x4".into(),
-                pattern: "plus".into(),
-                criterion: "rinf".into(),
-                trials: 48,
-                seed: 7,
-                threads: 2,
-                target_ci: None,
-                current_density: None,
-            },
-            deck: DeckSource::Benchmark("pg1".into()),
-            grid_trials: 10,
-            repair_vias: None,
-            screening,
-            solver: SolverSpec::default(),
+        let make = |screening: Option<ScreeningSpec>| {
+            JobSpec::from(JobBody::Analyze {
+                mc: McParams {
+                    array: "4x4".into(),
+                    pattern: "plus".into(),
+                    criterion: "rinf".into(),
+                    trials: 48,
+                    seed: 7,
+                    threads: 2,
+                    target_ci: None,
+                    current_density: None,
+                    variation: None,
+                },
+                deck: DeckSource::Benchmark("pg1".into()),
+                grid_trials: 10,
+                repair_vias: None,
+                screening,
+                solver: SolverSpec::default(),
+            })
         };
         let top6 = ScreeningSpec {
             top_k: Some(6),
@@ -644,7 +789,7 @@ mod tests {
     #[test]
     fn bad_netlists_fail_with_structured_messages() {
         let store = temp_store("badnet");
-        let spec = JobSpec::Analyze {
+        let spec = JobSpec::from(JobBody::Analyze {
             mc: McParams {
                 array: "4x4".into(),
                 pattern: "plus".into(),
@@ -654,13 +799,14 @@ mod tests {
                 threads: 1,
                 target_ci: None,
                 current_density: None,
+                variation: None,
             },
             deck: DeckSource::Netlist("R1 a b\n".into()),
             grid_trials: 5,
             repair_vias: None,
             screening: None,
             solver: SolverSpec::default(),
-        };
+        });
         let (_, outcome) = run_to_outcome(spec, &store, 0);
         let JobOutcome::Failed(message) = outcome else {
             panic!("expected failure, got {outcome:?}")

@@ -34,7 +34,7 @@ use crate::http::{read_request_buffered, HttpError, Request, RequestBuffer, Resp
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::runner::{run_job, PhaseLog, RunEnv};
-use crate::spec::{DeckSource, JobSpec};
+use crate::spec::{DeckSource, JobBody, JobSpec};
 use crate::store::{DiskJob, JobStore};
 
 /// A pluggable handler consulted for requests no built-in route claims
@@ -769,11 +769,11 @@ fn submit(request: &Request, shared: &Arc<Shared>) -> Response {
     };
     // Uploaded netlists are screened at the door: a deck that cannot pass
     // ingest would only fail later inside a worker, wasting queue space.
-    if let JobSpec::Analyze {
+    if let JobBody::Analyze {
         deck: DeckSource::Netlist(text),
         repair_vias,
         ..
-    } = &spec
+    } = &spec.body
     {
         let options = IngestOptions {
             limits: IngestLimits {

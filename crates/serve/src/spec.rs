@@ -23,7 +23,7 @@ use std::fmt;
 use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
 use emgrid_runtime::{EarlyStop, RuntimeConfig};
 use emgrid_sparse::{FactorOptions, KernelBackend, Method, Ordering};
-use emgrid_via::{FailureCriterion, ViaArrayConfig};
+use emgrid_via::{FailureCriterion, Variation, ViaArrayConfig};
 
 use crate::json::Json;
 
@@ -36,6 +36,13 @@ const MAX_THREADS: usize = 64;
 /// spec does not set `current_density`, matching the CLI's
 /// `characterize`/`analyze` commands and the paper's stress tables.
 pub const REFERENCE_CURRENT_DENSITY: f64 = 1e10;
+
+/// The spec schema version this daemon understands. A document may pin it
+/// with a top-level `"schema"` key on job and sweep specs alike; absent
+/// means version 1, and the canonical form materializes the key only when
+/// the client sent it, so documents accepted before versioning existed
+/// keep their exact bytes.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// A validation failure, phrased for the client and naming the field at
 /// fault so a caller can highlight it without parsing prose.
@@ -105,6 +112,10 @@ pub struct McParams {
     /// [`REFERENCE_CURRENT_DENSITY`]). The sweep axis behind the paper's
     /// TTF-vs-j curves (Fig. 8).
     pub current_density: Option<f64>,
+    /// Optional on-die variation block. `None` keeps the legacy
+    /// single-stream Monte Carlo path bit-for-bit; any present block (even
+    /// all-zero) switches the trial bodies onto named RNG sub-streams.
+    pub variation: Option<VariationSpec>,
 }
 
 /// Where an `analyze` job's power grid comes from.
@@ -140,6 +151,59 @@ impl ScreeningSpec {
             pairs.push(("stress_threshold".to_owned(), Json::n(s)));
         }
         Json::Obj(pairs)
+    }
+}
+
+/// The `variation` block shared by `characterize` and `analyze`: on-die
+/// variation knobs for the Monte Carlo. All magnitudes default to zero; a
+/// present-but-zero block still routes the trial bodies through the named
+/// RNG sub-streams, which is what lets a frozen-fields companion run share
+/// its void draws with a varied run trial for trial.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VariationSpec {
+    /// Extra current share for perimeter vias: weight `1 + f·sides` where
+    /// `sides` counts the array edges a via touches (corners get 2).
+    pub edge_current_factor: f64,
+    /// Standard deviation of the spatially correlated temperature field,
+    /// °C around the technology's nominal operating temperature.
+    pub temperature_sigma_c: f64,
+    /// Relative sigma of the spatially correlated linewidth field; current
+    /// density scales as `1/(1 + σ·f)`.
+    pub linewidth_sigma: f64,
+    /// Run the frozen-fields companion Monte Carlo and report a TTF
+    /// variance decomposition (total / void / environment) next to the
+    /// mean and CI statistics.
+    pub variance_analysis: bool,
+}
+
+impl VariationSpec {
+    /// The level-1 variation model this block resolves to.
+    pub fn to_via(self) -> Variation {
+        Variation {
+            edge_current_factor: self.edge_current_factor,
+            temperature_sigma_c: self.temperature_sigma_c,
+            linewidth_sigma: self.linewidth_sigma,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        // Defaults are materialized: a present block is canonicalized in
+        // full, mirroring `solver`; only the block itself is optional.
+        Json::Obj(vec![
+            (
+                "edge_current_factor".to_owned(),
+                Json::n(self.edge_current_factor),
+            ),
+            (
+                "temperature_sigma_c".to_owned(),
+                Json::n(self.temperature_sigma_c),
+            ),
+            ("linewidth_sigma".to_owned(), Json::n(self.linewidth_sigma)),
+            (
+                "variance_analysis".to_owned(),
+                Json::Bool(self.variance_analysis),
+            ),
+        ])
     }
 }
 
@@ -206,9 +270,30 @@ impl SolverSpec {
     }
 }
 
-/// One accepted unit of work.
+/// One accepted unit of work: an optional explicit spec schema version
+/// plus the job body.
 #[derive(Debug, Clone, PartialEq)]
-pub enum JobSpec {
+pub struct JobSpec {
+    /// `Some(SCHEMA_VERSION)` when the document carried an explicit
+    /// top-level `"schema"` key (materialized first in the canonical
+    /// form); `None` means implicitly version 1 and keeps pre-versioning
+    /// canonical documents byte-identical.
+    pub schema: Option<u64>,
+    /// Which analysis runs, and its knobs.
+    pub body: JobBody,
+}
+
+impl From<JobBody> for JobSpec {
+    /// Wraps a hand-built body under the implicit schema version, so its
+    /// canonical form matches documents from before versioning existed.
+    fn from(body: JobBody) -> JobSpec {
+        JobSpec { schema: None, body }
+    }
+}
+
+/// The job body: which of the three analyses runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobBody {
     /// Level-1 via-array TTF characterization.
     Characterize(McParams),
     /// Two-level system analysis of a power grid.
@@ -273,6 +358,8 @@ pub struct ResolvedMc {
     pub seed: u64,
     /// Stress current density, A/m² (defaults materialized).
     pub current_density: f64,
+    /// On-die variation knobs, when the spec asked for them.
+    pub variation: Option<VariationSpec>,
 }
 
 /// An `analyze` spec resolved to runnable configuration.
@@ -331,11 +418,7 @@ pub enum ResolvedJob {
 impl JobSpec {
     /// The job kind label.
     pub fn kind(&self) -> &'static str {
-        match self {
-            JobSpec::Characterize(_) => "characterize",
-            JobSpec::Analyze { .. } => "analyze",
-            JobSpec::Fea { .. } => "fea",
-        }
+        self.body.kind()
     }
 
     /// Parses and validates a client-submitted document.
@@ -347,15 +430,59 @@ impl JobSpec {
         let Json::Obj(_) = doc else {
             return Err(SpecError::document("spec must be a JSON object"));
         };
+        let schema = get_schema(doc)?;
+        let body = JobBody::from_json(doc)?;
+        Ok(JobSpec { schema, body })
+    }
+
+    /// Renders the canonical form (defaults materialized, fixed key
+    /// order). An explicit schema version renders first; an implicit one
+    /// stays implicit, keeping pre-versioning documents byte-identical.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::new();
+        if self.schema.is_some() {
+            pairs.push(("schema".to_owned(), Json::n(SCHEMA_VERSION as f64)));
+        }
+        self.body.push_pairs(&mut pairs);
+        Json::Obj(pairs)
+    }
+
+    /// Resolves labels and knobs into the configuration a worker runs.
+    ///
+    /// Specs built by [`JobSpec::from_json`] always resolve; the
+    /// fallible signature exists because specs can also be constructed
+    /// directly, and a bad label must surface as a [`SpecError`] naming
+    /// its field rather than silently falling back to a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the unresolvable field.
+    pub fn resolve(&self) -> Result<ResolvedJob, SpecError> {
+        self.body.resolve()
+    }
+}
+
+impl JobBody {
+    /// The job kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobBody::Characterize(_) => "characterize",
+            JobBody::Analyze { .. } => "analyze",
+            JobBody::Fea { .. } => "fea",
+        }
+    }
+
+    fn from_json(doc: &Json) -> Result<JobBody, SpecError> {
         let kind =
             get_str(doc, "kind")?.ok_or_else(|| SpecError::field("kind", "missing `kind`"))?;
         match kind {
             "characterize" => {
                 reject_unknown_keys(doc, &MC_KEYS)?;
-                Ok(JobSpec::Characterize(mc_params(doc)?))
+                Ok(JobBody::Characterize(mc_params(doc)?))
             }
             "analyze" => {
-                const ANALYZE_KEYS: [&str; 15] = [
+                const ANALYZE_KEYS: [&str; 17] = [
+                    "schema",
                     "kind",
                     "array",
                     "pattern",
@@ -365,6 +492,7 @@ impl JobSpec {
                     "threads",
                     "target_ci",
                     "current_density",
+                    "variation",
                     "grid_trials",
                     "benchmark",
                     "netlist",
@@ -401,8 +529,8 @@ impl JobSpec {
                 let grid_trials = get_usize(doc, "grid_trials", 200, 1, MAX_TRIALS)?;
                 let repair_vias = get_pos_f64(doc, "repair_vias")?;
                 let screening = get_screening(doc)?;
-                let solver = get_solver(doc)?;
-                Ok(JobSpec::Analyze {
+                let solver = get_solver(doc, &ANALYZE_SOLVER)?;
+                Ok(JobBody::Analyze {
                     mc,
                     deck,
                     grid_trials,
@@ -415,6 +543,7 @@ impl JobSpec {
                 reject_unknown_keys(
                     doc,
                     &[
+                        "schema",
                         "kind",
                         "array",
                         "pattern",
@@ -443,8 +572,9 @@ impl JobSpec {
                         SpecError::field("use_cache", "`use_cache` must be a boolean")
                     })?,
                 };
-                let (ordering, kernels) = get_solver_fea(doc)?;
-                Ok(JobSpec::Fea {
+                let solver = get_solver(doc, &FEA_SOLVER)?;
+                let (ordering, kernels) = (solver.ordering, solver.kernels);
+                Ok(JobBody::Fea {
                     array,
                     pattern,
                     resolution,
@@ -461,15 +591,14 @@ impl JobSpec {
         }
     }
 
-    /// Renders the canonical form (defaults materialized, fixed key order).
-    pub fn to_json(&self) -> Json {
+    /// Appends the body's canonical key/value pairs in fixed order.
+    fn push_pairs(&self, pairs: &mut Vec<(String, Json)>) {
         match self {
-            JobSpec::Characterize(mc) => {
-                let mut pairs = vec![("kind".to_owned(), Json::s("characterize"))];
-                push_mc(&mut pairs, mc);
-                Json::Obj(pairs)
+            JobBody::Characterize(mc) => {
+                pairs.push(("kind".to_owned(), Json::s("characterize")));
+                push_mc(pairs, mc);
             }
-            JobSpec::Analyze {
+            JobBody::Analyze {
                 mc,
                 deck,
                 grid_trials,
@@ -477,8 +606,8 @@ impl JobSpec {
                 screening,
                 solver,
             } => {
-                let mut pairs = vec![("kind".to_owned(), Json::s("analyze"))];
-                push_mc(&mut pairs, mc);
+                pairs.push(("kind".to_owned(), Json::s("analyze")));
+                push_mc(pairs, mc);
                 pairs.push(("grid_trials".into(), Json::n(*grid_trials as f64)));
                 match deck {
                     DeckSource::Benchmark(b) => pairs.push(("benchmark".into(), Json::s(b))),
@@ -493,9 +622,8 @@ impl JobSpec {
                     pairs.push(("screening".into(), s.to_json()));
                 }
                 pairs.push(("solver".into(), solver.to_json()));
-                Json::Obj(pairs)
             }
-            JobSpec::Fea {
+            JobBody::Fea {
                 array,
                 pattern,
                 resolution,
@@ -509,33 +637,21 @@ impl JobSpec {
                 if *kernels != KernelBackend::Auto {
                     solver.push(("kernels".into(), Json::s(kernels.label())));
                 }
-                Json::Obj(vec![
-                    ("kind".into(), Json::s("fea")),
-                    ("array".into(), Json::s(array)),
-                    ("pattern".into(), Json::s(pattern)),
-                    ("resolution".into(), Json::n(*resolution)),
-                    ("threads".into(), Json::n(*threads as f64)),
-                    ("use_cache".into(), Json::Bool(*use_cache)),
-                    ("solver".into(), Json::Obj(solver)),
-                ])
+                pairs.push(("kind".into(), Json::s("fea")));
+                pairs.push(("array".into(), Json::s(array)));
+                pairs.push(("pattern".into(), Json::s(pattern)));
+                pairs.push(("resolution".into(), Json::n(*resolution)));
+                pairs.push(("threads".into(), Json::n(*threads as f64)));
+                pairs.push(("use_cache".into(), Json::Bool(*use_cache)));
+                pairs.push(("solver".into(), Json::Obj(solver)));
             }
         }
     }
 
-    /// Resolves labels and knobs into the configuration a worker runs.
-    ///
-    /// Specs built by [`JobSpec::from_json`] always resolve; the
-    /// fallible signature exists because specs can also be constructed
-    /// directly, and a bad label must surface as a [`SpecError`] naming
-    /// its field rather than silently falling back to a default.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpecError`] naming the unresolvable field.
-    pub fn resolve(&self) -> Result<ResolvedJob, SpecError> {
+    fn resolve(&self) -> Result<ResolvedJob, SpecError> {
         match self {
-            JobSpec::Characterize(mc) => Ok(ResolvedJob::Characterize(resolve_mc(mc)?)),
-            JobSpec::Analyze {
+            JobBody::Characterize(mc) => Ok(ResolvedJob::Characterize(resolve_mc(mc)?)),
+            JobBody::Analyze {
                 mc,
                 deck,
                 grid_trials,
@@ -551,7 +667,7 @@ impl JobSpec {
                 factor: solver.factor_options(),
                 method: solver.method,
             })),
-            JobSpec::Fea {
+            JobBody::Fea {
                 array,
                 pattern,
                 resolution,
@@ -612,6 +728,7 @@ fn resolve_mc(mc: &McParams) -> Result<ResolvedMc, SpecError> {
         trials: mc.trials,
         seed: mc.seed,
         current_density: mc.current_density.unwrap_or(REFERENCE_CURRENT_DENSITY),
+        variation: mc.variation,
     })
 }
 
@@ -639,7 +756,8 @@ fn pattern_of(pattern: &str) -> Result<IntersectionPattern, SpecError> {
     }
 }
 
-const MC_KEYS: [&str; 9] = [
+const MC_KEYS: [&str; 11] = [
+    "schema",
     "kind",
     "array",
     "pattern",
@@ -649,6 +767,7 @@ const MC_KEYS: [&str; 9] = [
     "threads",
     "target_ci",
     "current_density",
+    "variation",
 ];
 
 fn push_mc(pairs: &mut Vec<(String, Json)>, mc: &McParams) {
@@ -665,6 +784,11 @@ fn push_mc(pairs: &mut Vec<(String, Json)>, mc: &McParams) {
     // byte-exact tests) predate the key and must keep re-parsing.
     if let Some(j) = mc.current_density {
         pairs.push(("current_density".into(), Json::n(j)));
+    }
+    // Same rule: the block is materialized only when the client asked for
+    // variation, so unvaried documents keep their bytes.
+    if let Some(v) = mc.variation {
+        pairs.push(("variation".into(), v.to_json()));
     }
 }
 
@@ -688,7 +812,86 @@ fn mc_params(doc: &Json) -> Result<McParams, SpecError> {
         // Positivity and finiteness are enforced by get_pos_f64.
         target_ci: get_pos_f64(doc, "target_ci")?,
         current_density: get_pos_f64(doc, "current_density")?,
+        variation: get_variation(doc)?,
     })
+}
+
+/// Parses the optional top-level `schema` key shared by every spec kind.
+fn get_schema(doc: &Json) -> Result<Option<u64>, SpecError> {
+    match doc.get("schema") {
+        None => Ok(None),
+        Some(v) => {
+            let n = v.as_u64().ok_or_else(|| {
+                SpecError::field("schema", "`schema` must be a non-negative integer")
+            })?;
+            if n != SCHEMA_VERSION {
+                return Err(SpecError::field(
+                    "schema",
+                    format!("unsupported spec schema {n} (supported: {SCHEMA_VERSION})"),
+                ));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+/// Parses the optional `variation` block of a `characterize` or `analyze`
+/// spec.
+fn get_variation(doc: &Json) -> Result<Option<VariationSpec>, SpecError> {
+    let Some(block) = doc.get("variation") else {
+        return Ok(None);
+    };
+    let Json::Obj(pairs) = block else {
+        return Err(SpecError::field(
+            "variation",
+            "`variation` must be an object",
+        ));
+    };
+    let mut variation = VariationSpec::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "edge_current_factor" => {
+                variation.edge_current_factor = variation_magnitude(key, value, 10.0)?
+            }
+            "temperature_sigma_c" => {
+                variation.temperature_sigma_c = variation_magnitude(key, value, 100.0)?
+            }
+            "linewidth_sigma" => variation.linewidth_sigma = variation_magnitude(key, value, 0.5)?,
+            "variance_analysis" => {
+                variation.variance_analysis = value.as_bool().ok_or_else(|| {
+                    SpecError::field(
+                        "variation.variance_analysis",
+                        "`variation.variance_analysis` must be a boolean",
+                    )
+                })?
+            }
+            other => {
+                return Err(SpecError::field(
+                    format!("variation.{other}"),
+                    format!("unknown key `variation.{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(Some(variation))
+}
+
+/// A non-negative, bounded variation magnitude; zero is meaningful (the
+/// sub-stream layout without the perturbation).
+fn variation_magnitude(key: &str, value: &Json, max: f64) -> Result<f64, SpecError> {
+    let v = value.as_f64().ok_or_else(|| {
+        SpecError::field(
+            format!("variation.{key}"),
+            format!("`variation.{key}` must be a number"),
+        )
+    })?;
+    if !v.is_finite() || !(0.0..=max).contains(&v) {
+        return Err(SpecError::field(
+            format!("variation.{key}"),
+            format!("`variation.{key}` = {v} out of range [0, {max}]"),
+        ));
+    }
+    Ok(v)
 }
 
 fn get_array_label(doc: &Json) -> Result<String, SpecError> {
@@ -713,8 +916,39 @@ fn get_pattern_label(doc: &Json) -> Result<String, SpecError> {
     Ok(p.to_owned())
 }
 
-/// Parses the full `solver` block of an `analyze` spec.
-fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
+/// Which `solver` keys one spec kind exposes; the one shared sub-parser
+/// below serves every kind with a solver block.
+struct SolverProfile {
+    /// Whether the supernode toggle may vary per job.
+    supernodal: bool,
+    /// Whether the operating-point solve `method` (the screening pass's
+    /// engine) may be set.
+    method: bool,
+    /// Appended to unknown-or-disallowed-key messages to say why.
+    rejection_note: &'static str,
+}
+
+/// `analyze` exposes every solver knob, including the screening pass's
+/// operating-point `method`.
+const ANALYZE_SOLVER: SolverProfile = SolverProfile {
+    supernodal: true,
+    method: true,
+    rejection_note: "",
+};
+
+/// `fea` exposes only `ordering` and `kernels`: the stress cache keys on
+/// the ordering alone, so only knobs that cannot change cached fields may
+/// vary per job.
+const FEA_SOLVER: SolverProfile = SolverProfile {
+    supernodal: false,
+    method: false,
+    rejection_note: " (fea accepts only `ordering` and `kernels`)",
+};
+
+/// Parses a `solver` block under the given profile. Every spec kind's
+/// solver block funnels through here, so `solver.<field>` attribution and
+/// label vocabularies stay identical across kinds.
+fn get_solver(doc: &Json, profile: &SolverProfile) -> Result<SolverSpec, SpecError> {
     let Some(block) = doc.get("solver") else {
         return Ok(SolverSpec::default());
     };
@@ -725,17 +959,17 @@ fn get_solver(doc: &Json) -> Result<SolverSpec, SpecError> {
     for (key, value) in pairs {
         match key.as_str() {
             "ordering" => solver.ordering = parse_ordering(value)?,
-            "supernodal" => {
+            "supernodal" if profile.supernodal => {
                 solver.supernodal = value.as_bool().ok_or_else(|| {
                     SpecError::field("solver.supernodal", "`solver.supernodal` must be a boolean")
                 })?
             }
             "kernels" => solver.kernels = parse_kernels(value)?,
-            "method" => solver.method = parse_method(value)?,
+            "method" if profile.method => solver.method = parse_method(value)?,
             other => {
                 return Err(SpecError::field(
                     format!("solver.{other}"),
-                    format!("unknown key `solver.{other}`"),
+                    format!("unknown key `solver.{other}`{}", profile.rejection_note),
                 ))
             }
         }
@@ -798,36 +1032,6 @@ fn get_screening(doc: &Json) -> Result<Option<ScreeningSpec>, SpecError> {
         }
     }
     Ok(Some(screening))
-}
-
-/// Parses the `solver` block of an `fea` spec: `ordering` plus the
-/// bit-identical `kernels` backend. The supernode toggle is deliberately
-/// absent: the stress cache keys on the ordering alone, so only knobs
-/// that cannot change cached fields may vary per job.
-fn get_solver_fea(doc: &Json) -> Result<(Ordering, KernelBackend), SpecError> {
-    let Some(block) = doc.get("solver") else {
-        return Ok((Ordering::default(), KernelBackend::default()));
-    };
-    let Json::Obj(pairs) = block else {
-        return Err(SpecError::field("solver", "`solver` must be an object"));
-    };
-    let mut ordering = Ordering::default();
-    let mut kernels = KernelBackend::default();
-    for (key, value) in pairs {
-        match key.as_str() {
-            "ordering" => ordering = parse_ordering(value)?,
-            "kernels" => kernels = parse_kernels(value)?,
-            other => {
-                return Err(SpecError::field(
-                    format!("solver.{other}"),
-                    format!(
-                        "unknown key `solver.{other}` (fea accepts only `ordering` and `kernels`)"
-                    ),
-                ))
-            }
-        }
-    }
-    Ok((ordering, kernels))
 }
 
 fn parse_ordering(value: &Json) -> Result<Ordering, SpecError> {
@@ -947,7 +1151,7 @@ mod tests {
     #[test]
     fn characterize_defaults_are_materialized() {
         let s = spec(r#"{"kind":"characterize"}"#).unwrap();
-        let JobSpec::Characterize(mc) = &s else {
+        let JobBody::Characterize(mc) = &s.body else {
             panic!("wrong kind")
         };
         assert_eq!(
@@ -974,12 +1178,12 @@ mod tests {
         assert!(spec(r#"{"kind":"analyze","benchmark":"pg9"}"#).is_err());
         let s = spec(r#"{"kind":"analyze","benchmark":"pg1","grid_trials":50,"repair_vias":0.5}"#)
             .unwrap();
-        let JobSpec::Analyze {
+        let JobBody::Analyze {
             deck,
             grid_trials,
             repair_vias,
             ..
-        } = &s
+        } = &s.body
         else {
             panic!("wrong kind")
         };
@@ -1263,7 +1467,7 @@ mod tests {
 
         // A hand-built spec bypasses from_json's label screening; resolve
         // must still name the bad field instead of defaulting.
-        let bad = JobSpec::Characterize(McParams {
+        let bad = JobSpec::from(JobBody::Characterize(McParams {
             array: "9x9".into(),
             pattern: "plus".into(),
             criterion: "rinf".into(),
@@ -1272,7 +1476,8 @@ mod tests {
             threads: 1,
             target_ci: None,
             current_density: None,
-        });
+            variation: None,
+        }));
         let e = bad.resolve().unwrap_err();
         assert_eq!(e.field.as_deref(), Some("array"));
     }
@@ -1313,5 +1518,118 @@ mod tests {
         }
         // fea has no current to carry; the key stays unknown there.
         assert!(spec(r#"{"kind":"fea","current_density":1e10}"#).is_err());
+    }
+
+    #[test]
+    fn schema_version_is_accepted_and_materialized_when_present() {
+        // Absent: implicit version 1, canonical bytes unchanged (the
+        // byte-exact assertions elsewhere in this module pin that).
+        let implicit = spec(r#"{"kind":"characterize"}"#).unwrap();
+        assert_eq!(implicit.schema, None);
+        assert!(!implicit.to_json().to_string().contains("schema"));
+
+        // Present: accepted, materialized first, round-trips.
+        let pinned = spec(r#"{"schema":1,"kind":"characterize"}"#).unwrap();
+        assert_eq!(pinned.schema, Some(SCHEMA_VERSION));
+        assert_eq!(
+            pinned.to_json().to_string(),
+            r#"{"schema":1,"kind":"characterize","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1}"#
+        );
+        assert_eq!(spec(&pinned.to_json().to_string()).unwrap(), pinned);
+        // The two forms carry the same body but are distinct documents.
+        assert_eq!(pinned.body, implicit.body);
+        assert_ne!(pinned, implicit);
+
+        // Every kind takes the key.
+        assert!(spec(r#"{"schema":1,"kind":"analyze","benchmark":"pg1"}"#).is_ok());
+        assert!(spec(r#"{"schema":1,"kind":"fea"}"#).is_ok());
+
+        // Unknown versions and malformed values are structured errors
+        // naming the field and the supported range.
+        for bad in [
+            r#"{"schema":2,"kind":"characterize"}"#,
+            r#"{"schema":0,"kind":"characterize"}"#,
+        ] {
+            let e = spec(bad).unwrap_err();
+            assert_eq!(e.field.as_deref(), Some("schema"), "{bad}");
+            assert!(e.message.contains("supported: 1"), "{}", e.message);
+        }
+        let e = spec(r#"{"schema":"one","kind":"characterize"}"#).unwrap_err();
+        assert_eq!(e.field.as_deref(), Some("schema"));
+    }
+
+    #[test]
+    fn variation_block_round_trips_with_defaults_materialized() {
+        // Absent: canonical form omits the block and nothing resolves.
+        let s = spec(r#"{"kind":"characterize"}"#).unwrap();
+        assert!(!s.to_json().to_string().contains("variation"));
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.variation, None);
+
+        // Present: defaults are materialized in fixed key order.
+        let s = spec(r#"{"kind":"characterize","variation":{"edge_current_factor":0.5}}"#).unwrap();
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"kind":"characterize","array":"4x4","pattern":"plus","criterion":"rinf","trials":2000,"seed":1,"threads":1,"variation":{"edge_current_factor":0.5,"temperature_sigma_c":0,"linewidth_sigma":0,"variance_analysis":false}}"#
+        );
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        let v = mc.variation.unwrap();
+        assert_eq!(v.edge_current_factor, 0.5);
+        assert_eq!(v.to_via().edge_current_factor, 0.5);
+
+        // An empty block is meaningful: sub-stream layout, no perturbation.
+        let s = spec(r#"{"kind":"characterize","variation":{}}"#).unwrap();
+        let ResolvedJob::Characterize(mc) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert_eq!(mc.variation, Some(VariationSpec::default()));
+
+        // Analyze shares the block; it rides along with push_mc.
+        let s = spec(
+            r#"{"kind":"analyze","benchmark":"pg1","variation":{"temperature_sigma_c":8,"variance_analysis":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec(&s.to_json().to_string()).unwrap(), s);
+        let ResolvedJob::Analyze(a) = s.resolve().unwrap() else {
+            panic!("wrong kind")
+        };
+        assert!(a.mc.variation.unwrap().variance_analysis);
+    }
+
+    #[test]
+    fn variation_block_names_bad_nested_fields() {
+        for (bad, field) in [
+            (r#"{"kind":"characterize","variation":7}"#, "variation"),
+            (
+                r#"{"kind":"characterize","variation":{"edge_current_factor":-0.1}}"#,
+                "variation.edge_current_factor",
+            ),
+            (
+                r#"{"kind":"characterize","variation":{"temperature_sigma_c":500}}"#,
+                "variation.temperature_sigma_c",
+            ),
+            (
+                r#"{"kind":"characterize","variation":{"linewidth_sigma":"wide"}}"#,
+                "variation.linewidth_sigma",
+            ),
+            (
+                r#"{"kind":"characterize","variation":{"variance_analysis":1}}"#,
+                "variation.variance_analysis",
+            ),
+            (
+                r#"{"kind":"characterize","variation":{"vias":3}}"#,
+                "variation.vias",
+            ),
+        ] {
+            let e = spec(bad).unwrap_err();
+            assert_eq!(e.field.as_deref(), Some(field), "{bad}");
+        }
+        // fea has no Monte Carlo; the key stays unknown there.
+        assert!(spec(r#"{"kind":"fea","variation":{}}"#).is_err());
     }
 }

@@ -48,7 +48,7 @@ pub use ks::{ks_statistic, ks_two_sample};
 pub use lognormal::LogNormal;
 pub use normal::Normal;
 pub use online::OnlineStats;
-pub use rng::{seeded_rng, stream_rng, Rng, Xoshiro256};
+pub use rng::{seeded_rng, stream_rng, substream_rng, Rng, Xoshiro256};
 pub use special::{erf, erfc, inverse_normal_cdf, normal_cdf};
 
 /// Error raised when distribution parameters are invalid.

@@ -151,6 +151,22 @@ pub fn stream_rng(seed: u64, stream: u64) -> Xoshiro256 {
     Xoshiro256::seed_from_u64(seed ^ stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Derives one named sub-stream of a trial's generator.
+///
+/// A variation-enabled Monte Carlo trial draws from several independent
+/// sources — void nucleation (critical stress), environmental fields
+/// (temperature), geometry (linewidth) — and each source must stay
+/// independent of the others *and* of the legacy single-stream draws, so
+/// enabling one source never shifts another's sequence. The `channel`
+/// index is folded into the base seed with a second odd 64-bit constant
+/// (from MurmurHash3's finalizer family) before the usual per-`stream`
+/// derivation, so `substream_rng(seed, t, c)` never aliases
+/// `stream_rng(seed, t)` for any small `c`.
+pub fn substream_rng(seed: u64, stream: u64, channel: u64) -> Xoshiro256 {
+    let child = seed ^ channel.wrapping_add(1).wrapping_mul(0xD2B7_4407_B1CE_6E93);
+    stream_rng(child, stream)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

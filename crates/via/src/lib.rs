@@ -42,6 +42,7 @@ pub mod electrical;
 pub mod layout;
 pub mod mc;
 pub mod stress_table;
+pub mod variation;
 
 pub use analytic::WeakestLink;
 pub use array::{resistance_increase, FailureCriterion, ViaArrayConfig};
@@ -54,6 +55,7 @@ pub use mc::{ViaArrayMc, ViaArraySample, ViaSession};
 pub use stress_table::{
     FeaOptions, FeaPrimitiveReport, FeaReport, LayerPair, StressEntry, StressTable,
 };
+pub use variation::{VarianceDecomposition, Variation};
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use crate::electrical::CurrentModel;
     pub use crate::mc::{ViaArrayMc, ViaArraySample};
     pub use crate::stress_table::{LayerPair, StressTable};
+    pub use crate::variation::{VarianceDecomposition, Variation};
     pub use emgrid_em::{Technology, SECONDS_PER_YEAR};
     pub use emgrid_fea::geometry::{IntersectionPattern, ViaArrayGeometry};
 }

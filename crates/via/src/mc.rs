@@ -14,11 +14,12 @@ use emgrid_em::{nucleation, Technology};
 use emgrid_runtime::{CancelToken, RuntimeConfig, SessionState, TrialSession};
 use emgrid_stats::Rng;
 
-use crate::array::ViaArrayConfig;
+use crate::array::{FailureCriterion, ViaArrayConfig};
 use crate::characterization::CharacterizationResult;
 use crate::checkpoint::ViaCheckpoint;
 use crate::electrical::CurrentModel;
 use crate::stress_table::{LayerPair, StressTable};
+use crate::variation::{self, VarianceDecomposition, Variation};
 
 /// One Monte Carlo trial: the absolute failure time (seconds) of the k-th
 /// via to die, for k = 1..=n (non-decreasing).
@@ -54,6 +55,7 @@ pub struct ViaArrayMc {
     current_density: f64,
     current_model: CurrentModel,
     growth: Option<GrowthModel>,
+    variation: Option<Variation>,
 }
 
 impl ViaArrayMc {
@@ -82,6 +84,7 @@ impl ViaArrayMc {
             current_density,
             current_model: CurrentModel::default(),
             growth: None,
+            variation: None,
         }
     }
 
@@ -126,6 +129,19 @@ impl ViaArrayMc {
     pub fn with_growth(mut self, growth: GrowthModel) -> Self {
         self.growth = Some(growth);
         self
+    }
+
+    /// Enables on-die variation: trials draw void, temperature-field, and
+    /// linewidth-field samples from independent derived sub-streams instead
+    /// of the legacy single trial stream (default: nominal model).
+    pub fn with_variation(mut self, variation: Variation) -> Self {
+        self.variation = Some(variation);
+        self
+    }
+
+    /// The configured variation, if any.
+    pub fn variation(&self) -> Option<&Variation> {
+        self.variation.as_ref()
     }
 
     /// The simulated configuration.
@@ -203,6 +219,157 @@ impl ViaArrayMc {
             }
         }
         ViaArraySample { failure_times }
+    }
+
+    /// Runs one variation-enabled trial.
+    ///
+    /// Critical-stress draws come from `void_rng`, the correlated
+    /// temperature field from `field_rng`, and the correlated linewidth
+    /// field from `geom_rng` — three independent sub-streams of the same
+    /// `(seed, trial)` pair (see [`emgrid_stats::substream_rng`]), so
+    /// enabling one variation source never shifts another's sequence.
+    pub fn simulate_once_varied<R: Rng + ?Sized>(
+        &self,
+        var: &Variation,
+        void_rng: &mut R,
+        field_rng: &mut R,
+        geom_rng: &mut R,
+    ) -> ViaArraySample {
+        let n = self.config.count();
+        let rows = self.config.geometry.rows;
+        let cols = self.config.geometry.cols;
+        let sc_dist = self.tech.critical_stress_distribution();
+        let sigma_c: Vec<f64> = (0..n).map(|_| sc_dist.sample(void_rng)).collect();
+
+        // Per-trial fields: a hotter via lives shorter by the Arrhenius
+        // factor; a narrower via sees a higher current density.
+        let life_scale: Vec<f64> = if var.temperature_sigma_c > 0.0 {
+            variation::correlated_field_2d(rows, cols, field_rng)
+                .iter()
+                .map(|&f| {
+                    Variation::temperature_life_scale(&self.tech, var.temperature_sigma_c * f)
+                })
+                .collect()
+        } else {
+            vec![1.0; n]
+        };
+        let inv_width: Vec<f64> = if var.linewidth_sigma > 0.0 {
+            variation::correlated_field_2d(rows, cols, geom_rng)
+                .iter()
+                .map(|&f| 1.0 / (1.0 + var.linewidth_sigma * f).max(variation::MIN_RELATIVE_WIDTH))
+                .collect()
+        } else {
+            vec![1.0; n]
+        };
+        let weights = (var.edge_current_factor > 0.0).then(|| var.edge_weights(rows, cols));
+
+        let total_current = self.current_density * self.config.effective_area_m2();
+        let via_area = self.config.via_area_m2();
+        let mut alive = vec![true; n];
+        let currents =
+            self.weighted_currents(rows, cols, &alive, total_current, weights.as_deref());
+        let mut j: Vec<f64> = (0..n)
+            .map(|v| currents[v] * inv_width[v] / via_area)
+            .collect();
+        let mut remaining: Vec<f64> = (0..n)
+            .map(|v| self.via_life(sigma_c[v], self.sigma_t[v], j[v]) * life_scale[v])
+            .collect();
+
+        let mut t = 0.0;
+        let mut failure_times = Vec::with_capacity(n);
+        for step in 0..n {
+            let (victim, dt) = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(v, _)| (v, remaining[v]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite lifetimes"))
+                .expect("alive vias remain");
+            t += dt;
+            failure_times.push(t);
+            alive[victim] = false;
+            if step + 1 == n {
+                break;
+            }
+            let currents =
+                self.weighted_currents(rows, cols, &alive, total_current, weights.as_deref());
+            for v in 0..n {
+                if alive[v] {
+                    let j_new = currents[v] * inv_width[v] / via_area;
+                    let left = (remaining[v] - dt).max(0.0);
+                    remaining[v] = nucleation::rescale_remaining_life(left, j[v], j_new);
+                    j[v] = j_new;
+                }
+            }
+        }
+        ViaArraySample { failure_times }
+    }
+
+    /// Currents from the configured model, optionally reweighted by the
+    /// static geometry-derived edge weights and renormalized so the total
+    /// stays conserved.
+    fn weighted_currents(
+        &self,
+        rows: usize,
+        cols: usize,
+        alive: &[bool],
+        total_current: f64,
+        weights: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let mut currents = self
+            .current_model
+            .via_currents(rows, cols, alive, total_current);
+        if let Some(w) = weights {
+            let mut sum = 0.0;
+            for (c, &wv) in currents.iter_mut().zip(w) {
+                *c *= wv;
+                sum += *c;
+            }
+            let scale = total_current / sum;
+            for c in &mut currents {
+                *c *= scale;
+            }
+        }
+        currents
+    }
+
+    /// Runs the variation-enabled characterization twice with the same seed
+    /// — once as configured, once with the correlated fields frozen — and
+    /// returns the full result next to the random-walk variance
+    /// decomposition of the open-circuit `ln TTF`.
+    ///
+    /// Void draws come from their own sub-stream, so the two runs share
+    /// critical-stress samples trial for trial and the difference isolates
+    /// the field contribution. With early termination the decomposition
+    /// uses the common committed prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no variation is configured or fewer than two trials
+    /// commit.
+    pub fn characterize_with_variance(
+        &self,
+        trials: usize,
+        seed: u64,
+        runtime: &RuntimeConfig,
+    ) -> (CharacterizationResult, VarianceDecomposition) {
+        let var = self
+            .variation
+            .expect("variance analysis requires a configured variation");
+        let varied = self.characterize_with(trials, seed, runtime);
+        let mut frozen_mc = self.clone();
+        frozen_mc.variation = Some(var.frozen_fields());
+        let frozen = frozen_mc.characterize_with(trials, seed, runtime);
+        let ln = |xs: Vec<f64>| -> Vec<f64> {
+            xs.into_iter()
+                .map(|x| x.max(f64::MIN_POSITIVE).ln())
+                .collect()
+        };
+        let lv = ln(varied.ttf_samples(FailureCriterion::OpenCircuit));
+        let lf = ln(frozen.ttf_samples(FailureCriterion::OpenCircuit));
+        let common = lv.len().min(lf.len());
+        let decomposition = VarianceDecomposition::from_ln_samples(&lv[..common], &lf[..common]);
+        (varied, decomposition)
     }
 
     /// Runs `trials` trials with a deterministic seed and collects the
@@ -284,8 +451,22 @@ impl ViaArrayMc {
             runtime,
             trial_session,
             |t| {
-                let mut rng = emgrid_stats::stream_rng(seed, t as u64);
-                Ok(self.simulate_once(&mut rng))
+                Ok(match &self.variation {
+                    Some(var) => {
+                        let s = t as u64;
+                        let mut void_rng =
+                            emgrid_stats::substream_rng(seed, s, variation::CHANNEL_VOID);
+                        let mut field_rng =
+                            emgrid_stats::substream_rng(seed, s, variation::CHANNEL_FIELD);
+                        let mut geom_rng =
+                            emgrid_stats::substream_rng(seed, s, variation::CHANNEL_GEOMETRY);
+                        self.simulate_once_varied(var, &mut void_rng, &mut field_rng, &mut geom_rng)
+                    }
+                    None => {
+                        let mut rng = emgrid_stats::stream_rng(seed, t as u64);
+                        self.simulate_once(&mut rng)
+                    }
+                })
             },
             |s: &ViaArraySample| s.failure_times[open_circuit].max(f64::MIN_POSITIVE).ln(),
         );
@@ -504,6 +685,92 @@ mod tests {
                 },
             )
             .is_none());
+    }
+
+    #[test]
+    fn edge_loaded_arrays_fail_earlier() {
+        // Geometry-derived uneven current: edge/corner vias carry more, so
+        // the earliest failure moves forward relative to the uniform split
+        // (the 1801.08281 direction). Same trial budget, same seed.
+        let uniform = paper_mc(IntersectionPattern::Plus)
+            .with_variation(Variation::default())
+            .characterize(200, 31)
+            .ecdf(FailureCriterion::WeakestLink)
+            .median();
+        let edge_loaded = paper_mc(IntersectionPattern::Plus)
+            .with_variation(Variation {
+                edge_current_factor: 0.5,
+                ..Variation::default()
+            })
+            .characterize(200, 31)
+            .ecdf(FailureCriterion::WeakestLink)
+            .median();
+        assert!(
+            edge_loaded < uniform,
+            "edge-loaded {edge_loaded} should be below uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn edge_weighting_conserves_total_current() {
+        let mc = paper_mc(IntersectionPattern::Plus).with_variation(Variation {
+            edge_current_factor: 1.0,
+            ..Variation::default()
+        });
+        let total = mc.current_density() * mc.config().effective_area_m2();
+        let weights = mc.variation().unwrap().edge_weights(4, 4);
+        let currents = mc.weighted_currents(4, 4, &[true; 16], total, Some(&weights));
+        let sum: f64 = currents.iter().sum();
+        assert!((sum - total).abs() / total < 1e-12);
+        // Corner beats edge beats interior.
+        assert!(currents[0] > currents[1] && currents[1] > currents[5]);
+    }
+
+    #[test]
+    fn variation_sources_draw_from_independent_substreams() {
+        // Freezing the fields must not change the void draws: with the
+        // same seed, the frozen run and the field-enabled run differ only
+        // through the fields themselves.
+        let base = paper_mc(IntersectionPattern::Plus);
+        let frozen_a = base
+            .clone()
+            .with_variation(Variation::default())
+            .characterize(50, 37);
+        let frozen_b = base
+            .clone()
+            .with_variation(
+                Variation {
+                    temperature_sigma_c: 10.0,
+                    linewidth_sigma: 0.08,
+                    ..Variation::default()
+                }
+                .frozen_fields(),
+            )
+            .characterize(50, 37);
+        assert_eq!(
+            frozen_a.ttf_samples(FailureCriterion::OpenCircuit),
+            frozen_b.ttf_samples(FailureCriterion::OpenCircuit)
+        );
+    }
+
+    #[test]
+    fn variance_decomposition_attributes_field_variance() {
+        let mc = paper_mc(IntersectionPattern::Plus).with_variation(Variation {
+            temperature_sigma_c: 10.0,
+            linewidth_sigma: 0.05,
+            ..Variation::default()
+        });
+        let (result, d) = mc.characterize_with_variance(120, 41, &RuntimeConfig::sequential());
+        assert_eq!(result.ttf_samples(FailureCriterion::OpenCircuit).len(), 120);
+        assert!(d.total > d.void, "total {} void {}", d.total, d.void);
+        assert!(d.environment > 0.0);
+        assert!((d.environment - (d.total - d.void)).abs() < 1e-12);
+
+        // Without fields the decomposition collapses onto the void term.
+        let bare = paper_mc(IntersectionPattern::Plus).with_variation(Variation::default());
+        let (_, d0) = bare.characterize_with_variance(80, 41, &RuntimeConfig::sequential());
+        assert_eq!(d0.environment, 0.0);
+        assert_eq!(d0.total, d0.void);
     }
 
     #[test]

@@ -54,6 +54,74 @@ fn grid_mc_is_thread_count_invariant() {
     }
 }
 
+/// Variation-enabled trials draw the correlated temperature/linewidth
+/// fields from per-trial RNG sub-streams, so turning variation on must
+/// not cost the thread-count invariance — every sample bit, and the
+/// variance decomposition built from a replayed frozen-field run, must
+/// agree across thread counts.
+#[test]
+fn varied_characterization_is_thread_count_invariant() {
+    let mc = via_mc().with_variation(Variation {
+        edge_current_factor: 0.5,
+        temperature_sigma_c: 6.0,
+        linewidth_sigma: 0.05,
+    });
+    let seq = mc.characterize_with(150, 17, &RuntimeConfig::threaded(1));
+    for threads in [2, 8] {
+        let par = mc.characterize_with(150, 17, &RuntimeConfig::threaded(threads));
+        assert_eq!(seq.samples(), par.samples(), "threads = {threads}");
+        assert_eq!(
+            seq.ttf_samples(FailureCriterion::OpenCircuit),
+            par.ttf_samples(FailureCriterion::OpenCircuit),
+        );
+    }
+    let (_, d1) = mc.characterize_with_variance(96, 23, &RuntimeConfig::threaded(1));
+    let (_, d4) = mc.characterize_with_variance(96, 23, &RuntimeConfig::threaded(4));
+    assert_eq!(d1, d4);
+}
+
+/// The grid-level variation fields cross the same contract with the
+/// solver's microkernel backend: every `(backend, thread count)` pair
+/// must reproduce the same system TTFs and failure orders bit for bit.
+#[test]
+fn varied_grid_mc_is_thread_and_kernel_backend_invariant() {
+    use emgrid::sparse::{FactorOptions, KernelBackend};
+
+    let var = Variation {
+        temperature_sigma_c: 8.0,
+        linewidth_sigma: 0.05,
+        ..Variation::default()
+    };
+    let mc = grid_mc().with_variation(GridVariation {
+        ttf_ln_sigma: var.grid_ttf_ln_sigma(&Technology::default()),
+        linewidth_sigma: var.linewidth_sigma,
+    });
+    let run = |kernels: KernelBackend, threads: usize| {
+        mc.clone()
+            .with_factor_options(FactorOptions::default().with_kernels(kernels))
+            .run_threaded(20, 29, threads)
+            .unwrap()
+    };
+    let seq = run(KernelBackend::Scalar, 1);
+    for kernels in [KernelBackend::Scalar, KernelBackend::Blocked] {
+        for threads in [2, 8] {
+            let par = run(kernels, threads);
+            let label = format!("kernels = {}, threads = {threads}", kernels.label());
+            assert_eq!(seq.ttf_seconds(), par.ttf_seconds(), "{label}");
+            assert_eq!(
+                seq.failures_per_trial(),
+                par.failures_per_trial(),
+                "{label}"
+            );
+            assert_eq!(
+                seq.site_failure_counts(),
+                par.site_failure_counts(),
+                "{label}"
+            );
+        }
+    }
+}
+
 #[test]
 fn work_stealing_matches_static_chunking() {
     let mc = grid_mc();
